@@ -1,0 +1,112 @@
+"""Ablation benchmarks for FaCT's design choices (DESIGN.md §5).
+
+Not part of the paper's evaluation, but each ablates one knob the
+paper's design discussion motivates:
+
+- **merge limit** (Substep 2.2 Round 2): 0 disables merging (more
+  unassigned areas), larger values rescue more areas at the cost of
+  region size and time;
+- **construction restarts**: best-of-k passes trade time for p;
+- **pickup criterion**: random (paper default) vs best-heterogeneity;
+- **tabu tenure**: short tenures risk cycling, long tenures
+  over-restrict; measured by achieved improvement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaCT, FaCTConfig
+from repro.bench.workloads import AVG_BOTTLENECK_RANGE, combo_constraints
+
+from conftest import run_once
+
+
+def _solve(collection, constraints, **config_kwargs):
+    defaults = dict(rng_seed=7, construction_iterations=1, enable_tabu=False)
+    defaults.update(config_kwargs)
+    return FaCT(FaCTConfig(**defaults)).solve(collection, constraints)
+
+
+@pytest.mark.parametrize("merge_limit", (0, 1, 3, 8))
+def test_ablation_merge_limit(benchmark, default_2k, merge_limit):
+    constraints = combo_constraints("A", avg_range=AVG_BOTTLENECK_RANGE)
+    solution = run_once(
+        benchmark, _solve, default_2k, constraints, merge_limit=merge_limit
+    )
+    benchmark.extra_info.update(
+        merge_limit=merge_limit,
+        p=solution.p,
+        n_unassigned=solution.n_unassigned,
+    )
+
+
+def test_merge_limit_reduces_unassigned(default_2k):
+    constraints = combo_constraints("A", avg_range=AVG_BOTTLENECK_RANGE)
+    without = _solve(default_2k, constraints, merge_limit=0)
+    with_merges = _solve(default_2k, constraints, merge_limit=3)
+    assert with_merges.n_unassigned <= without.n_unassigned
+
+
+@pytest.mark.parametrize("restarts", (1, 2, 4))
+def test_ablation_restarts(benchmark, default_2k, restarts):
+    constraints = combo_constraints("MAS")
+    solution = run_once(
+        benchmark,
+        _solve,
+        default_2k,
+        constraints,
+        construction_iterations=restarts,
+    )
+    benchmark.extra_info.update(restarts=restarts, p=solution.p)
+
+
+def test_restarts_never_reduce_p(default_2k):
+    constraints = combo_constraints("MAS")
+    one = _solve(default_2k, constraints, construction_iterations=1)
+    four = _solve(default_2k, constraints, construction_iterations=4)
+    assert four.p >= one.p
+
+
+@pytest.mark.parametrize("pickup", ("random", "best"))
+def test_ablation_pickup(benchmark, default_2k, pickup):
+    constraints = combo_constraints("MAS")
+    solution = run_once(
+        benchmark, _solve, default_2k, constraints, pickup=pickup
+    )
+    benchmark.extra_info.update(
+        pickup=pickup,
+        p=solution.p,
+        heterogeneity=round(solution.heterogeneity, 1),
+    )
+
+
+def test_best_pickup_starts_more_homogeneous(default_2k):
+    """Best-heterogeneity pickup should give the local search a better
+    (or equal) starting point than random pickup."""
+    constraints = combo_constraints("S")
+    random_start = _solve(default_2k, constraints, pickup="random")
+    best_start = _solve(default_2k, constraints, pickup="best")
+    assert (
+        best_start.heterogeneity_before
+        <= random_start.heterogeneity_before * 1.1
+    )
+
+
+@pytest.mark.parametrize("tenure", (2, 10, 40))
+def test_ablation_tabu_tenure(benchmark, default_2k, tenure):
+    constraints = combo_constraints("MS")
+    n = len(default_2k)
+    solution = run_once(
+        benchmark,
+        _solve,
+        default_2k,
+        constraints,
+        enable_tabu=True,
+        tabu_tenure=tenure,
+        tabu_max_no_improve=n // 2,
+        tabu_max_iterations=2 * n,
+    )
+    benchmark.extra_info.update(
+        tenure=tenure, improvement=round(solution.improvement, 4)
+    )

@@ -1,0 +1,28 @@
+"""Table I — dataset construction benchmarks.
+
+Builds each registry dataset (at the benchmark scale) and checks the
+structural facts Table I reports: the area counts and, for the
+multi-state datasets, multiple connected components.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import DATASETS, load_dataset
+
+from conftest import run_once
+
+SMALL = ("1k", "2k", "4k", "8k")
+LARGE = ("10k", "20k", "30k", "40k", "50k")
+
+
+@pytest.mark.parametrize("name", SMALL + LARGE)
+def test_dataset_build(benchmark, name, scale):
+    spec = DATASETS[name]
+    collection = run_once(benchmark, load_dataset, name, scale=scale)
+    assert len(collection) == spec.scaled_size(scale)
+    components = collection.connected_components()
+    assert len(components) == spec.patches
+    benchmark.extra_info["n_areas"] = len(collection)
+    benchmark.extra_info["n_components"] = len(components)

@@ -1,0 +1,89 @@
+"""Extension benches: MAX and COUNT duals of the paper's MIN/SUM runs.
+
+Section VII shows "one aggregate function in each constraint type"
+citing result similarity within a family. These benches exercise the
+other two aggregates and assert the family-similarity claim:
+
+- MAX on mirrored ranges reproduces MIN's p-trend (more seeds → more
+  regions, more filtering → fewer regions);
+- COUNT lower bounds reproduce SUM's anti-monotone p-trend and,
+  because mean tract population ≈ 4300, COUNT >= k lands near
+  SUM >= 4300·k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.extensions import (
+    COUNT_LOWER_BOUNDS,
+    MAX_MIRROR_RANGES,
+    run_count_row,
+    run_max_row,
+)
+from repro.bench.runner import run_emp
+from repro.bench.workloads import format_range
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("max_range", MAX_MIRROR_RANGES, ids=format_range)
+def test_max_cell(benchmark, default_2k, max_range):
+    row = run_once(
+        benchmark, run_max_row, default_2k, max_range, dataset="2k"
+    )
+    assert row.p > 0
+    benchmark.extra_info["p"] = row.p
+
+
+@pytest.mark.parametrize(
+    "lower", COUNT_LOWER_BOUNDS, ids=lambda v: f"ge{v}"
+)
+def test_count_cell(benchmark, default_2k, lower):
+    row = run_once(benchmark, run_count_row, default_2k, lower, dataset="2k")
+    assert row.p > 0
+    benchmark.extra_info["p"] = row.p
+
+
+def test_max_mirrors_min_trend(default_2k):
+    """The MAX duals of (-inf,2k] / (-inf,3.5k] / (-inf,5k] must show
+    the same increasing-p trend the MIN originals do."""
+    p_values = [
+        run_max_row(default_2k, r).p for r in MAX_MIRROR_RANGES
+    ]
+    assert p_values[0] < p_values[1] < p_values[2]
+
+
+def test_count_monotone_like_sum(default_2k):
+    """p decreases as the COUNT lower bound grows — SUM's trend with
+    unit weights."""
+    p_values = [
+        run_count_row(default_2k, lower).p for lower in (1, 5, 9)
+    ]
+    assert p_values[0] > p_values[1] > p_values[2]
+
+
+def test_count_tracks_equivalent_sum(default_2k):
+    """COUNT >= k lands within a factor of the SUM >= 4300k dual (mean
+    tract population ≈ 4300), confirming within-family similarity."""
+    count_p = run_count_row(default_2k, 5).p
+    sum_p = run_emp(
+        default_2k, "S", sum_range=(5 * 4300, None), enable_tabu=False
+    ).p
+    assert 0.5 * sum_p <= count_p <= 2.0 * sum_p
+
+
+def test_count_upper_bound_supported(default_2k):
+    """Bounded COUNT ranges (impossible for classic max-p) solve and
+    respect both bounds on every region."""
+    from repro import FaCT
+    from repro.bench.extensions import count_constraints
+    from repro.bench.runner import bench_config
+
+    constraints = count_constraints(3, upper=8)
+    solution = FaCT(
+        bench_config(len(default_2k), enable_tabu=False)
+    ).solve(default_2k, constraints)
+    assert solution.p > 0
+    for members in solution.partition.regions:
+        assert 3 <= len(members) <= 8

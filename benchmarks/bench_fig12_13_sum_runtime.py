@@ -1,0 +1,86 @@
+"""Figures 12 & 13 — runtime for SUM-constraint combinations vs MP.
+
+Fig 12 (u = ∞): FaCT's construction is slightly slower than MP (extra
+validation for the generic constraint machinery) but its Tabu phase is
+shorter at high thresholds, so total time becomes competitive — the
+paper reports FaCT at less than half MP's total for l = 30k/40k.
+
+Fig 13 (bounded ranges): runtime falls as the range tightens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_emp, run_maxp
+from repro.bench.workloads import (
+    SUM_COMBOS,
+    TABLE4_SUM_BOUNDED_RANGES,
+    TABLE4_SUM_LOWER_BOUNDS,
+    format_range,
+)
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize(
+    "lower", TABLE4_SUM_LOWER_BOUNDS, ids=lambda v: f"{v/1000:g}k"
+)
+def test_fig12_mp_cell(benchmark, default_2k, lower):
+    row = run_once(
+        benchmark, run_maxp, default_2k, lower,
+        dataset="2k", enable_tabu=True,
+    )
+    benchmark.extra_info.update(
+        p=row.p,
+        construction_seconds=round(row.construction_seconds, 4),
+        tabu_seconds=round(row.tabu_seconds, 4),
+    )
+
+
+@pytest.mark.parametrize(
+    "lower", TABLE4_SUM_LOWER_BOUNDS, ids=lambda v: f"{v/1000:g}k"
+)
+@pytest.mark.parametrize("combo", SUM_COMBOS)
+def test_fig12_fact_cell(benchmark, default_2k, combo, lower):
+    row = run_once(
+        benchmark,
+        run_emp,
+        default_2k,
+        combo,
+        sum_range=(lower, None),
+        dataset="2k",
+        enable_tabu=True,
+    )
+    benchmark.extra_info.update(
+        p=row.p,
+        construction_seconds=round(row.construction_seconds, 4),
+        tabu_seconds=round(row.tabu_seconds, 4),
+    )
+
+
+@pytest.mark.parametrize(
+    "sum_range", TABLE4_SUM_BOUNDED_RANGES, ids=format_range
+)
+@pytest.mark.parametrize("combo", SUM_COMBOS)
+def test_fig13_bounded_cell(benchmark, default_2k, combo, sum_range):
+    row = run_once(
+        benchmark,
+        run_emp,
+        default_2k,
+        combo,
+        sum_range=sum_range,
+        dataset="2k",
+        enable_tabu=True,
+    )
+    benchmark.extra_info.update(p=row.p, n_unassigned=row.n_unassigned)
+
+
+def test_fig12_fact_total_competitive_at_high_threshold(default_2k):
+    """At l = 30k the paper reports FaCT's total under MP's (shorter
+    Tabu). Pure-Python noise allows slack; require within 2×."""
+    mp = run_maxp(default_2k, 30000, enable_tabu=True)
+    fact = run_emp(
+        default_2k, "S", sum_range=(30000, None), enable_tabu=True
+    )
+    assert fact.total_seconds <= 2.0 * mp.total_seconds + 0.5

@@ -1,0 +1,114 @@
+"""Figures 14, 15, 16 — FaCT scalability across dataset sizes.
+
+- Fig 14: datasets 1k…8k with the Table II default constraints; the
+  paper reports near-linear growth for M and quadratic-ish growth for
+  the other combinations, with "very acceptable" absolute runtimes.
+- Fig 15: the multi-state datasets 10k…50k (multiple connected
+  components — unsupported by classic max-p).
+- Fig 16: the AVG bottleneck (range 3k±1k) on 1k…8k; construction
+  time grows much faster than in the default-range case and is not
+  strictly monotone in n (the merging procedure depends on how easily
+  areas combine).
+
+The suite's benchmark scale keeps the largest run to a few thousand
+areas; per-cell dataset/combination grids mirror the paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_emp
+from repro.bench.workloads import AVG_BOTTLENECK_RANGE, MIN_COMBOS
+from repro.data.datasets import load_dataset
+
+from conftest import run_once
+
+SMALL_DATASETS = ("1k", "2k", "4k", "8k")
+LARGE_DATASETS = ("10k", "20k", "30k", "40k", "50k")
+
+
+@pytest.mark.parametrize("name", SMALL_DATASETS)
+@pytest.mark.parametrize("combo", MIN_COMBOS)
+def test_fig14_small_scalability(benchmark, scale, combo, name):
+    collection = load_dataset(name, scale=scale)
+    row = run_once(
+        benchmark,
+        run_emp,
+        collection,
+        combo,
+        dataset=name,
+        enable_tabu=True,
+    )
+    benchmark.extra_info.update(
+        n_areas=len(collection),
+        p=row.p,
+        construction_seconds=round(row.construction_seconds, 4),
+        tabu_seconds=round(row.tabu_seconds, 4),
+    )
+
+
+@pytest.mark.parametrize("name", LARGE_DATASETS)
+@pytest.mark.parametrize("combo", ("M", "MAS"))
+def test_fig15_large_scalability(benchmark, scale, combo, name):
+    # The 10k-50k sweep runs at half the suite scale to stay
+    # laptop-friendly in pure Python (documented in EXPERIMENTS.md);
+    # the M/MAS pair brackets the cheapest and fullest combinations.
+    collection = load_dataset(name, scale=scale * 0.5)
+    row = run_once(
+        benchmark,
+        run_emp,
+        collection,
+        combo,
+        dataset=name,
+        enable_tabu=True,
+    )
+    benchmark.extra_info.update(
+        n_areas=len(collection),
+        n_components=len(collection.connected_components()),
+        p=row.p,
+        construction_seconds=round(row.construction_seconds, 4),
+        tabu_seconds=round(row.tabu_seconds, 4),
+    )
+
+
+@pytest.mark.parametrize("name", SMALL_DATASETS)
+@pytest.mark.parametrize("combo", ("A", "MA", "AS", "MAS"))
+def test_fig16_avg_bottleneck(benchmark, scale, combo, name):
+    collection = load_dataset(name, scale=scale)
+    row = run_once(
+        benchmark,
+        run_emp,
+        collection,
+        combo,
+        avg_range=AVG_BOTTLENECK_RANGE,
+        dataset=name,
+        enable_tabu=True,
+    )
+    benchmark.extra_info.update(
+        n_areas=len(collection),
+        p=row.p,
+        construction_seconds=round(row.construction_seconds, 4),
+        tabu_seconds=round(row.tabu_seconds, 4),
+    )
+
+
+def test_fig14_construction_grows_with_n(scale):
+    """Construction time on 8k should exceed 1k for the full MAS
+    combination (quadratic-ish trend)."""
+    small = run_emp(
+        load_dataset("1k", scale=scale), "MAS", enable_tabu=False
+    )
+    large = run_emp(
+        load_dataset("8k", scale=scale), "MAS", enable_tabu=False
+    )
+    assert large.construction_seconds >= small.construction_seconds
+
+
+def test_fig15_multi_component_solved(scale):
+    """The multi-state datasets have several connected components and
+    must still produce valid regions in each."""
+    collection = load_dataset("10k", scale=scale * 0.5)
+    assert len(collection.connected_components()) > 1
+    row = run_emp(collection, "MAS", dataset="10k", enable_tabu=False)
+    assert row.p > 0

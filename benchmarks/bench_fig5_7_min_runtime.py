@@ -1,0 +1,94 @@
+"""Figures 5, 6, 7a, 7b — runtime for MIN-constraint combinations.
+
+Each cell runs FaCT with Tabu enabled and records the construction /
+Tabu split the paper's bars show. Expected shapes:
+
+- Fig 5 (l = −∞): construction time *decreases* as u grows (more seeds
+  → fewer assignment iterations) while MS/MAS pay a little extra in
+  Step 3;
+- Fig 6 (u = ∞): runtime drops sharply as l grows (aggressive
+  filtering leaves fewer, scattered areas);
+- Fig 7a: runtime grows with bounded-range length (larger search
+  space);
+- Fig 7b: runtime falls as the midpoint shifts upward (the filtered
+  map fragments into small components).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_emp
+from repro.bench.workloads import (
+    MIN_COMBOS,
+    TABLE3_LENGTH_RANGES,
+    TABLE3_MIDPOINT_RANGES,
+    TABLE3_OPEN_LOWER_RANGES,
+    TABLE3_OPEN_UPPER_RANGES,
+    format_range,
+)
+
+from conftest import run_once
+
+
+def _cell(benchmark, collection, combo, min_range):
+    row = run_once(
+        benchmark,
+        run_emp,
+        collection,
+        combo,
+        min_range=min_range,
+        dataset="2k",
+        enable_tabu=True,
+    )
+    benchmark.extra_info.update(
+        p=row.p,
+        construction_seconds=round(row.construction_seconds, 4),
+        tabu_seconds=round(row.tabu_seconds, 4),
+        improvement=round(row.improvement, 4),
+    )
+    return row
+
+
+@pytest.mark.parametrize(
+    "min_range", TABLE3_OPEN_LOWER_RANGES, ids=format_range
+)
+@pytest.mark.parametrize("combo", MIN_COMBOS)
+def test_fig5_open_lower(benchmark, default_2k, combo, min_range):
+    _cell(benchmark, default_2k, combo, min_range)
+
+
+@pytest.mark.parametrize(
+    "min_range", TABLE3_OPEN_UPPER_RANGES, ids=format_range
+)
+@pytest.mark.parametrize("combo", MIN_COMBOS)
+def test_fig6_open_upper(benchmark, default_2k, combo, min_range):
+    _cell(benchmark, default_2k, combo, min_range)
+
+
+@pytest.mark.parametrize(
+    "min_range", TABLE3_LENGTH_RANGES, ids=format_range
+)
+@pytest.mark.parametrize("combo", MIN_COMBOS)
+def test_fig7a_lengths(benchmark, default_2k, combo, min_range):
+    _cell(benchmark, default_2k, combo, min_range)
+
+
+@pytest.mark.parametrize(
+    "min_range", TABLE3_MIDPOINT_RANGES, ids=format_range
+)
+@pytest.mark.parametrize("combo", MIN_COMBOS)
+def test_fig7b_midpoints(benchmark, default_2k, combo, min_range):
+    _cell(benchmark, default_2k, combo, min_range)
+
+
+def test_fig6_runtime_falls_with_lower_bound(default_2k):
+    """Fig 6's trend: a higher l filters more areas and cuts runtime."""
+    loose = run_emp(
+        default_2k, "M", min_range=(2000, None), enable_tabu=True
+    )
+    tight = run_emp(
+        default_2k, "M", min_range=(5000, None), enable_tabu=True
+    )
+    assert tight.p < loose.p
+    assert tight.total_seconds <= loose.total_seconds * 1.5

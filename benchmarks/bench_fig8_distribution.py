@@ -1,0 +1,32 @@
+"""Figure 8 — distribution of the AVG attribute (EMPLOYED).
+
+Regenerates the histogram the paper plots for the default dataset and
+asserts its two printed facts: positive skew with most areas below
+4000, and a maximum of 6149.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import fig8_avg_distribution
+from repro.data import schema
+
+from conftest import run_once
+
+
+def test_fig8_histogram(benchmark, default_2k):
+    data = run_once(benchmark, fig8_avg_distribution, default_2k, "2k")
+    counts = [v for _, v in data.series["areas"]]
+    assert sum(counts) == len(default_2k)
+    benchmark.extra_info["bins"] = len(counts)
+
+
+def test_fig8_distribution_facts(default_2k):
+    values = np.array(
+        list(default_2k.attribute_values(schema.EMPLOYED).values())
+    )
+    assert values.max() <= schema.EMPLOYED_CAP
+    assert float((values < 4000).mean()) > 0.9
+    # positive skew: mean above median
+    assert values.mean() > np.median(values)

@@ -1,0 +1,111 @@
+"""Figures 9, 10, 11 — the AVG constraint's behavior and bottleneck.
+
+- Fig 9: AVG-only, range length fixed at ±1k, midpoint sweeping
+  1k…4.5k. Expected shape: p peaks near the distribution's body
+  (midpoints ≤ 2.5k assign everything), the 3k midpoint is the
+  expensive case, and midpoints ≥ 3.5k leave most areas unassigned
+  with a *short* runtime (the algorithm quickly finds nothing to do).
+- Figs 10/11: midpoint pinned at 3k (the hard case), half-length
+  sweeping 0.5k…2k for combos A/MA/AS/MAS: p and assignment coverage
+  grow with the length; the ±1k case dominates runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_emp
+from repro.bench.workloads import (
+    AVG_COMBOS,
+    FIG9_AVG_HALF_LENGTH,
+    FIG9_AVG_MIDPOINTS,
+    FIG10_AVG_HALF_LENGTHS,
+    FIG10_AVG_MIDPOINT,
+)
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize(
+    "midpoint", FIG9_AVG_MIDPOINTS, ids=lambda m: f"{m/1000:g}k"
+)
+def test_fig9_midpoint_cell(benchmark, default_2k, midpoint):
+    avg_range = (
+        midpoint - FIG9_AVG_HALF_LENGTH,
+        midpoint + FIG9_AVG_HALF_LENGTH,
+    )
+    row = run_once(
+        benchmark,
+        run_emp,
+        default_2k,
+        "A",
+        avg_range=avg_range,
+        dataset="2k",
+        enable_tabu=True,
+    )
+    benchmark.extra_info.update(
+        p=row.p, n_unassigned=row.n_unassigned,
+        improvement=round(row.improvement, 4),
+    )
+
+
+@pytest.mark.parametrize(
+    "half", FIG10_AVG_HALF_LENGTHS, ids=lambda h: f"pm{h/1000:g}k"
+)
+@pytest.mark.parametrize("combo", AVG_COMBOS)
+def test_fig10_11_length_cell(benchmark, default_2k, combo, half):
+    avg_range = (FIG10_AVG_MIDPOINT - half, FIG10_AVG_MIDPOINT + half)
+    row = run_once(
+        benchmark,
+        run_emp,
+        default_2k,
+        combo,
+        avg_range=avg_range,
+        dataset="2k",
+        enable_tabu=True,
+    )
+    benchmark.extra_info.update(p=row.p, n_unassigned=row.n_unassigned)
+
+
+def test_fig9_easy_midpoints_assign_everything(default_2k):
+    """Midpoints 1.5k-2.5k sit in the distribution's body: (nearly)
+    all areas get assigned."""
+    row = run_emp(
+        default_2k, "A", avg_range=(1000, 3000), enable_tabu=False
+    )
+    assert row.n_unassigned <= 0.05 * len(default_2k)
+
+
+def test_fig9_extreme_midpoints_leave_most_unassigned(default_2k):
+    """Midpoint 4.5k lies beyond almost every area's value: most areas
+    stay in U0 and the run is quick."""
+    row = run_emp(
+        default_2k, "A", avg_range=(3500, 5500), enable_tabu=False
+    )
+    assert row.n_unassigned >= 0.5 * len(default_2k)
+
+
+def test_fig10_p_grows_with_range_length(default_2k):
+    p_values = [
+        run_emp(
+            default_2k,
+            "A",
+            avg_range=(3000 - half, 3000 + half),
+            enable_tabu=False,
+        ).p
+        for half in (500, 1000, 2000)
+    ]
+    assert p_values[0] <= p_values[1] <= p_values[2]
+
+
+def test_fig10_unassigned_shrink_with_range_length(default_2k):
+    unassigned = [
+        run_emp(
+            default_2k,
+            "A",
+            avg_range=(3000 - half, 3000 + half),
+            enable_tabu=False,
+        ).n_unassigned
+        for half in (500, 2000)
+    ]
+    assert unassigned[1] <= unassigned[0]

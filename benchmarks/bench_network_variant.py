@@ -1,0 +1,48 @@
+"""Extension bench: the network-max-p variant.
+
+The related-work variants (She, Duque & Ye 2017) replace spatial
+contiguity with road-network connectivity. This bench sweeps the
+synthetic road density and measures its cost: fewer usable
+adjacencies → fewer feasible merges → lower p and more Step-3 work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstraintSet, FaCT, sum_constraint
+from repro.bench.runner import bench_config
+from repro.contiguity import restricted_collection
+
+from conftest import run_once
+
+DENSITIES = (0.0, 0.25, 0.5, 1.0)
+
+
+def _solve(collection, density):
+    constraints = ConstraintSet([sum_constraint("TOTALPOP", lower=20000)])
+    world = restricted_collection(collection, density=density, seed=9)
+    config = bench_config(len(world), enable_tabu=False)
+    solution = FaCT(config).solve(world, constraints)
+    assert solution.partition.validate(world, constraints) == []
+    return solution
+
+
+@pytest.mark.parametrize("density", DENSITIES, ids=lambda d: f"density{d:g}")
+def test_network_density_cell(benchmark, default_2k, density):
+    solution = run_once(benchmark, _solve, default_2k, density)
+    benchmark.extra_info.update(density=density, p=solution.p)
+
+
+def test_density_one_matches_spatial_contiguity(default_2k):
+    constraints = ConstraintSet([sum_constraint("TOTALPOP", lower=20000)])
+    config = bench_config(len(default_2k), enable_tabu=False)
+    spatial = FaCT(config).solve(default_2k, constraints)
+    network = _solve(default_2k, 1.0)
+    assert network.p == spatial.p
+
+
+def test_sparser_roads_reduce_p(default_2k):
+    tree_only = _solve(default_2k, 0.0)
+    full = _solve(default_2k, 1.0)
+    assert tree_only.p <= full.p

@@ -1,0 +1,64 @@
+"""Table III — p values for MIN constraint combinations.
+
+One benchmark per (combination, threshold range) cell: 4 combos × 14
+ranges = 56 FaCT construction runs (Tabu disabled — it never changes
+p, exactly as the table reports construction output).
+
+Expected shape (paper, default 2k dataset):
+- ``M`` always yields the most regions (p is bounded by seed count);
+- adding S (MS) collapses p by roughly 4-6× at tight ranges;
+- adding A (MA) trims p moderately; MAS is the smallest;
+- p grows with the upper bound u, shrinks with the lower bound l,
+  and grows with bounded-range length.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_emp
+from repro.bench.tables import table3_min_ranges
+from repro.bench.workloads import MIN_COMBOS, format_range
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize(
+    "min_range", table3_min_ranges(), ids=format_range
+)
+@pytest.mark.parametrize("combo", MIN_COMBOS)
+def test_table3_cell(benchmark, default_2k, combo, min_range):
+    row = run_once(
+        benchmark,
+        run_emp,
+        default_2k,
+        combo,
+        min_range=min_range,
+        dataset="2k",
+        enable_tabu=False,
+    )
+    assert row.p >= 0
+    benchmark.extra_info["p"] = row.p
+    benchmark.extra_info["n_unassigned"] = row.n_unassigned
+
+
+def test_table3_monotone_in_upper_bound(default_2k):
+    """Sanity on the headline trend: larger u -> more seed areas ->
+    larger p for the single-MIN query."""
+    p_values = [
+        run_emp(default_2k, "M", min_range=(None, u), enable_tabu=False).p
+        for u in (2000, 3500, 5000)
+    ]
+    assert p_values[0] < p_values[1] < p_values[2]
+
+
+def test_table3_m_dominates_combinations(default_2k):
+    """M alone always produces at least as many regions as any
+    combination that adds constraints to it."""
+    min_range = (None, 3500)
+    p_m = run_emp(default_2k, "M", min_range=min_range, enable_tabu=False).p
+    for combo in ("MS", "MA", "MAS"):
+        p_combo = run_emp(
+            default_2k, combo, min_range=min_range, enable_tabu=False
+        ).p
+        assert p_combo <= p_m

@@ -1,0 +1,36 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Every benchmark runs the real experiment code from :mod:`repro.bench`
+on datasets scaled by ``REPRO_BENCH_SCALE`` (default 0.15 — the "2k"
+dataset becomes ~350 areas), so the whole suite finishes in minutes on
+a laptop. Full-size numbers for EXPERIMENTS.md come from
+``python -m repro.bench.report --scale 1.0``.
+
+Solver runs take seconds, so each benchmark executes exactly once
+(``rounds=1``) — the measurement of interest is the solver's internal
+phase timing, not micro-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import bench_scale
+from repro.data.datasets import load_dataset
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def default_2k(scale):
+    """The paper's default dataset at the benchmark scale."""
+    return load_dataset("2k", scale=scale)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compact healthcare districts — alternative Tabu objectives.
+
+Definition III.3 fixes heterogeneity as the default objective, but the
+paper notes its Tabu phase "can deal with different optimization
+functions, such as improving spatial compactness or balancing multiple
+criteria". This example demonstrates exactly that on a healthcare-
+planning scenario: districts must contain at least 25 000 residents
+(service viability), and the planner compares three objectives —
+
+1. **heterogeneity** (the default): income-homogeneous districts;
+2. **compactness**: geographically tight districts (short travel);
+3. **weighted 50/50**: a balance of both.
+
+The script prints each solution's heterogeneity and compactness so the
+trade-off is visible, and writes one SVG map per objective.
+
+Usage::
+
+    python examples/compact_healthcare_districts.py [--tracts 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ConstraintSet, FaCT, FaCTConfig, sum_constraint
+from repro.analysis import partition_quality
+from repro.data import load_dataset
+from repro.fact import (
+    CompactnessObjective,
+    HeterogeneityObjective,
+    WeightedObjective,
+)
+from repro.viz import partition_to_svg
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tracts", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--svg-prefix", default="", help="write <prefix><objective>.svg maps"
+    )
+    args = parser.parse_args()
+
+    collection = load_dataset("2k", scale=args.tracts / 2344)
+    constraints = ConstraintSet(
+        [sum_constraint("TOTALPOP", lower=25000)]
+    )
+    print(
+        f"{len(collection)} tracts; constraint: {constraints[0]}\n"
+    )
+
+    objectives = {
+        "heterogeneity": HeterogeneityObjective(),
+        "compactness": CompactnessObjective(),
+        "balanced": WeightedObjective(
+            [
+                (HeterogeneityObjective(), 0.5),
+                (CompactnessObjective(), 0.5),
+            ]
+        ),
+    }
+
+    header = (
+        f"{'objective':>14} | {'p':>4} | {'heterogeneity':>14} | "
+        f"{'compactness':>12} | {'time':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, objective in objectives.items():
+        solver = FaCT(FaCTConfig(rng_seed=args.seed), objective=objective)
+        solution = solver.solve(collection, constraints)
+        quality = partition_quality(collection, solution.partition)
+        print(
+            f"{name:>14} | {solution.p:>4} | "
+            f"{quality['heterogeneity']:>14,.0f} | "
+            f"{quality['compactness']:>12.3f} | "
+            f"{solution.total_seconds:>5.1f}s"
+        )
+        if args.svg_prefix:
+            path = f"{args.svg_prefix}{name}.svg"
+            partition_to_svg(collection, solution.partition, path)
+            print(f"{'':>14}   map -> {path}")
+
+    print(
+        "\nExpected trade-off: the compactness objective yields tighter"
+        " districts at higher heterogeneity; the balanced objective"
+        " lands in between."
+    )
+
+
+if __name__ == "__main__":
+    main()

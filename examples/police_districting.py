@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Police patrol-sector design — balanced districting with COUNT.
+
+The paper's third motivating application (Section I) is the patrol
+sector partition problem [Camacho-Collados et al. 2015]: carve a city
+into patrol sectors that balance the number of service calls and the
+workload. EMP expresses this with a *bounded range* on both sides —
+something the classic max-p formulation cannot do:
+
+    SUM(CALLS)    in [800, 1600]     # workload band per sector
+    COUNT(areas)  in [4, 25]         # manageable sector footprint
+    AVG(RESPONSE_RISK) <= 0.6        # no sector dominated by hotspots
+
+The example also contrasts the bounded query with a lower-bound-only
+query to show why the upper bound matters for balance.
+
+Usage::
+
+    python examples/police_districting.py [--beats 350] [--seed 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    Area,
+    AreaCollection,
+    ConstraintSet,
+    FaCT,
+    FaCTConfig,
+    avg_constraint,
+    count_constraint,
+    sum_constraint,
+)
+from repro.data.synthetic import smoothed_normal_scores
+from repro.fact import format_solution_report
+from repro.geometry import voronoi_tessellation
+
+
+def build_city(n_beats: int, seed: int) -> AreaCollection:
+    """A synthetic city of police beats with calls and risk scores."""
+    tessellation = voronoi_tessellation(n_beats, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    risk_scores = smoothed_normal_scores(tessellation.adjacency, rng, rounds=2)
+    # calls: heavy-tailed with spatial hotspots following the risk field
+    calls = rng.lognormal(mean=4.3, sigma=0.5, size=n_beats) * np.exp(
+        0.4 * risk_scores
+    )
+    risk = 1.0 / (1.0 + np.exp(-risk_scores))  # squashed to (0, 1)
+
+    areas = [
+        Area(
+            area_id=index,
+            attributes={
+                "CALLS": round(float(calls[index]), 1),
+                "RESPONSE_RISK": round(float(risk[index]), 4),
+            },
+            dissimilarity=round(float(calls[index]), 1),
+            polygon=tessellation.polygons[index],
+        )
+        for index in range(n_beats)
+    ]
+    return AreaCollection(areas, tessellation.adjacency)
+
+
+def describe(solution, city, label: str) -> None:
+    print(f"\n--- {label} ---")
+    print(format_solution_report(solution, city))
+    loads = [
+        sum(city.attribute(i, "CALLS") for i in members)
+        for members in solution.partition.regions
+    ]
+    if loads:
+        spread = (max(loads) - min(loads)) / (sum(loads) / len(loads))
+        print(
+            f"  sector workload: min {min(loads):,.0f}, "
+            f"max {max(loads):,.0f}, relative spread {spread:.0%}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--beats", type=int, default=350)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    city = build_city(args.beats, args.seed)
+    total_calls = sum(a.attributes["CALLS"] for a in city)
+    print(
+        f"synthetic city: {len(city)} beats, "
+        f"{total_calls:,.0f} annual calls"
+    )
+
+    solver = FaCT(FaCTConfig(rng_seed=args.seed))
+
+    balanced = ConstraintSet(
+        [
+            sum_constraint("CALLS", 800, 1600),
+            count_constraint(4, 25),
+            avg_constraint("RESPONSE_RISK", upper=0.6),
+        ]
+    )
+    describe(
+        solver.solve(city, balanced), city,
+        "balanced sectors (bounded SUM + COUNT + AVG cap)",
+    )
+
+    lower_only = ConstraintSet([sum_constraint("CALLS", lower=800)])
+    describe(
+        solver.solve(city, lower_only), city,
+        "lower-bound only (classic max-p style)",
+    )
+    print(
+        "\nThe bounded query caps every sector's workload, trading a "
+        "few unassigned beats for a much tighter workload spread."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart — solve one EMP query end to end.
+
+Loads the paper's default evaluation dataset (LA County, "2k"; scaled
+down by default so the script finishes in seconds), poses the Table II
+default query
+
+    MIN(POP16UP)  <= 3000
+    AVG(EMPLOYED) in [1500, 3500]
+    SUM(TOTALPOP) >= 20000
+
+runs the three FaCT phases and prints the solution report. Optionally
+writes the regions to GeoJSON for inspection in any GIS tool.
+
+Usage::
+
+    python examples/quickstart.py                 # ~350 areas, fast
+    python examples/quickstart.py --scale 1.0     # full 2344 areas
+    python examples/quickstart.py --geojson out.geojson
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ConstraintSet, FaCT, FaCTConfig
+from repro.data import default_constraints, dump_geojson, load_dataset
+from repro.fact import format_feasibility_report, format_solution_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="2k", help="registry name")
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--geojson", help="write the result as GeoJSON")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a step-by-step construction trace",
+    )
+    args = parser.parse_args()
+
+    collection = load_dataset(args.dataset, scale=args.scale)
+    print(
+        f"dataset {args.dataset} @ scale {args.scale:g}: "
+        f"{len(collection)} census tracts"
+    )
+
+    constraints = ConstraintSet(default_constraints())
+    for constraint in constraints:
+        print(f"  constraint: {constraint}")
+
+    solver = FaCT(FaCTConfig(rng_seed=args.seed))
+    report = solver.check(collection, constraints)
+    print()
+    print(format_feasibility_report(report))
+
+    if args.trace:
+        from repro.fact import trace_solve
+
+        print("\nstep-by-step trace (single construction pass):")
+        trace = trace_solve(collection, constraints, solver.config)
+        print(trace.format())
+
+    solution = solver.solve(collection, constraints)
+    print()
+    print(format_solution_report(solution, collection))
+
+    if args.geojson:
+        dump_geojson(collection, args.geojson, solution.partition.labels())
+        print(f"\nregions written to {args.geojson}")
+
+
+if __name__ == "__main__":
+    main()

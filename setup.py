@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no network access and no `wheel` package, so the
+PEP 517/660 editable-install path (which needs `bdist_wheel`) is
+unavailable. This shim plus the pip defaults in ~/.config/pip/pip.conf
+(`no-build-isolation`, `use-pep517 = false`) make a plain
+`pip install -e .` take the legacy `setup.py develop` path instead.
+"""
+
+from setuptools import setup
+
+setup()

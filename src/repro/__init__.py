@@ -1,0 +1,98 @@
+"""repro — EMP: Max-P Regionalization with Enriched Constraints.
+
+A from-scratch Python reproduction of Kang & Magdy, *EMP: Max-P
+Regionalization with Enriched Constraints* (ICDE 2022): the EMP
+problem model, the three-phase FaCT heuristic, the classic
+max-p-regions baseline, and the substrates (geometry, contiguity,
+census-like datasets) the evaluation depends on.
+
+Quickstart::
+
+    import repro
+
+    collection = repro.load_dataset("2k", scale=0.25)
+    constraints = repro.ConstraintSet([
+        repro.min_constraint("POP16UP", upper=3000),
+        repro.avg_constraint("EMPLOYED", 1500, 3500),
+        repro.sum_constraint("TOTALPOP", lower=20000),
+    ])
+    solution = repro.solve_emp(collection, constraints, rng_seed=7)
+    print(solution.summary())
+
+Subpackages
+-----------
+- :mod:`repro.core` — areas, constraints, regions, partitions;
+- :mod:`repro.geometry` — polygons and tessellations;
+- :mod:`repro.contiguity` — spatial weights and graph algorithms;
+- :mod:`repro.data` — synthetic census datasets and GeoJSON I/O;
+- :mod:`repro.fact` — the FaCT solver;
+- :mod:`repro.baselines` — classic max-p-regions and an exact solver;
+- :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+"""
+
+from .core import (
+    Aggregate,
+    Area,
+    AreaCollection,
+    Constraint,
+    ConstraintSet,
+    Partition,
+    Region,
+    avg_constraint,
+    count_constraint,
+    max_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from .data import load_dataset, load_geojson, synthetic_census
+from .exceptions import (
+    ContiguityError,
+    DatasetError,
+    GeometryError,
+    InfeasibleProblemError,
+    InvalidAreaError,
+    InvalidConstraintError,
+    ReproError,
+)
+from .fact import (
+    EMPSolution,
+    FaCT,
+    FaCTConfig,
+    FeasibilityReport,
+    check_feasibility,
+    solve_emp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "Area",
+    "AreaCollection",
+    "Constraint",
+    "ConstraintSet",
+    "ContiguityError",
+    "DatasetError",
+    "EMPSolution",
+    "FaCT",
+    "FaCTConfig",
+    "FeasibilityReport",
+    "GeometryError",
+    "InfeasibleProblemError",
+    "InvalidAreaError",
+    "InvalidConstraintError",
+    "Partition",
+    "Region",
+    "ReproError",
+    "avg_constraint",
+    "check_feasibility",
+    "count_constraint",
+    "load_dataset",
+    "load_geojson",
+    "max_constraint",
+    "min_constraint",
+    "solve_emp",
+    "sum_constraint",
+    "synthetic_census",
+    "__version__",
+]

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Solve an EMP query on a registry dataset or a GeoJSON file and
+    print the solution report; optionally write GeoJSON/SVG output.
+``check``
+    Run only the feasibility phase and print its report.
+``datasets``
+    List the built-in dataset registry (Table I of the paper).
+``report``
+    Alias for ``python -m repro.bench.report``.
+
+Constraints are given as compact strings, one ``--constraint`` per
+constraint: ``AGG:ATTR:LOWER:UPPER`` with ``-`` for an open bound,
+e.g. ``SUM:TOTALPOP:20000:-``, ``AVG:EMPLOYED:1500:3500``,
+``COUNT::2:40``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core.constraints import Constraint, ConstraintSet
+from .data.datasets import DATASETS, load_dataset
+from .data.geojson import dump_geojson, load_geojson
+from .exceptions import ReproError
+from .fact.config import FaCTConfig
+from .fact.reporting import format_feasibility_report, format_solution_report
+from .fact.solver import FaCT
+
+__all__ = ["main", "parse_constraint"]
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse ``AGG:ATTR:LOWER:UPPER`` (``-`` = open bound)."""
+    parts = text.split(":")
+    if len(parts) != 4:
+        raise ReproError(
+            f"constraint {text!r} must have form AGG:ATTR:LOWER:UPPER"
+        )
+    aggregate, attribute, lower_text, upper_text = parts
+    lower = float("-inf") if lower_text in ("-", "") else float(lower_text)
+    upper = float("inf") if upper_text in ("-", "") else float(upper_text)
+    return Constraint(aggregate, attribute, lower, upper)
+
+
+def _load_collection(args) -> object:
+    if args.geojson_input:
+        if not args.attributes:
+            raise ReproError("--attributes is required with --geojson-input")
+        names = args.attributes.split(",")
+        return load_geojson(
+            args.geojson_input,
+            attribute_names=names,
+            dissimilarity_attribute=args.dissimilarity or names[-1],
+            contiguity=args.contiguity,
+        )
+    return load_dataset(args.dataset, scale=args.scale)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="2k", help="registry dataset")
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--geojson-input", help="load areas from GeoJSON")
+    parser.add_argument(
+        "--attributes", help="comma-separated properties (GeoJSON input)"
+    )
+    parser.add_argument("--dissimilarity", help="dissimilarity attribute")
+    parser.add_argument("--contiguity", default="rook",
+                        choices=["rook", "queen"])
+    parser.add_argument(
+        "--constraint",
+        "-c",
+        action="append",
+        default=[],
+        metavar="AGG:ATTR:L:U",
+        help="may repeat; '-' for an open bound",
+    )
+
+
+def _constraints(args) -> ConstraintSet:
+    if args.constraint:
+        return ConstraintSet([parse_constraint(c) for c in args.constraint])
+    from .data.schema import default_constraints
+
+    return ConstraintSet(default_constraints())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="EMP regionalization with the FaCT solver",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="solve an EMP query")
+    _add_common(solve)
+    solve.add_argument("--seed", type=int, default=7)
+    solve.add_argument("--no-tabu", action="store_true")
+    solve.add_argument("--restarts", type=int, default=3)
+    solve.add_argument("--geojson-output", help="write regions as GeoJSON")
+    solve.add_argument("--svg-output", help="write a region map as SVG")
+
+    check = commands.add_parser("check", help="feasibility phase only")
+    _add_common(check)
+
+    commands.add_parser("datasets", help="list the dataset registry")
+
+    report = commands.add_parser(
+        "report", help="regenerate all tables/figures (see bench.report)"
+    )
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--output", default="EXPERIMENTS.generated.md")
+
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "datasets":
+            print(f"{'name':>6} | {'areas':>7} | {'components':>10} | description")
+            print("-" * 60)
+            for spec in DATASETS.values():
+                print(
+                    f"{spec.name:>6} | {spec.n_areas:>7} | "
+                    f"{spec.patches:>10} | {spec.description}"
+                )
+            return 0
+
+        if args.command == "report":
+            from .bench.report import main as report_main
+
+            forwarded = ["--scale", str(args.scale), "--output", args.output]
+            if args.quick:
+                forwarded.append("--quick")
+            return report_main(forwarded)
+
+        collection = _load_collection(args)
+        constraints = _constraints(args)
+
+        if args.command == "check":
+            solver = FaCT()
+            print(format_feasibility_report(solver.check(collection, constraints)))
+            return 0
+
+        solver = FaCT(
+            FaCTConfig(
+                rng_seed=args.seed,
+                construction_iterations=args.restarts,
+                enable_tabu=not args.no_tabu,
+            )
+        )
+        solution = solver.solve(collection, constraints)
+        print(format_solution_report(solution, collection))
+        if args.geojson_output:
+            dump_geojson(
+                collection, args.geojson_output, solution.partition.labels()
+            )
+            print(f"regions written to {args.geojson_output}")
+        if args.svg_output:
+            from .viz import partition_to_svg
+
+            partition_to_svg(collection, solution.partition, args.svg_output)
+            print(f"map written to {args.svg_output}")
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI dispatch
+    raise SystemExit(main())

@@ -1,0 +1,214 @@
+"""Post-hoc analysis of regionalization results.
+
+The applications the paper motivates (epidemic analysis, population-
+growth studies, districting) do not stop at the partition — analysts
+profile the regions, check the spatial structure of the attributes and
+compare alternative solutions. This module provides those tools:
+
+- :func:`region_profile` — per-region aggregate table;
+- :func:`partition_quality` — headline quality measures (p,
+  heterogeneity, size stats, unassigned fraction, compactness);
+- :func:`morans_i` — global Moran's I spatial autocorrelation of an
+  attribute under binary contiguity weights (used to verify that the
+  synthetic data carries census-like spatial structure);
+- :func:`rand_index` / :func:`adjusted_rand_index` — agreement between
+  two partitions (e.g. two seeds, or FaCT vs the max-p baseline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .core.area import AreaCollection
+from .core.heterogeneity import region_heterogeneity
+from .core.partition import Partition
+from .exceptions import InvalidAreaError
+
+__all__ = [
+    "region_profile",
+    "partition_quality",
+    "morans_i",
+    "local_morans_i",
+    "rand_index",
+    "adjusted_rand_index",
+]
+
+
+def region_profile(
+    collection: AreaCollection,
+    partition: Partition,
+    attributes: Sequence[str] | None = None,
+) -> list[dict[str, float]]:
+    """Per-region aggregate table.
+
+    Returns one dict per region with ``region``, ``n_areas``,
+    ``heterogeneity`` and, for every requested attribute, its ``MIN``/
+    ``MAX``/``AVG``/``SUM`` over the region (keys like
+    ``"SUM(TOTALPOP)"``). Attributes default to all of them.
+    """
+    names = (
+        tuple(attributes)
+        if attributes is not None
+        else tuple(sorted(collection.attribute_names))
+    )
+    for name in names:
+        if name not in collection.attribute_names:
+            raise InvalidAreaError(f"unknown attribute {name!r}")
+    rows: list[dict[str, float]] = []
+    for index, members in enumerate(partition.regions):
+        row: dict[str, float] = {
+            "region": index,
+            "n_areas": len(members),
+            "heterogeneity": region_heterogeneity(collection, members),
+        }
+        for name in names:
+            values = [collection.attribute(i, name) for i in members]
+            row[f"MIN({name})"] = min(values)
+            row[f"MAX({name})"] = max(values)
+            row[f"AVG({name})"] = sum(values) / len(values)
+            row[f"SUM({name})"] = sum(values)
+        rows.append(row)
+    return rows
+
+
+def partition_quality(
+    collection: AreaCollection, partition: Partition
+) -> dict[str, float]:
+    """Headline quality measures of one partition.
+
+    ``compactness`` (mean within-region centroid dispersion) is only
+    included when every area carries a polygon.
+    """
+    sizes = partition.region_sizes()
+    quality: dict[str, float] = {
+        "p": float(partition.p),
+        "heterogeneity": partition.heterogeneity(collection),
+        "n_unassigned": float(len(partition.unassigned)),
+        "unassigned_fraction": len(partition.unassigned) / len(collection),
+        "size_min": float(min(sizes, default=0)),
+        "size_max": float(max(sizes, default=0)),
+        "size_mean": (sum(sizes) / len(sizes)) if sizes else 0.0,
+    }
+    if all(collection.area(i).polygon is not None for i in collection.ids):
+        total_dispersion = 0.0
+        for members in partition.regions:
+            points = [collection.area(i).polygon.centroid for i in members]
+            mean_x = sum(p.x for p in points) / len(points)
+            mean_y = sum(p.y for p in points) / len(points)
+            total_dispersion += sum(
+                (p.x - mean_x) ** 2 + (p.y - mean_y) ** 2 for p in points
+            )
+        quality["compactness"] = (
+            total_dispersion / partition.p if partition.p else 0.0
+        )
+    return quality
+
+
+def morans_i(collection: AreaCollection, attribute: str) -> float:
+    """Global Moran's I of one attribute under binary rook weights.
+
+    ``I = (n / S0) * (Σ_ij w_ij z_i z_j) / (Σ_i z_i²)`` with
+    ``z_i = x_i - mean(x)`` and ``S0 = Σ_ij w_ij``. Values near 0 mean
+    no spatial structure; census attributes are strongly positive.
+
+    Raises for datasets without any adjacency (S0 = 0 is undefined).
+    """
+    values = collection.attribute_values(attribute)
+    n = len(values)
+    mean = sum(values.values()) / n
+    centered = {i: v - mean for i, v in values.items()}
+    denominator = sum(z * z for z in centered.values())
+    if denominator == 0:
+        return 0.0
+    cross = 0.0
+    s0 = 0
+    for area_id, z in centered.items():
+        for neighbor in collection.neighbors(area_id):
+            cross += z * centered[neighbor]
+            s0 += 1
+    if s0 == 0:
+        raise InvalidAreaError(
+            "Moran's I is undefined on a dataset with no adjacencies"
+        )
+    return (n / s0) * (cross / denominator)
+
+
+def local_morans_i(
+    collection: AreaCollection, attribute: str
+) -> dict[int, float]:
+    """Local Moran's I (LISA) per area, row-standardized weights.
+
+    ``I_i = z_i / m2 * mean_{j in N(i)} z_j`` with ``z`` the centered
+    attribute and ``m2`` its mean squared deviation. Positive values
+    mark areas inside high-high/low-low clusters — the spatial
+    structure that makes regionalization meaningful; strong negatives
+    mark spatial outliers. Areas without neighbors get 0.
+    """
+    values = collection.attribute_values(attribute)
+    n = len(values)
+    mean = sum(values.values()) / n
+    centered = {i: v - mean for i, v in values.items()}
+    m2 = sum(z * z for z in centered.values()) / n
+    if m2 == 0:
+        return {i: 0.0 for i in values}
+    result: dict[int, float] = {}
+    for area_id, z in centered.items():
+        neighbors = collection.neighbors(area_id)
+        if not neighbors:
+            result[area_id] = 0.0
+            continue
+        lag = sum(centered[j] for j in neighbors) / len(neighbors)
+        result[area_id] = (z / m2) * lag
+    return result
+
+
+def _pair_counts(a: Partition, b: Partition) -> tuple[int, int, int, int]:
+    """Contingency pair counts over areas assigned in *both* partitions."""
+    labels_a = a.labels()
+    labels_b = b.labels()
+    common = [
+        area_id
+        for area_id in labels_a
+        if labels_a[area_id] >= 0
+        and labels_b.get(area_id, -1) >= 0
+    ]
+    if len(common) < 2:
+        raise InvalidAreaError(
+            "partition comparison needs at least two commonly-assigned areas"
+        )
+    same_same = same_diff = diff_same = diff_diff = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            in_a = labels_a[common[i]] == labels_a[common[j]]
+            in_b = labels_b[common[i]] == labels_b[common[j]]
+            if in_a and in_b:
+                same_same += 1
+            elif in_a:
+                same_diff += 1
+            elif in_b:
+                diff_same += 1
+            else:
+                diff_diff += 1
+    return same_same, same_diff, diff_same, diff_diff
+
+
+def rand_index(a: Partition, b: Partition) -> float:
+    """Rand index in [0, 1]: the fraction of area pairs on which the
+    two partitions agree (both together or both apart). Computed over
+    areas assigned in both partitions."""
+    ss, sd, ds, dd = _pair_counts(a, b)
+    return (ss + dd) / (ss + sd + ds + dd)
+
+
+def adjusted_rand_index(a: Partition, b: Partition) -> float:
+    """Adjusted Rand index: 1 for identical partitions, ~0 for random
+    agreement (can be negative). Computed over areas assigned in both
+    partitions via the pair-counting form."""
+    ss, sd, ds, dd = _pair_counts(a, b)
+    total = ss + sd + ds + dd
+    expected = (ss + sd) * (ss + ds) / total
+    maximum = ((ss + sd) + (ss + ds)) / 2.0
+    if maximum == expected:
+        return 1.0 if sd == 0 and ds == 0 else 0.0
+    return (ss - expected) / (maximum - expected)

@@ -1,0 +1,16 @@
+"""Baselines: the classic max-p-regions heuristic (the paper's *MP*
+competitor) and an exhaustive exact solver for tiny instances (the
+role Gurobi plays in the paper)."""
+
+from .branch_and_bound import solve_exact_bb
+from .exact import ExactSolution, solve_exact
+from .maxp import MaxPConfig, MaxPResult, solve_maxp
+
+__all__ = [
+    "ExactSolution",
+    "MaxPConfig",
+    "MaxPResult",
+    "solve_exact",
+    "solve_exact_bb",
+    "solve_maxp",
+]

@@ -1,0 +1,227 @@
+"""Classic max-p-regions baseline (Duque, Anselin & Rey 2012; efficient
+variant of Wei, Rey & Knaap 2020).
+
+The paper compares FaCT against "existing state-of-the-art solutions
+for the max-p regions (MP-regions) problem" on SUM-only queries with
+an open upper bound (Table IV and Figures 12–13, rows labelled *MP*).
+This module implements that baseline from scratch:
+
+1. **Growth phase** — repeatedly pick a random unassigned area as a
+   seed and grow a region by absorbing adjacent unassigned areas until
+   the region's attribute sum reaches the threshold; regions that run
+   out of neighbors before reaching it are reverted to *enclaves*.
+2. **Enclave assignment** — every enclave area joins an adjacent
+   region (random, or best by heterogeneity).
+3. The growth is restarted ``iterations`` times; the attempt with the
+   most regions wins.
+4. **Local search** — the same Tabu optimizer FaCT uses, constrained
+   by the single SUM threshold.
+
+Unlike EMP, classic max-p requires *every* area to be assigned; the
+returned partition therefore has an empty ``U_0`` whenever the input
+is a single connected component with total sum above the threshold.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..core.area import AreaCollection
+from ..core.constraints import ConstraintSet, sum_constraint
+from ..core.partition import Partition
+from ..exceptions import InfeasibleProblemError
+from ..fact.config import FaCTConfig, PickupCriterion
+from ..fact.state import SolutionState
+from ..fact.tabu import TabuResult, tabu_improve
+
+__all__ = ["MaxPResult", "MaxPConfig", "solve_maxp"]
+
+
+@dataclass
+class MaxPConfig:
+    """Configuration for the max-p baseline.
+
+    ``iterations`` is the number of randomized growth restarts (the
+    literature's ``maxitr``); Tabu knobs mirror
+    :class:`repro.fact.config.FaCTConfig`.
+    """
+
+    rng_seed: int = 0
+    iterations: int = 3
+    pickup: str = PickupCriterion.RANDOM
+    enable_tabu: bool = True
+    tabu_tenure: int = 10
+    tabu_max_no_improve: int | None = None
+    tabu_max_iterations: int | None = None
+
+    def to_fact_config(self) -> FaCTConfig:
+        """The equivalent FaCT config (drives the shared Tabu phase)."""
+        return FaCTConfig(
+            rng_seed=self.rng_seed,
+            construction_iterations=self.iterations,
+            pickup=self.pickup,
+            enable_tabu=self.enable_tabu,
+            tabu_tenure=self.tabu_tenure,
+            tabu_max_no_improve=self.tabu_max_no_improve,
+            tabu_max_iterations=self.tabu_max_iterations,
+        )
+
+
+@dataclass(frozen=True)
+class MaxPResult:
+    """Outcome of one max-p run (mirrors
+    :class:`repro.fact.solver.EMPSolution`'s reporting surface)."""
+
+    partition: Partition
+    construction_seconds: float
+    tabu: TabuResult | None = None
+
+    @property
+    def p(self) -> int:
+        """Number of regions found."""
+        return self.partition.p
+
+    @property
+    def n_unassigned(self) -> int:
+        """Unassigned areas (only non-empty on disconnected or
+        infeasible-component inputs)."""
+        return len(self.partition.unassigned)
+
+    @property
+    def tabu_seconds(self) -> float:
+        """Local-search wall-clock time."""
+        return self.tabu.elapsed_seconds if self.tabu else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time."""
+        return self.construction_seconds + self.tabu_seconds
+
+    @property
+    def heterogeneity(self) -> float:
+        """Final ``H(P)``."""
+        if self.tabu:
+            return self.tabu.heterogeneity_after
+        return self._construction_heterogeneity
+
+    @property
+    def improvement(self) -> float:
+        """Relative heterogeneity improvement from local search."""
+        return self.tabu.improvement if self.tabu else 0.0
+
+    # internal: set via object.__setattr__ in solve_maxp
+    _construction_heterogeneity: float = 0.0
+
+
+def solve_maxp(
+    collection: AreaCollection,
+    attribute: str,
+    threshold: float,
+    config: MaxPConfig | None = None,
+) -> MaxPResult:
+    """Solve the classic max-p-regions problem.
+
+    Parameters
+    ----------
+    collection:
+        The areas and their contiguity.
+    attribute:
+        The spatially extensive attribute of the threshold constraint.
+    threshold:
+        Lower bound: every region must have ``SUM(attribute) >=
+        threshold``.
+    """
+    config = config or MaxPConfig()
+    constraints = ConstraintSet([sum_constraint(attribute, lower=threshold)])
+    started = time.perf_counter()
+    rng = random.Random(config.rng_seed)
+
+    best_state: SolutionState | None = None
+    best_key: tuple | None = None
+    for _ in range(max(1, config.iterations)):
+        state = SolutionState(collection, constraints)
+        _grow(state, attribute, threshold, config, rng)
+        _assign_enclaves(state, config, rng)
+        key = (-state.p, state.n_unassigned, state.total_heterogeneity())
+        if best_key is None or key < best_key:
+            best_key = key
+            best_state = state
+    assert best_state is not None
+    if best_state.p == 0:
+        raise InfeasibleProblemError(
+            f"no region can reach SUM({attribute}) >= {threshold:g}; "
+            "the threshold exceeds every connected component's total"
+        )
+    construction_seconds = time.perf_counter() - started
+    construction_h = best_state.total_heterogeneity()
+
+    tabu: TabuResult | None = None
+    partition = best_state.to_partition()
+    if config.enable_tabu:
+        tabu = tabu_improve(best_state, config.to_fact_config())
+        partition = tabu.partition
+
+    result = MaxPResult(
+        partition=partition,
+        construction_seconds=construction_seconds,
+        tabu=tabu,
+    )
+    object.__setattr__(result, "_construction_heterogeneity", construction_h)
+    return result
+
+
+def _grow(
+    state: SolutionState,
+    attribute: str,
+    threshold: float,
+    config: MaxPConfig,
+    rng: random.Random,
+) -> None:
+    """Growth phase: seed regions from random unassigned areas and
+    absorb unassigned neighbors until each reaches the threshold."""
+    order = list(state.unassigned)
+    rng.shuffle(order)
+    for seed_id in order:
+        if not state.is_unassigned(seed_id):
+            continue
+        region = state.new_region([seed_id])
+        while region.aggregate("SUM", attribute) < threshold:
+            candidates = state.unassigned_neighbors(region)
+            if not candidates:
+                break
+            if config.pickup == PickupCriterion.RANDOM:
+                choice = rng.choice(candidates)
+            else:
+                choice = min(candidates, key=region.heterogeneity_delta_add)
+            state.assign(choice, region)
+        if region.aggregate("SUM", attribute) < threshold:
+            state.dissolve_region(region)  # revert to enclaves
+
+
+def _assign_enclaves(
+    state: SolutionState, config: MaxPConfig, rng: random.Random
+) -> None:
+    """Enclave assignment: sweep unassigned areas into adjacent
+    regions until a fixpoint (areas in components with no region stay
+    unassigned — the multi-component case classic max-p cannot
+    handle)."""
+    changed = True
+    while changed:
+        changed = False
+        pending = list(state.unassigned)
+        rng.shuffle(pending)
+        for area_id in pending:
+            neighbor_regions = state.neighbor_regions(area_id)
+            if not neighbor_regions:
+                continue
+            if config.pickup == PickupCriterion.RANDOM:
+                target = rng.choice(neighbor_regions)
+            else:
+                target = min(
+                    neighbor_regions,
+                    key=lambda r: r.heterogeneity_delta_add(area_id),
+                )
+            state.assign(area_id, target)
+            changed = True

@@ -1,0 +1,31 @@
+"""Benchmark harness: workloads, runners and table/figure generators
+behind the ``benchmarks/`` pytest suite and ``python -m
+repro.bench.report``."""
+
+from .runner import (
+    ExperimentRow,
+    bench_config,
+    bench_dataset,
+    bench_scale,
+    run_emp,
+    run_maxp,
+)
+from .plotting import bar_chart, figure_to_chart
+from .tables import format_p_table, table3_rows, table4_rows
+from .workloads import combo_constraints, format_range
+
+__all__ = [
+    "ExperimentRow",
+    "bar_chart",
+    "bench_config",
+    "bench_dataset",
+    "bench_scale",
+    "combo_constraints",
+    "figure_to_chart",
+    "format_p_table",
+    "format_range",
+    "run_emp",
+    "run_maxp",
+    "table3_rows",
+    "table4_rows",
+]

@@ -1,0 +1,155 @@
+"""Extension workloads: MAX and COUNT constraints.
+
+Section VII presents "results for one aggregate function in each
+constraint type" — MIN for extrema and SUM for counting — citing
+"similarity of results on aggregates of the same type". These
+workloads make that claim checkable: MAX mirrors MIN's dual role
+(filter + seed) with the bound roles swapped, and COUNT mirrors SUM
+with unit weights, so the dual queries below must reproduce the same
+p-trends the paper shows for MIN/SUM.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.area import AreaCollection
+from ..core.constraints import (
+    Constraint,
+    ConstraintSet,
+    count_constraint,
+    max_constraint,
+)
+from ..data import schema
+from .runner import ExperimentRow, bench_config
+from .workloads import Range, format_range
+
+__all__ = [
+    "max_mirror_range",
+    "max_constraints",
+    "count_constraints",
+    "run_max_row",
+    "run_count_row",
+    "MAX_MIRROR_RANGES",
+    "COUNT_LOWER_BOUNDS",
+]
+
+
+def max_mirror_range(
+    min_range: Range, pivot: float = 6700.0
+) -> Range:
+    """Mirror a MIN threshold range into the dual MAX range.
+
+    MIN filters areas *below* l and seeds areas inside [l, u]; MAX
+    filters areas *above* u and seeds inside [l, u]. Reflecting the
+    range around a pivot inside the attribute's support swaps those
+    roles while keeping comparable seed/filter fractions. The default
+    pivot is 2 × the median POP16UP (≈ 3350), so ``(-inf, u]`` maps to
+    ``[pivot - u, inf)``.
+    """
+    lower, upper = min_range
+    new_lower = None if upper is None else pivot - upper
+    new_upper = None if lower is None else pivot - lower
+    return (new_lower, new_upper)
+
+
+# Duals of the paper's three open-lower MIN ranges.
+MAX_MIRROR_RANGES: tuple[Range, ...] = (
+    max_mirror_range((None, 2000)),
+    max_mirror_range((None, 3500)),
+    max_mirror_range((None, 5000)),
+)
+
+# COUNT duals of Table IV's SUM lower bounds: SUM(TOTALPOP) >= L with
+# mean tract population ~4300 corresponds to COUNT >= L / 4300.
+COUNT_LOWER_BOUNDS: tuple[int, ...] = (1, 2, 5, 7, 9)
+
+
+def max_constraints(max_range: Range) -> ConstraintSet:
+    """A single MAX constraint on POP16UP with the given range."""
+    lower, upper = max_range
+    return ConstraintSet(
+        [
+            max_constraint(
+                schema.POP16UP,
+                float("-inf") if lower is None else lower,
+                float("inf") if upper is None else upper,
+            )
+        ]
+    )
+
+
+def count_constraints(lower: float, upper: float | None = None) -> ConstraintSet:
+    """A single COUNT constraint on the number of areas per region."""
+    return ConstraintSet(
+        [count_constraint(lower, float("inf") if upper is None else upper)]
+    )
+
+
+def _run(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    combo: str,
+    setting: str,
+    dataset: str,
+    enable_tabu: bool,
+    rng_seed: int,
+) -> ExperimentRow:
+    from ..fact.solver import FaCT
+
+    config = bench_config(
+        len(collection), rng_seed=rng_seed, enable_tabu=enable_tabu
+    )
+    solution = FaCT(config).solve(collection, constraints)
+    return ExperimentRow(
+        solver="FaCT",
+        combo=combo,
+        dataset=dataset,
+        n_areas=len(collection),
+        setting=setting,
+        p=solution.p,
+        n_unassigned=solution.n_unassigned,
+        construction_seconds=solution.construction_seconds,
+        tabu_seconds=solution.tabu_seconds,
+        improvement=solution.improvement,
+        heterogeneity=solution.heterogeneity,
+    )
+
+
+def run_max_row(
+    collection: AreaCollection,
+    max_range: Range,
+    dataset: str = "?",
+    enable_tabu: bool = False,
+    rng_seed: int = 7,
+) -> ExperimentRow:
+    """Run a single-MAX query (the dual of the paper's M rows)."""
+    return _run(
+        collection,
+        max_constraints(max_range),
+        "X",
+        f"MAX{format_range(max_range)}",
+        dataset,
+        enable_tabu,
+        rng_seed,
+    )
+
+
+def run_count_row(
+    collection: AreaCollection,
+    lower: float,
+    upper: float | None = None,
+    dataset: str = "?",
+    enable_tabu: bool = False,
+    rng_seed: int = 7,
+) -> ExperimentRow:
+    """Run a single-COUNT query (the dual of the paper's S rows)."""
+    return _run(
+        collection,
+        count_constraints(lower, upper),
+        "C",
+        f"COUNT{format_range((lower, upper))}",
+        dataset,
+        enable_tabu,
+        rng_seed,
+    )

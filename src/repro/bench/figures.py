@@ -1,0 +1,409 @@
+"""Figure generators — the data series behind Figures 5-16.
+
+Every function regenerates the series of one paper figure and returns
+a :class:`FigureData`: named series of ``(x_label, value)`` points
+plus metadata. The pytest benchmarks sample individual cells; the
+report writer (:mod:`repro.bench.report`) runs the full grids and
+renders them as text tables in EXPERIMENTS.md.
+
+Runtime figures split construction and Tabu time, as the paper's
+stacked/grouped bars do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.area import AreaCollection
+from ..data import schema
+from ..data.datasets import load_dataset
+from .runner import ExperimentRow, run_emp, run_maxp
+from .workloads import (
+    AVG_BOTTLENECK_RANGE,
+    AVG_COMBOS,
+    FIG9_AVG_HALF_LENGTH,
+    FIG9_AVG_MIDPOINTS,
+    FIG10_AVG_HALF_LENGTHS,
+    FIG10_AVG_MIDPOINT,
+    MIN_COMBOS,
+    SUM_COMBOS,
+    TABLE3_LENGTH_RANGES,
+    TABLE3_MIDPOINT_RANGES,
+    TABLE3_OPEN_LOWER_RANGES,
+    TABLE3_OPEN_UPPER_RANGES,
+    TABLE4_SUM_BOUNDED_RANGES,
+    TABLE4_SUM_LOWER_BOUNDS,
+    format_range,
+)
+
+__all__ = [
+    "FigureData",
+    "fig5_min_open_lower",
+    "fig6_min_open_upper",
+    "fig7a_min_lengths",
+    "fig7b_min_midpoints",
+    "fig8_avg_distribution",
+    "fig9_avg_midpoints",
+    "fig10_11_avg_lengths",
+    "fig12_sum_open_upper",
+    "fig13_sum_bounded",
+    "scalability",
+    "SCALABILITY_SMALL",
+    "SCALABILITY_LARGE",
+]
+
+SCALABILITY_SMALL = ("1k", "2k", "4k", "8k")
+SCALABILITY_LARGE = ("10k", "20k", "30k", "40k", "50k")
+
+
+@dataclass
+class FigureData:
+    """Series data for one figure.
+
+    ``series`` maps a series name (e.g. ``"MAS construction"``) to a
+    list of ``(x_label, value)`` points; ``rows`` keeps the raw
+    measurements for the report writer.
+    """
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[tuple[str, float]]] = field(default_factory=dict)
+    rows: list[ExperimentRow] = field(default_factory=list)
+
+    def add_point(self, series: str, x: str, value: float) -> None:
+        """Append one point to a named series."""
+        self.series.setdefault(series, []).append((x, float(value)))
+
+    def format(self) -> str:
+        """Render the figure as an x-by-series text table."""
+        x_values: list[str] = []
+        for points in self.series.values():
+            for x, _ in points:
+                if x not in x_values:
+                    x_values.append(x)
+        names = list(self.series)
+        lookup = {
+            (name, x): value
+            for name, points in self.series.items()
+            for x, value in points
+        }
+        header = [self.x_label] + names
+        table_rows = []
+        for x in x_values:
+            table_rows.append(
+                [x]
+                + [
+                    f"{lookup[(name, x)]:.4g}" if (name, x) in lookup else "N/A"
+                    for name in names
+                ]
+            )
+        widths = [
+            max(len(header[i]), max((len(r[i]) for r in table_rows), default=0))
+            for i in range(len(header))
+        ]
+        lines = [
+            f"{self.figure}: {self.title} [{self.y_label}]",
+            " | ".join(h.rjust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in table_rows:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _runtime_sweep(
+    figure: str,
+    title: str,
+    collection: AreaCollection,
+    ranges,
+    range_kind: str,
+    combos: Sequence[str],
+    dataset: str,
+    rng_seed: int = 7,
+) -> FigureData:
+    """Shared engine for the MIN/AVG/SUM runtime figures: for every
+    threshold range run every combination with Tabu enabled and record
+    construction and Tabu seconds."""
+    data = FigureData(
+        figure=figure,
+        title=title,
+        x_label="range",
+        y_label="seconds",
+    )
+    for value_range in ranges:
+        label = format_range(value_range)
+        for combo in combos:
+            row = run_emp(
+                collection,
+                combo,
+                dataset=dataset,
+                enable_tabu=True,
+                rng_seed=rng_seed,
+                **{range_kind: value_range},
+            )
+            data.rows.append(row)
+            data.add_point(f"{combo} construction", label, row.construction_seconds)
+            data.add_point(f"{combo} tabu", label, row.tabu_seconds)
+    return data
+
+
+def fig5_min_open_lower(
+    collection: AreaCollection, dataset: str = "2k", rng_seed: int = 7
+) -> FigureData:
+    """Figure 5 — runtime for MIN with ``l = -inf`` (u varies)."""
+    return _runtime_sweep(
+        "Fig 5",
+        "Runtime for MIN with l=-inf",
+        collection,
+        TABLE3_OPEN_LOWER_RANGES,
+        "min_range",
+        MIN_COMBOS,
+        dataset,
+        rng_seed,
+    )
+
+
+def fig6_min_open_upper(
+    collection: AreaCollection, dataset: str = "2k", rng_seed: int = 7
+) -> FigureData:
+    """Figure 6 — runtime for MIN with ``u = inf`` (l varies)."""
+    return _runtime_sweep(
+        "Fig 6",
+        "Runtime for MIN with u=inf",
+        collection,
+        TABLE3_OPEN_UPPER_RANGES,
+        "min_range",
+        MIN_COMBOS,
+        dataset,
+        rng_seed,
+    )
+
+
+def fig7a_min_lengths(
+    collection: AreaCollection, dataset: str = "2k", rng_seed: int = 7
+) -> FigureData:
+    """Figure 7a — runtime for bounded MIN ranges of growing length."""
+    return _runtime_sweep(
+        "Fig 7a",
+        "Runtime for MIN, varying range lengths (midpoint 3k)",
+        collection,
+        TABLE3_LENGTH_RANGES,
+        "min_range",
+        MIN_COMBOS,
+        dataset,
+        rng_seed,
+    )
+
+
+def fig7b_min_midpoints(
+    collection: AreaCollection, dataset: str = "2k", rng_seed: int = 7
+) -> FigureData:
+    """Figure 7b — runtime for unit-length MIN ranges with shifting
+    midpoints."""
+    return _runtime_sweep(
+        "Fig 7b",
+        "Runtime for MIN, varying range midpoints (length 1k)",
+        collection,
+        TABLE3_MIDPOINT_RANGES,
+        "min_range",
+        MIN_COMBOS,
+        dataset,
+        rng_seed,
+    )
+
+
+def fig8_avg_distribution(
+    collection: AreaCollection, dataset: str = "2k", n_bins: int = 12
+) -> FigureData:
+    """Figure 8 — the distribution of the AVG attribute (EMPLOYED).
+
+    Returns a histogram (bin label -> area count) exhibiting the
+    positively-skewed shape the paper reports: most values below 4k,
+    outliers up to 6149.
+    """
+    values = np.array(
+        list(collection.attribute_values(schema.EMPLOYED).values())
+    )
+    counts, edges = np.histogram(values, bins=n_bins)
+    data = FigureData(
+        figure="Fig 8",
+        title=f"Distribution of {schema.EMPLOYED} on the {dataset} dataset",
+        x_label="EMPLOYED bin",
+        y_label="number of areas",
+    )
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        data.add_point("areas", f"[{left:.0f},{right:.0f})", float(count))
+    return data
+
+
+def fig9_avg_midpoints(
+    collection: AreaCollection, dataset: str = "2k", rng_seed: int = 7
+) -> FigureData:
+    """Figure 9 — AVG-only constraint, fixed length ±1k, midpoint
+    sweeping 1k..4.5k: p and unassigned count (9a) and runtime (9b)."""
+    data = FigureData(
+        figure="Fig 9",
+        title="AVG constraint, fixed range length 2k, varying midpoints",
+        x_label="midpoint",
+        y_label="p / unassigned / seconds",
+    )
+    for midpoint in FIG9_AVG_MIDPOINTS:
+        avg_range = (
+            midpoint - FIG9_AVG_HALF_LENGTH,
+            midpoint + FIG9_AVG_HALF_LENGTH,
+        )
+        row = run_emp(
+            collection,
+            "A",
+            avg_range=avg_range,
+            dataset=dataset,
+            enable_tabu=True,
+            rng_seed=rng_seed,
+        )
+        data.rows.append(row)
+        label = f"{midpoint / 1000:g}k"
+        data.add_point("p", label, row.p)
+        data.add_point("unassigned", label, row.n_unassigned)
+        data.add_point("construction_s", label, row.construction_seconds)
+        data.add_point("tabu_s", label, row.tabu_seconds)
+        data.add_point("improvement", label, row.improvement)
+    return data
+
+
+def fig10_11_avg_lengths(
+    collection: AreaCollection, dataset: str = "2k", rng_seed: int = 7
+) -> FigureData:
+    """Figures 10 & 11 — AVG midpoint fixed at 3k (the hard case),
+    half-length sweeping 0.5k..2k, for combos A/MA/AS/MAS: p and
+    unassigned (Fig 10) and runtime (Fig 11)."""
+    data = FigureData(
+        figure="Fig 10/11",
+        title="AVG constraint, midpoint 3k, varying range lengths",
+        x_label="range",
+        y_label="p / unassigned / seconds",
+    )
+    for half in FIG10_AVG_HALF_LENGTHS:
+        avg_range = (FIG10_AVG_MIDPOINT - half, FIG10_AVG_MIDPOINT + half)
+        label = format_range(avg_range)
+        for combo in AVG_COMBOS:
+            row = run_emp(
+                collection,
+                combo,
+                avg_range=avg_range,
+                dataset=dataset,
+                enable_tabu=True,
+                rng_seed=rng_seed,
+            )
+            data.rows.append(row)
+            data.add_point(f"{combo} p", label, row.p)
+            data.add_point(f"{combo} unassigned", label, row.n_unassigned)
+            data.add_point(
+                f"{combo} construction_s", label, row.construction_seconds
+            )
+            data.add_point(f"{combo} tabu_s", label, row.tabu_seconds)
+    return data
+
+
+def fig12_sum_open_upper(
+    collection: AreaCollection, dataset: str = "2k", rng_seed: int = 7
+) -> FigureData:
+    """Figure 12 — runtime for SUM with ``u = inf`` vs the MP
+    baseline, lower bound sweeping 1k..40k."""
+    data = FigureData(
+        figure="Fig 12",
+        title="Runtime for SUM with u=inf (vs MP baseline)",
+        x_label="lower bound",
+        y_label="seconds",
+    )
+    for lower in TABLE4_SUM_LOWER_BOUNDS:
+        label = f"{lower / 1000:g}k"
+        baseline = run_maxp(
+            collection,
+            lower,
+            dataset=dataset,
+            enable_tabu=True,
+            rng_seed=rng_seed,
+        )
+        data.rows.append(baseline)
+        data.add_point("MP construction", label, baseline.construction_seconds)
+        data.add_point("MP tabu", label, baseline.tabu_seconds)
+        for combo in SUM_COMBOS:
+            row = run_emp(
+                collection,
+                combo,
+                sum_range=(lower, None),
+                dataset=dataset,
+                enable_tabu=True,
+                rng_seed=rng_seed,
+            )
+            data.rows.append(row)
+            data.add_point(
+                f"{combo} construction", label, row.construction_seconds
+            )
+            data.add_point(f"{combo} tabu", label, row.tabu_seconds)
+    return data
+
+
+def fig13_sum_bounded(
+    collection: AreaCollection, dataset: str = "2k", rng_seed: int = 7
+) -> FigureData:
+    """Figure 13 — runtime for bounded SUM ranges of growing length
+    around midpoint 20k."""
+    return _runtime_sweep(
+        "Fig 13",
+        "Runtime for SUM with bounded ranges (midpoint 20k)",
+        collection,
+        TABLE4_SUM_BOUNDED_RANGES,
+        "sum_range",
+        SUM_COMBOS,
+        dataset,
+        rng_seed,
+    )
+
+
+def scalability(
+    datasets: Sequence[str],
+    combos: Sequence[str] = MIN_COMBOS,
+    scale: float = 1.0,
+    avg_range=None,
+    figure: str = "Fig 14/15",
+    rng_seed: int = 7,
+) -> FigureData:
+    """Figures 14-16 — runtime across dataset sizes.
+
+    With ``avg_range=None`` the Table II defaults apply (Figures
+    14/15); pass ``AVG_BOTTLENECK_RANGE`` (3k±1k) for Figure 16's
+    bottleneck study.
+    """
+    data = FigureData(
+        figure=figure,
+        title=(
+            "Scalability with default constraints"
+            if avg_range is None
+            else f"Scalability with AVG {format_range(avg_range)}"
+        ),
+        x_label="dataset",
+        y_label="seconds",
+    )
+    for name in datasets:
+        collection = load_dataset(name, scale=scale)
+        for combo in combos:
+            kwargs = {"avg_range": avg_range} if avg_range is not None else {}
+            row = run_emp(
+                collection,
+                combo,
+                dataset=name,
+                enable_tabu=True,
+                rng_seed=rng_seed,
+                **kwargs,
+            )
+            data.rows.append(row)
+            data.add_point(f"{combo} construction", name, row.construction_seconds)
+            data.add_point(f"{combo} tabu", name, row.tabu_seconds)
+            data.add_point(f"{combo} p", name, row.p)
+    return data

@@ -1,0 +1,87 @@
+"""Terminal plotting: render figure series as ASCII bar charts.
+
+The benchmark report is consumed in terminals and markdown files, so
+this module renders :class:`~repro.bench.figures.FigureData` series as
+dependency-free horizontal bar charts — a visual complement to the
+numeric tables, mirroring how the paper's grouped-bar figures read:
+
+    Fig 5: Runtime for MIN with l=-inf  [seconds]
+    (-inf,2k]   M construction    ████▌ 0.021
+                M tabu            ████████████████████ 0.094
+    ...
+
+Charts scale bars to the widest value and keep one decimal of
+precision in the printed labels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .figures import FigureData
+
+__all__ = ["bar_chart", "figure_to_chart"]
+
+_FULL = "█"
+_PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    """A unicode bar of ``value / maximum`` scaled to *width* cells."""
+    if maximum <= 0 or value <= 0:
+        return ""
+    cells = value / maximum * width
+    full = int(cells)
+    remainder = int((cells - full) * 8)
+    return _FULL * full + _PARTIAL[remainder]
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render ``(label, value)`` pairs as a horizontal bar chart.
+
+    Values must be non-negative; the longest bar spans *width* cells.
+    """
+    if not items:
+        return title
+    label_width = max(len(label) for label, _ in items)
+    maximum = max(value for _, value in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = _bar(value, maximum, width)
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def figure_to_chart(data: FigureData, width: int = 30) -> str:
+    """Render a :class:`FigureData` as grouped bar charts, one group
+    per x value (mirroring the paper's grouped-bar figures)."""
+    x_values: list[str] = []
+    for points in data.series.values():
+        for x, _ in points:
+            if x not in x_values:
+                x_values.append(x)
+    lookup = {
+        (name, x): value
+        for name, points in data.series.items()
+        for x, value in points
+    }
+    names = list(data.series)
+    maximum = max(
+        (value for value in lookup.values() if value > 0), default=1.0
+    )
+    name_width = max((len(name) for name in names), default=0)
+
+    lines = [f"{data.figure}: {data.title}  [{data.y_label}]"]
+    for x in x_values:
+        lines.append(f"{x}:")
+        for name in names:
+            value = lookup.get((name, x))
+            if value is None:
+                continue
+            bar = _bar(value, maximum, width)
+            lines.append(f"  {name.ljust(name_width)}  {bar} {value:g}")
+    return "\n".join(lines)

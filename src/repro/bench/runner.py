@@ -1,0 +1,190 @@
+"""Experiment runner — one row of a paper table/figure per call.
+
+Each experiment in Section VII measures, for one dataset and one
+constraint combination at one threshold setting, the paper's three
+performance measures: construction time, Tabu time, the answer-set
+size ``p`` (plus the number of unassigned areas) and the relative
+heterogeneity improvement. :func:`run_emp` and :func:`run_maxp`
+produce one :class:`ExperimentRow` each; the table/figure modules
+assemble grids of them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..core.area import AreaCollection
+from ..data.datasets import load_dataset
+from ..fact.config import FaCTConfig
+from ..fact.solver import FaCT
+from ..baselines.maxp import MaxPConfig, solve_maxp
+from ..data import schema
+from .workloads import Range, combo_constraints, format_range
+
+__all__ = [
+    "ExperimentRow",
+    "bench_scale",
+    "bench_dataset",
+    "bench_config",
+    "run_emp",
+    "run_maxp",
+]
+
+_SCALE_ENV = "REPRO_BENCH_SCALE"
+_DEFAULT_BENCH_SCALE = 0.15
+
+
+def bench_scale() -> float:
+    """The dataset scale used by the pytest benchmarks.
+
+    Controlled by the ``REPRO_BENCH_SCALE`` environment variable
+    (default 0.15, i.e. the default ``2k`` dataset shrinks to ~350
+    areas so the whole suite runs in minutes). The full-size runs for
+    EXPERIMENTS.md use :mod:`repro.bench.report` with ``--scale 1``.
+    """
+    return float(os.environ.get(_SCALE_ENV, _DEFAULT_BENCH_SCALE))
+
+
+def bench_dataset(name: str = "2k", scale: float | None = None) -> AreaCollection:
+    """Load a registry dataset at the benchmark scale."""
+    return load_dataset(name, scale=bench_scale() if scale is None else scale)
+
+
+def bench_config(
+    n_areas: int, rng_seed: int = 7, enable_tabu: bool = True
+) -> FaCTConfig:
+    """The FaCT configuration used across all benchmarks.
+
+    One construction pass and the paper's default Tabu knobs (tenure
+    10, patience = dataset size), with a hard iteration cap of ``4n``
+    so a pathological search cannot stall a benchmark run.
+    """
+    return FaCTConfig(
+        rng_seed=rng_seed,
+        construction_iterations=1,
+        enable_tabu=enable_tabu,
+        tabu_max_no_improve=n_areas,
+        tabu_max_iterations=4 * n_areas,
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One measured experiment cell.
+
+    Field names mirror the quantities the paper plots: ``p``,
+    unassigned count, construction/tabu seconds and heterogeneity
+    improvement.
+    """
+
+    solver: str
+    combo: str
+    dataset: str
+    n_areas: int
+    setting: str
+    p: int
+    n_unassigned: int
+    construction_seconds: float
+    tabu_seconds: float
+    improvement: float
+    heterogeneity: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Construction plus Tabu wall-clock time."""
+        return self.construction_seconds + self.tabu_seconds
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (used by the report writer)."""
+        return {
+            "solver": self.solver,
+            "combo": self.combo,
+            "dataset": self.dataset,
+            "n_areas": self.n_areas,
+            "setting": self.setting,
+            "p": self.p,
+            "n_unassigned": self.n_unassigned,
+            "construction_seconds": round(self.construction_seconds, 4),
+            "tabu_seconds": round(self.tabu_seconds, 4),
+            "improvement": round(self.improvement, 4),
+            "heterogeneity": round(self.heterogeneity, 2),
+        }
+
+
+def run_emp(
+    collection: AreaCollection,
+    combo: str,
+    min_range: Range = None,
+    avg_range: Range = None,
+    sum_range: Range = None,
+    dataset: str = "?",
+    enable_tabu: bool = True,
+    rng_seed: int = 7,
+) -> ExperimentRow:
+    """Run FaCT for one combination/threshold cell and measure it."""
+    # The setting label names only the explicitly varied ranges: it
+    # identifies the table *column*, while the combo identifies the
+    # row. Unvaried constraint types keep their Table II defaults and
+    # would only blur the column labels.
+    kwargs = {}
+    settings = []
+    if min_range is not None:
+        kwargs["min_range"] = min_range
+        settings.append(f"MIN{format_range(min_range)}")
+    if avg_range is not None:
+        kwargs["avg_range"] = avg_range
+        settings.append(f"AVG{format_range(avg_range)}")
+    if sum_range is not None:
+        kwargs["sum_range"] = sum_range
+        settings.append(f"SUM{format_range(sum_range)}")
+    constraints = combo_constraints(combo, **kwargs)
+    config = bench_config(
+        len(collection), rng_seed=rng_seed, enable_tabu=enable_tabu
+    )
+    solution = FaCT(config).solve(collection, constraints)
+    return ExperimentRow(
+        solver="FaCT",
+        combo=combo,
+        dataset=dataset,
+        n_areas=len(collection),
+        setting=" ".join(settings) or "defaults",
+        p=solution.p,
+        n_unassigned=solution.n_unassigned,
+        construction_seconds=solution.construction_seconds,
+        tabu_seconds=solution.tabu_seconds,
+        improvement=solution.improvement,
+        heterogeneity=solution.heterogeneity,
+    )
+
+
+def run_maxp(
+    collection: AreaCollection,
+    threshold: float,
+    dataset: str = "?",
+    enable_tabu: bool = True,
+    rng_seed: int = 7,
+) -> ExperimentRow:
+    """Run the classic max-p baseline (the paper's *MP* rows)."""
+    n = len(collection)
+    config = MaxPConfig(
+        rng_seed=rng_seed,
+        iterations=1,
+        enable_tabu=enable_tabu,
+        tabu_max_no_improve=n,
+        tabu_max_iterations=4 * n,
+    )
+    result = solve_maxp(collection, schema.TOTALPOP, threshold, config)
+    return ExperimentRow(
+        solver="MP",
+        combo="MP",
+        dataset=dataset,
+        n_areas=n,
+        setting=f"SUM{format_range((threshold, None))}",
+        p=result.p,
+        n_unassigned=result.n_unassigned,
+        construction_seconds=result.construction_seconds,
+        tabu_seconds=result.tabu_seconds,
+        improvement=result.improvement,
+        heterogeneity=result.heterogeneity,
+    )

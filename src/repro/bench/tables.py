@@ -1,0 +1,166 @@
+"""Table III and Table IV generators.
+
+Table III reports the answer-set size ``p`` for the MIN-constraint
+combinations (M, MS, MA, MAS) over fourteen threshold ranges: three
+with an open lower bound, three with an open upper bound, four bounded
+ranges of growing length around midpoint 3k, and four unit-length
+ranges with shifting midpoints.
+
+Table IV reports ``p`` for the SUM-constraint combinations (MP
+baseline, S, MS, AS, MAS) over five open-upper lower bounds and three
+bounded ranges around midpoint 20k.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.area import AreaCollection
+from .runner import ExperimentRow, run_emp, run_maxp
+from .workloads import (
+    MIN_COMBOS,
+    SUM_COMBOS,
+    TABLE3_LENGTH_RANGES,
+    TABLE3_MIDPOINT_RANGES,
+    TABLE3_OPEN_LOWER_RANGES,
+    TABLE3_OPEN_UPPER_RANGES,
+    TABLE4_SUM_BOUNDED_RANGES,
+    TABLE4_SUM_LOWER_BOUNDS,
+    Range,
+    format_range,
+)
+
+__all__ = [
+    "table3_min_ranges",
+    "table3_rows",
+    "table4_settings",
+    "table4_rows",
+    "format_p_table",
+]
+
+
+def table3_min_ranges() -> tuple[Range, ...]:
+    """The fourteen MIN threshold ranges of Table III, paper order."""
+    return (
+        TABLE3_OPEN_LOWER_RANGES
+        + TABLE3_OPEN_UPPER_RANGES
+        + TABLE3_LENGTH_RANGES
+        + TABLE3_MIDPOINT_RANGES
+    )
+
+
+def table3_rows(
+    collection: AreaCollection,
+    dataset: str = "2k",
+    combos: Sequence[str] = MIN_COMBOS,
+    ranges: Sequence[Range] | None = None,
+    enable_tabu: bool = False,
+    rng_seed: int = 7,
+) -> list[ExperimentRow]:
+    """All Table III cells: ``combos × ranges`` FaCT runs.
+
+    Tabu search does not change ``p``, so it is disabled by default;
+    the figure generators re-run selected cells with Tabu enabled for
+    the runtime plots.
+    """
+    rows: list[ExperimentRow] = []
+    for min_range in ranges if ranges is not None else table3_min_ranges():
+        for combo in combos:
+            rows.append(
+                run_emp(
+                    collection,
+                    combo,
+                    min_range=min_range,
+                    dataset=dataset,
+                    enable_tabu=enable_tabu,
+                    rng_seed=rng_seed,
+                )
+            )
+    return rows
+
+
+def table4_settings() -> tuple[Range, ...]:
+    """The eight SUM threshold settings of Table IV, paper order."""
+    open_upper = tuple(
+        (lower, None) for lower in TABLE4_SUM_LOWER_BOUNDS
+    )
+    return open_upper + TABLE4_SUM_BOUNDED_RANGES
+
+
+def table4_rows(
+    collection: AreaCollection,
+    dataset: str = "2k",
+    combos: Sequence[str] = SUM_COMBOS,
+    settings: Sequence[Range] | None = None,
+    enable_tabu: bool = False,
+    include_baseline: bool = True,
+    rng_seed: int = 7,
+) -> list[ExperimentRow]:
+    """All Table IV cells: the MP baseline (open-upper settings only,
+    as in the paper — its N/A cells are bounded ranges it cannot
+    express) plus the FaCT combinations."""
+    rows: list[ExperimentRow] = []
+    for sum_range in settings if settings is not None else table4_settings():
+        lower, upper = sum_range
+        if include_baseline and upper is None:
+            rows.append(
+                run_maxp(
+                    collection,
+                    lower,
+                    dataset=dataset,
+                    enable_tabu=enable_tabu,
+                    rng_seed=rng_seed,
+                )
+            )
+        for combo in combos:
+            rows.append(
+                run_emp(
+                    collection,
+                    combo,
+                    sum_range=sum_range,
+                    dataset=dataset,
+                    enable_tabu=enable_tabu,
+                    rng_seed=rng_seed,
+                )
+            )
+    return rows
+
+
+def format_p_table(rows: Sequence[ExperimentRow], value: str = "p") -> str:
+    """Render rows as a combo × setting text table (paper layout).
+
+    *value* selects the reported quantity: ``p`` (default),
+    ``n_unassigned``, ``total_seconds`` …
+    """
+    combos: list[str] = []
+    settings: list[str] = []
+    cells: dict[tuple[str, str], object] = {}
+    for row in rows:
+        if row.combo not in combos:
+            combos.append(row.combo)
+        if row.setting not in settings:
+            settings.append(row.setting)
+        quantity = getattr(row, value)
+        if isinstance(quantity, float):
+            quantity = round(quantity, 3)
+        cells[(row.combo, row.setting)] = quantity
+
+    header = ["combo"] + settings
+    widths = [max(len(header[0]), max((len(c) for c in combos), default=0))]
+    for setting in settings:
+        column = [str(cells.get((combo, setting), "N/A")) for combo in combos]
+        widths.append(max(len(setting), max((len(v) for v in column), default=0)))
+
+    def fmt_line(values: list[str]) -> str:
+        return " | ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    lines = [fmt_line(header)]
+    lines.append("-+-".join("-" * w for w in widths))
+    for combo in combos:
+        lines.append(
+            fmt_line(
+                [combo]
+                + [str(cells.get((combo, s), "N/A")) for s in settings]
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Benchmark workloads — the constraint grids of Section VII.
+
+The paper names constraint combinations by their initial letters: *M*
+(MIN only), *MS* (MIN + SUM), *MA* (MIN + AVG), *MAS* (all three), *S*
+(SUM only), *AS* (AVG + SUM), plus *MP* for the classic max-p baseline
+(equivalent to *S* with an open upper bound, solved by the competitor).
+This module builds :class:`~repro.core.constraints.ConstraintSet`
+objects for any combination and default range, and declares the exact
+threshold grids of Tables III/IV and Figures 5–13.
+
+Ranges are written ``(lower, upper)`` with ``None`` for an open end,
+matching the paper's interval notation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.constraints import (
+    Constraint,
+    ConstraintSet,
+    avg_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from ..data import schema
+from ..exceptions import InvalidConstraintError
+
+__all__ = [
+    "Range",
+    "format_range",
+    "combo_constraints",
+    "MIN_COMBOS",
+    "SUM_COMBOS",
+    "AVG_COMBOS",
+    "DEFAULT_MIN_RANGE",
+    "DEFAULT_AVG_RANGE",
+    "DEFAULT_SUM_RANGE",
+    "TABLE3_OPEN_LOWER_RANGES",
+    "TABLE3_OPEN_UPPER_RANGES",
+    "TABLE3_LENGTH_RANGES",
+    "TABLE3_MIDPOINT_RANGES",
+    "TABLE4_SUM_LOWER_BOUNDS",
+    "TABLE4_SUM_BOUNDED_RANGES",
+    "FIG9_AVG_MIDPOINTS",
+    "FIG10_AVG_HALF_LENGTHS",
+    "AVG_BOTTLENECK_RANGE",
+]
+
+Range = tuple[float | None, float | None]
+
+# Combination codes evaluated in each experiment family.
+MIN_COMBOS = ("M", "MS", "MA", "MAS")
+SUM_COMBOS = ("S", "MS", "AS", "MAS")
+AVG_COMBOS = ("A", "MA", "AS", "MAS")
+
+# Table II defaults.
+DEFAULT_MIN_RANGE: Range = (None, 3000)
+DEFAULT_AVG_RANGE: Range = (1500, 3500)
+DEFAULT_SUM_RANGE: Range = (20000, None)
+
+# Table III / Figures 5-7 threshold grids for the MIN constraint.
+TABLE3_OPEN_LOWER_RANGES: tuple[Range, ...] = (
+    (None, 2000),
+    (None, 3500),
+    (None, 5000),
+)
+TABLE3_OPEN_UPPER_RANGES: tuple[Range, ...] = (
+    (2000, None),
+    (3500, None),
+    (5000, None),
+)
+TABLE3_LENGTH_RANGES: tuple[Range, ...] = (
+    (2500, 3500),
+    (2000, 4000),
+    (1500, 4500),
+    (1000, 5000),
+)
+TABLE3_MIDPOINT_RANGES: tuple[Range, ...] = (
+    (1000, 2000),
+    (2000, 3000),
+    (3000, 4000),
+    (4000, 5000),
+)
+
+# Table IV / Figures 12-13 threshold grids for the SUM constraint.
+TABLE4_SUM_LOWER_BOUNDS: tuple[float, ...] = (
+    1000,
+    10000,
+    20000,
+    30000,
+    40000,
+)
+TABLE4_SUM_BOUNDED_RANGES: tuple[Range, ...] = (
+    (15000, 25000),
+    (10000, 30000),
+    (5000, 35000),
+)
+
+# Figures 9-11 grids for the AVG constraint.
+FIG9_AVG_MIDPOINTS: tuple[float, ...] = (
+    1000,
+    1500,
+    2000,
+    2500,
+    3000,
+    3500,
+    4000,
+    4500,
+)
+FIG9_AVG_HALF_LENGTH = 1000.0
+FIG10_AVG_MIDPOINT = 3000.0
+FIG10_AVG_HALF_LENGTHS: tuple[float, ...] = (500, 1000, 1500, 2000)
+
+AVG_BOTTLENECK_RANGE: Range = (2000, 4000)
+"""The ``3k ± 1k`` AVG range the paper identifies as the performance
+bottleneck (Figures 9-11, 16)."""
+
+
+def _bound(value: float | None, default: float) -> float:
+    return default if value is None else float(value)
+
+
+def format_range(value_range: Range) -> str:
+    """Pretty interval string, e.g. ``(-inf,2k]`` or ``[1k,5k]``."""
+
+    def fmt(value: float | None) -> str:
+        if value is None:
+            return "inf"
+        if abs(value) >= 1000 and value % 500 == 0:
+            return f"{value / 1000:g}k"
+        return f"{value:g}"
+
+    lower, upper = value_range
+    left = "(-inf" if lower is None else f"[{fmt(lower)}"
+    right = "inf)" if upper is None else f"{fmt(upper)}]"
+    return f"{left},{right}"
+
+
+def combo_constraints(
+    combo: str,
+    min_range: Range = DEFAULT_MIN_RANGE,
+    avg_range: Range = DEFAULT_AVG_RANGE,
+    sum_range: Range = DEFAULT_SUM_RANGE,
+) -> ConstraintSet:
+    """Build the constraint set for a combination code.
+
+    *combo* is any subset of the letters ``M`` (MIN on POP16UP), ``A``
+    (AVG on EMPLOYED) and ``S`` (SUM on TOTALPOP), e.g. ``"MAS"``. The
+    per-type ranges default to Table II.
+    """
+    combo = combo.upper()
+    unknown = set(combo) - set("MAS")
+    if unknown or not combo:
+        raise InvalidConstraintError(
+            f"combination {combo!r} must be a non-empty subset of 'MAS'"
+        )
+    constraints: list[Constraint] = []
+    if "M" in combo:
+        constraints.append(
+            min_constraint(
+                schema.POP16UP,
+                _bound(min_range[0], -math.inf),
+                _bound(min_range[1], math.inf),
+            )
+        )
+    if "A" in combo:
+        constraints.append(
+            avg_constraint(
+                schema.EMPLOYED,
+                _bound(avg_range[0], -math.inf),
+                _bound(avg_range[1], math.inf),
+            )
+        )
+    if "S" in combo:
+        constraints.append(
+            sum_constraint(
+                schema.TOTALPOP,
+                _bound(sum_range[0], -math.inf),
+                _bound(sum_range[1], math.inf),
+            )
+        )
+    return ConstraintSet(constraints)

@@ -1,0 +1,35 @@
+"""Contiguity substrate: spatial weights and graph algorithms."""
+
+from .graph import (
+    articulation_points,
+    bfs_order,
+    connected_components,
+    is_connected,
+)
+from .network import (
+    restrict_adjacency,
+    restricted_collection,
+    synthetic_road_network,
+)
+from .weights import (
+    adjacency_to_edges,
+    edges_to_adjacency,
+    queen_adjacency,
+    rook_adjacency,
+    validate_adjacency,
+)
+
+__all__ = [
+    "adjacency_to_edges",
+    "articulation_points",
+    "bfs_order",
+    "connected_components",
+    "edges_to_adjacency",
+    "is_connected",
+    "queen_adjacency",
+    "restrict_adjacency",
+    "restricted_collection",
+    "rook_adjacency",
+    "synthetic_road_network",
+    "validate_adjacency",
+]

@@ -1,0 +1,135 @@
+"""Graph algorithms over contiguity structures.
+
+The FaCT phases repeatedly answer two questions about the *induced
+subgraph* of a region's member set:
+
+- is it connected? (every region must be, Definition III.2)
+- which members are articulation points? (an area may leave a region
+  only if it is not one — the donor-side check in Step 3 swaps and in
+  every Tabu move)
+
+Both are implemented over a neighbor *function* rather than a
+materialized graph so they work directly on
+:meth:`repro.core.area.AreaCollection.neighbors` restricted to a set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+__all__ = [
+    "is_connected",
+    "connected_components",
+    "articulation_points",
+    "bfs_order",
+]
+
+NeighborFn = Callable[[int], Iterable[int]]
+
+
+def bfs_order(start: int, nodes: frozenset[int] | set[int],
+              neighbors: NeighborFn) -> list[int]:
+    """Breadth-first visit order of the subgraph induced by *nodes*,
+    starting from *start* (which must be a member)."""
+    if start not in nodes:
+        raise ValueError(f"start node {start} is not in the node set")
+    seen = {start}
+    order = [start]
+    queue = [start]
+    head = 0
+    while head < len(order):
+        current = order[head]
+        head += 1
+        for neighbor in neighbors(current):
+            if neighbor in nodes and neighbor not in seen:
+                seen.add(neighbor)
+                order.append(neighbor)
+    return order
+
+
+def is_connected(nodes: Iterable[int], neighbors: NeighborFn) -> bool:
+    """True when the induced subgraph over *nodes* is connected and
+    non-empty."""
+    node_set = set(nodes)
+    if not node_set:
+        return False
+    start = next(iter(node_set))
+    return len(bfs_order(start, node_set, neighbors)) == len(node_set)
+
+
+def connected_components(
+    nodes: Iterable[int], neighbors: NeighborFn
+) -> list[frozenset[int]]:
+    """Connected components of the induced subgraph over *nodes*."""
+    remaining = set(nodes)
+    components: list[frozenset[int]] = []
+    while remaining:
+        start = next(iter(remaining))
+        component = frozenset(bfs_order(start, remaining, neighbors))
+        remaining -= component
+        components.append(component)
+    return components
+
+
+def articulation_points(
+    nodes: Iterable[int], neighbors: NeighborFn
+) -> frozenset[int]:
+    """Articulation points of the induced subgraph over *nodes*.
+
+    Iterative Hopcroft–Tarjan (no recursion, so arbitrarily large
+    regions are safe). Nodes in other components than the start node
+    are handled by restarting the DFS per component.
+    """
+    node_set = set(nodes)
+    discovery: dict[int, int] = {}
+    low: dict[int, int] = {}
+    parent: dict[int, int | None] = {}
+    articulation: set[int] = set()
+    counter = 0
+
+    for root in node_set:
+        if root in discovery:
+            continue
+        parent[root] = None
+        root_children = 0
+        # stack entries: (node, iterator over its in-set neighbors)
+        stack = [(root, iter([n for n in neighbors(root) if n in node_set]))]
+        discovery[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, iterator = stack[-1]
+            advanced = False
+            for neighbor in iterator:
+                if neighbor not in discovery:
+                    parent[neighbor] = node
+                    if node == root:
+                        root_children += 1
+                    discovery[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    stack.append(
+                        (
+                            neighbor,
+                            iter(
+                                [
+                                    n
+                                    for n in neighbors(neighbor)
+                                    if n in node_set
+                                ]
+                            ),
+                        )
+                    )
+                    advanced = True
+                    break
+                if neighbor != parent[node]:
+                    low[node] = min(low[node], discovery[neighbor])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                parent_node = stack[-1][0]
+                low[parent_node] = min(low[parent_node], low[node])
+                if parent_node != root and low[node] >= discovery[parent_node]:
+                    articulation.add(parent_node)
+        if root_children > 1:
+            articulation.add(root)
+    return frozenset(articulation)

@@ -1,0 +1,112 @@
+"""Spatial contiguity weights from polygons.
+
+Census-tract analyses conventionally use *rook* contiguity (two tracts
+are neighbors when they share a boundary edge) or *queen* contiguity
+(sharing a single point suffices). This module derives both from raw
+polygons via canonical-edge / canonical-vertex hashing, so a dataset
+loaded from GeoJSON gets exactly the same adjacency structure that
+libpysal would produce for the shapefile.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+from ..exceptions import InvalidAreaError
+from ..geometry.polygon import Polygon
+
+__all__ = [
+    "rook_adjacency",
+    "queen_adjacency",
+    "validate_adjacency",
+    "adjacency_to_edges",
+    "edges_to_adjacency",
+]
+
+
+def rook_adjacency(
+    polygons: Sequence[Polygon], digits: int = 9
+) -> dict[int, frozenset[int]]:
+    """Rook contiguity: polygons sharing at least one boundary edge.
+
+    Edges are canonicalized by rounding vertex coordinates to *digits*
+    decimal places, so polygons produced by the same tessellation (or
+    the same shapefile) match despite float noise.
+    """
+    owners: dict[tuple, list[int]] = defaultdict(list)
+    for index, polygon in enumerate(polygons):
+        for edge in polygon.canonical_edges(digits):
+            owners[edge].append(index)
+    adjacency: dict[int, set[int]] = {i: set() for i in range(len(polygons))}
+    for indices in owners.values():
+        for i in range(len(indices)):
+            for j in range(i + 1, len(indices)):
+                adjacency[indices[i]].add(indices[j])
+                adjacency[indices[j]].add(indices[i])
+    return {i: frozenset(neighbors) for i, neighbors in adjacency.items()}
+
+
+def queen_adjacency(
+    polygons: Sequence[Polygon], digits: int = 9
+) -> dict[int, frozenset[int]]:
+    """Queen contiguity: polygons sharing at least one vertex."""
+    owners: dict[tuple, list[int]] = defaultdict(list)
+    for index, polygon in enumerate(polygons):
+        for vertex in polygon.canonical_vertices(digits):
+            owners[vertex].append(index)
+    adjacency: dict[int, set[int]] = {i: set() for i in range(len(polygons))}
+    for indices in owners.values():
+        for i in range(len(indices)):
+            for j in range(i + 1, len(indices)):
+                adjacency[indices[i]].add(indices[j])
+                adjacency[indices[j]].add(indices[i])
+    return {i: frozenset(neighbors) for i, neighbors in adjacency.items()}
+
+
+def validate_adjacency(adjacency: Mapping[int, frozenset[int]]) -> None:
+    """Raise :class:`InvalidAreaError` unless *adjacency* is a valid
+    symmetric, loop-free neighbor map over its own key set."""
+    for node, neighbors in adjacency.items():
+        if node in neighbors:
+            raise InvalidAreaError(f"node {node} is adjacent to itself")
+        for neighbor in neighbors:
+            if neighbor not in adjacency:
+                raise InvalidAreaError(
+                    f"node {node} adjacent to unknown node {neighbor}"
+                )
+            if node not in adjacency[neighbor]:
+                raise InvalidAreaError(
+                    f"asymmetric adjacency: {node} -> {neighbor}"
+                )
+
+
+def adjacency_to_edges(
+    adjacency: Mapping[int, frozenset[int]]
+) -> set[tuple[int, int]]:
+    """The undirected edge set ``{(min, max), …}`` of a neighbor map."""
+    edges: set[tuple[int, int]] = set()
+    for node, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            edges.add((node, neighbor) if node < neighbor else (neighbor, node))
+    return edges
+
+
+def edges_to_adjacency(
+    edges, nodes=None
+) -> dict[int, frozenset[int]]:
+    """Build a neighbor map from an undirected edge list.
+
+    *nodes* optionally supplies isolated nodes that appear in no edge.
+    """
+    adjacency: dict[int, set[int]] = {}
+    if nodes is not None:
+        for node in nodes:
+            adjacency[int(node)] = set()
+    for a, b in edges:
+        a, b = int(a), int(b)
+        if a == b:
+            raise InvalidAreaError(f"self-loop on node {a}")
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    return {node: frozenset(neighbors) for node, neighbors in adjacency.items()}

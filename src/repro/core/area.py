@@ -1,0 +1,332 @@
+"""Areas and area collections — the EMP input model (Section III).
+
+An :class:`Area` is the basic spatial unit ``a_i = (i, b_i, S_i, d_i)``:
+an identifier, an optional polygon boundary, a set of spatially
+extensive attributes and a dissimilarity attribute used by the
+heterogeneity objective.
+
+An :class:`AreaCollection` bundles the area set ``A`` with its spatial
+contiguity structure (the adjacency produced by rook/queen weights over
+the polygons). All solvers operate on an ``AreaCollection``; the raw
+polygons are only needed to *build* the adjacency, so collections can
+also be constructed directly from an explicit neighbor map (useful for
+lattices and for unit tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import ContiguityError, InvalidAreaError
+
+__all__ = ["Area", "AreaCollection"]
+
+
+@dataclass(frozen=True)
+class Area:
+    """One spatial area ``(i, b_i, S_i, d_i)``.
+
+    Parameters
+    ----------
+    area_id:
+        Unique integer identifier ``i``.
+    attributes:
+        The spatially extensive attributes ``S_i`` (e.g. ``TOTALPOP``).
+        Values must be finite numbers.
+    dissimilarity:
+        The dissimilarity attribute ``d_i``. If ``None``, the owning
+        :class:`AreaCollection` resolves it from its configured
+        ``dissimilarity_attribute``.
+    polygon:
+        Optional :class:`repro.geometry.Polygon` boundary ``b_i``. The
+        solvers never touch it; it exists for I/O, plotting and
+        adjacency construction.
+    """
+
+    area_id: int
+    attributes: Mapping[str, float]
+    dissimilarity: float | None = None
+    polygon: object | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.area_id, int):
+            raise InvalidAreaError(
+                f"area_id must be an int, got {type(self.area_id).__name__}"
+            )
+        attrs = dict(self.attributes)
+        for name, value in attrs.items():
+            value = float(value)
+            if not math.isfinite(value):
+                raise InvalidAreaError(
+                    f"area {self.area_id}: attribute {name!r} is not finite"
+                )
+            attrs[name] = value
+        object.__setattr__(self, "attributes", attrs)
+        if self.dissimilarity is not None:
+            d = float(self.dissimilarity)
+            if not math.isfinite(d):
+                raise InvalidAreaError(
+                    f"area {self.area_id}: dissimilarity is not finite"
+                )
+            object.__setattr__(self, "dissimilarity", d)
+
+    def attribute(self, name: str) -> float:
+        """Return the value of the named spatially extensive attribute."""
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise InvalidAreaError(
+                f"area {self.area_id} has no attribute {name!r}"
+            ) from None
+
+
+class AreaCollection:
+    """The area set ``A`` plus its contiguity graph.
+
+    Parameters
+    ----------
+    areas:
+        The areas. Identifiers must be unique; every area must expose
+        the same attribute names.
+    adjacency:
+        Mapping ``area_id -> iterable of neighbor area_ids``. Must be
+        symmetric and must not contain self-loops. Areas missing from
+        the mapping are treated as isolated (they can only ever form
+        singleton regions).
+    dissimilarity_attribute:
+        Attribute name used as ``d_i`` for areas that do not carry an
+        explicit ``dissimilarity`` value.
+    """
+
+    def __init__(
+        self,
+        areas: Iterable[Area],
+        adjacency: Mapping[int, Iterable[int]],
+        dissimilarity_attribute: str | None = None,
+    ):
+        self._areas: dict[int, Area] = {}
+        for area in areas:
+            if area.area_id in self._areas:
+                raise InvalidAreaError(f"duplicate area id {area.area_id}")
+            self._areas[area.area_id] = area
+        if not self._areas:
+            raise InvalidAreaError("an AreaCollection requires at least one area")
+
+        first = next(iter(self._areas.values()))
+        expected_names = frozenset(first.attributes)
+        for area in self._areas.values():
+            if frozenset(area.attributes) != expected_names:
+                raise InvalidAreaError(
+                    f"area {area.area_id} attribute names "
+                    f"{sorted(area.attributes)} differ from "
+                    f"{sorted(expected_names)}"
+                )
+        self._attribute_names = expected_names
+
+        self._adjacency: dict[int, frozenset[int]] = {
+            area_id: frozenset() for area_id in self._areas
+        }
+        for area_id, neighbors in adjacency.items():
+            if area_id not in self._areas:
+                raise InvalidAreaError(
+                    f"adjacency mentions unknown area id {area_id}"
+                )
+            neighbor_set = frozenset(int(n) for n in neighbors)
+            if area_id in neighbor_set:
+                raise InvalidAreaError(f"area {area_id} is adjacent to itself")
+            for n in neighbor_set:
+                if n not in self._areas:
+                    raise InvalidAreaError(
+                        f"area {area_id} adjacent to unknown area {n}"
+                    )
+            self._adjacency[area_id] = neighbor_set
+        for area_id, neighbor_set in self._adjacency.items():
+            for n in neighbor_set:
+                if area_id not in self._adjacency[n]:
+                    raise InvalidAreaError(
+                        f"asymmetric adjacency: {area_id} -> {n} has no reverse"
+                    )
+
+        self._dissimilarity_attribute = dissimilarity_attribute
+        if dissimilarity_attribute is not None:
+            if dissimilarity_attribute not in expected_names:
+                raise InvalidAreaError(
+                    f"dissimilarity attribute {dissimilarity_attribute!r} "
+                    "is not an area attribute"
+                )
+        else:
+            for area in self._areas.values():
+                if area.dissimilarity is None:
+                    raise InvalidAreaError(
+                        f"area {area.area_id} has no dissimilarity value and "
+                        "no dissimilarity_attribute was configured"
+                    )
+        self._dissimilarity_cache: dict[int, float] = {
+            area_id: self._resolve_dissimilarity(area)
+            for area_id, area in self._areas.items()
+        }
+
+    def _resolve_dissimilarity(self, area: Area) -> float:
+        if area.dissimilarity is not None:
+            return area.dissimilarity
+        return area.attributes[self._dissimilarity_attribute]
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def dissimilarity_attribute(self) -> str | None:
+        """Name of the attribute used as ``d_i`` (``None`` when areas
+        carry explicit dissimilarity values)."""
+        return self._dissimilarity_attribute
+
+    @property
+    def attribute_names(self) -> frozenset[str]:
+        """Names of the spatially extensive attributes."""
+        return self._attribute_names
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        """All area identifiers, in insertion order."""
+        return tuple(self._areas)
+
+    def __len__(self) -> int:
+        return len(self._areas)
+
+    def __iter__(self) -> Iterator[Area]:
+        return iter(self._areas.values())
+
+    def __contains__(self, area_id: int) -> bool:
+        return area_id in self._areas
+
+    def area(self, area_id: int) -> Area:
+        """Return the :class:`Area` with the given identifier."""
+        try:
+            return self._areas[area_id]
+        except KeyError:
+            raise InvalidAreaError(f"unknown area id {area_id}") from None
+
+    def neighbors(self, area_id: int) -> frozenset[int]:
+        """Spatial neighbors of the given area."""
+        try:
+            return self._adjacency[area_id]
+        except KeyError:
+            raise InvalidAreaError(f"unknown area id {area_id}") from None
+
+    def attribute(self, area_id: int, name: str) -> float:
+        """Attribute value of one area."""
+        return self.area(area_id).attribute(name)
+
+    def dissimilarity(self, area_id: int) -> float:
+        """Dissimilarity value ``d_i`` of one area."""
+        try:
+            return self._dissimilarity_cache[area_id]
+        except KeyError:
+            raise InvalidAreaError(f"unknown area id {area_id}") from None
+
+    def attribute_values(self, name: str) -> dict[int, float]:
+        """Mapping ``area_id -> value`` for one attribute."""
+        if name not in self._attribute_names:
+            raise InvalidAreaError(f"unknown attribute {name!r}")
+        return {area_id: a.attributes[name] for area_id, a in self._areas.items()}
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Histogram of adjacency degrees (diagnostics for datasets)."""
+        histogram: dict[int, int] = {}
+        for neighbor_set in self._adjacency.values():
+            degree = len(neighbor_set)
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # graph structure
+    # ------------------------------------------------------------------
+    def connected_components(
+        self, within: Iterable[int] | None = None
+    ) -> list[frozenset[int]]:
+        """Connected components of the contiguity graph.
+
+        Parameters
+        ----------
+        within:
+            Optional subset of area ids; when given, components of the
+            induced subgraph are returned. This is how FaCT supports
+            datasets with multiple connected components and datasets
+            fragmented by invalid-area filtration.
+        """
+        universe = set(self._areas if within is None else within)
+        for area_id in universe:
+            if area_id not in self._areas:
+                raise InvalidAreaError(f"unknown area id {area_id}")
+        components: list[frozenset[int]] = []
+        remaining = set(universe)
+        while remaining:
+            start = next(iter(remaining))
+            component = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for neighbor in self._adjacency[current]:
+                    if neighbor in remaining and neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            remaining -= component
+            components.append(frozenset(component))
+        return components
+
+    def is_contiguous(self, area_ids: Iterable[int]) -> bool:
+        """True when the induced subgraph over *area_ids* is connected
+        and non-empty (Definition III.2)."""
+        ids = set(area_ids)
+        if not ids:
+            return False
+        components = self.connected_components(within=ids)
+        return len(components) == 1
+
+    def subset(self, area_ids: Iterable[int]) -> "AreaCollection":
+        """Return the sub-collection induced by *area_ids*.
+
+        Adjacency is restricted to pairs inside the subset; the result
+        may have several connected components.
+        """
+        ids = set(area_ids)
+        if not ids:
+            raise ContiguityError("cannot build an empty sub-collection")
+        areas = []
+        adjacency = {}
+        for area_id in ids:
+            areas.append(self.area(area_id))
+            adjacency[area_id] = self._adjacency[area_id] & ids
+        return AreaCollection(
+            areas, adjacency, dissimilarity_attribute=self._dissimilarity_attribute
+        )
+
+    def region_neighbors(self, area_ids: Iterable[int]) -> frozenset[int]:
+        """Area ids adjacent to the given set but not inside it."""
+        inside = set(area_ids)
+        outside: set[int] = set()
+        for area_id in inside:
+            outside.update(self._adjacency[area_id] - inside)
+        return frozenset(outside)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        """Human-readable dataset summary (size, components, degrees)."""
+        components = self.connected_components()
+        return {
+            "n_areas": len(self),
+            "n_components": len(components),
+            "largest_component": max(len(c) for c in components),
+            "attributes": sorted(self._attribute_names),
+            "mean_degree": (
+                sum(len(v) for v in self._adjacency.values()) / len(self)
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"AreaCollection(n={len(self)}, "
+            f"attributes={sorted(self._attribute_names)})"
+        )

@@ -1,0 +1,328 @@
+"""User-defined constraints — Definition III.1 of the paper.
+
+A constraint is the 4-tuple ``(f, s, l, u)``: an aggregate function
+``f`` ∈ {MIN, MAX, AVG, SUM, COUNT}, a spatially extensive attribute
+``s``, a lower bound ``l`` ∈ [−∞, ∞) and an upper bound ``u`` ∈ (−∞, ∞].
+A region ``R`` satisfies the constraint when ``l ≤ f(R.s) ≤ u``.
+
+The paper groups the five aggregates into three families, which drive
+the structure of the FaCT construction phase (Section V-B):
+
+- **extrema** (MIN, MAX) — filter invalid areas and pick seed areas;
+- **centrality** (AVG) — non-monotonic; region growing;
+- **counting** (SUM, COUNT) — monotonic; final adjustments.
+
+:class:`ConstraintSet` bundles the constraints of one query and exposes
+family-based views plus whole-region validation helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..exceptions import InvalidConstraintError
+from .aggregates import Aggregate
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "ConstraintFamily",
+    "min_constraint",
+    "max_constraint",
+    "avg_constraint",
+    "sum_constraint",
+    "count_constraint",
+]
+
+
+class ConstraintFamily:
+    """The three constraint families of Section V-B."""
+
+    EXTREMA = "extrema"
+    CENTRALITY = "centrality"
+    COUNTING = "counting"
+
+
+_FAMILY_BY_AGGREGATE = {
+    Aggregate.MIN: ConstraintFamily.EXTREMA,
+    Aggregate.MAX: ConstraintFamily.EXTREMA,
+    Aggregate.AVG: ConstraintFamily.CENTRALITY,
+    Aggregate.SUM: ConstraintFamily.COUNTING,
+    Aggregate.COUNT: ConstraintFamily.COUNTING,
+}
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One user-defined constraint ``l ≤ f(s) ≤ u``.
+
+    Parameters
+    ----------
+    aggregate:
+        One of ``"MIN"``, ``"MAX"``, ``"AVG"``, ``"SUM"``, ``"COUNT"``
+        (case-insensitive; also accepts :class:`Aggregate` constants).
+    attribute:
+        Name of the spatially extensive attribute the aggregate is
+        computed over. For ``COUNT`` the attribute is conventional only
+        (SQL ``COUNT`` counts rows — here, areas) and may be ``""``.
+    lower, upper:
+        Threshold range. ``-math.inf`` / ``math.inf`` produce the
+        open-ended comparisons ``f(s) ≤ u`` / ``f(s) ≥ l``.
+    """
+
+    aggregate: str
+    attribute: str
+    lower: float = -math.inf
+    upper: float = math.inf
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "aggregate", Aggregate.normalize(self.aggregate))
+        object.__setattr__(self, "lower", float(self.lower))
+        object.__setattr__(self, "upper", float(self.upper))
+        if math.isnan(self.lower) or math.isnan(self.upper):
+            raise InvalidConstraintError("constraint bounds must not be NaN")
+        if self.lower > self.upper:
+            raise InvalidConstraintError(
+                f"lower bound {self.lower} exceeds upper bound {self.upper}"
+            )
+        if math.isinf(self.lower) and self.lower > 0:
+            raise InvalidConstraintError("lower bound must be in [-inf, inf)")
+        if math.isinf(self.upper) and self.upper < 0:
+            raise InvalidConstraintError("upper bound must be in (-inf, inf]")
+        if self.aggregate != Aggregate.COUNT and not self.attribute:
+            raise InvalidConstraintError(
+                f"{self.aggregate} constraint requires an attribute name"
+            )
+        if self.aggregate == Aggregate.COUNT and self.lower < 1 and math.isinf(
+            self.upper
+        ):
+            # COUNT >= 0 over non-empty regions is vacuous; flag likely typos.
+            if math.isinf(self.lower):
+                raise InvalidConstraintError(
+                    "COUNT constraint with infinite range is vacuous"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def family(self) -> str:
+        """Constraint family: extrema, centrality or counting."""
+        return _FAMILY_BY_AGGREGATE[self.aggregate]
+
+    @property
+    def is_monotonic(self) -> bool:
+        """True for SUM/COUNT — adding areas moves the aggregate one way
+        (assuming non-negative attribute values, as the paper does)."""
+        return self.family == ConstraintFamily.COUNTING
+
+    @property
+    def has_lower(self) -> bool:
+        """True when the lower bound is finite."""
+        return not math.isinf(self.lower)
+
+    @property
+    def has_upper(self) -> bool:
+        """True when the upper bound is finite."""
+        return not math.isinf(self.upper)
+
+    def contains(self, value: float) -> bool:
+        """Return True when *value* lies within ``[lower, upper]``.
+
+        ``nan`` never satisfies a constraint (an empty region's AVG).
+        """
+        return self.lower <= value <= self.upper
+
+    def below(self, value: float) -> bool:
+        """True when *value* lies strictly below the lower bound."""
+        return value < self.lower
+
+    def above(self, value: float) -> bool:
+        """True when *value* lies strictly above the upper bound."""
+        return value > self.upper
+
+    def with_bounds(self, lower: float = None, upper: float = None) -> "Constraint":
+        """Return a copy with one or both bounds replaced."""
+        return Constraint(
+            self.aggregate,
+            self.attribute,
+            self.lower if lower is None else lower,
+            self.upper if upper is None else upper,
+        )
+
+    def __str__(self) -> str:
+        attr = self.attribute or "*"
+        return f"{self.lower:g} <= {self.aggregate}({attr}) <= {self.upper:g}"
+
+
+# ----------------------------------------------------------------------
+# convenience constructors (the public, discoverable API)
+# ----------------------------------------------------------------------
+
+def min_constraint(attribute: str, lower: float = -math.inf,
+                   upper: float = math.inf) -> Constraint:
+    """Build a ``MIN`` (extrema) constraint: ``l ≤ MIN(attribute) ≤ u``."""
+    return Constraint(Aggregate.MIN, attribute, lower, upper)
+
+
+def max_constraint(attribute: str, lower: float = -math.inf,
+                   upper: float = math.inf) -> Constraint:
+    """Build a ``MAX`` (extrema) constraint: ``l ≤ MAX(attribute) ≤ u``."""
+    return Constraint(Aggregate.MAX, attribute, lower, upper)
+
+
+def avg_constraint(attribute: str, lower: float = -math.inf,
+                   upper: float = math.inf) -> Constraint:
+    """Build an ``AVG`` (centrality) constraint: ``l ≤ AVG(attribute) ≤ u``."""
+    return Constraint(Aggregate.AVG, attribute, lower, upper)
+
+
+def sum_constraint(attribute: str, lower: float = -math.inf,
+                   upper: float = math.inf) -> Constraint:
+    """Build a ``SUM`` (counting) constraint: ``l ≤ SUM(attribute) ≤ u``.
+
+    With ``upper=inf`` this is exactly the classic max-p-regions
+    threshold constraint of Duque et al. (2012).
+    """
+    return Constraint(Aggregate.SUM, attribute, lower, upper)
+
+
+def count_constraint(lower: float = 1, upper: float = math.inf) -> Constraint:
+    """Build a ``COUNT`` (counting) constraint on the number of areas."""
+    return Constraint(Aggregate.COUNT, "", lower, upper)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConstraintSet:
+    """An immutable bundle of the constraints of one EMP query.
+
+    Provides family views used by the three FaCT construction steps and
+    set-level validation. The set may be empty (then every non-empty
+    contiguous region is feasible and EMP degenerates to "one region per
+    area").
+    """
+
+    constraints: tuple[Constraint, ...] = field(default_factory=tuple)
+
+    def __init__(self, constraints: Iterable[Constraint] = ()):
+        items = tuple(constraints)
+        for item in items:
+            if not isinstance(item, Constraint):
+                raise InvalidConstraintError(
+                    f"expected Constraint, got {type(item).__name__}"
+                )
+        object.__setattr__(self, "constraints", items)
+
+    # -- collection protocol ------------------------------------------
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __bool__(self) -> bool:
+        return bool(self.constraints)
+
+    def __getitem__(self, index: int) -> Constraint:
+        return self.constraints[index]
+
+    # -- family views --------------------------------------------------
+    def by_aggregate(self, aggregate: str) -> tuple[Constraint, ...]:
+        """All constraints using the given aggregate function."""
+        name = Aggregate.normalize(aggregate)
+        return tuple(c for c in self.constraints if c.aggregate == name)
+
+    @property
+    def extrema(self) -> tuple[Constraint, ...]:
+        """MIN and MAX constraints (Step 1: filtering and seeding)."""
+        return tuple(
+            c for c in self.constraints if c.family == ConstraintFamily.EXTREMA
+        )
+
+    @property
+    def centrality(self) -> tuple[Constraint, ...]:
+        """AVG constraints (Step 2: region growing)."""
+        return tuple(
+            c for c in self.constraints if c.family == ConstraintFamily.CENTRALITY
+        )
+
+    @property
+    def counting(self) -> tuple[Constraint, ...]:
+        """SUM and COUNT constraints (Step 3: monotonic adjustments)."""
+        return tuple(
+            c for c in self.constraints if c.family == ConstraintFamily.COUNTING
+        )
+
+    @property
+    def mins(self) -> tuple[Constraint, ...]:
+        """Only the MIN constraints."""
+        return self.by_aggregate(Aggregate.MIN)
+
+    @property
+    def maxes(self) -> tuple[Constraint, ...]:
+        """Only the MAX constraints."""
+        return self.by_aggregate(Aggregate.MAX)
+
+    @property
+    def avgs(self) -> tuple[Constraint, ...]:
+        """Only the AVG constraints."""
+        return self.by_aggregate(Aggregate.AVG)
+
+    @property
+    def sums(self) -> tuple[Constraint, ...]:
+        """Only the SUM constraints."""
+        return self.by_aggregate(Aggregate.SUM)
+
+    @property
+    def counts(self) -> tuple[Constraint, ...]:
+        """Only the COUNT constraints."""
+        return self.by_aggregate(Aggregate.COUNT)
+
+    def attributes(self) -> frozenset[str]:
+        """All attribute names referenced by any constraint."""
+        return frozenset(c.attribute for c in self.constraints if c.attribute)
+
+    def on_attribute(self, attribute: str) -> tuple[Constraint, ...]:
+        """All constraints imposed on the given attribute."""
+        return tuple(c for c in self.constraints if c.attribute == attribute)
+
+    # -- area-level helpers used by filtering/seeding -------------------
+    def area_is_invalid(self, attributes) -> bool:
+        """True if an area with these attribute values can never be part
+        of a valid region (feasibility-phase filtration, Section V-A).
+
+        An area is invalid when ``s_min < l_min`` for a MIN constraint,
+        ``s_max > u_max`` for a MAX constraint, or ``s_sum > u_sum`` for
+        a SUM constraint.
+        """
+        for c in self.mins:
+            if attributes[c.attribute] < c.lower:
+                return True
+        for c in self.maxes:
+            if attributes[c.attribute] > c.upper:
+                return True
+        for c in self.sums:
+            if attributes[c.attribute] > c.upper:
+                return True
+        return False
+
+    def area_is_seed(self, attributes) -> bool:
+        """True if an area qualifies as a seed area (Step 1).
+
+        A seed satisfies both bounds of at least one MIN or MAX
+        constraint. When there are no extrema constraints every area is
+        a seed (Section V-D).
+        """
+        extrema = self.extrema
+        if not extrema:
+            return True
+        for c in extrema:
+            if c.contains(attributes[c.attribute]):
+                return True
+        return False
+
+    def seed_satisfied(self, constraint: Constraint, attributes) -> bool:
+        """True if the area's value lies inside *constraint*'s range —
+        i.e. the area can serve as this extrema constraint's seed."""
+        return constraint.contains(attributes[constraint.attribute])

@@ -1,0 +1,217 @@
+"""Partitions — the EMP output model (Section III).
+
+A :class:`Partition` is the immutable result of a solver run: the set
+of regions ``P = {R_1, …, R_p}`` plus the set ``U_0`` of unassigned
+areas (EMP, unlike the original max-p-regions problem, permits leaving
+areas unassigned). It knows how to validate itself against an
+:class:`~repro.core.area.AreaCollection` and a
+:class:`~repro.core.constraints.ConstraintSet`, which the test-suite
+uses as the single source of truth for solution correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import InvalidAreaError
+from .area import AreaCollection
+from .constraints import ConstraintSet
+from .heterogeneity import region_heterogeneity, total_heterogeneity
+from .region import Region
+
+__all__ = ["Partition"]
+
+UNASSIGNED = -1
+"""Region label used for areas in ``U_0``."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An immutable regionalization result.
+
+    Attributes
+    ----------
+    regions:
+        Tuple of frozensets of area ids; ``regions[k]`` is region ``k``.
+    unassigned:
+        ``U_0`` — the areas not assigned to any region.
+    """
+
+    regions: tuple[frozenset[int], ...]
+    unassigned: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        regions = tuple(frozenset(r) for r in self.regions)
+        object.__setattr__(self, "regions", regions)
+        object.__setattr__(self, "unassigned", frozenset(self.unassigned))
+        seen: set[int] = set()
+        for index, region in enumerate(regions):
+            if not region:
+                raise InvalidAreaError(f"region {index} is empty")
+            overlap = seen & region
+            if overlap:
+                raise InvalidAreaError(
+                    f"areas {sorted(overlap)} appear in more than one region"
+                )
+            seen |= region
+        overlap = seen & self.unassigned
+        if overlap:
+            raise InvalidAreaError(
+                f"areas {sorted(overlap)} are both assigned and unassigned"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_regions(
+        cls,
+        regions: Iterable[Region | Iterable[int]],
+        unassigned: Iterable[int] = (),
+    ) -> "Partition":
+        """Build from :class:`Region` objects or plain id iterables."""
+        member_sets = []
+        for region in regions:
+            if isinstance(region, Region):
+                member_sets.append(region.area_ids)
+            else:
+                member_sets.append(frozenset(region))
+        return cls(tuple(member_sets), frozenset(unassigned))
+
+    @classmethod
+    def from_labels(
+        cls, labels: Mapping[int, int], unassigned_label: int = UNASSIGNED
+    ) -> "Partition":
+        """Build from an ``area_id -> region label`` mapping.
+
+        Labels other than *unassigned_label* are grouped into regions
+        (in ascending label order).
+        """
+        groups: dict[int, set[int]] = {}
+        unassigned: set[int] = set()
+        for area_id, label in labels.items():
+            if label == unassigned_label:
+                unassigned.add(area_id)
+            else:
+                groups.setdefault(label, set()).add(area_id)
+        ordered = tuple(
+            frozenset(groups[label]) for label in sorted(groups)
+        )
+        return cls(ordered, frozenset(unassigned))
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        """The number of regions — EMP's primary objective."""
+        return len(self.regions)
+
+    @property
+    def assigned(self) -> frozenset[int]:
+        """All areas that belong to some region."""
+        result: set[int] = set()
+        for region in self.regions:
+            result |= region
+        return frozenset(result)
+
+    @property
+    def all_areas(self) -> frozenset[int]:
+        """Assigned plus unassigned areas."""
+        return self.assigned | self.unassigned
+
+    def labels(self) -> dict[int, int]:
+        """Mapping ``area_id -> region index`` (``-1`` for ``U_0``)."""
+        result = {area_id: UNASSIGNED for area_id in self.unassigned}
+        for index, region in enumerate(self.regions):
+            for area_id in region:
+                result[area_id] = index
+        return result
+
+    def region_of(self, area_id: int) -> int:
+        """Region index of one area (``-1`` when unassigned)."""
+        for index, region in enumerate(self.regions):
+            if area_id in region:
+                return index
+        if area_id in self.unassigned:
+            return UNASSIGNED
+        raise InvalidAreaError(f"area {area_id} is not in this partition")
+
+    def region_sizes(self) -> list[int]:
+        """Sizes of the regions, in region order."""
+        return [len(region) for region in self.regions]
+
+    def __iter__(self) -> Iterator[frozenset[int]]:
+        return iter(self.regions)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    # ------------------------------------------------------------------
+    # scoring and validation
+    # ------------------------------------------------------------------
+    def heterogeneity(self, collection: AreaCollection) -> float:
+        """``H(P)`` of this partition over *collection*."""
+        return total_heterogeneity(collection, self.regions)
+
+    def region_heterogeneities(self, collection: AreaCollection) -> list[float]:
+        """Per-region heterogeneity scores."""
+        return [region_heterogeneity(collection, r) for r in self.regions]
+
+    def validate(
+        self,
+        collection: AreaCollection,
+        constraints: ConstraintSet | None = None,
+    ) -> list[str]:
+        """Return a list of violation descriptions (empty when valid).
+
+        Checks, in order: every area of the collection is covered
+        exactly once (regions + ``U_0``), every region is spatially
+        contiguous, and — when *constraints* is given — every region
+        satisfies every constraint. This is the oracle the tests use.
+        """
+        problems: list[str] = []
+        covered = self.all_areas
+        missing = set(collection.ids) - covered
+        if missing:
+            problems.append(f"areas not covered: {sorted(missing)[:10]}")
+        unknown = covered - set(collection.ids)
+        if unknown:
+            problems.append(f"unknown areas in partition: {sorted(unknown)[:10]}")
+            return problems  # later checks assume known areas only
+        for index, region in enumerate(self.regions):
+            if not collection.is_contiguous(region):
+                problems.append(f"region {index} is not contiguous")
+        if constraints is not None:
+            tracked = constraints.attributes()
+            for index, region_members in enumerate(self.regions):
+                region = Region(index, collection, tracked, region_members)
+                for violated in region.violations(constraints):
+                    problems.append(
+                        f"region {index} violates {violated} "
+                        f"(value={region.constraint_value(violated):g})"
+                    )
+        return problems
+
+    def is_valid(
+        self,
+        collection: AreaCollection,
+        constraints: ConstraintSet | None = None,
+    ) -> bool:
+        """True when :meth:`validate` reports no problems."""
+        return not self.validate(collection, constraints)
+
+    def summary(self, collection: AreaCollection | None = None) -> dict[str, object]:
+        """Solution statistics as reported to users (Section VII-B3)."""
+        info: dict[str, object] = {
+            "p": self.p,
+            "n_assigned": len(self.assigned),
+            "n_unassigned": len(self.unassigned),
+            "region_sizes_min": min(self.region_sizes(), default=0),
+            "region_sizes_max": max(self.region_sizes(), default=0),
+        }
+        if collection is not None:
+            info["heterogeneity"] = self.heterogeneity(collection)
+            info["unassigned_fraction"] = len(self.unassigned) / len(collection)
+        return info

@@ -1,0 +1,335 @@
+"""Mutable regions with incrementally maintained aggregates.
+
+A :class:`Region` (Definition III.2) is a non-empty, spatially
+contiguous set of areas. The FaCT construction and Tabu phases mutate
+regions constantly — adding, removing, swapping and merging areas — so
+a region maintains, incrementally:
+
+- one :class:`~repro.core.aggregates.AggregateState` per *tracked*
+  attribute (the attributes mentioned by the query's constraints), and
+- its internal heterogeneity contribution
+  ``sum_{a_i, a_j in R} |d_i - d_j|`` over unordered pairs.
+
+Contiguity is **not** enforced by ``add_area``/``remove_area`` — the
+solver performs moves it has already validated — but the class provides
+the validation predicates (:meth:`is_contiguous`,
+:meth:`remains_contiguous_without`) used before every move.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..exceptions import ContiguityError, InvalidAreaError
+from .aggregates import Aggregate, AggregateState
+from .area import AreaCollection
+from .constraints import Constraint, ConstraintSet
+
+__all__ = ["Region"]
+
+
+class Region:
+    """A mutable region over an :class:`AreaCollection`.
+
+    Parameters
+    ----------
+    region_id:
+        Integer label. FaCT uses ``-1`` for temporary regions that are
+        not yet committed to the region list (Algorithm 1 in the paper).
+    collection:
+        The area collection the region draws areas from.
+    tracked_attributes:
+        Attribute names whose aggregates must be maintained. Pass the
+        result of ``ConstraintSet.attributes()``; the dissimilarity
+        values are always tracked separately.
+    areas:
+        Optional initial members.
+    """
+
+    __slots__ = (
+        "region_id",
+        "_collection",
+        "_areas",
+        "_aggregates",
+        "_dissimilarities",
+        "_heterogeneity",
+        "_sorted_d",
+        "_prefix_d",
+    )
+
+    def __init__(
+        self,
+        region_id: int,
+        collection: AreaCollection,
+        tracked_attributes: Iterable[str] = (),
+        areas: Iterable[int] = (),
+    ):
+        self.region_id = region_id
+        self._collection = collection
+        self._areas: set[int] = set()
+        self._aggregates: dict[str, AggregateState] = {
+            name: AggregateState() for name in tracked_attributes
+        }
+        self._dissimilarities: dict[int, float] = {}
+        self._heterogeneity = 0.0
+        # Sorted dissimilarity values + prefix sums, rebuilt lazily:
+        # they turn heterogeneity-delta queries (the Tabu phase's inner
+        # loop) into O(log g) bisections instead of O(g) scans.
+        self._sorted_d: list[float] | None = None
+        self._prefix_d: list[float] | None = None
+        for area_id in areas:
+            self.add_area(area_id)
+
+    # ------------------------------------------------------------------
+    # collection protocol
+    # ------------------------------------------------------------------
+    @property
+    def collection(self) -> AreaCollection:
+        """The underlying area collection."""
+        return self._collection
+
+    @property
+    def area_ids(self) -> frozenset[int]:
+        """The member area identifiers (frozen snapshot)."""
+        return frozenset(self._areas)
+
+    @property
+    def size(self) -> int:
+        """Number of member areas ``g``."""
+        return len(self._areas)
+
+    def __len__(self) -> int:
+        return len(self._areas)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._areas)
+
+    def __contains__(self, area_id: int) -> bool:
+        return area_id in self._areas
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_area(self, area_id: int) -> None:
+        """Add one area, updating aggregates and heterogeneity in
+        O(g + #tracked attributes)."""
+        if area_id in self._areas:
+            raise InvalidAreaError(
+                f"area {area_id} is already in region {self.region_id}"
+            )
+        area = self._collection.area(area_id)
+        for name, state in self._aggregates.items():
+            state.add(area.attributes[name])
+        d = self._collection.dissimilarity(area_id)
+        self._heterogeneity += self._abs_deviation_sum(d)
+        self._dissimilarities[area_id] = d
+        self._areas.add(area_id)
+        self._sorted_d = None  # invalidate the delta-query cache
+
+    def remove_area(self, area_id: int) -> None:
+        """Remove one area, updating aggregates and heterogeneity."""
+        if area_id not in self._areas:
+            raise InvalidAreaError(
+                f"area {area_id} is not in region {self.region_id}"
+            )
+        area = self._collection.area(area_id)
+        for name, state in self._aggregates.items():
+            state.remove(area.attributes[name])
+        d = self._dissimilarities.pop(area_id)
+        self._heterogeneity -= self._abs_deviation_sum(d)
+        self._areas.remove(area_id)
+        self._sorted_d = None  # invalidate the delta-query cache
+        if not self._areas:
+            self._heterogeneity = 0.0  # cancel any float drift
+
+    def merge(self, other: "Region") -> None:
+        """Absorb all areas of *other* into this region.
+
+        The donor region is emptied. Raises if the two regions overlap.
+        """
+        if self._areas & other._areas:
+            raise InvalidAreaError("cannot merge overlapping regions")
+        for area_id in list(other._areas):
+            other.remove_area(area_id)
+            self.add_area(area_id)
+
+    def copy(self, region_id: int | None = None) -> "Region":
+        """Return an independent copy (used by construction restarts)."""
+        clone = Region(
+            self.region_id if region_id is None else region_id,
+            self._collection,
+            self._aggregates.keys(),
+        )
+        for area_id in self._areas:
+            clone.add_area(area_id)
+        return clone
+
+    # ------------------------------------------------------------------
+    # aggregates and constraints
+    # ------------------------------------------------------------------
+    def aggregate(self, aggregate: str, attribute: str = "") -> float:
+        """Value of ``aggregate(attribute)`` over the member areas.
+
+        ``COUNT`` ignores the attribute and returns the region size.
+        """
+        name = Aggregate.normalize(aggregate)
+        if name == Aggregate.COUNT:
+            return float(len(self._areas))
+        return self._state(attribute).value(name)
+
+    def _state(self, attribute: str) -> AggregateState:
+        try:
+            return self._aggregates[attribute]
+        except KeyError:
+            raise InvalidAreaError(
+                f"attribute {attribute!r} is not tracked by region "
+                f"{self.region_id}; tracked: {sorted(self._aggregates)}"
+            ) from None
+
+    def constraint_value(self, constraint: Constraint) -> float:
+        """The aggregate value this constraint compares against."""
+        return self.aggregate(constraint.aggregate, constraint.attribute)
+
+    def satisfies(self, constraint: Constraint) -> bool:
+        """True when this region satisfies one constraint."""
+        return constraint.contains(self.constraint_value(constraint))
+
+    def satisfies_all(self, constraints: ConstraintSet | Iterable[Constraint]) -> bool:
+        """True when this region satisfies every constraint."""
+        return all(self.satisfies(c) for c in constraints)
+
+    def violations(
+        self, constraints: ConstraintSet | Iterable[Constraint]
+    ) -> list[Constraint]:
+        """The subset of *constraints* this region violates."""
+        return [c for c in constraints if not self.satisfies(c)]
+
+    def value_after_add(self, constraint: Constraint, area_id: int) -> float:
+        """Constraint aggregate value if *area_id* were added."""
+        if constraint.aggregate == Aggregate.COUNT:
+            return float(len(self._areas) + 1)
+        added = self._collection.attribute(area_id, constraint.attribute)
+        return self._state(constraint.attribute).value_after_add(
+            constraint.aggregate, added
+        )
+
+    def value_after_remove(self, constraint: Constraint, area_id: int) -> float:
+        """Constraint aggregate value if *area_id* were removed."""
+        if constraint.aggregate == Aggregate.COUNT:
+            return float(len(self._areas) - 1)
+        removed = self._collection.attribute(area_id, constraint.attribute)
+        return self._state(constraint.attribute).value_after_remove(
+            constraint.aggregate, removed
+        )
+
+    def satisfies_after_add(
+        self, constraints: ConstraintSet | Iterable[Constraint], area_id: int
+    ) -> bool:
+        """True when adding *area_id* keeps every constraint satisfied."""
+        return all(
+            c.contains(self.value_after_add(c, area_id)) for c in constraints
+        )
+
+    def satisfies_after_remove(
+        self, constraints: ConstraintSet | Iterable[Constraint], area_id: int
+    ) -> bool:
+        """True when removing *area_id* keeps every constraint satisfied
+        (the region must stay non-empty)."""
+        if len(self._areas) <= 1:
+            return False
+        return all(
+            c.contains(self.value_after_remove(c, area_id)) for c in constraints
+        )
+
+    # ------------------------------------------------------------------
+    # contiguity
+    # ------------------------------------------------------------------
+    def is_contiguous(self) -> bool:
+        """True when the member areas form one connected component."""
+        return self._collection.is_contiguous(self._areas)
+
+    def remains_contiguous_without(self, area_id: int) -> bool:
+        """True when removing *area_id* leaves a connected, non-empty
+        region — i.e. the area is not an articulation point of the
+        region's induced subgraph (the donor-side check of Step 3 and
+        the Tabu phase)."""
+        if area_id not in self._areas:
+            raise InvalidAreaError(
+                f"area {area_id} is not in region {self.region_id}"
+            )
+        remaining = self._areas - {area_id}
+        if not remaining:
+            return False
+        return self._collection.is_contiguous(remaining)
+
+    def neighboring_areas(self) -> frozenset[int]:
+        """Area ids adjacent to the region but not inside it (its
+        spatial frontier, including areas assigned to other regions)."""
+        return self._collection.region_neighbors(self._areas)
+
+    def touches(self, area_id: int) -> bool:
+        """True when *area_id* is spatially adjacent to the region."""
+        return bool(self._collection.neighbors(area_id) & self._areas)
+
+    def touches_region(self, other: "Region") -> bool:
+        """True when the two regions share at least one boundary pair."""
+        if len(self._areas) > len(other._areas):
+            return other.touches_region(self)
+        for area_id in self._areas:
+            if self._collection.neighbors(area_id) & other._areas:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # heterogeneity
+    # ------------------------------------------------------------------
+    @property
+    def heterogeneity(self) -> float:
+        """``sum_{a_i, a_j in R} |d_i - d_j|`` over unordered pairs,
+        maintained incrementally."""
+        return self._heterogeneity
+
+    def _ensure_sorted(self) -> None:
+        """(Re)build the sorted-dissimilarity prefix-sum cache."""
+        if self._sorted_d is None:
+            self._sorted_d = sorted(self._dissimilarities.values())
+            prefix = [0.0]
+            for value in self._sorted_d:
+                prefix.append(prefix[-1] + value)
+            self._prefix_d = prefix
+
+    def _abs_deviation_sum(self, d: float) -> float:
+        """``sum_j |d - d_j|`` over the member dissimilarities in
+        O(log g) (after an amortized O(g log g) cache rebuild).
+
+        A member whose own value equals *d* contributes 0, so the same
+        query serves both "add an area with value d" and "remove the
+        member with value d"."""
+        from bisect import bisect_left
+
+        self._ensure_sorted()
+        values = self._sorted_d
+        if not values:
+            return 0.0
+        k = bisect_left(values, d)
+        below_sum = self._prefix_d[k]
+        above_sum = self._prefix_d[-1] - below_sum
+        return (d * k - below_sum) + (above_sum - d * (len(values) - k))
+
+    def heterogeneity_delta_add(self, area_id: int) -> float:
+        """Change in this region's heterogeneity if *area_id* joined."""
+        d = self._collection.dissimilarity(area_id)
+        return self._abs_deviation_sum(d)
+
+    def heterogeneity_delta_remove(self, area_id: int) -> float:
+        """Change (≤ 0) in heterogeneity if *area_id* left."""
+        if area_id not in self._areas:
+            raise InvalidAreaError(
+                f"area {area_id} is not in region {self.region_id}"
+            )
+        # The member's own 0-distance term cancels, so the full-multiset
+        # query equals the sum over the *other* members.
+        return -self._abs_deviation_sum(self._dissimilarities[area_id])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Region(id={self.region_id}, size={len(self._areas)})"

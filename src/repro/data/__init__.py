@@ -1,0 +1,44 @@
+"""Dataset substrate: schema, synthetic census generator, named
+dataset registry, GeoJSON I/O."""
+
+from .datasets import DATASETS, DEFAULT_DATASET, DatasetSpec, dataset_names, load_dataset
+from .geojson import collection_to_feature_collection, dump_geojson, load_geojson
+from .schema import (
+    ATTRIBUTE_NAMES,
+    DISSIMILARITY_ATTRIBUTE,
+    EMPLOYED,
+    HOUSEHOLDS,
+    POP16UP,
+    TOTALPOP,
+    default_avg_constraint,
+    default_constraints,
+    default_min_constraint,
+    default_sum_constraint,
+)
+from .synthetic import attach_attributes, synthetic_census
+from .table import collection_from_columns, collection_from_csv
+
+__all__ = [
+    "ATTRIBUTE_NAMES",
+    "DATASETS",
+    "DEFAULT_DATASET",
+    "DISSIMILARITY_ATTRIBUTE",
+    "DatasetSpec",
+    "EMPLOYED",
+    "HOUSEHOLDS",
+    "POP16UP",
+    "TOTALPOP",
+    "attach_attributes",
+    "collection_from_columns",
+    "collection_from_csv",
+    "collection_to_feature_collection",
+    "dataset_names",
+    "default_avg_constraint",
+    "default_constraints",
+    "default_min_constraint",
+    "default_sum_constraint",
+    "dump_geojson",
+    "load_dataset",
+    "load_geojson",
+    "synthetic_census",
+]

@@ -1,0 +1,156 @@
+"""GeoJSON I/O — run the library on real census data.
+
+The paper joins US Census Bureau shapefiles with attribute tables in
+QGIS. When the real data is available it is one `ogr2ogr` away from
+GeoJSON, so this module round-trips :class:`AreaCollection` instances
+through GeoJSON ``FeatureCollection`` documents:
+
+- :func:`load_geojson` reads polygons + properties, derives rook (or
+  queen) adjacency from the geometry, and returns a collection;
+- :func:`dump_geojson` writes a collection (with optional region labels
+  so results can be inspected in any GIS tool).
+
+Only simple ``Polygon`` geometry is supported; the exterior ring is
+used and holes are ignored (holes do not affect rook adjacency between
+tracts in practice).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..contiguity.weights import queen_adjacency, rook_adjacency
+from ..core.area import Area, AreaCollection
+from ..exceptions import DatasetError
+from ..geometry.point import Point
+from ..geometry.polygon import Polygon
+
+__all__ = ["load_geojson", "dump_geojson", "collection_to_feature_collection"]
+
+
+def load_geojson(
+    source: str | Path | Mapping,
+    attribute_names: Iterable[str],
+    dissimilarity_attribute: str,
+    contiguity: str = "rook",
+    id_property: str | None = None,
+) -> AreaCollection:
+    """Load an :class:`AreaCollection` from GeoJSON.
+
+    Parameters
+    ----------
+    source:
+        Path to a ``.geojson`` file or an already-parsed mapping.
+    attribute_names:
+        Feature properties to keep as spatially extensive attributes.
+    dissimilarity_attribute:
+        Which of them serves as ``d_i``.
+    contiguity:
+        ``"rook"`` (shared edge) or ``"queen"`` (shared vertex).
+    id_property:
+        Optional property holding integer area ids; defaults to the
+        feature's position in the collection.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    else:
+        document = source
+    if document.get("type") != "FeatureCollection":
+        raise DatasetError("expected a GeoJSON FeatureCollection")
+    features = document.get("features", [])
+    if not features:
+        raise DatasetError("FeatureCollection contains no features")
+
+    names = tuple(attribute_names)
+    if dissimilarity_attribute not in names:
+        raise DatasetError(
+            f"dissimilarity attribute {dissimilarity_attribute!r} must be "
+            "among attribute_names"
+        )
+
+    polygons: list[Polygon] = []
+    areas: list[Area] = []
+    for position, feature in enumerate(features):
+        geometry = feature.get("geometry") or {}
+        if geometry.get("type") != "Polygon":
+            raise DatasetError(
+                f"feature {position}: only Polygon geometry is supported, "
+                f"got {geometry.get('type')!r}"
+            )
+        rings = geometry.get("coordinates") or []
+        if not rings:
+            raise DatasetError(f"feature {position}: empty Polygon coordinates")
+        polygon = Polygon(Point(x, y) for x, y in rings[0])
+        properties = feature.get("properties") or {}
+        try:
+            attributes = {name: float(properties[name]) for name in names}
+        except KeyError as missing:
+            raise DatasetError(
+                f"feature {position}: missing property {missing}"
+            ) from None
+        area_id = (
+            int(properties[id_property]) if id_property else position
+        )
+        polygons.append(polygon)
+        areas.append(
+            Area(area_id=area_id, attributes=attributes, polygon=polygon)
+        )
+
+    if contiguity == "rook":
+        positional = rook_adjacency(polygons)
+    elif contiguity == "queen":
+        positional = queen_adjacency(polygons)
+    else:
+        raise DatasetError(f"unknown contiguity {contiguity!r}")
+    # Remap positional adjacency onto the (possibly custom) area ids.
+    id_of = [area.area_id for area in areas]
+    adjacency = {
+        id_of[index]: frozenset(id_of[j] for j in neighbors)
+        for index, neighbors in positional.items()
+    }
+    return AreaCollection(
+        areas, adjacency, dissimilarity_attribute=dissimilarity_attribute
+    )
+
+
+def collection_to_feature_collection(
+    collection: AreaCollection,
+    region_labels: Mapping[int, int] | None = None,
+) -> dict:
+    """Serialize a collection (plus optional region labels) to a
+    GeoJSON ``FeatureCollection`` mapping."""
+    features = []
+    for area in collection:
+        if area.polygon is None:
+            raise DatasetError(
+                f"area {area.area_id} has no polygon; cannot write GeoJSON"
+            )
+        properties = dict(area.attributes)
+        properties["area_id"] = area.area_id
+        if region_labels is not None:
+            properties["region"] = region_labels.get(area.area_id, -1)
+        ring = [[v.x, v.y] for v in area.polygon.vertices]
+        ring.append(ring[0])  # GeoJSON rings repeat the first vertex
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {"type": "Polygon", "coordinates": [ring]},
+                "properties": properties,
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def dump_geojson(
+    collection: AreaCollection,
+    path: str | Path,
+    region_labels: Mapping[int, int] | None = None,
+) -> None:
+    """Write a collection to a ``.geojson`` file (see
+    :func:`collection_to_feature_collection`)."""
+    document = collection_to_feature_collection(collection, region_labels)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)

@@ -1,0 +1,111 @@
+"""Dataset schema constants — the paper's evaluation attributes.
+
+All evaluation datasets carry the same four 2010-US-census attributes
+(Section VII-A, Table II):
+
+- ``POP16UP``   — population aged 16+, the MIN-constraint attribute;
+- ``EMPLOYED``  — employed population, the AVG-constraint attribute;
+- ``TOTALPOP``  — total population, the SUM-constraint attribute;
+- ``HOUSEHOLDS``— number of households, the dissimilarity attribute.
+
+The marginal distributions used by the synthetic generator are
+calibrated to quantiles the paper itself reports (see DESIGN.md §3):
+Table III pins three points of the POP16UP CDF, and Figure 8 plus the
+§VII-B2 narrative pin the EMPLOYED distribution (positively skewed,
+most values below 4 000, maximum 6 149, median slightly below 2 000).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.constraints import (
+    Constraint,
+    avg_constraint,
+    min_constraint,
+    sum_constraint,
+)
+
+__all__ = [
+    "POP16UP",
+    "EMPLOYED",
+    "TOTALPOP",
+    "HOUSEHOLDS",
+    "ATTRIBUTE_NAMES",
+    "DISSIMILARITY_ATTRIBUTE",
+    "AttributeSpec",
+    "ATTRIBUTE_SPECS",
+    "EMPLOYED_CAP",
+    "default_min_constraint",
+    "default_avg_constraint",
+    "default_sum_constraint",
+    "default_constraints",
+]
+
+POP16UP = "POP16UP"
+EMPLOYED = "EMPLOYED"
+TOTALPOP = "TOTALPOP"
+HOUSEHOLDS = "HOUSEHOLDS"
+
+ATTRIBUTE_NAMES = (POP16UP, EMPLOYED, TOTALPOP, HOUSEHOLDS)
+DISSIMILARITY_ATTRIBUTE = HOUSEHOLDS
+
+EMPLOYED_CAP = 6149.0
+"""Maximum EMPLOYED value observed in the paper's default dataset
+(Figure 8)."""
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Lognormal marginal for one synthetic attribute.
+
+    ``value = exp(mu + sigma * z)`` for a standard-normal score ``z``.
+    """
+
+    name: str
+    mu: float
+    sigma: float
+    cap: float = math.inf
+
+    def quantile(self, z: float) -> float:
+        """Value at the standard-normal score *z*."""
+        return min(math.exp(self.mu + self.sigma * z), self.cap)
+
+
+# Calibration (DESIGN.md §3): POP16UP from Table III's implied CDF;
+# EMPLOYED from Figure 8.
+ATTRIBUTE_SPECS = {
+    POP16UP: AttributeSpec(POP16UP, mu=8.05, sigma=0.37),
+    EMPLOYED: AttributeSpec(EMPLOYED, mu=7.55, sigma=0.45, cap=EMPLOYED_CAP),
+}
+
+POP16UP_SHARE_OF_TOTAL = 0.78
+"""POP16UP ≈ 78 % of TOTALPOP (US census tract-level ratio)."""
+
+PERSONS_PER_HOUSEHOLD = 2.7
+"""HOUSEHOLDS ≈ TOTALPOP / 2.7 (US census average household size)."""
+
+
+def default_min_constraint() -> Constraint:
+    """Table II default: ``MIN(POP16UP) ≤ 3000``."""
+    return min_constraint(POP16UP, upper=3000)
+
+
+def default_avg_constraint() -> Constraint:
+    """Table II default: ``AVG(EMPLOYED) ∈ [1500, 3500]``."""
+    return avg_constraint(EMPLOYED, 1500, 3500)
+
+
+def default_sum_constraint() -> Constraint:
+    """Table II default: ``SUM(TOTALPOP) ≥ 20000``."""
+    return sum_constraint(TOTALPOP, lower=20000)
+
+
+def default_constraints() -> tuple[Constraint, Constraint, Constraint]:
+    """All three Table II defaults (the MAS combination)."""
+    return (
+        default_min_constraint(),
+        default_avg_constraint(),
+        default_sum_constraint(),
+    )

@@ -1,0 +1,159 @@
+"""Columnar construction: build collections from tabular data.
+
+Real regionalization inputs usually arrive as a table — a CSV of
+attributes keyed by tract id plus either geometry or a neighbor list.
+This module turns columnar data (plain sequences or numpy arrays) into
+an :class:`~repro.core.area.AreaCollection` without hand-rolling Area
+objects:
+
+    collection = collection_from_columns(
+        adjacency={0: [1], 1: [0, 2], 2: [1]},
+        columns={"POP": [100, 250, 175], "JOBS": [40, 90, 66]},
+        dissimilarity="JOBS",
+    )
+
+Also provides :func:`collection_from_csv` for files with an id column
+and a neighbors column (comma/space-separated ids) — handy for census
+data whose contiguity is published as a neighbor list rather than
+geometry.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from ..core.area import Area, AreaCollection
+from ..exceptions import DatasetError
+
+__all__ = ["collection_from_columns", "collection_from_csv"]
+
+
+def collection_from_columns(
+    adjacency: Mapping[int, Iterable[int]],
+    columns: Mapping[str, Sequence[float]],
+    dissimilarity: str,
+    ids: Sequence[int] | None = None,
+    polygons: Sequence | None = None,
+) -> AreaCollection:
+    """Build a collection from columnar attribute data.
+
+    Parameters
+    ----------
+    adjacency:
+        ``area_id -> neighbor ids`` (symmetric).
+    columns:
+        ``attribute name -> values`` — all columns must share one
+        length.
+    dissimilarity:
+        Which column serves as ``d_i``.
+    ids:
+        Area identifiers, by row; defaults to ``0..n-1``.
+    polygons:
+        Optional per-row polygons.
+    """
+    if not columns:
+        raise DatasetError("collection_from_columns needs at least one column")
+    lengths = {name: len(values) for name, values in columns.items()}
+    n = next(iter(lengths.values()))
+    if any(length != n for length in lengths.values()):
+        raise DatasetError(
+            f"column lengths differ: { {k: v for k, v in lengths.items()} }"
+        )
+    if dissimilarity not in columns:
+        raise DatasetError(
+            f"dissimilarity column {dissimilarity!r} is not among "
+            f"{sorted(columns)}"
+        )
+    if ids is None:
+        ids = range(n)
+    else:
+        if len(ids) != n:
+            raise DatasetError(
+                f"ids has {len(ids)} entries for {n} attribute rows"
+            )
+    if polygons is not None and len(polygons) != n:
+        raise DatasetError(
+            f"polygons has {len(polygons)} entries for {n} attribute rows"
+        )
+
+    areas = []
+    for row, area_id in enumerate(ids):
+        areas.append(
+            Area(
+                area_id=int(area_id),
+                attributes={
+                    name: float(values[row]) for name, values in columns.items()
+                },
+                polygon=polygons[row] if polygons is not None else None,
+            )
+        )
+    return AreaCollection(
+        areas, adjacency, dissimilarity_attribute=dissimilarity
+    )
+
+
+def collection_from_csv(
+    path: str | Path,
+    attribute_names: Iterable[str],
+    dissimilarity: str,
+    id_column: str = "id",
+    neighbors_column: str = "neighbors",
+    neighbor_separator: str = " ",
+) -> AreaCollection:
+    """Build a collection from a CSV with a neighbor-list column.
+
+    The file needs *id_column*, *neighbors_column* (neighbor ids
+    joined by *neighbor_separator*; empty for isolated areas) and one
+    column per requested attribute.
+    """
+    names = tuple(attribute_names)
+    rows: list[dict] = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            rows.append(row)
+    if not rows:
+        raise DatasetError(f"{path}: CSV contains no data rows")
+
+    ids: list[int] = []
+    adjacency: dict[int, set[int]] = {}
+    columns: dict[str, list[float]] = {name: [] for name in names}
+    for line_number, row in enumerate(rows, start=2):
+        try:
+            area_id = int(row[id_column])
+        except (KeyError, ValueError):
+            raise DatasetError(
+                f"{path}:{line_number}: missing or non-integer "
+                f"{id_column!r} column"
+            ) from None
+        ids.append(area_id)
+        raw_neighbors = (row.get(neighbors_column) or "").strip()
+        adjacency[area_id] = {
+            int(token)
+            for token in raw_neighbors.split(neighbor_separator)
+            if token
+        }
+        for name in names:
+            try:
+                columns[name].append(float(row[name]))
+            except (KeyError, ValueError):
+                raise DatasetError(
+                    f"{path}:{line_number}: missing or non-numeric "
+                    f"column {name!r}"
+                ) from None
+
+    # Tolerate one-sided neighbor lists: symmetrize before validation.
+    for area_id, neighbors in list(adjacency.items()):
+        for neighbor in neighbors:
+            if neighbor not in adjacency:
+                raise DatasetError(
+                    f"{path}: area {area_id} lists unknown neighbor "
+                    f"{neighbor}"
+                )
+            adjacency[neighbor] = set(adjacency[neighbor]) | {area_id}
+
+    return collection_from_columns(
+        adjacency, columns, dissimilarity, ids=ids
+    )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class. Specific subclasses distinguish bad user input
+(:class:`InvalidConstraintError`, :class:`InvalidAreaError`,
+:class:`DatasetError`) from algorithmic outcomes
+(:class:`InfeasibleProblemError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidConstraintError(ReproError, ValueError):
+    """A user-defined constraint is malformed.
+
+    Raised, for example, when the lower bound exceeds the upper bound,
+    when both bounds are infinite (the constraint would be vacuous), or
+    when the aggregate function is unknown.
+    """
+
+
+class InvalidAreaError(ReproError, ValueError):
+    """An area definition is malformed (duplicate id, missing attribute,
+    non-finite attribute value, or asymmetric adjacency)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset could not be built or loaded (unknown registry name,
+    malformed GeoJSON, inconsistent attribute table)."""
+
+
+class InfeasibleProblemError(ReproError, RuntimeError):
+    """The feasibility phase proved that no solution exists.
+
+    Carries the :class:`repro.fact.feasibility.FeasibilityReport` that
+    documents which constraint failed and why, so users can tune either
+    the data or the query, as described in Section V-A of the paper.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class ContiguityError(ReproError, ValueError):
+    """A region operation would break (or assumes) spatial contiguity."""
+
+
+class GeometryError(ReproError, ValueError):
+    """A geometric primitive is degenerate or an operation is undefined
+    (e.g. a polygon with fewer than three vertices)."""

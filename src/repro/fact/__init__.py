@@ -1,0 +1,48 @@
+"""The FaCT algorithm — Feasibility, Construction, Tabu (Section V)."""
+
+from .adjustment import adjust_counting, dissolve_infeasible
+from .config import FaCTConfig, PickupCriterion
+from .construction import ConstructionResult, construct
+from .feasibility import FeasibilityReport, check_feasibility
+from .growing import grow_regions
+from .objectives import (
+    CompactnessObjective,
+    HeterogeneityObjective,
+    Objective,
+    WeightedObjective,
+)
+from .reporting import format_feasibility_report, format_solution_report
+from .seeding import SeedingResult, select_seeds
+from .solver import EMPSolution, FaCT, solve_emp
+from .state import SolutionState
+from .trace import SolveTrace, StepSnapshot, trace_solve
+from .tabu import TabuResult, tabu_improve
+
+__all__ = [
+    "CompactnessObjective",
+    "ConstructionResult",
+    "EMPSolution",
+    "FaCT",
+    "FaCTConfig",
+    "FeasibilityReport",
+    "HeterogeneityObjective",
+    "Objective",
+    "PickupCriterion",
+    "SeedingResult",
+    "SolutionState",
+    "SolveTrace",
+    "StepSnapshot",
+    "TabuResult",
+    "WeightedObjective",
+    "adjust_counting",
+    "check_feasibility",
+    "construct",
+    "dissolve_infeasible",
+    "format_feasibility_report",
+    "format_solution_report",
+    "grow_regions",
+    "select_seeds",
+    "solve_emp",
+    "tabu_improve",
+    "trace_solve",
+]

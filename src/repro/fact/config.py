@@ -1,0 +1,128 @@
+"""FaCT solver configuration.
+
+All tuning knobs the paper exposes (Section VII-A lists the defaults:
+random area pickup, AVG merge limit 3, tabu list length 10, tabu
+patience equal to the dataset size) plus reproducibility and safety
+knobs specific to this implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidConstraintError
+
+__all__ = ["FaCTConfig", "PickupCriterion"]
+
+
+class PickupCriterion:
+    """How Step 2 chooses among candidate neighbor regions/areas.
+
+    - ``RANDOM`` — the paper's default ("area pickup criteria are
+      random"): a uniformly random valid candidate.
+    - ``BEST`` — the candidate minimizing the heterogeneity increase,
+      trading construction time for a better starting point.
+    """
+
+    RANDOM = "random"
+    BEST = "best"
+
+    @classmethod
+    def validate(cls, value: str) -> str:
+        """Return the canonical value or raise for unknown criteria."""
+        value = str(value).lower()
+        if value not in (cls.RANDOM, cls.BEST):
+            raise InvalidConstraintError(
+                f"unknown pickup criterion {value!r}; expected "
+                f"{cls.RANDOM!r} or {cls.BEST!r}"
+            )
+        return value
+
+
+@dataclass
+class FaCTConfig:
+    """Configuration for one :class:`repro.fact.solver.FaCT` run.
+
+    Parameters
+    ----------
+    rng_seed:
+        Seed for every randomized decision (construction order
+        shuffles, random pickups). Runs are deterministic in it.
+    construction_iterations:
+        Number of independent construction passes; the pass with the
+        largest ``p`` (ties: fewest unassigned areas) wins (Section
+        V-B: "Each iteration produces a feasible partition, and we
+        maintain the partition with the highest p value").
+    merge_limit:
+        Maximum merge trials per area in Round 2 of Substep 2.2 — the
+        guard against oversized regions (paper default 3).
+    pickup:
+        Candidate-selection criterion, see :class:`PickupCriterion`.
+    enable_tabu:
+        Run the local-search phase. Disable to measure construction in
+        isolation (as the paper's runtime breakdowns do).
+    tabu_tenure:
+        Length of the tabu list (paper default 10).
+    tabu_max_no_improve:
+        Stop after this many consecutive non-improving moves; ``None``
+        means "dataset size n", the paper's default.
+    tabu_max_iterations:
+        Hard safety cap on total tabu iterations; ``None`` means
+        ``20 * n``.
+    strict_avg_feasibility:
+        Treat a global AVG outside the constraint range as a hard
+        infeasibility (Theorem 3). Off by default because EMP permits
+        unassigned areas, so a solution may still exist; the condition
+        is always reported as a warning.
+    n_jobs:
+        Construction passes to run in parallel worker processes (the
+        paper's stated future work: "further improve the algorithm
+        performance through parallelization"). ``1`` (default) keeps
+        the fully serial code path; with ``n_jobs > 1`` each pass gets
+        an independent RNG derived from ``rng_seed`` and its pass
+        index, so parallel runs are deterministic too (though their
+        random choices differ from the serial path's shared stream).
+    """
+
+    rng_seed: int = 0
+    construction_iterations: int = 3
+    merge_limit: int = 3
+    pickup: str = PickupCriterion.RANDOM
+    enable_tabu: bool = True
+    tabu_tenure: int = 10
+    tabu_max_no_improve: int | None = None
+    tabu_max_iterations: int | None = None
+    strict_avg_feasibility: bool = False
+    n_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        self.pickup = PickupCriterion.validate(self.pickup)
+        if self.construction_iterations < 1:
+            raise InvalidConstraintError("construction_iterations must be >= 1")
+        if self.merge_limit < 0:
+            raise InvalidConstraintError("merge_limit must be >= 0")
+        if self.tabu_tenure < 0:
+            raise InvalidConstraintError("tabu_tenure must be >= 0")
+        for name in ("tabu_max_no_improve", "tabu_max_iterations"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise InvalidConstraintError(f"{name} must be >= 0 or None")
+        if self.n_jobs < 1:
+            raise InvalidConstraintError("n_jobs must be >= 1")
+
+    def make_rng(self) -> random.Random:
+        """A fresh RNG seeded from :attr:`rng_seed`."""
+        return random.Random(self.rng_seed)
+
+    def resolved_tabu_patience(self, n_areas: int) -> int:
+        """The effective non-improvement patience for *n_areas*."""
+        if self.tabu_max_no_improve is not None:
+            return self.tabu_max_no_improve
+        return n_areas
+
+    def resolved_tabu_cap(self, n_areas: int) -> int:
+        """The effective hard iteration cap for *n_areas*."""
+        if self.tabu_max_iterations is not None:
+            return self.tabu_max_iterations
+        return 20 * n_areas

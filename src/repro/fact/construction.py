@@ -1,0 +1,210 @@
+"""FaCT Phase 2 — the construction phase orchestrator.
+
+Runs the feasibility phase, Step 1 (filtering/seeding), then several
+independent randomized construction passes (Steps 2 and 3 each pass)
+and keeps the best one: largest ``p``, ties broken by fewest
+unassigned areas, then by lower heterogeneity. The winning pass's live
+:class:`~repro.fact.state.SolutionState` is handed to the local-search
+phase.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.area import AreaCollection
+from ..core.constraints import ConstraintSet
+from ..core.partition import Partition
+from .adjustment import adjust_counting
+from .config import FaCTConfig
+from .feasibility import FeasibilityReport, check_feasibility
+from .growing import grow_regions
+from .seeding import SeedingResult, select_seeds
+from .state import SolutionState
+
+__all__ = ["ConstructionResult", "construct"]
+
+
+@dataclass
+class ConstructionResult:
+    """Outcome of the construction phase.
+
+    Attributes
+    ----------
+    state:
+        The winning pass's live solution state (consumed by Tabu).
+    partition:
+        Frozen snapshot of that state.
+    feasibility:
+        The Phase-1 report (invalid areas, warnings).
+    seeding:
+        The Step-1 seed classification.
+    iterations:
+        Number of construction passes executed.
+    pass_scores:
+        ``(p, n_unassigned)`` per pass, for diagnostics/ablations.
+    elapsed_seconds:
+        Wall-clock construction time (feasibility included).
+    """
+
+    state: SolutionState
+    partition: Partition
+    feasibility: FeasibilityReport
+    seeding: SeedingResult
+    iterations: int
+    pass_scores: list[tuple[int, int]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def p(self) -> int:
+        """Number of regions in the constructed partition."""
+        return self.partition.p
+
+
+def construct(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    config: FaCTConfig | None = None,
+    feasibility: FeasibilityReport | None = None,
+) -> ConstructionResult:
+    """Build a feasible initial partition maximizing ``p``.
+
+    Raises :class:`repro.exceptions.InfeasibleProblemError` when the
+    feasibility phase proves no solution exists.
+    """
+    config = config or FaCTConfig()
+    started = time.perf_counter()
+    if feasibility is None:
+        feasibility = check_feasibility(collection, constraints, config)
+    feasibility.raise_if_infeasible()
+    seeding = select_seeds(collection, constraints, feasibility)
+
+    if config.n_jobs > 1:
+        best_state, pass_scores = _run_passes_parallel(
+            collection, constraints, config, feasibility, seeding
+        )
+    else:
+        best_state, pass_scores = _run_passes_serial(
+            collection, constraints, config, feasibility, seeding
+        )
+
+    assert best_state is not None  # construction_iterations >= 1
+    return ConstructionResult(
+        state=best_state,
+        partition=best_state.to_partition(),
+        feasibility=feasibility,
+        seeding=seeding,
+        iterations=config.construction_iterations,
+        pass_scores=pass_scores,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_passes_serial(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    config: FaCTConfig,
+    feasibility: FeasibilityReport,
+    seeding: SeedingResult,
+) -> tuple[SolutionState, list[tuple[int, int]]]:
+    """The default path: passes share one RNG stream sequentially."""
+    rng = config.make_rng()
+    best_state: SolutionState | None = None
+    best_key: tuple | None = None
+    pass_scores: list[tuple[int, int]] = []
+    for _ in range(config.construction_iterations):
+        state = SolutionState(
+            collection, constraints, excluded=feasibility.invalid_areas
+        )
+        grow_regions(state, seeding, config, rng)
+        adjust_counting(state, config, rng)
+        pass_scores.append((state.p, state.n_unassigned))
+        # maximize p, then minimize unassigned, then minimize H
+        key = (-state.p, state.n_unassigned, state.total_heterogeneity())
+        if best_key is None or key < best_key:
+            best_key = key
+            best_state = state
+    return best_state, pass_scores
+
+
+def _construction_pass_worker(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    config: FaCTConfig,
+    excluded: frozenset[int],
+    seeding: SeedingResult,
+    pass_seed: int,
+) -> tuple[tuple, dict[int, int], tuple[int, int]]:
+    """One construction pass in a worker process.
+
+    Returns the comparison key, the area -> region-label mapping and
+    the (p, unassigned) score; regions travel back as labels because
+    live :class:`SolutionState` objects are cheaper to rebuild than to
+    pickle.
+    """
+    import random
+
+    state = SolutionState(collection, constraints, excluded=excluded)
+    rng = random.Random(pass_seed)
+    grow_regions(state, seeding, config, rng)
+    adjust_counting(state, config, rng)
+    labels = {
+        area_id: region_id
+        for area_id, region_id in state.assignment.items()
+        if region_id is not None
+    }
+    key = (-state.p, state.n_unassigned, state.total_heterogeneity())
+    return key, labels, (state.p, state.n_unassigned)
+
+
+def _run_passes_parallel(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    config: FaCTConfig,
+    feasibility: FeasibilityReport,
+    seeding: SeedingResult,
+) -> tuple[SolutionState, list[tuple[int, int]]]:
+    """Fan construction passes out over worker processes.
+
+    Each pass gets the deterministic seed ``hash((rng_seed, index))``;
+    the best pass's labels are replayed into a fresh state in the
+    parent (the Tabu phase needs a live state).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    pass_seeds = [
+        (config.rng_seed * 1_000_003 + index)
+        for index in range(config.construction_iterations)
+    ]
+    workers = min(config.n_jobs, config.construction_iterations)
+    results = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _construction_pass_worker,
+                collection,
+                constraints,
+                config,
+                feasibility.invalid_areas,
+                seeding,
+                pass_seed,
+            )
+            for pass_seed in pass_seeds
+        ]
+        for future in futures:
+            results.append(future.result())
+
+    pass_scores = [score for _key, _labels, score in results]
+    best_key, best_labels, _score = min(results, key=lambda item: item[0])
+
+    # Replay the winning labels into a live state for the Tabu phase.
+    state = SolutionState(
+        collection, constraints, excluded=feasibility.invalid_areas
+    )
+    groups: dict[int, list[int]] = {}
+    for area_id, label in best_labels.items():
+        groups.setdefault(label, []).append(area_id)
+    for members in groups.values():
+        state.new_region(members)
+    return state, pass_scores

@@ -1,0 +1,232 @@
+"""FaCT Phase 1 — the feasibility phase (Section V-A).
+
+One pass over the area set computes, per constraint, the aggregate
+bounds that decide whether *any* feasible solution exists and which
+individual areas can never belong to a valid region:
+
+- **AVG** (Theorems 2/3): if the global average of the attribute falls
+  outside ``[l, u]`` there is no partition of *all* areas into valid
+  regions. Because EMP permits unassigned areas this is reported as a
+  warning by default and only escalates to a hard infeasibility under
+  ``FaCTConfig(strict_avg_feasibility=True)``.
+- **MIN**: no feasible solution when every area lies below ``l``
+  (``MAX(s) < l``) or above ``u`` (``MIN(s) > u``); areas with
+  ``s < l`` are invalid and filtered out.
+- **MAX**: symmetric — no solution when ``MIN(s) > u`` or
+  ``MAX(s) < l``; areas with ``s > u`` are invalid.
+- **SUM**: no solution when ``MIN(s) > u`` (every region's sum would
+  exceed the bound) or ``SUM(s) < l`` (even the one-region partition
+  falls short); areas with ``s > u`` are invalid.
+- **COUNT**: no solution when ``n < l`` or ``u < 1``.
+
+The same pass marks seed areas for Step 1 (the paper piggy-backs seed
+selection on the filtration scan); :mod:`repro.fact.seeding` consumes
+the report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.aggregates import Aggregate
+from ..core.area import AreaCollection
+from ..core.constraints import Constraint, ConstraintSet
+from ..exceptions import InfeasibleProblemError
+from .config import FaCTConfig
+
+__all__ = ["FeasibilityReport", "check_feasibility"]
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of the feasibility phase.
+
+    Attributes
+    ----------
+    feasible:
+        False when a hard infeasibility was proven.
+    reasons:
+        Human-readable explanations of each hard infeasibility.
+    warnings:
+        Soft signals (e.g. the global-AVG condition of Theorem 3 when
+        ``strict_avg_feasibility`` is off, or heavy filtration).
+    invalid_areas:
+        Areas that can never be part of a valid region; the solver
+        moves them to ``U_0`` before construction.
+    seed_areas:
+        Areas satisfying both bounds of at least one extrema
+        constraint (every area when there are none).
+    global_aggregates:
+        ``(aggregate, attribute) -> value`` over all areas, for user
+        inspection and query tuning.
+    """
+
+    feasible: bool
+    reasons: tuple[str, ...] = ()
+    warnings: tuple[str, ...] = ()
+    invalid_areas: frozenset[int] = frozenset()
+    seed_areas: frozenset[int] = frozenset()
+    global_aggregates: dict = field(default_factory=dict)
+
+    def raise_if_infeasible(self) -> None:
+        """Raise :class:`InfeasibleProblemError` when not feasible."""
+        if not self.feasible:
+            raise InfeasibleProblemError(
+                "; ".join(self.reasons) or "problem is infeasible", report=self
+            )
+
+    @property
+    def n_invalid(self) -> int:
+        """Number of filtered-out areas."""
+        return len(self.invalid_areas)
+
+    def summary(self) -> dict[str, object]:
+        """Compact dict for logging / user feedback."""
+        return {
+            "feasible": self.feasible,
+            "n_invalid_areas": self.n_invalid,
+            "n_seed_areas": len(self.seed_areas),
+            "reasons": list(self.reasons),
+            "warnings": list(self.warnings),
+        }
+
+
+def check_feasibility(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    config: FaCTConfig | None = None,
+) -> FeasibilityReport:
+    """Run the feasibility phase over *collection* and *constraints*.
+
+    Single pass over the areas (``O(m × n)``, Remark 1): computes the
+    global aggregates every check needs, classifies invalid areas and
+    marks seed areas.
+    """
+    config = config or FaCTConfig()
+    reasons: list[str] = []
+    warnings: list[str] = []
+
+    # --- one pass: global aggregates per referenced attribute ---------
+    stats: dict[str, dict[str, float]] = {}
+    n = len(collection)
+    unknown = constraints.attributes() - collection.attribute_names
+    if unknown:
+        from ..exceptions import InvalidAreaError
+
+        raise InvalidAreaError(
+            f"constraints reference unknown attribute(s) "
+            f"{sorted(unknown)}; dataset has "
+            f"{sorted(collection.attribute_names)}"
+        )
+    for attribute in constraints.attributes():
+        minimum = math.inf
+        maximum = -math.inf
+        total = 0.0
+        for area in collection:
+            value = area.attributes[attribute]
+            minimum = min(minimum, value)
+            maximum = max(maximum, value)
+            total += value
+        stats[attribute] = {
+            "min": minimum,
+            "max": maximum,
+            "sum": total,
+            "avg": total / n,
+        }
+
+    global_aggregates: dict = {}
+    for attribute, values in stats.items():
+        for aggregate_name, value in values.items():
+            global_aggregates[(aggregate_name.upper(), attribute)] = value
+    global_aggregates[(Aggregate.COUNT, "")] = float(n)
+
+    # --- per-constraint hard checks ------------------------------------
+    for c in constraints.mins:
+        s = stats[c.attribute]
+        if s["max"] < c.lower:
+            reasons.append(
+                f"{c}: every area's {c.attribute} is below the lower bound "
+                f"(global max {s['max']:g} < {c.lower:g}); no valid seed exists"
+            )
+        if s["min"] > c.upper:
+            reasons.append(
+                f"{c}: every area's {c.attribute} exceeds the upper bound "
+                f"(global min {s['min']:g} > {c.upper:g}); no valid seed exists"
+            )
+    for c in constraints.maxes:
+        s = stats[c.attribute]
+        if s["min"] > c.upper:
+            reasons.append(
+                f"{c}: every area's {c.attribute} exceeds the upper bound "
+                f"(global min {s['min']:g} > {c.upper:g})"
+            )
+        if s["max"] < c.lower:
+            reasons.append(
+                f"{c}: every area's {c.attribute} is below the lower bound "
+                f"(global max {s['max']:g} < {c.lower:g}); no valid seed exists"
+            )
+    for c in constraints.sums:
+        s = stats[c.attribute]
+        if s["min"] > c.upper:
+            reasons.append(
+                f"{c}: the smallest single area already exceeds the upper "
+                f"bound (global min {s['min']:g} > {c.upper:g})"
+            )
+        if s["sum"] < c.lower:
+            reasons.append(
+                f"{c}: even one region of all areas falls short of the lower "
+                f"bound (global sum {s['sum']:g} < {c.lower:g})"
+            )
+    for c in constraints.counts:
+        if n < c.lower:
+            reasons.append(
+                f"{c}: the dataset has only {n} areas, below the lower bound"
+            )
+        if c.upper < 1:
+            reasons.append(f"{c}: the upper bound forbids non-empty regions")
+    for c in constraints.avgs:
+        average = stats[c.attribute]["avg"]
+        if not c.contains(average):
+            message = (
+                f"{c}: the global average {average:g} lies outside the range; "
+                "by Theorem 3 no partition of ALL areas exists — a solution "
+                "must leave areas unassigned"
+            )
+            if config.strict_avg_feasibility:
+                reasons.append(message)
+            else:
+                warnings.append(message)
+
+    # --- invalid-area filtration and seed marking -----------------------
+    invalid: set[int] = set()
+    seeds: set[int] = set()
+    extrema = constraints.extrema
+    for area in collection:
+        if constraints.area_is_invalid(area.attributes):
+            invalid.add(area.area_id)
+            continue
+        if not extrema or constraints.area_is_seed(area.attributes):
+            seeds.add(area.area_id)
+
+    if len(invalid) == n:
+        reasons.append("every area is invalid under the given constraints")
+    elif extrema and not seeds:
+        reasons.append(
+            "no area satisfies the bounds of any MIN/MAX constraint; "
+            "no region can contain the required seed areas"
+        )
+    if invalid and len(invalid) < n:
+        warnings.append(
+            f"{len(invalid)} of {n} areas are invalid and will be moved "
+            "to U_0 before construction"
+        )
+
+    return FeasibilityReport(
+        feasible=not reasons,
+        reasons=tuple(reasons),
+        warnings=tuple(warnings),
+        invalid_areas=frozenset(invalid),
+        seed_areas=frozenset(seeds),
+        global_aggregates=global_aggregates,
+    )

@@ -1,0 +1,333 @@
+"""FaCT Step 2 — Region Growing (Section V-B, Algorithm 1).
+
+Grows regions that satisfy the AVG (centrality) constraints without
+violating the extrema constraints, in three substeps:
+
+- **Substep 2.1** — seed areas whose value lies inside the AVG range
+  become singleton regions (maximizing the region count); seed areas
+  below/above the range are grown into valid regions by repeatedly
+  absorbing unassigned neighbors from the *opposite* extreme, which
+  pulls the running average toward the range (Algorithm 1). A seed
+  that cannot reach the range reverts to unassigned.
+- **Substep 2.2** — remaining unassigned areas are assigned in two
+  rounds. Round 1 adds areas to adjacent regions whenever the region
+  stays valid, repeating passes until a fixpoint ("the enclave
+  assignment process continues for multiple iterations until no
+  further update can be made"). Round 2 handles stubborn areas by
+  merging an adjacent region with one of *its* neighbor regions so the
+  combined region can absorb the area; the number of merge trials per
+  area is capped by ``FaCTConfig.merge_limit`` to prevent oversized
+  regions.
+- **Substep 2.3** — regions grown from a single extrema constraint's
+  seed may not satisfy the *other* extrema constraints, so deficient
+  regions are merged with adjacent regions until every region
+  satisfies all MIN/MAX constraints. (Merging cannot break AVG: the
+  average of a union lies between the two averages. Merging cannot
+  break extrema either: invalid areas were filtered, so a union
+  satisfies an extrema constraint iff either part does.)
+
+With no AVG constraint, every seed becomes a singleton region and
+Round 1 sweeps all remaining areas into adjacent regions (Section
+V-D).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.constraints import Constraint, ConstraintSet
+from ..core.region import Region
+from .config import FaCTConfig, PickupCriterion
+from .seeding import SeedingResult
+from .state import SolutionState
+
+__all__ = ["grow_regions"]
+
+_CLASS_AVG = "avg"
+_CLASS_LOW = "low"
+_CLASS_HIGH = "high"
+
+
+def grow_regions(
+    state: SolutionState,
+    seeding: SeedingResult,
+    config: FaCTConfig,
+    rng: random.Random,
+) -> None:
+    """Run Step 2 over *state* (all areas initially unassigned)."""
+    avgs = state.constraints.avgs
+    _initialize_from_seeds(state, seeding, avgs, config, rng)
+    _assign_enclaves(state, avgs, config, rng)
+    _combine_for_extrema(state)
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+
+def _classify_area(
+    state: SolutionState, area_id: int, avgs: Sequence[Constraint]
+) -> str:
+    """Classify one area against the AVG constraints.
+
+    ``avg``: inside every AVG range (safe to add anywhere); ``low``/
+    ``high``: outside the first violated constraint's range, on the
+    named side. With no AVG constraints every area is ``avg``.
+    """
+    attributes = state.collection.area(area_id).attributes
+    for c in avgs:
+        value = attributes[c.attribute]
+        if value < c.lower:
+            return _CLASS_LOW
+        if value > c.upper:
+            return _CLASS_HIGH
+    return _CLASS_AVG
+
+
+def _pick(
+    candidates: list, config: FaCTConfig, rng: random.Random, key=None
+):
+    """Choose one candidate per the configured pickup criterion."""
+    if len(candidates) == 1:
+        return candidates[0]
+    if config.pickup == PickupCriterion.RANDOM or key is None:
+        return rng.choice(candidates)
+    return min(candidates, key=key)
+
+
+# ----------------------------------------------------------------------
+# Substep 2.1 — region initialization from seeds
+# ----------------------------------------------------------------------
+
+def _initialize_from_seeds(
+    state: SolutionState,
+    seeding: SeedingResult,
+    avgs: Sequence[Constraint],
+    config: FaCTConfig,
+    rng: random.Random,
+) -> None:
+    seeds = [a for a in seeding.seeds if state.is_unassigned(a)]
+    rng.shuffle(seeds)
+    off_range: list[int] = []
+    for area_id in seeds:
+        if _classify_area(state, area_id, avgs) == _CLASS_AVG:
+            # In-range seeds each become their own region, maximizing p.
+            state.new_region([area_id])
+        else:
+            off_range.append(area_id)
+    _merge_off_range_seeds(state, off_range, avgs, config, rng)
+
+
+def _merge_off_range_seeds(
+    state: SolutionState,
+    off_range: list[int],
+    avgs: Sequence[Constraint],
+    config: FaCTConfig,
+    rng: random.Random,
+) -> None:
+    """Algorithm 1 — grow each off-range seed into a valid region by
+    absorbing unassigned opposite-extreme neighbors."""
+    for seed_id in off_range:
+        if not state.is_unassigned(seed_id):
+            continue
+        region = state.new_region([seed_id])
+        while True:
+            violated = _first_violated_avg(region, avgs)
+            if violated is None:
+                break  # region satisfies every AVG constraint — commit
+            candidates = _opposite_extreme_neighbors(state, region, violated)
+            if not candidates:
+                state.dissolve_region(region)
+                break
+            choice = _pick(
+                candidates,
+                config,
+                rng,
+                key=lambda a: region.heterogeneity_delta_add(a),
+            )
+            state.assign(choice, region)
+
+
+def _first_violated_avg(
+    region: Region, avgs: Sequence[Constraint]
+) -> Constraint | None:
+    for c in avgs:
+        if not region.satisfies(c):
+            return c
+    return None
+
+
+def _opposite_extreme_neighbors(
+    state: SolutionState, region: Region, violated: Constraint
+) -> list[int]:
+    """Unassigned neighbors whose value lies beyond the *opposite*
+    bound of the violated AVG constraint (Algorithm 1, line 18)."""
+    running_average = region.constraint_value(violated)
+    below = running_average < violated.lower
+    result = []
+    for area_id in region.neighboring_areas():
+        if not state.is_unassigned(area_id):
+            continue
+        value = state.collection.attribute(area_id, violated.attribute)
+        if below and value > violated.upper:
+            result.append(area_id)
+        elif not below and value < violated.lower:
+            result.append(area_id)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Substep 2.2 — enclave assignment (two rounds, to a fixpoint)
+# ----------------------------------------------------------------------
+
+def _assign_enclaves(
+    state: SolutionState,
+    avgs: Sequence[Constraint],
+    config: FaCTConfig,
+    rng: random.Random,
+) -> None:
+    while True:
+        _assignment_round(state, avgs, config, rng)
+        if not avgs:
+            return  # round 2 exists only to rescue AVG-blocked areas
+        if not _merging_round(state, avgs, config, rng):
+            return
+
+
+def _assignment_round(
+    state: SolutionState,
+    avgs: Sequence[Constraint],
+    config: FaCTConfig,
+    rng: random.Random,
+) -> None:
+    """Round 1: sweep unassigned areas into adjacent regions until no
+    pass makes an update."""
+    changed = True
+    while changed:
+        changed = False
+        pending = list(state.unassigned)
+        rng.shuffle(pending)
+        for area_id in pending:
+            if not state.is_unassigned(area_id):
+                continue
+            neighbor_regions = state.neighbor_regions(area_id)
+            if not neighbor_regions:
+                continue
+            if _classify_area(state, area_id, avgs) == _CLASS_AVG:
+                candidates = neighbor_regions
+            else:
+                candidates = [
+                    region
+                    for region in neighbor_regions
+                    if region.satisfies_after_add(avgs, area_id)
+                ]
+            if not candidates:
+                continue
+            target = _pick(
+                candidates,
+                config,
+                rng,
+                key=lambda r: r.heterogeneity_delta_add(area_id),
+            )
+            state.assign(area_id, target)
+            changed = True
+
+
+def _merging_round(
+    state: SolutionState,
+    avgs: Sequence[Constraint],
+    config: FaCTConfig,
+    rng: random.Random,
+) -> bool:
+    """Round 2: rescue remaining areas by merging adjacent regions.
+
+    For an unassigned area ``a`` and an adjacent region ``R``, try
+    merging ``R`` with one of R's neighbor regions so the union (plus
+    ``a``) satisfies the AVG constraints. Each tested merge counts one
+    trial against ``config.merge_limit``. Returns True when anything
+    was assigned (the caller then re-runs Round 1, since a new
+    assignment can unlock further ones).
+    """
+    changed = False
+    pending = list(state.unassigned)
+    rng.shuffle(pending)
+    for area_id in pending:
+        if not state.is_unassigned(area_id):
+            continue
+        trials = 0
+        placed = False
+        for region in state.neighbor_regions(area_id):
+            if placed or trials >= config.merge_limit:
+                break
+            for other in state.adjacent_regions(region):
+                if trials >= config.merge_limit:
+                    break
+                trials += 1
+                if _union_with_area_satisfies(region, other, area_id, avgs):
+                    merged = state.merge_regions(region, other)
+                    state.assign(area_id, merged)
+                    changed = True
+                    placed = True
+                    break
+    return changed
+
+
+def _union_with_area_satisfies(
+    region: Region,
+    other: Region,
+    area_id: int,
+    avgs: Sequence[Constraint],
+) -> bool:
+    """Would ``region ∪ other ∪ {area}`` satisfy every AVG constraint?
+
+    Computed arithmetically from the two regions' maintained sums, so
+    the trial costs O(#AVG constraints) and no region is mutated.
+    """
+    collection = region.collection
+    combined_count = len(region) + len(other) + 1
+    for c in avgs:
+        attribute = c.attribute
+        combined_sum = (
+            region.aggregate("SUM", attribute)
+            + other.aggregate("SUM", attribute)
+            + collection.attribute(area_id, attribute)
+        )
+        if not c.contains(combined_sum / combined_count):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Substep 2.3 — combine regions to satisfy all extrema constraints
+# ----------------------------------------------------------------------
+
+def _combine_for_extrema(state: SolutionState) -> None:
+    """Merge regions until every region satisfies all MIN/MAX
+    constraints, where possible.
+
+    A union satisfies an extrema constraint iff either part does (all
+    invalid areas were filtered out beforehand), so a deficient region
+    merges with any adjacent region that covers its missing
+    constraints — including another deficient region covering the
+    complementary subset. Regions that cannot be repaired are left for
+    the finalization pass to dissolve.
+    """
+    extrema = state.constraints.extrema
+    if not extrema:
+        return
+    changed = True
+    while changed:
+        changed = False
+        for region_id in list(state.regions):
+            region = state.regions.get(region_id)
+            if region is None:
+                continue  # absorbed by an earlier merge this sweep
+            missing = [c for c in extrema if not region.satisfies(c)]
+            if not missing:
+                continue
+            for other in state.adjacent_regions(region):
+                if all(other.satisfies(c) for c in missing):
+                    state.merge_regions(region, other)
+                    changed = True
+                    break

@@ -1,0 +1,74 @@
+"""Human-readable reports for FaCT runs.
+
+The paper stresses that "FaCT algorithm reports output statistics to
+users so they are equipped with information about the impact of
+different threshold ranges on the given dataset" (Section VII-B3).
+This module renders those statistics as plain-text reports suitable
+for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from ..core.area import AreaCollection
+from .feasibility import FeasibilityReport
+from .solver import EMPSolution
+
+__all__ = ["format_feasibility_report", "format_solution_report"]
+
+
+def format_feasibility_report(report: FeasibilityReport) -> str:
+    """Render a Phase-1 report as a multi-line string."""
+    lines = ["FaCT feasibility report"]
+    lines.append(f"  feasible: {'yes' if report.feasible else 'NO'}")
+    for reason in report.reasons:
+        lines.append(f"  infeasible because: {reason}")
+    for warning in report.warnings:
+        lines.append(f"  warning: {warning}")
+    lines.append(f"  invalid areas filtered: {report.n_invalid}")
+    lines.append(f"  seed areas marked: {len(report.seed_areas)}")
+    if report.global_aggregates:
+        lines.append("  global aggregates:")
+        for (aggregate, attribute), value in sorted(
+            report.global_aggregates.items()
+        ):
+            label = f"{aggregate}({attribute})" if attribute else aggregate
+            lines.append(f"    {label} = {value:g}")
+    return "\n".join(lines)
+
+
+def format_solution_report(
+    solution: EMPSolution, collection: AreaCollection | None = None
+) -> str:
+    """Render a full solution report as a multi-line string."""
+    lines = ["FaCT solution report"]
+    lines.append(f"  regions (p): {solution.p}")
+    lines.append(f"  unassigned areas (|U0|): {solution.n_unassigned}")
+    if collection is not None:
+        fraction = solution.n_unassigned / len(collection)
+        lines.append(f"  unassigned fraction: {fraction:.1%}")
+    lines.append(
+        "  heterogeneity: "
+        f"{solution.heterogeneity_before:,.1f} -> {solution.heterogeneity:,.1f} "
+        f"({solution.improvement:.1%} improvement)"
+    )
+    lines.append(
+        f"  construction time: {solution.construction_seconds:.3f}s over "
+        f"{solution.construction.iterations} pass(es)"
+    )
+    if solution.tabu is not None:
+        lines.append(
+            f"  tabu time: {solution.tabu_seconds:.3f}s "
+            f"({solution.tabu.iterations} iterations, "
+            f"{solution.tabu.moves_applied} moves)"
+        )
+    else:
+        lines.append("  tabu: disabled")
+    sizes = solution.partition.region_sizes()
+    if sizes:
+        lines.append(
+            f"  region sizes: min {min(sizes)}, max {max(sizes)}, "
+            f"mean {sum(sizes) / len(sizes):.1f}"
+        )
+    for warning in solution.feasibility.warnings:
+        lines.append(f"  warning: {warning}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""FaCT Step 1 — Filtering and Seeding (Section V-B).
+
+The extrema constraints (MIN/MAX) play two roles:
+
+- **filtering**: areas violating a MIN lower bound / MAX upper bound
+  can never belong to a valid region (handled by the feasibility
+  phase's filtration pass);
+- **seeding**: an area whose value lies within both bounds of *one*
+  MIN or MAX constraint is a *seed area*. Every valid region must
+  contain at least one seed per extrema constraint, so the number of
+  seed areas upper-bounds ``p`` and seeds are the natural starting
+  points for region growing.
+
+Because all invalid areas are already filtered, a region satisfies a
+MIN constraint ``l ≤ MIN(s) ≤ u`` exactly when it contains at least
+one seed of that constraint (all remaining values are ≥ l, so only the
+``MIN ≤ u`` side binds, and the minimum is ≤ u iff some member is).
+The symmetric argument holds for MAX. Step 2.3 therefore validates
+regions directly on their aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.area import AreaCollection
+from ..core.constraints import Constraint, ConstraintSet
+from .feasibility import FeasibilityReport
+
+__all__ = ["SeedingResult", "select_seeds"]
+
+
+@dataclass(frozen=True)
+class SeedingResult:
+    """Outcome of Step 1.
+
+    Attributes
+    ----------
+    valid_areas:
+        Areas that survived filtration (construction's working set).
+    seeds:
+        Union of all seed areas (subset of ``valid_areas``).
+    seeds_by_constraint:
+        ``constraint -> frozenset of its seed areas``, one entry per
+        extrema constraint. Empty when there are none (then *every*
+        valid area is a seed, per Section V-D).
+    """
+
+    valid_areas: frozenset[int]
+    seeds: frozenset[int]
+    seeds_by_constraint: dict[Constraint, frozenset[int]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def p_upper_bound(self) -> int:
+        """The seed-count upper bound on the number of regions.
+
+        Every region needs at least one seed per extrema constraint;
+        with any extrema constraint present, ``p <= |seeds|``.
+        """
+        return len(self.seeds)
+
+    def is_seed(self, area_id: int) -> bool:
+        """True when the area is a seed for some extrema constraint."""
+        return area_id in self.seeds
+
+
+def select_seeds(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    report: FeasibilityReport,
+) -> SeedingResult:
+    """Classify the surviving areas into seeds and regular areas.
+
+    *report* must come from
+    :func:`repro.fact.feasibility.check_feasibility` on the same inputs
+    (the filtration already happened there; this step only organizes
+    the seed sets per constraint).
+    """
+    valid = frozenset(set(collection.ids) - report.invalid_areas)
+    extrema = constraints.extrema
+    if not extrema:
+        return SeedingResult(valid_areas=valid, seeds=valid)
+
+    seeds_by_constraint: dict[Constraint, set[int]] = {c: set() for c in extrema}
+    all_seeds: set[int] = set()
+    for area_id in valid:
+        attributes = collection.area(area_id).attributes
+        for c in extrema:
+            if constraints.seed_satisfied(c, attributes):
+                seeds_by_constraint[c].add(area_id)
+                all_seeds.add(area_id)
+    return SeedingResult(
+        valid_areas=valid,
+        seeds=frozenset(all_seeds),
+        seeds_by_constraint={
+            c: frozenset(ids) for c, ids in seeds_by_constraint.items()
+        },
+    )

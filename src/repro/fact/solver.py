@@ -1,0 +1,202 @@
+"""The FaCT solver facade — the library's main entry point.
+
+Typical usage::
+
+    from repro import FaCT, FaCTConfig, ConstraintSet
+    from repro.core import min_constraint, avg_constraint, sum_constraint
+    from repro.data import load_dataset
+
+    collection = load_dataset("2k")
+    constraints = ConstraintSet([
+        min_constraint("POP16UP", upper=3000),
+        avg_constraint("EMPLOYED", 1500, 3500),
+        sum_constraint("TOTALPOP", lower=20000),
+    ])
+    solution = FaCT(FaCTConfig(rng_seed=7)).solve(collection, constraints)
+    print(solution.p, solution.heterogeneity, solution.improvement)
+
+The solver runs the three phases in order — feasibility, construction,
+Tabu local search — and returns an :class:`EMPSolution` carrying the
+final partition plus the per-phase statistics the paper reports
+(construction time, tabu time, ``p``, unassigned count, heterogeneity
+improvement).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.area import AreaCollection
+from ..core.constraints import Constraint, ConstraintSet
+from ..core.partition import Partition
+from .config import FaCTConfig
+from .construction import ConstructionResult, construct
+from .feasibility import FeasibilityReport, check_feasibility
+from .tabu import TabuResult, tabu_improve
+
+__all__ = ["EMPSolution", "FaCT", "solve_emp"]
+
+
+@dataclass(frozen=True)
+class EMPSolution:
+    """Result of one FaCT run.
+
+    Attributes
+    ----------
+    partition:
+        The final regions and ``U_0``.
+    feasibility:
+        The Phase-1 report.
+    construction:
+        Phase-2 diagnostics (pass scores, timing).
+    tabu:
+        Phase-3 diagnostics, or ``None`` when the local search was
+        disabled.
+    """
+
+    partition: Partition
+    feasibility: FeasibilityReport
+    construction: ConstructionResult
+    tabu: TabuResult | None = None
+
+    # -- the paper's three performance measures (Section VII-A) --------
+    @property
+    def p(self) -> int:
+        """Answer-set size: the number of regions."""
+        return self.partition.p
+
+    @property
+    def n_unassigned(self) -> int:
+        """Size of ``U_0`` (invalid + unassignable areas)."""
+        return len(self.partition.unassigned)
+
+    @property
+    def construction_seconds(self) -> float:
+        """Wall-clock time of feasibility + construction."""
+        return self.construction.elapsed_seconds
+
+    @property
+    def tabu_seconds(self) -> float:
+        """Wall-clock time of the local search (0 when disabled)."""
+        return self.tabu.elapsed_seconds if self.tabu else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total solver wall-clock time."""
+        return self.construction_seconds + self.tabu_seconds
+
+    @property
+    def heterogeneity_before(self) -> float:
+        """``H(P)`` after construction, before local search."""
+        if self.tabu:
+            return self.tabu.heterogeneity_before
+        return self.construction.state.total_heterogeneity()
+
+    @property
+    def heterogeneity(self) -> float:
+        """``H(P)`` of the final partition."""
+        if self.tabu:
+            return self.tabu.heterogeneity_after
+        return self.heterogeneity_before
+
+    @property
+    def improvement(self) -> float:
+        """Relative heterogeneity improvement from the local search."""
+        return self.tabu.improvement if self.tabu else 0.0
+
+    def summary(self) -> dict[str, object]:
+        """The output statistics FaCT reports to users (Section
+        VII-B3), as a plain dict."""
+        return {
+            "p": self.p,
+            "n_unassigned": self.n_unassigned,
+            "heterogeneity_before": round(self.heterogeneity_before, 3),
+            "heterogeneity_after": round(self.heterogeneity, 3),
+            "improvement": round(self.improvement, 4),
+            "construction_seconds": round(self.construction_seconds, 4),
+            "tabu_seconds": round(self.tabu_seconds, 4),
+            "n_invalid_areas": self.feasibility.n_invalid,
+            "warnings": list(self.feasibility.warnings),
+        }
+
+
+class FaCT:
+    """The three-phase FaCT solver (Feasibility, Construction, Tabu).
+
+    Stateless apart from its :class:`FaCTConfig`; one instance can
+    solve many problems.
+
+    Parameters
+    ----------
+    config:
+        Solver knobs (seeds, merge limit, Tabu settings).
+    objective:
+        Optional :class:`repro.fact.objectives.Objective` for the
+        local-search phase — e.g. ``CompactnessObjective()`` or a
+        ``WeightedObjective`` balancing several criteria. Defaults to
+        the paper's heterogeneity ``H(P)``.
+    """
+
+    def __init__(self, config: FaCTConfig | None = None, objective=None):
+        self.config = config or FaCTConfig()
+        self.objective = objective
+
+    def check(
+        self, collection: AreaCollection, constraints: ConstraintSet
+    ) -> FeasibilityReport:
+        """Run only the feasibility phase (Phase 1)."""
+        return check_feasibility(collection, constraints, self.config)
+
+    def solve(
+        self,
+        collection: AreaCollection,
+        constraints: ConstraintSet | None = None,
+    ) -> EMPSolution:
+        """Solve one EMP instance end to end.
+
+        Raises :class:`repro.exceptions.InfeasibleProblemError` when
+        Phase 1 proves the query infeasible on this dataset.
+        """
+        constraints = _coerce_constraints(constraints)
+        feasibility = check_feasibility(collection, constraints, self.config)
+        construction = construct(
+            collection, constraints, self.config, feasibility=feasibility
+        )
+        tabu: TabuResult | None = None
+        partition = construction.partition
+        if self.config.enable_tabu and construction.state.p > 0:
+            tabu = tabu_improve(
+                construction.state, self.config, objective=self.objective
+            )
+            partition = tabu.partition
+        return EMPSolution(
+            partition=partition,
+            feasibility=feasibility,
+            construction=construction,
+            tabu=tabu,
+        )
+
+
+def _coerce_constraints(
+    constraints: ConstraintSet | list | tuple | Constraint | None,
+) -> ConstraintSet:
+    """Accept a ConstraintSet, a single Constraint, an iterable of
+    Constraints, or None (unconstrained)."""
+    if constraints is None:
+        return ConstraintSet()
+    if isinstance(constraints, ConstraintSet):
+        return constraints
+    if isinstance(constraints, Constraint):
+        return ConstraintSet([constraints])
+    return ConstraintSet(constraints)
+
+
+def solve_emp(
+    collection: AreaCollection,
+    constraints=None,
+    **config_options,
+) -> EMPSolution:
+    """One-call convenience wrapper: ``solve_emp(collection,
+    [min_constraint(...), ...], rng_seed=7)``."""
+    return FaCT(FaCTConfig(**config_options)).solve(collection, constraints)

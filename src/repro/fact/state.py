@@ -1,0 +1,214 @@
+"""Mutable solution state shared by the FaCT phases.
+
+A :class:`SolutionState` tracks, during construction and local search:
+
+- the live :class:`~repro.core.region.Region` objects, keyed by id;
+- the area → region assignment (``None`` = currently unassigned);
+- the permanently excluded areas (``U_0`` from invalid-area filtering).
+
+It provides the transactional primitives the phases are written in
+terms of — create/dissolve regions, assign/unassign areas, merge two
+regions — each of which keeps assignment and region bookkeeping
+consistent, and a :meth:`to_partition` snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..core.area import AreaCollection
+from ..core.constraints import ConstraintSet
+from ..core.partition import Partition
+from ..core.region import Region
+from ..exceptions import InvalidAreaError
+
+__all__ = ["SolutionState"]
+
+
+class SolutionState:
+    """Live solver state over a collection and a constraint set.
+
+    Parameters
+    ----------
+    collection:
+        The full area collection.
+    constraints:
+        The query; its attributes determine which aggregates every
+        region tracks.
+    excluded:
+        Areas removed by the feasibility phase — they are reported in
+        ``U_0`` and never assigned.
+    """
+
+    def __init__(
+        self,
+        collection: AreaCollection,
+        constraints: ConstraintSet,
+        excluded: Iterable[int] = (),
+    ):
+        self.collection = collection
+        self.constraints = constraints
+        self.tracked = tuple(sorted(constraints.attributes()))
+        self.excluded: frozenset[int] = frozenset(excluded)
+        for area_id in self.excluded:
+            if area_id not in collection:
+                raise InvalidAreaError(f"excluded unknown area {area_id}")
+        self.regions: dict[int, Region] = {}
+        self.assignment: dict[int, int | None] = {
+            area_id: None
+            for area_id in collection.ids
+            if area_id not in self.excluded
+        }
+        self._unassigned: set[int] = set(self.assignment)
+        self._next_region_id = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def unassigned(self) -> frozenset[int]:
+        """Snapshot of the currently unassigned (but valid) areas."""
+        return frozenset(self._unassigned)
+
+    @property
+    def n_unassigned(self) -> int:
+        """Count of currently unassigned valid areas."""
+        return len(self._unassigned)
+
+    @property
+    def p(self) -> int:
+        """Current number of regions."""
+        return len(self.regions)
+
+    def region_of(self, area_id: int) -> Region | None:
+        """The region an area belongs to, or ``None``."""
+        region_id = self.assignment.get(area_id)
+        if region_id is None:
+            return None
+        return self.regions[region_id]
+
+    def is_unassigned(self, area_id: int) -> bool:
+        """True when the area is valid and not in any region."""
+        return area_id in self._unassigned
+
+    def iter_regions(self) -> Iterator[Region]:
+        """Iterate over the live regions."""
+        return iter(self.regions.values())
+
+    def neighbor_regions(self, area_id: int) -> list[Region]:
+        """Distinct regions spatially adjacent to one area."""
+        seen: set[int] = set()
+        result: list[Region] = []
+        for neighbor in self.collection.neighbors(area_id):
+            region_id = self.assignment.get(neighbor)
+            if region_id is not None and region_id not in seen:
+                seen.add(region_id)
+                result.append(self.regions[region_id])
+        return result
+
+    def adjacent_regions(self, region: Region) -> list[Region]:
+        """Distinct regions sharing a boundary with *region*."""
+        seen: set[int] = {region.region_id}
+        result: list[Region] = []
+        for area_id in region.neighboring_areas():
+            region_id = self.assignment.get(area_id)
+            if region_id is not None and region_id not in seen:
+                seen.add(region_id)
+                result.append(self.regions[region_id])
+        return result
+
+    def unassigned_neighbors(self, region: Region) -> list[int]:
+        """Unassigned areas on *region*'s spatial frontier."""
+        return [
+            area_id
+            for area_id in region.neighboring_areas()
+            if area_id in self._unassigned
+        ]
+
+    # ------------------------------------------------------------------
+    # mutation primitives
+    # ------------------------------------------------------------------
+    def new_region(self, areas: Iterable[int] = ()) -> Region:
+        """Create a region from currently-unassigned areas."""
+        region_id = self._next_region_id
+        self._next_region_id += 1
+        region = Region(region_id, self.collection, self.tracked)
+        self.regions[region_id] = region
+        for area_id in areas:
+            self.assign(area_id, region)
+        return region
+
+    def assign(self, area_id: int, region: Region) -> None:
+        """Move an unassigned area into *region*."""
+        if area_id not in self._unassigned:
+            raise InvalidAreaError(
+                f"area {area_id} is not unassigned (excluded or assigned)"
+            )
+        region.add_area(area_id)
+        self.assignment[area_id] = region.region_id
+        self._unassigned.discard(area_id)
+
+    def unassign(self, area_id: int) -> None:
+        """Remove an area from its region back to the unassigned pool."""
+        region = self.region_of(area_id)
+        if region is None:
+            raise InvalidAreaError(f"area {area_id} is not assigned")
+        region.remove_area(area_id)
+        self.assignment[area_id] = None
+        self._unassigned.add(area_id)
+        if len(region) == 0:
+            del self.regions[region.region_id]
+
+    def move(self, area_id: int, target: Region) -> None:
+        """Move an assigned area directly into another region."""
+        source = self.region_of(area_id)
+        if source is None:
+            raise InvalidAreaError(f"area {area_id} is not assigned")
+        if source.region_id == target.region_id:
+            raise InvalidAreaError(
+                f"area {area_id} is already in region {target.region_id}"
+            )
+        source.remove_area(area_id)
+        target.add_area(area_id)
+        self.assignment[area_id] = target.region_id
+        if len(source) == 0:
+            del self.regions[source.region_id]
+
+    def merge_regions(self, keep: Region, absorb: Region) -> Region:
+        """Merge *absorb* into *keep* and drop the empty region."""
+        if keep.region_id == absorb.region_id:
+            raise InvalidAreaError("cannot merge a region with itself")
+        for area_id in list(absorb.area_ids):
+            self.assignment[area_id] = keep.region_id
+        keep.merge(absorb)
+        del self.regions[absorb.region_id]
+        return keep
+
+    def dissolve_region(self, region: Region) -> None:
+        """Return every area of *region* to the unassigned pool."""
+        for area_id in list(region.area_ids):
+            self.unassign(area_id)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def to_partition(self) -> Partition:
+        """Freeze the current state into a :class:`Partition`.
+
+        ``U_0`` holds both the feasibility-phase exclusions and the
+        still-unassigned areas, per the problem definition.
+        """
+        return Partition.from_regions(
+            list(self.regions.values()),
+            unassigned=self._unassigned | self.excluded,
+        )
+
+    def total_heterogeneity(self) -> float:
+        """``H(P)`` of the current regions."""
+        return sum(region.heterogeneity for region in self.regions.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SolutionState(p={self.p}, unassigned={len(self._unassigned)}, "
+            f"excluded={len(self.excluded)})"
+        )

@@ -1,0 +1,303 @@
+"""FaCT Phase 3 — Tabu-search local optimization (Section V-C).
+
+Starting from the construction phase's feasible partition, repeatedly
+moves boundary areas between adjacent regions to minimize the overall
+heterogeneity ``H(P)`` without ever violating a constraint or breaking
+contiguity, and without changing ``p`` (donor regions never empty).
+
+Classic Tabu mechanics (Glover & Laguna):
+
+- each iteration executes the **best admissible move**, even when it
+  worsens ``H`` (to escape local optima);
+- the reverse of an executed move — (area, donor region) — is *tabu*
+  for ``tabu_tenure`` iterations;
+- **aspiration**: a tabu move is admissible anyway when it would beat
+  the best heterogeneity seen so far;
+- the search stops after ``tabu_max_no_improve`` consecutive
+  iterations without improving the best ``H`` (paper default: the
+  dataset size), or when no admissible move exists.
+
+The candidate-move pool is maintained incrementally: after a move,
+only regions whose state changed (donor, receiver) have their incident
+moves re-derived, mirroring the paper's "update the valid moves …
+in the region updated by the previous move".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.partition import Partition
+from ..core.region import Region
+from .config import FaCTConfig
+from .state import SolutionState
+
+__all__ = ["TabuResult", "tabu_improve"]
+
+
+@dataclass
+class TabuResult:
+    """Outcome of the local-search phase.
+
+    ``improvement`` is the paper's measure: ``|H_before - H_after| /
+    H_before`` (0 when the construction heterogeneity was already 0).
+    """
+
+    partition: Partition
+    heterogeneity_before: float
+    heterogeneity_after: float
+    iterations: int = 0
+    moves_applied: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def improvement(self) -> float:
+        """Relative heterogeneity improvement achieved by the search."""
+        if self.heterogeneity_before == 0:
+            return 0.0
+        return (
+            abs(self.heterogeneity_before - self.heterogeneity_after)
+            / self.heterogeneity_before
+        )
+
+
+# A move is "take `area` out of region `donor_id` into region
+# `receiver_id`"; its key omits the donor because an area belongs to
+# exactly one region at a time.
+_MoveKey = tuple[int, int]  # (area_id, receiver_region_id)
+
+
+def tabu_improve(
+    state: SolutionState,
+    config: FaCTConfig,
+    objective=None,
+) -> TabuResult:
+    """Run Tabu search on *state* in place and return the best result.
+
+    Parameters
+    ----------
+    objective:
+        An :class:`repro.fact.objectives.Objective`; defaults to the
+        paper's heterogeneity ``H(P)``. When a custom objective is
+        used, the ``heterogeneity_before/after`` fields of the result
+        carry *that objective's* scores.
+    """
+    import time
+
+    from .objectives import HeterogeneityObjective
+
+    started = time.perf_counter()
+    n = len(state.collection)
+    patience = config.resolved_tabu_patience(n)
+    iteration_cap = config.resolved_tabu_cap(n)
+
+    if objective is None:
+        objective = HeterogeneityObjective()
+    objective.attach(state)
+    current_h = objective.total()
+    initial_h = current_h
+    best_h = current_h
+    best_labels = _snapshot_labels(state)
+
+    pool = _MovePool(state, objective)
+    tabu_until: dict[_MoveKey, int] = {}
+    iterations = 0
+    moves_applied = 0
+    no_improve = 0
+
+    while iterations < iteration_cap and no_improve < patience:
+        iterations += 1
+        chosen = pool.best_admissible(iterations, tabu_until, current_h, best_h)
+        if chosen is None:
+            break
+        delta, area_id, donor_id, receiver_id = chosen
+        receiver = state.regions[receiver_id]
+        state.move(area_id, receiver)
+        current_h += delta
+        moves_applied += 1
+        # Forbid the reverse move for `tenure` iterations.
+        tabu_until[(area_id, donor_id)] = iterations + config.tabu_tenure
+        objective.apply_move(donor_id, receiver_id, area_id)
+        pool.after_move(area_id, donor_id, receiver_id)
+        if current_h < best_h - 1e-9:
+            best_h = current_h
+            best_labels = _snapshot_labels(state)
+            no_improve = 0
+        else:
+            no_improve += 1
+
+    return TabuResult(
+        partition=Partition.from_labels(best_labels),
+        heterogeneity_before=initial_h,
+        heterogeneity_after=best_h,
+        iterations=iterations,
+        moves_applied=moves_applied,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def _snapshot_labels(state: SolutionState) -> dict[int, int]:
+    """Labels of the current assignment (excluded areas included as
+    unassigned so the Partition covers the whole collection)."""
+    labels: dict[int, int] = {}
+    for area_id in state.collection.ids:
+        region_id = state.assignment.get(area_id)
+        labels[area_id] = -1 if region_id is None else region_id
+    return labels
+
+
+class _MovePool:
+    """Incrementally maintained pool of valid moves.
+
+    Moves are grouped by donor region. After an executed move only the
+    regions whose *structure* changed are fully re-derived: the donor,
+    the receiver, and regions containing a neighbor of the moved area
+    (those are the only places where moves can appear or disappear).
+    Cached entries elsewhere can still carry stale receiver-side
+    deltas — :meth:`best_admissible` therefore re-validates its chosen
+    move against live region state before returning it, correcting or
+    evicting stale entries on the spot.
+    """
+
+    def __init__(self, state: SolutionState, objective):
+        self._state = state
+        self._objective = objective
+        self._moves_by_donor: dict[int, dict[_MoveKey, float]] = {}
+        self._dirty: set[int] = set(state.regions)
+
+    def mark_dirty(self, region_id: int) -> None:
+        """Schedule one region's donated moves for re-derivation."""
+        self._dirty.add(region_id)
+
+    def after_move(self, area_id: int, donor_id: int, receiver_id: int) -> None:
+        """Record the structural consequences of an executed move."""
+        self._dirty.add(donor_id)
+        self._dirty.add(receiver_id)
+        assignment = self._state.assignment
+        for neighbor in self._state.collection.neighbors(area_id):
+            neighbor_region = assignment.get(neighbor)
+            if neighbor_region is not None:
+                self._dirty.add(neighbor_region)
+
+    def _refresh(self) -> None:
+        for region_id in self._dirty:
+            region = self._state.regions.get(region_id)
+            if region is None:
+                self._moves_by_donor.pop(region_id, None)
+                continue
+            self._moves_by_donor[region_id] = self._derive_moves(region)
+        self._dirty.clear()
+
+    def _derive_moves(self, donor: Region) -> dict[_MoveKey, float]:
+        """All valid moves donating one of *donor*'s boundary areas to
+        an adjacent region, with their heterogeneity deltas."""
+        from ..contiguity.graph import articulation_points
+
+        state = self._state
+        constraints = state.constraints
+        moves: dict[_MoveKey, float] = {}
+        if len(donor) <= 1:
+            return moves
+        collection = state.collection
+        members = donor.area_ids
+        # One Hopcroft-Tarjan pass replaces a per-area BFS: an area may
+        # leave the donor iff it is not an articulation point of the
+        # donor's induced subgraph.
+        stuck = articulation_points(
+            members, lambda a: collection.neighbors(a) & members
+        )
+        for area_id in members:
+            if area_id in stuck:
+                continue
+            receiver_ids = {
+                state.assignment[neighbor]
+                for neighbor in collection.neighbors(area_id)
+                if state.assignment.get(neighbor) is not None
+            }
+            receiver_ids.discard(donor.region_id)
+            if not receiver_ids:
+                continue
+            if not donor.satisfies_after_remove(constraints, area_id):
+                continue
+            for receiver_id in receiver_ids:
+                receiver = state.regions[receiver_id]
+                if not receiver.satisfies_after_add(constraints, area_id):
+                    continue
+                moves[(area_id, receiver_id)] = self._objective.delta_move(
+                    donor, receiver, area_id
+                )
+        return moves
+
+    def _scan(
+        self,
+        iteration: int,
+        tabu_until: dict[_MoveKey, int],
+        current_h: float,
+        best_h: float,
+    ) -> tuple[float, int, int, int] | None:
+        best: tuple[float, int, int, int] | None = None
+        for donor_id, moves in self._moves_by_donor.items():
+            for (area_id, receiver_id), delta in moves.items():
+                if tabu_until.get((area_id, receiver_id), 0) >= iteration:
+                    # Aspiration: accept a tabu move that beats best_h.
+                    if current_h + delta >= best_h - 1e-9:
+                        continue
+                if best is None or delta < best[0]:
+                    best = (delta, area_id, donor_id, receiver_id)
+        return best
+
+    def _live_delta(
+        self, area_id: int, donor_id: int, receiver_id: int
+    ) -> float | None:
+        """Re-evaluate one cached move against live region state.
+
+        Returns the accurate delta, or ``None`` when the move is no
+        longer valid."""
+        state = self._state
+        donor = state.regions.get(donor_id)
+        receiver = state.regions.get(receiver_id)
+        if donor is None or receiver is None or area_id not in donor:
+            return None
+        if len(donor) <= 1:
+            return None
+        if not receiver.touches(area_id):
+            return None
+        constraints = state.constraints
+        if not donor.satisfies_after_remove(constraints, area_id):
+            return None
+        if not receiver.satisfies_after_add(constraints, area_id):
+            return None
+        if not donor.remains_contiguous_without(area_id):
+            return None
+        return self._objective.delta_move(donor, receiver, area_id)
+
+    def best_admissible(
+        self,
+        iteration: int,
+        tabu_until: dict[_MoveKey, int],
+        current_h: float,
+        best_h: float,
+    ) -> tuple[float, int, int, int] | None:
+        """The lowest-delta admissible move as
+        ``(delta, area, donor, receiver)``, or ``None``.
+
+        Chosen moves are re-validated against live state: a stale
+        entry is corrected (or evicted) and the scan repeats, so the
+        returned move is always executable with an exact delta.
+        """
+        self._refresh()
+        while True:
+            candidate = self._scan(iteration, tabu_until, current_h, best_h)
+            if candidate is None:
+                return None
+            cached_delta, area_id, donor_id, receiver_id = candidate
+            live = self._live_delta(area_id, donor_id, receiver_id)
+            key = (area_id, receiver_id)
+            donor_moves = self._moves_by_donor.get(donor_id, {})
+            if live is None:
+                donor_moves.pop(key, None)
+                continue
+            if abs(live - cached_delta) > 1e-9:
+                donor_moves[key] = live
+                continue
+            return (live, area_id, donor_id, receiver_id)

@@ -1,0 +1,24 @@
+"""Pure-Python geometry substrate: points, boxes, polygons and
+tessellations used to build and describe spatial datasets."""
+
+from .bbox import BBox
+from .point import Point
+from .polygon import Polygon
+from .tessellation import (
+    Tessellation,
+    grid_tessellation,
+    hex_tessellation,
+    multi_patch_tessellation,
+    voronoi_tessellation,
+)
+
+__all__ = [
+    "BBox",
+    "Point",
+    "Polygon",
+    "Tessellation",
+    "grid_tessellation",
+    "hex_tessellation",
+    "multi_patch_tessellation",
+    "voronoi_tessellation",
+]

@@ -1,0 +1,94 @@
+"""Axis-aligned bounding boxes.
+
+Bounding boxes accelerate the shared-edge scan that derives contiguity
+from raw polygons (only polygons with intersecting boxes can touch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..exceptions import GeometryError
+from .point import Point
+
+__all__ = ["BBox"]
+
+
+@dataclass(frozen=True)
+class BBox:
+    """An axis-aligned rectangle ``[min_x, max_x] × [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "min_x", float(self.min_x))
+        object.__setattr__(self, "min_y", float(self.min_y))
+        object.__setattr__(self, "max_x", float(self.max_x))
+        object.__setattr__(self, "max_y", float(self.max_y))
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise GeometryError(
+                f"inverted bbox: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def of_points(cls, points: Iterable[Point]) -> "BBox":
+        """Smallest box containing all *points* (at least one)."""
+        points = list(points)
+        if not points:
+            raise GeometryError("cannot build a bbox of zero points")
+        return cls(
+            min(p.x for p in points),
+            min(p.y for p in points),
+            max(p.x for p in points),
+            max(p.y for p in points),
+        )
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Vertical extent."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Box area."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Box center point."""
+        return Point((self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2)
+
+    def contains_point(self, point: Point) -> bool:
+        """True when *point* lies inside or on the boundary."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def intersects(self, other: "BBox", tolerance: float = 0.0) -> bool:
+        """True when the boxes overlap or touch (within *tolerance*)."""
+        return not (
+            self.max_x + tolerance < other.min_x
+            or other.max_x + tolerance < self.min_x
+            or self.max_y + tolerance < other.min_y
+            or other.max_y + tolerance < self.min_y
+        )
+
+    def expanded(self, margin: float) -> "BBox":
+        """A copy grown by *margin* on every side."""
+        return BBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )

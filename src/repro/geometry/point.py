@@ -1,0 +1,50 @@
+"""2-D points for the geometry substrate.
+
+The paper's areas are census-tract polygons; the solvers themselves
+only ever consume the contiguity graph, so this module provides just
+what dataset construction, GeoJSON I/O and adjacency detection need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Point"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point with float coordinates."""
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", float(self.x))
+        object.__setattr__(self, "y", float(self.y))
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Midpoint of the segment to *other*."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """This point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def rounded(self, digits: int = 9) -> tuple[float, float]:
+        """Coordinates rounded for hashing/canonicalisation.
+
+        Used when matching shared polygon edges: coordinates coming
+        from two different polygons of the same tessellation agree up
+        to float noise, so rounding to *digits* makes them hashable.
+        """
+        return (round(self.x, digits), round(self.y, digits))
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The raw ``(x, y)`` tuple."""
+        return (self.x, self.y)

@@ -1,0 +1,315 @@
+"""Tessellations — synthetic stand-ins for census-tract shapefiles.
+
+The paper evaluates on US census tracts (irregular planar polygons).
+We generate matching topology two ways:
+
+- :func:`grid_tessellation` — a regular lattice; predictable, great for
+  unit tests and worked examples (the paper's own running example is a
+  3×3 grid).
+- :func:`voronoi_tessellation` — a bounded Voronoi diagram of random
+  seed points, optionally Lloyd-relaxed. Census tracts are effectively
+  a centroidal Voronoi-like tessellation: irregular cells, average rook
+  degree ≈ 6.
+
+Bounded Voronoi cells are obtained with the reflection trick: every
+seed is mirrored across the four sides of the bounding box, so the
+cells of the original seeds are finite and clip exactly to the box.
+Rook adjacency comes directly from scipy's ``ridge_points``.
+
+:func:`multi_patch_tessellation` lays several tessellations side by
+side with gaps, producing a dataset with multiple connected components
+(the multi-state datasets of Table I; FaCT explicitly supports this
+while classic max-p formulations do not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.spatial import Voronoi
+
+from ..exceptions import GeometryError
+from .bbox import BBox
+from .point import Point
+from .polygon import Polygon
+
+__all__ = [
+    "Tessellation",
+    "grid_tessellation",
+    "hex_tessellation",
+    "voronoi_tessellation",
+    "multi_patch_tessellation",
+]
+
+
+@dataclass(frozen=True)
+class Tessellation:
+    """A set of polygons plus their rook adjacency.
+
+    ``polygons[i]`` is the cell of unit ``i``; ``adjacency[i]`` is the
+    set of rook neighbors of ``i``. Indices are dense 0..n-1.
+    """
+
+    polygons: tuple[Polygon, ...]
+    adjacency: dict[int, frozenset[int]]
+    bbox: BBox
+
+    def __post_init__(self) -> None:
+        if len(self.polygons) != len(self.adjacency):
+            raise GeometryError(
+                "tessellation polygon count and adjacency size differ"
+            )
+
+    def __len__(self) -> int:
+        return len(self.polygons)
+
+    @property
+    def n_units(self) -> int:
+        """Number of cells."""
+        return len(self.polygons)
+
+    def centroids(self) -> list[Point]:
+        """Centroid of every cell, by index."""
+        return [polygon.centroid for polygon in self.polygons]
+
+    def translated(self, dx: float, dy: float) -> "Tessellation":
+        """A copy shifted by ``(dx, dy)`` (used to lay out patches)."""
+        return Tessellation(
+            tuple(p.translated(dx, dy) for p in self.polygons),
+            dict(self.adjacency),
+            BBox(
+                self.bbox.min_x + dx,
+                self.bbox.min_y + dy,
+                self.bbox.max_x + dx,
+                self.bbox.max_y + dy,
+            ),
+        )
+
+
+def grid_tessellation(rows: int, cols: int, cell_size: float = 1.0) -> Tessellation:
+    """A ``rows × cols`` lattice of unit squares with rook adjacency.
+
+    Cell ``(r, c)`` has index ``r * cols + c``; row 0 is at the bottom.
+    """
+    if rows < 1 or cols < 1:
+        raise GeometryError("grid tessellation needs rows >= 1 and cols >= 1")
+    polygons: list[Polygon] = []
+    adjacency: dict[int, frozenset[int]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            x0, y0 = c * cell_size, r * cell_size
+            polygons.append(
+                Polygon(
+                    [
+                        Point(x0, y0),
+                        Point(x0 + cell_size, y0),
+                        Point(x0 + cell_size, y0 + cell_size),
+                        Point(x0, y0 + cell_size),
+                    ]
+                )
+            )
+            index = r * cols + c
+            neighbors = set()
+            if r > 0:
+                neighbors.add(index - cols)
+            if r < rows - 1:
+                neighbors.add(index + cols)
+            if c > 0:
+                neighbors.add(index - 1)
+            if c < cols - 1:
+                neighbors.add(index + 1)
+            adjacency[index] = frozenset(neighbors)
+    return Tessellation(
+        tuple(polygons),
+        adjacency,
+        BBox(0.0, 0.0, cols * cell_size, rows * cell_size),
+    )
+
+
+def hex_tessellation(rows: int, cols: int, size: float = 1.0) -> Tessellation:
+    """A ``rows × cols`` pointy-top hexagon lattice (odd-row offset).
+
+    Hexagonal lattices are a standard alternative to square grids in
+    spatial analysis: every interior cell has exactly six neighbors
+    and rook/queen contiguity coincide (hexagons never meet at a
+    single point). Cell ``(r, c)`` has index ``r * cols + c``; odd
+    rows are shifted right by half a cell width.
+
+    *size* is the hexagon's circumradius (center to vertex).
+    """
+    if rows < 1 or cols < 1:
+        raise GeometryError("hex tessellation needs rows >= 1 and cols >= 1")
+    width = np.sqrt(3.0) * size  # flat-to-flat horizontal extent
+    vertical_step = 1.5 * size
+
+    polygons: list[Polygon] = []
+    adjacency: dict[int, set[int]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            index = r * cols + c
+            center_x = c * width + (width / 2 if r % 2 else 0.0) + width / 2
+            center_y = r * vertical_step + size
+            vertices = []
+            for k in range(6):
+                angle = np.pi / 180.0 * (60.0 * k - 30.0)  # pointy-top
+                vertices.append(
+                    Point(
+                        center_x + size * float(np.cos(angle)),
+                        center_y + size * float(np.sin(angle)),
+                    )
+                )
+            polygons.append(Polygon(vertices))
+
+            neighbors: set[int] = set()
+            if c > 0:
+                neighbors.add(index - 1)
+            if c < cols - 1:
+                neighbors.add(index + 1)
+            # diagonal neighbors depend on the row parity offset
+            offsets = (0, 1) if r % 2 else (-1, 0)
+            for dr in (-1, 1):
+                rr = r + dr
+                if not 0 <= rr < rows:
+                    continue
+                for dc in offsets:
+                    cc = c + dc
+                    if 0 <= cc < cols:
+                        neighbors.add(rr * cols + cc)
+            adjacency[index] = neighbors
+
+    all_points = [v for polygon in polygons for v in polygon.vertices]
+    return Tessellation(
+        tuple(polygons),
+        {i: frozenset(n) for i, n in adjacency.items()},
+        BBox.of_points(all_points),
+    )
+
+
+def voronoi_tessellation(
+    n_units: int,
+    seed: int = 0,
+    bbox: BBox | None = None,
+    lloyd_iterations: int = 1,
+) -> Tessellation:
+    """A bounded Voronoi tessellation of *n_units* random seed points.
+
+    Parameters
+    ----------
+    n_units:
+        Number of cells (>= 3 so the diagram is non-degenerate).
+    seed:
+        RNG seed; the tessellation is fully deterministic in it.
+    bbox:
+        Bounding box; defaults to a square whose side scales with
+        ``sqrt(n_units)`` so cells keep unit-ish size at any n.
+    lloyd_iterations:
+        Rounds of Lloyd relaxation (seeds moved to cell centroids),
+        which regularizes cell sizes the way census tracts are
+        regularized by population.
+    """
+    if n_units < 3:
+        raise GeometryError("voronoi tessellation needs at least 3 units")
+    if bbox is None:
+        side = float(np.sqrt(n_units))
+        bbox = BBox(0.0, 0.0, side, side)
+    rng = np.random.default_rng(seed)
+    points = np.column_stack(
+        [
+            rng.uniform(bbox.min_x, bbox.max_x, size=n_units),
+            rng.uniform(bbox.min_y, bbox.max_y, size=n_units),
+        ]
+    )
+    for _ in range(max(0, lloyd_iterations)):
+        diagram = _bounded_voronoi(points, bbox)
+        points = np.array(
+            [_cell_centroid(diagram, i) for i in range(n_units)]
+        )
+        points[:, 0] = points[:, 0].clip(bbox.min_x, bbox.max_x)
+        points[:, 1] = points[:, 1].clip(bbox.min_y, bbox.max_y)
+    diagram = _bounded_voronoi(points, bbox)
+
+    polygons: list[Polygon] = []
+    for i in range(n_units):
+        region_index = diagram.point_region[i]
+        vertex_indices = diagram.regions[region_index]
+        if -1 in vertex_indices or not vertex_indices:
+            raise GeometryError(
+                f"unbounded voronoi cell for unit {i}; reflection failed"
+            )
+        polygons.append(
+            Polygon(Point(*diagram.vertices[v]) for v in vertex_indices)
+        )
+
+    adjacency: dict[int, set[int]] = {i: set() for i in range(n_units)}
+    for a, b in diagram.ridge_points:
+        if a < n_units and b < n_units:
+            adjacency[int(a)].add(int(b))
+            adjacency[int(b)].add(int(a))
+    return Tessellation(
+        tuple(polygons),
+        {i: frozenset(neighbors) for i, neighbors in adjacency.items()},
+        bbox,
+    )
+
+
+def multi_patch_tessellation(
+    patch_sizes: Sequence[int], seed: int = 0, gap_fraction: float = 0.25
+) -> Tessellation:
+    """Several Voronoi patches laid out in a row with gaps between.
+
+    The result has ``len(patch_sizes)`` connected components — the
+    synthetic analogue of the paper's multi-state datasets (Table I)
+    where non-adjacent states form separate components.
+    """
+    if not patch_sizes:
+        raise GeometryError("multi_patch_tessellation needs at least one patch")
+    polygons: list[Polygon] = []
+    adjacency: dict[int, frozenset[int]] = {}
+    offset_x = 0.0
+    max_height = 0.0
+    base = 0
+    for patch_index, size in enumerate(patch_sizes):
+        patch = voronoi_tessellation(size, seed=seed + patch_index)
+        patch = patch.translated(offset_x, 0.0)
+        for local_index, polygon in enumerate(patch.polygons):
+            polygons.append(polygon)
+            adjacency[base + local_index] = frozenset(
+                base + neighbor for neighbor in patch.adjacency[local_index]
+            )
+        offset_x = patch.bbox.max_x + gap_fraction * patch.bbox.width
+        max_height = max(max_height, patch.bbox.max_y)
+        base += size
+    return Tessellation(
+        tuple(polygons),
+        adjacency,
+        BBox(0.0, 0.0, offset_x, max_height),
+    )
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+
+def _bounded_voronoi(points: np.ndarray, bbox: BBox) -> Voronoi:
+    """Voronoi diagram whose first ``len(points)`` cells are clipped to
+    *bbox*, via reflection of all seeds across the four box sides."""
+    left = points.copy()
+    left[:, 0] = 2 * bbox.min_x - left[:, 0]
+    right = points.copy()
+    right[:, 0] = 2 * bbox.max_x - right[:, 0]
+    down = points.copy()
+    down[:, 1] = 2 * bbox.min_y - down[:, 1]
+    up = points.copy()
+    up[:, 1] = 2 * bbox.max_y - up[:, 1]
+    return Voronoi(np.vstack([points, left, right, down, up]))
+
+
+def _cell_centroid(diagram: Voronoi, index: int) -> tuple[float, float]:
+    """Centroid of one bounded cell (for Lloyd relaxation)."""
+    region_index = diagram.point_region[index]
+    vertex_indices = diagram.regions[region_index]
+    ring = [Point(*diagram.vertices[v]) for v in vertex_indices]
+    centroid = Polygon(ring).centroid
+    return (centroid.x, centroid.y)

@@ -1,0 +1,85 @@
+"""Solution persistence: save and load partitions as JSON.
+
+Regionalization studies iterate: analysts solve, inspect, tweak the
+query, and compare against earlier answers. This module serializes a
+:class:`~repro.core.partition.Partition` (plus optional metadata such
+as the query and solver statistics) to a small JSON document so runs
+can be archived and reloaded without recomputing:
+
+    from repro.io import save_partition, load_partition
+    save_partition(solution.partition, "run1.json",
+                   metadata={"query": [str(c) for c in constraints]})
+    partition, metadata = load_partition("run1.json")
+
+The format is stable and versioned (``"format": "repro-partition/1"``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from .core.partition import Partition
+from .exceptions import DatasetError
+
+__all__ = ["save_partition", "load_partition", "partition_to_dict",
+           "partition_from_dict"]
+
+_FORMAT = "repro-partition/1"
+
+
+def partition_to_dict(
+    partition: Partition, metadata: Mapping | None = None
+) -> dict:
+    """Serialize a partition (and optional metadata) to plain dicts."""
+    return {
+        "format": _FORMAT,
+        "p": partition.p,
+        "regions": [sorted(members) for members in partition.regions],
+        "unassigned": sorted(partition.unassigned),
+        "metadata": dict(metadata) if metadata else {},
+    }
+
+
+def partition_from_dict(document: Mapping) -> tuple[Partition, dict]:
+    """Rebuild a partition (and its metadata) from a serialized dict."""
+    if document.get("format") != _FORMAT:
+        raise DatasetError(
+            f"unsupported partition format {document.get('format')!r}; "
+            f"expected {_FORMAT!r}"
+        )
+    try:
+        regions = tuple(
+            frozenset(int(i) for i in members)
+            for members in document["regions"]
+        )
+        unassigned = frozenset(int(i) for i in document["unassigned"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise DatasetError(f"malformed partition document: {error}") from None
+    partition = Partition(regions, unassigned)
+    declared_p = document.get("p")
+    if declared_p is not None and declared_p != partition.p:
+        raise DatasetError(
+            f"partition document declares p={declared_p} but contains "
+            f"{partition.p} regions"
+        )
+    return partition, dict(document.get("metadata", {}))
+
+
+def save_partition(
+    partition: Partition,
+    path: str | Path,
+    metadata: Mapping | None = None,
+) -> None:
+    """Write a partition to a JSON file."""
+    document = partition_to_dict(partition, metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+
+
+def load_partition(path: str | Path) -> tuple[Partition, dict]:
+    """Read a partition (and its metadata) from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return partition_from_dict(document)

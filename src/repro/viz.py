@@ -1,0 +1,122 @@
+"""Lightweight visualization: render partitions as SVG maps.
+
+The paper illustrates its running example with colored region maps
+(Figures 1-4). This module renders an :class:`AreaCollection`'s
+polygons with one fill color per region into a standalone SVG file —
+no plotting dependency required, viewable in any browser, and handy
+for eyeballing solver output:
+
+    from repro.viz import partition_to_svg
+    partition_to_svg(collection, solution.partition, "regions.svg")
+
+Unassigned areas are hatched gray; region colors cycle through a
+color-blind-friendly palette.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from .core.area import AreaCollection
+from .core.partition import Partition
+from .exceptions import DatasetError
+
+__all__ = ["partition_to_svg", "PALETTE", "UNASSIGNED_FILL"]
+
+# Okabe-Ito palette (color-blind safe) cycled across regions.
+PALETTE = (
+    "#E69F00",
+    "#56B4E9",
+    "#009E73",
+    "#F0E442",
+    "#0072B2",
+    "#D55E00",
+    "#CC79A7",
+    "#999999",
+)
+
+UNASSIGNED_FILL = "#DDDDDD"
+
+
+def _svg_path(polygon, scale: float, min_x: float, max_y: float) -> str:
+    """One closed SVG path (y flipped: SVG grows downward)."""
+    points = [
+        f"{(v.x - min_x) * scale:.2f},{(max_y - v.y) * scale:.2f}"
+        for v in polygon.vertices
+    ]
+    return "M " + " L ".join(points) + " Z"
+
+
+def partition_to_svg(
+    collection: AreaCollection,
+    partition: Partition | Mapping[int, int] | None = None,
+    path: str | Path | None = None,
+    width: float = 800.0,
+    stroke: str = "#333333",
+) -> str:
+    """Render the collection (optionally colored by region) as SVG.
+
+    Parameters
+    ----------
+    collection:
+        Areas; every area must carry a polygon.
+    partition:
+        A :class:`Partition`, an ``area_id -> region`` mapping, or
+        ``None`` (all areas drawn unassigned-gray).
+    path:
+        When given, the SVG text is also written to this file.
+    width:
+        Output width in pixels (height preserves the aspect ratio).
+
+    Returns the SVG document as a string.
+    """
+    polygons = {}
+    for area in collection:
+        if area.polygon is None:
+            raise DatasetError(
+                f"area {area.area_id} has no polygon; cannot render SVG"
+            )
+        polygons[area.area_id] = area.polygon
+
+    if partition is None:
+        labels: dict[int, int] = {area_id: -1 for area_id in polygons}
+    elif isinstance(partition, Partition):
+        labels = partition.labels()
+    else:
+        labels = {int(k): int(v) for k, v in partition.items()}
+
+    min_x = min(p.bbox.min_x for p in polygons.values())
+    max_x = max(p.bbox.max_x for p in polygons.values())
+    min_y = min(p.bbox.min_y for p in polygons.values())
+    max_y = max(p.bbox.max_y for p in polygons.values())
+    extent_x = max(max_x - min_x, 1e-9)
+    extent_y = max(max_y - min_y, 1e-9)
+    scale = width / extent_x
+    height = extent_y * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect width="100%" height="100%" fill="white"/>',
+    ]
+    stroke_width = max(0.4, width / 1600)
+    for area_id, polygon in polygons.items():
+        label = labels.get(area_id, -1)
+        if label < 0:
+            fill = UNASSIGNED_FILL
+        else:
+            fill = PALETTE[label % len(PALETTE)]
+        parts.append(
+            f'<path d="{_svg_path(polygon, scale, min_x, max_y)}" '
+            f'fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width:.2f}">'
+            f"<title>area {area_id}, region {label}</title></path>"
+        )
+    parts.append("</svg>")
+    document = "\n".join(parts)
+
+    if path is not None:
+        Path(path).write_text(document, encoding="utf-8")
+    return document

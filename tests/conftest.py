@@ -1,0 +1,96 @@
+"""Shared fixtures for the test-suite.
+
+Provides small deterministic worlds the tests reason about exactly:
+
+- ``grid3`` — the paper's running example world: a 3×3 rook grid whose
+  areas carry attribute ``s`` with value ``a_i = i`` (the values that
+  make every worked example in Section V come out: MIN [2,4] seeds
+  {2,3,4}, MAX [6,7] seeds {6,7}, filtration drops {1,8,9}, and the
+  AVG [4,5] pairings 2+6 and 3+7 average to 4 and 5).
+- ``line5`` — a 5-area path graph (articulation-point scenarios).
+- ``tiny_census`` / ``small_census`` — synthetic census datasets of 30
+  and 200 tracts for integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Area, AreaCollection
+from repro.data import synthetic_census
+
+
+def make_grid_collection(
+    rows: int,
+    cols: int,
+    values: dict[int, float] | None = None,
+    attribute: str = "s",
+) -> AreaCollection:
+    """A rows×cols rook-grid collection with one attribute.
+
+    Area ids are 1-based in row-major order (matching the paper's
+    a_1 … a_9 numbering); by default area ``i`` has value ``i``.
+    """
+    areas = []
+    adjacency: dict[int, set[int]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            area_id = r * cols + c + 1
+            value = float(values[area_id]) if values else float(area_id)
+            areas.append(
+                Area(
+                    area_id=area_id,
+                    attributes={attribute: value},
+                    dissimilarity=value,
+                )
+            )
+            neighbors = set()
+            if r > 0:
+                neighbors.add(area_id - cols)
+            if r < rows - 1:
+                neighbors.add(area_id + cols)
+            if c > 0:
+                neighbors.add(area_id - 1)
+            if c < cols - 1:
+                neighbors.add(area_id + 1)
+            adjacency[area_id] = neighbors
+    return AreaCollection(areas, adjacency)
+
+
+def make_line_collection(
+    values: list[float], attribute: str = "s"
+) -> AreaCollection:
+    """A path-graph collection: area ``i+1`` holds ``values[i]``."""
+    n = len(values)
+    areas = [
+        Area(i + 1, {attribute: float(values[i])}, dissimilarity=float(values[i]))
+        for i in range(n)
+    ]
+    adjacency = {
+        i + 1: {j for j in (i, i + 2) if 1 <= j <= n} for i in range(n)
+    }
+    return AreaCollection(areas, adjacency)
+
+
+@pytest.fixture
+def grid3() -> AreaCollection:
+    """The 3×3 running-example world (area i has s = i)."""
+    return make_grid_collection(3, 3)
+
+
+@pytest.fixture
+def line5() -> AreaCollection:
+    """A 5-area path graph with s = 1..5."""
+    return make_line_collection([1, 2, 3, 4, 5])
+
+
+@pytest.fixture(scope="session")
+def tiny_census() -> AreaCollection:
+    """30 synthetic census tracts (session-scoped: read-only)."""
+    return synthetic_census(30, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_census() -> AreaCollection:
+    """200 synthetic census tracts (session-scoped: read-only)."""
+    return synthetic_census(200, seed=12)

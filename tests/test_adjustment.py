@@ -1,0 +1,227 @@
+"""Tests for FaCT Step 3 — Monotonic Adjustments (Section V-B)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    avg_constraint,
+    count_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from repro.fact import FaCTConfig, adjust_counting, dissolve_infeasible
+from repro.fact.state import SolutionState
+
+from conftest import make_grid_collection, make_line_collection
+
+
+def make_state(collection, constraints, regions=(), excluded=()):
+    """Build a SolutionState with pre-placed regions for surgical tests."""
+    state = SolutionState(collection, constraints, excluded=excluded)
+    for members in regions:
+        state.new_region(members)
+    return state
+
+
+def run_adjustment(state, seed=0, **config_kwargs):
+    adjust_counting(state, FaCTConfig(rng_seed=seed, **config_kwargs),
+                    random.Random(seed))
+    return state
+
+
+class TestAbsorbPhase:
+    def test_deficient_region_absorbs_unassigned_neighbors(self):
+        collection = make_line_collection([2, 2, 3])
+        constraints = ConstraintSet([sum_constraint("s", lower=6)])
+        state = make_state(collection, constraints, regions=[[1]])
+        run_adjustment(state)
+        assert state.p == 1
+        region = next(state.iter_regions())
+        assert region.aggregate("SUM", "s") >= 6
+
+    def test_absorption_respects_avg_constraint(self):
+        # Absorbing area 3 (s=1) would break AVG >= 3; the region must
+        # instead be dissolved since SUM can never reach 20.
+        collection = make_line_collection([5, 5, 1])
+        constraints = ConstraintSet(
+            [sum_constraint("s", lower=20), avg_constraint("s", 3, 10)]
+        )
+        state = make_state(collection, constraints, regions=[[1, 2]])
+        run_adjustment(state)
+        assert state.p == 0  # dissolved: infeasible region removed
+
+    def test_absorption_respects_sum_upper_bound(self):
+        # region {1} sum 2 needs >= 5 but adding s=9 overshoots u=8.
+        collection = make_line_collection([2, 9])
+        constraints = ConstraintSet([sum_constraint("s", 5, 8)])
+        state = make_state(collection, constraints, regions=[[1]])
+        run_adjustment(state)
+        assert state.p == 0
+
+    def test_count_lower_bound_absorbs(self):
+        collection = make_line_collection([1, 1, 1])
+        constraints = ConstraintSet([count_constraint(3)])
+        state = make_state(collection, constraints, regions=[[2]])
+        run_adjustment(state)
+        assert state.p == 1
+        assert len(next(state.iter_regions())) == 3
+
+
+class TestSwapPhase:
+    def test_boundary_area_swapped_to_deficient_region(self):
+        # A = {1,2} (sum 9), B = {3,4} (sum 5 < 6). Donating area 2
+        # (s=3) keeps A valid (sum 6) and fixes B (sum 8).
+        collection = make_line_collection([6, 3, 1, 4])
+        constraints = ConstraintSet([sum_constraint("s", lower=6)])
+        state = make_state(collection, constraints, regions=[[1, 2], [3, 4]])
+        run_adjustment(state)
+        assert state.p == 2
+        for region in state.iter_regions():
+            assert region.aggregate("SUM", "s") >= 6
+            assert region.is_contiguous()
+
+    def test_swap_refused_when_donor_would_violate(self):
+        # Donating from A (sum exactly 6) would invalidate it; the
+        # regions merge instead (sum 11), dropping p to 1.
+        collection = make_line_collection([5, 1, 1, 4])
+        constraints = ConstraintSet([sum_constraint("s", lower=6)])
+        state = make_state(collection, constraints, regions=[[1, 2], [3, 4]])
+        run_adjustment(state)
+        assert state.p == 1
+        region = next(state.iter_regions())
+        assert region.aggregate("SUM", "s") == 11
+
+    def test_swap_preserves_donor_contiguity(self):
+        # Donor A = {1,2,3} on a line: only endpoints are removable.
+        # B = {4} needs sum >= 5; area 3 (adjacent to 4) is an endpoint
+        # and can move. Area 2 never could (it would split A).
+        collection = make_line_collection([4, 4, 4, 1])
+        constraints = ConstraintSet([sum_constraint("s", lower=5)])
+        state = make_state(
+            collection, constraints, regions=[[1, 2, 3], [4]]
+        )
+        run_adjustment(state)
+        for region in state.iter_regions():
+            assert region.is_contiguous()
+            assert region.aggregate("SUM", "s") >= 5
+
+
+class TestMergePhase:
+    def test_deficient_singletons_merge_up_to_threshold(self):
+        collection = make_line_collection([5, 5, 5])
+        constraints = ConstraintSet([sum_constraint("s", lower=9)])
+        state = make_state(collection, constraints, regions=[[1], [2], [3]])
+        run_adjustment(state)
+        assert state.p >= 1
+        for region in state.iter_regions():
+            assert region.aggregate("SUM", "s") >= 9
+
+    def test_merge_prefers_pairing_deficient_regions(self):
+        # Regions: A={1} (5, deficient), B={2} (5, deficient),
+        # C={3,4} (12, satisfied). Pairing A+B keeps p = 2; merging
+        # into C would leave the other deficiency stranded (p = 2 as
+        # well but with an extra dissolve risk). Assert p == 2.
+        collection = make_line_collection([5, 5, 6, 6])
+        constraints = ConstraintSet([sum_constraint("s", lower=9)])
+        state = make_state(
+            collection, constraints, regions=[[1], [2], [3, 4]]
+        )
+        run_adjustment(state)
+        assert state.p == 2
+        for region in state.iter_regions():
+            assert region.aggregate("SUM", "s") >= 9
+
+    def test_merge_respects_count_upper_bound(self):
+        # Merging the two deficient pairs would exceed COUNT <= 3, so
+        # they cannot merge and are dissolved.
+        collection = make_line_collection([1, 1, 1, 1])
+        constraints = ConstraintSet(
+            [sum_constraint("s", lower=4), count_constraint(1, 3)]
+        )
+        state = make_state(collection, constraints, regions=[[1, 2], [3, 4]])
+        run_adjustment(state)
+        assert state.p == 0
+        assert state.n_unassigned == 4
+
+
+class TestTrimPhase:
+    def test_oversized_region_sheds_boundary_areas(self):
+        collection = make_line_collection([2, 2, 9])
+        constraints = ConstraintSet([sum_constraint("s", 4, 10)])
+        state = make_state(collection, constraints, regions=[[1, 2, 3]])
+        run_adjustment(state)
+        assert state.p == 1
+        region = next(state.iter_regions())
+        assert 4 <= region.aggregate("SUM", "s") <= 10
+        assert region.is_contiguous()
+        assert state.n_unassigned >= 1  # shed areas went back to U0
+
+    def test_count_upper_bound_trims(self):
+        collection = make_line_collection([1, 1, 1, 1])
+        constraints = ConstraintSet([count_constraint(1, 3)])
+        state = make_state(collection, constraints, regions=[[1, 2, 3, 4]])
+        run_adjustment(state)
+        region = next(state.iter_regions())
+        assert len(region) <= 3
+        assert region.is_contiguous()
+
+    def test_trim_keeps_extrema_seed(self):
+        # MIN [2,4] seed is area 2 (s=3); trimming to satisfy
+        # COUNT <= 2 must not remove the only seed.
+        collection = make_line_collection([5, 3, 5])
+        constraints = ConstraintSet(
+            [min_constraint("s", 2, 4), count_constraint(1, 2)]
+        )
+        state = make_state(collection, constraints, regions=[[1, 2, 3]])
+        run_adjustment(state)
+        assert state.p == 1
+        region = next(state.iter_regions())
+        assert region.satisfies_all(constraints)
+        assert 2 in region.area_ids
+
+
+class TestDissolvePhase:
+    def test_unfixable_region_is_dissolved(self):
+        collection = make_line_collection([1, 1])
+        constraints = ConstraintSet([sum_constraint("s", lower=10)])
+        state = make_state(collection, constraints, regions=[[1], [2]])
+        run_adjustment(state)
+        assert state.p == 0
+        assert state.n_unassigned == 2
+
+    def test_dissolve_infeasible_is_idempotent(self, grid3):
+        constraints = ConstraintSet([sum_constraint("s", lower=1)])
+        state = make_state(grid3, constraints, regions=[[1, 2]])
+        dissolve_infeasible(state)
+        dissolve_infeasible(state)
+        assert state.p == 1
+
+    def test_no_counting_constraints_still_dissolves_invalid(self):
+        # A region violating AVG left over from growing must not
+        # survive Step 3 even without SUM/COUNT constraints.
+        collection = make_line_collection([1, 2])
+        constraints = ConstraintSet([avg_constraint("s", 5, 9)])
+        state = make_state(collection, constraints, regions=[[1, 2]])
+        run_adjustment(state)
+        assert state.p == 0
+
+
+class TestAdjustmentInvariants:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_grids_end_valid(self, seed):
+        rng = random.Random(seed)
+        values = {i: rng.randint(1, 9) for i in range(1, 26)}
+        collection = make_grid_collection(5, 5, values=values)
+        constraints = ConstraintSet([sum_constraint("s", 10, 40)])
+        state = SolutionState(collection, constraints)
+        # one region per area, then adjust
+        for area_id in collection.ids:
+            state.new_region([area_id])
+        run_adjustment(state, seed=seed)
+        for region in state.iter_regions():
+            assert region.is_contiguous()
+            assert region.satisfies_all(constraints)

@@ -1,0 +1,127 @@
+"""Property-based tests for Step 3 and the full construction pipeline.
+
+These complement tests/test_adjustment.py's scenario tests with random
+worlds: whatever the starting regions, Step 3 must terminate and leave
+only valid regions behind.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    ConstraintSet,
+    avg_constraint,
+    count_constraint,
+    sum_constraint,
+)
+from repro.fact import FaCTConfig, adjust_counting
+from repro.fact.state import SolutionState
+
+from conftest import make_grid_collection
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def world_and_partition(draw):
+    """A random grid plus a random contiguous starting partition."""
+    rows = draw(st.integers(3, 5))
+    cols = draw(st.integers(3, 5))
+    n = rows * cols
+    values = {
+        i: float(draw(st.integers(1, 15))) for i in range(1, n + 1)
+    }
+    collection = make_grid_collection(rows, cols, values=values)
+    # random contiguous partition: BFS-grow regions from random seeds
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    unassigned = set(collection.ids)
+    groups: list[set[int]] = []
+    while unassigned:
+        seed_area = rng.choice(sorted(unassigned))
+        group = {seed_area}
+        unassigned.discard(seed_area)
+        target = rng.randint(1, 5)
+        while len(group) < target:
+            frontier = [
+                neighbor
+                for member in group
+                for neighbor in collection.neighbors(member)
+                if neighbor in unassigned
+            ]
+            if not frontier:
+                break
+            chosen = rng.choice(frontier)
+            group.add(chosen)
+            unassigned.discard(chosen)
+        groups.append(group)
+    return collection, groups
+
+
+@st.composite
+def counting_constraints(draw):
+    constraints = []
+    if draw(st.booleans()):
+        lower = draw(st.integers(2, 40))
+        upper = lower + draw(st.integers(5, 60))
+        constraints.append(sum_constraint("s", lower, upper))
+    else:
+        constraints.append(sum_constraint("s", lower=draw(st.integers(2, 40))))
+    if draw(st.booleans()):
+        lower = draw(st.integers(1, 3))
+        constraints.append(count_constraint(lower, lower + draw(st.integers(1, 6))))
+    return ConstraintSet(constraints)
+
+
+class TestAdjustmentProperties:
+    @SETTINGS
+    @given(world_and_partition(), counting_constraints(), st.integers(0, 99))
+    def test_step3_always_terminates_with_valid_regions(
+        self, world, constraints, seed
+    ):
+        collection, groups = world
+        state = SolutionState(collection, constraints)
+        for group in groups:
+            state.new_region(group)
+        adjust_counting(state, FaCTConfig(rng_seed=seed), random.Random(seed))
+        for region in state.iter_regions():
+            assert region.is_contiguous()
+            assert region.satisfies_all(constraints)
+
+    @SETTINGS
+    @given(world_and_partition(), st.integers(0, 99))
+    def test_step3_preserves_area_conservation(self, world, seed):
+        collection, groups = world
+        constraints = ConstraintSet([sum_constraint("s", lower=10)])
+        state = SolutionState(collection, constraints)
+        for group in groups:
+            state.new_region(group)
+        adjust_counting(state, FaCTConfig(rng_seed=seed), random.Random(seed))
+        assigned = set()
+        for region in state.iter_regions():
+            assert not (assigned & region.area_ids)
+            assigned |= region.area_ids
+        assert assigned | state.unassigned == set(collection.ids)
+
+    @SETTINGS
+    @given(world_and_partition(), st.integers(0, 99))
+    def test_step3_with_avg_guard_never_breaks_avg(self, world, seed):
+        """When the starting regions satisfy an AVG constraint, Step 3
+        must preserve it through every absorb/swap/merge/trim."""
+        collection, groups = world
+        constraints = ConstraintSet(
+            [avg_constraint("s", 0, 100), sum_constraint("s", lower=8)]
+        )
+        state = SolutionState(collection, constraints)
+        for group in groups:
+            state.new_region(group)  # avg [0,100] trivially satisfied
+        adjust_counting(state, FaCTConfig(rng_seed=seed), random.Random(seed))
+        for region in state.iter_regions():
+            assert 0 <= region.aggregate("AVG", "s") <= 100
+            assert region.aggregate("SUM", "s") >= 8

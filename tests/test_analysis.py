@@ -1,0 +1,200 @@
+"""Tests for repro.analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    adjusted_rand_index,
+    morans_i,
+    partition_quality,
+    rand_index,
+    region_profile,
+)
+from repro.core import Partition
+from repro.data import synthetic_census
+from repro.exceptions import InvalidAreaError
+
+from conftest import make_grid_collection
+
+
+class TestRegionProfile:
+    def test_profile_rows(self, grid3):
+        partition = Partition(([1, 2], [3, 6]), frozenset({4, 5, 7, 8, 9}))
+        rows = region_profile(grid3, partition)
+        assert len(rows) == 2
+        first = rows[0]
+        assert first["n_areas"] == 2
+        assert first["SUM(s)"] == 3.0
+        assert first["AVG(s)"] == 1.5
+        assert first["MIN(s)"] == 1.0
+        assert first["MAX(s)"] == 2.0
+        assert first["heterogeneity"] == pytest.approx(1.0)
+
+    def test_attribute_subset(self, grid3):
+        partition = Partition(([1, 2],), frozenset(set(range(3, 10))))
+        rows = region_profile(grid3, partition, attributes=["s"])
+        assert "SUM(s)" in rows[0]
+
+    def test_unknown_attribute_raises(self, grid3):
+        partition = Partition(([1, 2],), frozenset(set(range(3, 10))))
+        with pytest.raises(InvalidAreaError):
+            region_profile(grid3, partition, attributes=["income"])
+
+
+class TestPartitionQuality:
+    def test_basic_measures(self, grid3):
+        partition = Partition(([1, 2], [3, 6]), frozenset({4, 5, 7, 8, 9}))
+        quality = partition_quality(grid3, partition)
+        assert quality["p"] == 2.0
+        assert quality["n_unassigned"] == 5.0
+        assert quality["unassigned_fraction"] == pytest.approx(5 / 9)
+        assert quality["size_min"] == 2.0
+        assert quality["size_mean"] == 2.0
+        assert "compactness" not in quality  # grid areas carry no polygons
+
+    def test_compactness_with_polygons(self):
+        census = synthetic_census(30, seed=5)
+        ids = list(census.ids)
+        partition = Partition.from_labels(
+            {area_id: 0 for area_id in ids}
+        )
+        quality = partition_quality(census, partition)
+        assert quality["compactness"] > 0
+
+
+class TestMoransI:
+    def test_constant_attribute_is_zero(self):
+        collection = make_grid_collection(4, 4, values={i: 5 for i in range(1, 17)})
+        assert morans_i(collection, "s") == 0.0
+
+    def test_smooth_gradient_is_positive(self):
+        # row-major gradient: neighbors have similar values
+        collection = make_grid_collection(5, 5, values={i: i for i in range(1, 26)})
+        assert morans_i(collection, "s") > 0.3
+
+    def test_checkerboard_is_negative(self):
+        values = {}
+        for r in range(4):
+            for c in range(4):
+                values[r * 4 + c + 1] = float((r + c) % 2)
+        collection = make_grid_collection(4, 4, values=values)
+        assert morans_i(collection, "s") < -0.5
+
+    def test_synthetic_census_has_positive_autocorrelation(self):
+        census = synthetic_census(300, seed=6)
+        assert morans_i(census, "EMPLOYED") > 0.15
+        assert morans_i(census, "POP16UP") > 0.15
+
+    def test_no_adjacency_raises(self):
+        from repro.core import Area, AreaCollection
+
+        collection = AreaCollection(
+            [Area(1, {"s": 1.0}, 0.0), Area(2, {"s": 5.0}, 0.0)], {}
+        )
+        with pytest.raises(InvalidAreaError, match="no adjacencies"):
+            morans_i(collection, "s")
+
+
+class TestRandIndices:
+    def test_identical_partitions(self):
+        a = Partition(([1, 2], [3, 4]))
+        assert rand_index(a, a) == 1.0
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_completely_split_vs_merged(self):
+        merged = Partition(([1, 2, 3, 4],))
+        split = Partition(([1], [2], [3], [4]))
+        assert rand_index(merged, split) == 0.0
+        assert adjusted_rand_index(merged, split) <= 0.0
+
+    def test_symmetry(self):
+        a = Partition(([1, 2], [3, 4], [5]))
+        b = Partition(([1, 2, 3], [4, 5]))
+        assert rand_index(a, b) == rand_index(b, a)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_partial_agreement_between_zero_and_one(self):
+        a = Partition(([1, 2], [3, 4]))
+        b = Partition(([1, 2, 3], [4]))
+        assert 0.0 < rand_index(a, b) < 1.0
+
+    def test_unassigned_areas_excluded(self):
+        a = Partition(([1, 2],), frozenset({3}))
+        b = Partition(([1, 2], [3]))
+        # area 3 is unassigned in a -> comparison over {1, 2} only
+        assert rand_index(a, b) == 1.0
+
+    def test_too_few_common_areas_raise(self):
+        a = Partition(([1],), frozenset({2}))
+        b = Partition(([2],), frozenset({1}))
+        with pytest.raises(InvalidAreaError):
+            rand_index(a, b)
+
+    def test_same_seed_solver_runs_are_identical(self):
+        from repro import ConstraintSet, FaCT, FaCTConfig, sum_constraint
+
+        census = synthetic_census(60, seed=9)
+        constraints = ConstraintSet([sum_constraint("TOTALPOP", lower=15000)])
+        a = FaCT(FaCTConfig(rng_seed=4, enable_tabu=False)).solve(
+            census, constraints
+        )
+        b = FaCT(FaCTConfig(rng_seed=4, enable_tabu=False)).solve(
+            census, constraints
+        )
+        assert adjusted_rand_index(a.partition, b.partition) == 1.0
+
+
+class TestLocalMoransI:
+    def test_constant_attribute_all_zero(self):
+        from repro.analysis import local_morans_i
+
+        collection = make_grid_collection(3, 3, values={i: 4 for i in range(1, 10)})
+        assert set(local_morans_i(collection, "s").values()) == {0.0}
+
+    def test_cluster_members_positive(self):
+        from repro.analysis import local_morans_i
+
+        # left half high, right half low: interior cells sit in
+        # like-valued neighborhoods -> positive I_i
+        values = {}
+        for r in range(4):
+            for c in range(4):
+                values[r * 4 + c + 1] = 10.0 if c < 2 else 1.0
+        collection = make_grid_collection(4, 4, values=values)
+        lisa = local_morans_i(collection, "s")
+        assert lisa[1] > 0  # corner of the high cluster
+        assert lisa[16] > 0  # corner of the low cluster
+
+    def test_spatial_outlier_negative(self):
+        from repro.analysis import local_morans_i
+
+        values = {i: 1.0 for i in range(1, 10)}
+        values[5] = 50.0  # a lone peak in a flat plain
+        collection = make_grid_collection(3, 3, values=values)
+        lisa = local_morans_i(collection, "s")
+        assert lisa[5] < 0
+
+    def test_mean_relates_to_global_morans(self):
+        from repro.analysis import local_morans_i, morans_i
+
+        census = synthetic_census(200, seed=61)
+        lisa = local_morans_i(census, "EMPLOYED")
+        global_i = morans_i(census, "EMPLOYED")
+        # row-standardized LISA mean tracks the (binary-weight) global
+        # statistic in sign and rough magnitude
+        mean_lisa = sum(lisa.values()) / len(lisa)
+        assert mean_lisa > 0
+        assert global_i > 0
+
+    def test_isolated_area_zero(self):
+        from repro.analysis import local_morans_i
+        from repro.core import Area, AreaCollection
+
+        collection = AreaCollection(
+            [Area(1, {"s": 1.0}, 0.0), Area(2, {"s": 9.0}, 0.0)], {}
+        )
+        lisa = local_morans_i(collection, "s")
+        assert lisa == {1: 0.0, 2: 0.0}

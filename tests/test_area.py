@@ -1,0 +1,192 @@
+"""Unit tests for repro.core.area (Area and AreaCollection)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Area, AreaCollection
+from repro.exceptions import ContiguityError, InvalidAreaError
+
+from conftest import make_grid_collection, make_line_collection
+
+
+class TestArea:
+    def test_attributes_are_coerced_to_float(self):
+        area = Area(1, {"pop": 10}, dissimilarity=2)
+        assert area.attributes["pop"] == 10.0
+        assert area.dissimilarity == 2.0
+
+    def test_non_integer_id_raises(self):
+        with pytest.raises(InvalidAreaError, match="area_id"):
+            Area("a", {"pop": 1}, dissimilarity=0)
+
+    def test_non_finite_attribute_raises(self):
+        with pytest.raises(InvalidAreaError, match="not finite"):
+            Area(1, {"pop": math.inf}, dissimilarity=0)
+
+    def test_non_finite_dissimilarity_raises(self):
+        with pytest.raises(InvalidAreaError, match="dissimilarity"):
+            Area(1, {"pop": 1}, dissimilarity=math.nan)
+
+    def test_attribute_accessor(self):
+        area = Area(1, {"pop": 5}, dissimilarity=0)
+        assert area.attribute("pop") == 5.0
+        with pytest.raises(InvalidAreaError, match="no attribute"):
+            area.attribute("income")
+
+
+class TestAreaCollectionValidation:
+    def test_duplicate_ids_raise(self):
+        areas = [Area(1, {"s": 1.0}, 0.0), Area(1, {"s": 2.0}, 0.0)]
+        with pytest.raises(InvalidAreaError, match="duplicate"):
+            AreaCollection(areas, {1: set()})
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(InvalidAreaError, match="at least one"):
+            AreaCollection([], {})
+
+    def test_mismatched_attribute_names_raise(self):
+        areas = [Area(1, {"s": 1.0}, 0.0), Area(2, {"t": 2.0}, 0.0)]
+        with pytest.raises(InvalidAreaError, match="attribute names"):
+            AreaCollection(areas, {})
+
+    def test_self_loop_raises(self):
+        areas = [Area(1, {"s": 1.0}, 0.0)]
+        with pytest.raises(InvalidAreaError, match="adjacent to itself"):
+            AreaCollection(areas, {1: {1}})
+
+    def test_unknown_neighbor_raises(self):
+        areas = [Area(1, {"s": 1.0}, 0.0)]
+        with pytest.raises(InvalidAreaError, match="unknown area"):
+            AreaCollection(areas, {1: {99}})
+
+    def test_asymmetric_adjacency_raises(self):
+        areas = [Area(1, {"s": 1.0}, 0.0), Area(2, {"s": 2.0}, 0.0)]
+        with pytest.raises(InvalidAreaError, match="asymmetric"):
+            AreaCollection(areas, {1: {2}, 2: set()})
+
+    def test_adjacency_for_unknown_area_raises(self):
+        areas = [Area(1, {"s": 1.0}, 0.0)]
+        with pytest.raises(InvalidAreaError, match="unknown area id"):
+            AreaCollection(areas, {7: set()})
+
+    def test_missing_dissimilarity_without_attribute_raises(self):
+        areas = [Area(1, {"s": 1.0})]
+        with pytest.raises(InvalidAreaError, match="dissimilarity"):
+            AreaCollection(areas, {})
+
+    def test_unknown_dissimilarity_attribute_raises(self):
+        areas = [Area(1, {"s": 1.0})]
+        with pytest.raises(InvalidAreaError, match="not an area attribute"):
+            AreaCollection(areas, {}, dissimilarity_attribute="income")
+
+    def test_dissimilarity_resolved_from_attribute(self):
+        areas = [Area(1, {"s": 7.0})]
+        collection = AreaCollection(areas, {}, dissimilarity_attribute="s")
+        assert collection.dissimilarity(1) == 7.0
+
+    def test_explicit_dissimilarity_wins(self):
+        areas = [Area(1, {"s": 7.0}, dissimilarity=3.0)]
+        collection = AreaCollection(areas, {}, dissimilarity_attribute="s")
+        assert collection.dissimilarity(1) == 3.0
+
+
+class TestAccessors:
+    def test_len_iter_contains(self, grid3):
+        assert len(grid3) == 9
+        assert {a.area_id for a in grid3} == set(range(1, 10))
+        assert 5 in grid3 and 99 not in grid3
+
+    def test_area_and_attribute(self, grid3):
+        assert grid3.area(4).area_id == 4
+        assert grid3.attribute(4, "s") == 4.0
+        with pytest.raises(InvalidAreaError):
+            grid3.area(99)
+        with pytest.raises(InvalidAreaError):
+            grid3.attribute(1, "nope")
+
+    def test_neighbors_of_grid_center(self, grid3):
+        assert grid3.neighbors(5) == frozenset({2, 4, 6, 8})
+
+    def test_neighbors_of_grid_corner(self, grid3):
+        assert grid3.neighbors(1) == frozenset({2, 4})
+
+    def test_neighbors_unknown_raises(self, grid3):
+        with pytest.raises(InvalidAreaError):
+            grid3.neighbors(0)
+
+    def test_attribute_values_mapping(self, grid3):
+        values = grid3.attribute_values("s")
+        assert values[7] == 7.0 and len(values) == 9
+        with pytest.raises(InvalidAreaError):
+            grid3.attribute_values("nope")
+
+    def test_degree_histogram_of_grid(self, grid3):
+        # 4 corners (deg 2), 4 edges (deg 3), 1 center (deg 4)
+        assert grid3.degree_histogram() == {2: 4, 3: 4, 4: 1}
+
+    def test_summary_fields(self, grid3):
+        summary = grid3.summary()
+        assert summary["n_areas"] == 9
+        assert summary["n_components"] == 1
+        assert summary["attributes"] == ["s"]
+
+
+class TestGraphStructure:
+    def test_grid_is_one_component(self, grid3):
+        components = grid3.connected_components()
+        assert len(components) == 1
+        assert components[0] == frozenset(range(1, 10))
+
+    def test_components_within_subset(self, grid3):
+        # corners only: four isolated singletons
+        components = grid3.connected_components(within={1, 3, 7, 9})
+        assert len(components) == 4
+
+    def test_components_within_unknown_id_raises(self, grid3):
+        with pytest.raises(InvalidAreaError):
+            grid3.connected_components(within={42})
+
+    def test_is_contiguous_true_for_row(self, grid3):
+        assert grid3.is_contiguous({4, 5, 6})
+
+    def test_is_contiguous_false_for_diagonal(self, grid3):
+        assert not grid3.is_contiguous({1, 5})  # rook: diagonal not adjacent
+
+    def test_is_contiguous_false_for_empty(self, grid3):
+        assert not grid3.is_contiguous(set())
+
+    def test_is_contiguous_true_for_singleton(self, grid3):
+        assert grid3.is_contiguous({5})
+
+    def test_region_neighbors(self, grid3):
+        assert grid3.region_neighbors({1, 2}) == frozenset({3, 4, 5})
+
+    def test_subset_restricts_adjacency(self, grid3):
+        sub = grid3.subset({1, 2, 3, 7})
+        assert len(sub) == 4
+        assert sub.neighbors(2) == frozenset({1, 3})
+        assert sub.neighbors(7) == frozenset()
+        assert len(sub.connected_components()) == 2
+
+    def test_subset_empty_raises(self, grid3):
+        with pytest.raises(ContiguityError):
+            grid3.subset(set())
+
+    def test_line_collection_structure(self, line5):
+        assert line5.neighbors(1) == frozenset({2})
+        assert line5.neighbors(3) == frozenset({2, 4})
+        assert line5.is_contiguous({1, 2, 3})
+        assert not line5.is_contiguous({1, 3})
+
+
+class TestHelpers:
+    def test_make_grid_with_custom_values(self):
+        collection = make_grid_collection(2, 2, values={1: 10, 2: 20, 3: 30, 4: 40})
+        assert collection.attribute(3, "s") == 30.0
+
+    def test_make_line_values(self):
+        collection = make_line_collection([5.0, 6.0])
+        assert collection.attribute(2, "s") == 6.0

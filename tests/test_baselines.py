@@ -1,0 +1,215 @@
+"""Tests for the max-p baseline and the exact solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import MaxPConfig, solve_exact, solve_maxp
+from repro.core import (
+    ConstraintSet,
+    avg_constraint,
+    count_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from repro.data import schema, synthetic_census
+from repro.exceptions import DatasetError, InfeasibleProblemError
+
+from conftest import make_grid_collection, make_line_collection
+
+
+class TestMaxP:
+    def test_every_region_meets_threshold(self, small_census):
+        result = solve_maxp(
+            small_census,
+            schema.TOTALPOP,
+            20000,
+            MaxPConfig(rng_seed=1, enable_tabu=False),
+        )
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=20000)]
+        )
+        assert result.partition.validate(small_census, constraints) == []
+
+    def test_all_areas_assigned_on_connected_input(self, small_census):
+        result = solve_maxp(
+            small_census,
+            schema.TOTALPOP,
+            20000,
+            MaxPConfig(rng_seed=1, enable_tabu=False),
+        )
+        assert result.n_unassigned == 0
+
+    def test_higher_threshold_means_fewer_regions(self, small_census):
+        low = solve_maxp(
+            small_census, schema.TOTALPOP, 10000,
+            MaxPConfig(rng_seed=1, enable_tabu=False),
+        )
+        high = solve_maxp(
+            small_census, schema.TOTALPOP, 40000,
+            MaxPConfig(rng_seed=1, enable_tabu=False),
+        )
+        assert low.p > high.p
+
+    def test_tabu_improves_heterogeneity(self, small_census):
+        without = solve_maxp(
+            small_census, schema.TOTALPOP, 20000,
+            MaxPConfig(rng_seed=1, enable_tabu=False),
+        )
+        with_tabu = solve_maxp(
+            small_census, schema.TOTALPOP, 20000,
+            MaxPConfig(rng_seed=1, enable_tabu=True, tabu_max_no_improve=60),
+        )
+        assert with_tabu.heterogeneity <= without.heterogeneity + 1e-6
+        assert with_tabu.tabu_seconds > 0
+        assert 0 <= with_tabu.improvement <= 1
+
+    def test_infeasible_threshold_raises(self, small_census):
+        with pytest.raises(InfeasibleProblemError):
+            solve_maxp(small_census, schema.TOTALPOP, 1e12)
+
+    def test_deterministic_in_seed(self, small_census):
+        a = solve_maxp(
+            small_census, schema.TOTALPOP, 20000,
+            MaxPConfig(rng_seed=5, enable_tabu=False),
+        )
+        b = solve_maxp(
+            small_census, schema.TOTALPOP, 20000,
+            MaxPConfig(rng_seed=5, enable_tabu=False),
+        )
+        assert set(a.partition.regions) == set(b.partition.regions)
+
+    def test_restarts_never_reduce_p(self, small_census):
+        one = solve_maxp(
+            small_census, schema.TOTALPOP, 25000,
+            MaxPConfig(rng_seed=2, iterations=1, enable_tabu=False),
+        )
+        four = solve_maxp(
+            small_census, schema.TOTALPOP, 25000,
+            MaxPConfig(rng_seed=2, iterations=4, enable_tabu=False),
+        )
+        assert four.p >= one.p
+
+    def test_multi_component_leaves_shortfall_unassigned(self):
+        # One component's total falls below the threshold: classic
+        # max-p cannot place those areas in any region.
+        collection = synthetic_census(30, seed=9, patches=2)
+        totals = [
+            sum(
+                collection.attribute(i, schema.TOTALPOP)
+                for i in component
+            )
+            for component in collection.connected_components()
+        ]
+        threshold = (min(totals) + max(totals)) / 2
+        result = solve_maxp(
+            collection, schema.TOTALPOP, threshold,
+            MaxPConfig(rng_seed=1, enable_tabu=False),
+        )
+        assert result.p >= 1
+        assert result.n_unassigned > 0
+
+
+class TestExactSolver:
+    def test_line_partition_optimum(self):
+        # values 1..4, SUM >= 3: optimum splits {1,2},{3},{4} -> p=3.
+        collection = make_line_collection([1, 2, 3, 4])
+        constraints = ConstraintSet([sum_constraint("s", lower=3)])
+        solution = solve_exact(collection, constraints)
+        assert solution.p == 3
+
+    def test_reports_heterogeneity_of_optimum(self):
+        collection = make_line_collection([1, 2, 3, 4])
+        constraints = ConstraintSet([sum_constraint("s", lower=3)])
+        solution = solve_exact(collection, constraints)
+        assert solution.heterogeneity == pytest.approx(
+            solution.partition.heterogeneity(collection)
+        )
+
+    def test_min_heterogeneity_among_max_p(self):
+        # COUNT == 2 on a 4-line with d = [1, 1, 9, 9]: the p = 2
+        # partition {1,2},{3,4} has H = 0 and must be chosen over
+        # {2,3},{...} arrangements.
+        collection = make_line_collection([1, 1, 9, 9])
+        constraints = ConstraintSet([count_constraint(2, 2)])
+        solution = solve_exact(collection, constraints)
+        assert solution.p == 2
+        assert solution.heterogeneity == 0.0
+
+    def test_unassigned_allowed_semantics(self):
+        # MIN [5, 9]: areas below 5 are invalid; EMP may leave them out.
+        collection = make_line_collection([1, 6, 7])
+        constraints = ConstraintSet([min_constraint("s", 5, 9)])
+        solution = solve_exact(collection, constraints)
+        assert solution.p >= 1
+        assert 1 in solution.partition.unassigned
+
+    def test_full_partition_mode_raises_when_impossible(self):
+        collection = make_line_collection([1, 6, 7])
+        constraints = ConstraintSet([min_constraint("s", 5, 9)])
+        with pytest.raises(DatasetError, match="no feasible full partition"):
+            solve_exact(collection, constraints, allow_unassigned=False)
+
+    def test_no_feasible_region_returns_empty_partition(self):
+        collection = make_line_collection([1, 2])
+        constraints = ConstraintSet([sum_constraint("s", 100, 200)])
+        solution = solve_exact(collection, constraints)
+        assert solution.p == 0
+        assert solution.partition.unassigned == frozenset({1, 2})
+
+    def test_too_many_areas_raise(self):
+        collection = make_grid_collection(4, 4)
+        with pytest.raises(DatasetError, match="at most"):
+            solve_exact(collection, ConstraintSet())
+
+    def test_contiguity_enforced(self):
+        # d values make the non-contiguous grouping attractive; the
+        # solver must not produce it.
+        collection = make_line_collection([5, 1, 5])
+        constraints = ConstraintSet([count_constraint(1, 2)])
+        solution = solve_exact(collection, constraints)
+        for region in solution.partition.regions:
+            assert collection.is_contiguous(region)
+
+
+class TestFaCTvsExact:
+    """FaCT is a heuristic: it can never beat the exact optimum, and on
+    easy instances it should attain it."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fact_never_exceeds_optimal_p(self, seed):
+        collection = synthetic_census(8, seed=20 + seed)
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=9000)]
+        )
+        exact = solve_exact(collection, constraints)
+        from repro import FaCT, FaCTConfig
+
+        fact = FaCT(
+            FaCTConfig(rng_seed=seed, construction_iterations=4)
+        ).solve(collection, constraints)
+        assert fact.p <= exact.p
+
+    def test_fact_attains_optimum_on_easy_instance(self):
+        collection = make_line_collection([5, 5, 5, 5])
+        constraints = ConstraintSet([sum_constraint("s", lower=5)])
+        exact = solve_exact(collection, constraints)
+        from repro import FaCT, FaCTConfig
+
+        fact = FaCT(FaCTConfig(rng_seed=0, construction_iterations=3)).solve(
+            collection, constraints
+        )
+        assert exact.p == 4
+        assert fact.p == 4
+
+    def test_maxp_baseline_never_exceeds_optimal_p(self):
+        collection = synthetic_census(8, seed=33)
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=9000)]
+        )
+        exact = solve_exact(collection, constraints, allow_unassigned=False)
+        result = solve_maxp(
+            collection, schema.TOTALPOP, 9000,
+            MaxPConfig(rng_seed=0, iterations=4, enable_tabu=False),
+        )
+        assert result.p <= exact.p

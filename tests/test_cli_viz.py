@@ -1,0 +1,156 @@
+"""Tests for the CLI (repro.__main__) and the SVG renderer (repro.viz)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.__main__ import main, parse_constraint
+from repro.core import Partition
+from repro.data import synthetic_census
+from repro.exceptions import DatasetError, ReproError
+from repro.viz import PALETTE, UNASSIGNED_FILL, partition_to_svg
+
+
+class TestParseConstraint:
+    def test_closed_range(self):
+        c = parse_constraint("AVG:EMPLOYED:1500:3500")
+        assert (c.aggregate, c.attribute, c.lower, c.upper) == (
+            "AVG",
+            "EMPLOYED",
+            1500.0,
+            3500.0,
+        )
+
+    def test_open_bounds_with_dash(self):
+        c = parse_constraint("SUM:TOTALPOP:20000:-")
+        assert c.lower == 20000 and math.isinf(c.upper)
+        c = parse_constraint("MIN:POP16UP:-:3000")
+        assert math.isinf(c.lower) and c.upper == 3000
+
+    def test_count_with_empty_attribute(self):
+        c = parse_constraint("COUNT::2:40")
+        assert c.aggregate == "COUNT" and (c.lower, c.upper) == (2, 40)
+
+    def test_malformed_raises(self):
+        with pytest.raises(ReproError, match="AGG:ATTR"):
+            parse_constraint("SUM:TOTALPOP")
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        stdout = capsys.readouterr().out
+        assert "50k" in stdout and "Los Angeles County" in stdout
+
+    def test_check_command(self, capsys):
+        assert main(["check", "--scale", "0.02"]) == 0
+        assert "feasibility report" in capsys.readouterr().out
+
+    def test_solve_command_with_custom_constraints(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--scale",
+                "0.02",
+                "--no-tabu",
+                "-c",
+                "SUM:TOTALPOP:15000:-",
+            ]
+        )
+        assert code == 0
+        assert "regions (p):" in capsys.readouterr().out
+
+    def test_solve_writes_outputs(self, capsys, tmp_path):
+        geojson_path = tmp_path / "out.geojson"
+        svg_path = tmp_path / "map.svg"
+        code = main(
+            [
+                "solve",
+                "--scale",
+                "0.02",
+                "--no-tabu",
+                "--geojson-output",
+                str(geojson_path),
+                "--svg-output",
+                str(svg_path),
+            ]
+        )
+        assert code == 0
+        assert json.loads(geojson_path.read_text())["type"] == (
+            "FeatureCollection"
+        )
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_geojson_input_round_trip(self, tmp_path, capsys):
+        from repro.data import dump_geojson
+
+        collection = synthetic_census(40, seed=2)
+        source = tmp_path / "in.geojson"
+        dump_geojson(collection, source)
+        code = main(
+            [
+                "solve",
+                "--geojson-input",
+                str(source),
+                "--attributes",
+                "TOTALPOP,EMPLOYED,HOUSEHOLDS",
+                "--dissimilarity",
+                "HOUSEHOLDS",
+                "--no-tabu",
+                "-c",
+                "SUM:TOTALPOP:15000:-",
+            ]
+        )
+        assert code == 0
+
+    def test_geojson_input_without_attributes_errors(self, capsys):
+        code = main(["solve", "--geojson-input", "x.geojson"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_infeasible_query_returns_error(self, capsys):
+        code = main(
+            ["solve", "--scale", "0.02", "-c", "SUM:TOTALPOP:999999999:-"]
+        )
+        assert code == 1
+
+
+class TestSvgRenderer:
+    @pytest.fixture(scope="class")
+    def collection(self):
+        return synthetic_census(20, seed=4)
+
+    def test_renders_every_area(self, collection):
+        svg = partition_to_svg(collection)
+        assert svg.count("<path") == len(collection)
+        assert svg.startswith("<svg")
+
+    def test_unassigned_fill_used_without_partition(self, collection):
+        svg = partition_to_svg(collection)
+        assert UNASSIGNED_FILL in svg
+
+    def test_region_colors_cycle_palette(self, collection):
+        ids = list(collection.ids)
+        partition = Partition.from_labels(
+            {area_id: index % 3 for index, area_id in enumerate(ids)}
+        )
+        svg = partition_to_svg(collection, partition)
+        for color in PALETTE[:3]:
+            assert color in svg
+
+    def test_mapping_labels_accepted(self, collection):
+        labels = {area_id: 0 for area_id in collection.ids}
+        svg = partition_to_svg(collection, labels)
+        assert PALETTE[0] in svg
+
+    def test_writes_file(self, collection, tmp_path):
+        path = tmp_path / "map.svg"
+        partition_to_svg(collection, None, path)
+        assert path.read_text().startswith("<svg")
+
+    def test_polygonless_area_raises(self, grid3):
+        with pytest.raises(DatasetError, match="no polygon"):
+            partition_to_svg(grid3)

@@ -1,0 +1,206 @@
+"""Unit tests for repro.core.constraints."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    ConstraintSet,
+    avg_constraint,
+    count_constraint,
+    max_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from repro.core.constraints import ConstraintFamily
+from repro.exceptions import InvalidConstraintError
+
+
+class TestConstraintConstruction:
+    def test_four_tuple_is_stored(self):
+        c = Constraint("SUM", "TOTALPOP", 100, 200)
+        assert (c.aggregate, c.attribute, c.lower, c.upper) == (
+            "SUM",
+            "TOTALPOP",
+            100.0,
+            200.0,
+        )
+
+    def test_aggregate_is_case_insensitive(self):
+        assert Constraint("avg", "x", 0, 1).aggregate == "AVG"
+
+    def test_bounds_default_to_open_range(self):
+        c = Constraint("MIN", "x")
+        assert c.lower == -math.inf
+        assert c.upper == math.inf
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(InvalidConstraintError, match="exceeds"):
+            Constraint("SUM", "x", 5, 1)
+
+    def test_nan_bound_raises(self):
+        with pytest.raises(InvalidConstraintError, match="NaN"):
+            Constraint("SUM", "x", math.nan, 1)
+
+    def test_positive_infinite_lower_raises(self):
+        with pytest.raises(InvalidConstraintError):
+            Constraint("SUM", "x", math.inf, math.inf)
+
+    def test_missing_attribute_raises_for_non_count(self):
+        with pytest.raises(InvalidConstraintError, match="attribute"):
+            Constraint("SUM", "", 1, 2)
+
+    def test_count_allows_empty_attribute(self):
+        assert Constraint("COUNT", "", 1, 5).attribute == ""
+
+    def test_vacuous_count_raises(self):
+        with pytest.raises(InvalidConstraintError, match="vacuous"):
+            Constraint("COUNT", "", -math.inf, math.inf)
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            Constraint("MEDIAN", "x", 0, 1)
+
+
+class TestConstraintProperties:
+    def test_families(self):
+        assert min_constraint("x", 0, 1).family == ConstraintFamily.EXTREMA
+        assert max_constraint("x", 0, 1).family == ConstraintFamily.EXTREMA
+        assert avg_constraint("x", 0, 1).family == ConstraintFamily.CENTRALITY
+        assert sum_constraint("x", 0, 1).family == ConstraintFamily.COUNTING
+        assert count_constraint(1, 2).family == ConstraintFamily.COUNTING
+
+    def test_monotonicity_only_for_counting(self):
+        assert sum_constraint("x", 0, 1).is_monotonic
+        assert count_constraint(1, 2).is_monotonic
+        assert not avg_constraint("x", 0, 1).is_monotonic
+        assert not min_constraint("x", 0, 1).is_monotonic
+
+    def test_has_lower_has_upper(self):
+        c = sum_constraint("x", lower=10)
+        assert c.has_lower and not c.has_upper
+        c = min_constraint("x", upper=10)
+        assert c.has_upper and not c.has_lower
+
+    def test_contains_below_above(self):
+        c = avg_constraint("x", 10, 20)
+        assert c.contains(10) and c.contains(20) and c.contains(15)
+        assert c.below(9.99) and not c.below(10)
+        assert c.above(20.01) and not c.above(20)
+
+    def test_nan_never_satisfies(self):
+        assert not avg_constraint("x", 0, 1).contains(math.nan)
+
+    def test_with_bounds_replaces_selectively(self):
+        c = sum_constraint("x", 1, 10)
+        assert c.with_bounds(lower=5).lower == 5
+        assert c.with_bounds(lower=5).upper == 10
+        assert c.with_bounds(upper=50).upper == 50
+
+    def test_str_renders_range(self):
+        text = str(sum_constraint("POP", 100, 200))
+        assert "SUM(POP)" in text and "100" in text and "200" in text
+
+    def test_constraints_are_hashable_and_frozen(self):
+        c = sum_constraint("x", 1, 2)
+        assert c == sum_constraint("x", 1, 2)
+        assert hash(c) == hash(sum_constraint("x", 1, 2))
+        with pytest.raises(AttributeError):
+            c.lower = 0
+
+
+class TestConstraintSet:
+    def _sample(self):
+        return ConstraintSet(
+            [
+                min_constraint("a", 0, 5),
+                max_constraint("b", 3, 9),
+                avg_constraint("c", 1, 2),
+                sum_constraint("d", lower=10),
+                count_constraint(2, 4),
+            ]
+        )
+
+    def test_len_iter_getitem_bool(self):
+        cs = self._sample()
+        assert len(cs) == 5
+        assert bool(cs)
+        assert cs[0].aggregate == "MIN"
+        assert [c.aggregate for c in cs] == ["MIN", "MAX", "AVG", "SUM", "COUNT"]
+
+    def test_empty_set_is_falsy(self):
+        assert not ConstraintSet()
+        assert len(ConstraintSet()) == 0
+
+    def test_family_views(self):
+        cs = self._sample()
+        assert {c.aggregate for c in cs.extrema} == {"MIN", "MAX"}
+        assert {c.aggregate for c in cs.centrality} == {"AVG"}
+        assert {c.aggregate for c in cs.counting} == {"SUM", "COUNT"}
+
+    def test_aggregate_views(self):
+        cs = self._sample()
+        assert len(cs.mins) == 1
+        assert len(cs.maxes) == 1
+        assert len(cs.avgs) == 1
+        assert len(cs.sums) == 1
+        assert len(cs.counts) == 1
+
+    def test_attributes_excludes_count_placeholder(self):
+        assert self._sample().attributes() == {"a", "b", "c", "d"}
+
+    def test_on_attribute(self):
+        cs = self._sample()
+        assert len(cs.on_attribute("a")) == 1
+        assert cs.on_attribute("zzz") == ()
+
+    def test_rejects_non_constraints(self):
+        with pytest.raises(InvalidConstraintError, match="expected Constraint"):
+            ConstraintSet(["SUM"])
+
+
+class TestAreaLevelHelpers:
+    def test_invalid_under_min_lower(self):
+        cs = ConstraintSet([min_constraint("s", lower=2, upper=4)])
+        assert cs.area_is_invalid({"s": 1})
+        assert not cs.area_is_invalid({"s": 2})
+        assert not cs.area_is_invalid({"s": 9})  # above u is fine for MIN
+
+    def test_invalid_under_max_upper(self):
+        cs = ConstraintSet([max_constraint("s", lower=6, upper=7)])
+        assert cs.area_is_invalid({"s": 8})
+        assert not cs.area_is_invalid({"s": 1})  # below l is fine for MAX
+
+    def test_invalid_under_sum_upper(self):
+        cs = ConstraintSet([sum_constraint("s", lower=1, upper=10)])
+        assert cs.area_is_invalid({"s": 11})
+        assert not cs.area_is_invalid({"s": 10})
+
+    def test_seed_requires_range_membership(self):
+        cs = ConstraintSet(
+            [min_constraint("s", 2, 4), max_constraint("s", 6, 7)]
+        )
+        assert cs.area_is_seed({"s": 3})  # MIN seed
+        assert cs.area_is_seed({"s": 6})  # MAX seed
+        assert not cs.area_is_seed({"s": 5})  # between the two ranges
+
+    def test_everything_is_seed_without_extrema(self):
+        cs = ConstraintSet([sum_constraint("s", lower=10)])
+        assert cs.area_is_seed({"s": 0})
+
+    def test_paper_example_classification(self):
+        """Fig 1: MIN [2,4] and MAX [6,7] over s = 1..9."""
+        cs = ConstraintSet(
+            [min_constraint("s", 2, 4), max_constraint("s", 6, 7)]
+        )
+        invalid = {i for i in range(1, 10) if cs.area_is_invalid({"s": i})}
+        seeds = {
+            i
+            for i in range(1, 10)
+            if i not in invalid and cs.area_is_seed({"s": i})
+        }
+        assert invalid == {1, 8, 9}
+        assert seeds == {2, 3, 4, 6, 7}

@@ -1,0 +1,112 @@
+"""Tests for the construction-phase orchestrator (repro.fact.construction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConstraintSet, avg_constraint, min_constraint, sum_constraint
+from repro.exceptions import InfeasibleProblemError
+from repro.fact import FaCTConfig, check_feasibility, construct
+
+from conftest import make_line_collection
+
+
+def census_constraints():
+    from repro.data import schema
+
+    return ConstraintSet(
+        [
+            min_constraint(schema.POP16UP, upper=3000),
+            sum_constraint(schema.TOTALPOP, lower=20000),
+        ]
+    )
+
+
+class TestConstruct:
+    def test_result_fields(self, small_census):
+        result = construct(
+            small_census,
+            census_constraints(),
+            FaCTConfig(rng_seed=1, construction_iterations=3),
+        )
+        assert result.p == result.partition.p > 0
+        assert result.iterations == 3
+        assert len(result.pass_scores) == 3
+        assert result.elapsed_seconds > 0
+        assert result.feasibility.feasible
+        assert result.seeding.p_upper_bound >= result.p
+
+    def test_best_pass_is_kept(self, small_census):
+        result = construct(
+            small_census,
+            census_constraints(),
+            FaCTConfig(rng_seed=5, construction_iterations=4),
+        )
+        best_p = max(p for p, _unassigned in result.pass_scores)
+        assert result.p == best_p
+
+    def test_state_matches_partition(self, small_census):
+        result = construct(
+            small_census, census_constraints(), FaCTConfig(rng_seed=2)
+        )
+        assert result.state.p == result.partition.p
+        assert result.state.to_partition().regions == result.partition.regions
+
+    def test_partition_is_valid(self, small_census):
+        constraints = census_constraints()
+        result = construct(small_census, constraints, FaCTConfig(rng_seed=3))
+        assert result.partition.validate(small_census, constraints) == []
+
+    def test_infeasible_raises_before_any_pass(self, small_census):
+        constraints = ConstraintSet(
+            [sum_constraint("TOTALPOP", lower=1e15)]
+        )
+        with pytest.raises(InfeasibleProblemError):
+            construct(small_census, constraints, FaCTConfig())
+
+    def test_precomputed_feasibility_reused(self, small_census):
+        constraints = census_constraints()
+        config = FaCTConfig(rng_seed=1)
+        report = check_feasibility(small_census, constraints, config)
+        result = construct(
+            small_census, constraints, config, feasibility=report
+        )
+        assert result.feasibility is report
+
+    def test_excluded_areas_in_unassigned(self):
+        # MIN [5, 9] filters values below 5 into U0.
+        collection = make_line_collection([1, 6, 7, 8])
+        constraints = ConstraintSet([min_constraint("s", 5, 9)])
+        result = construct(collection, constraints, FaCTConfig(rng_seed=0))
+        assert 1 in result.partition.unassigned
+
+    def test_default_config_used_when_none(self, small_census):
+        result = construct(small_census, census_constraints())
+        assert result.iterations == FaCTConfig().construction_iterations
+
+    def test_empty_constraints_all_singletons(self, small_census):
+        result = construct(small_census, ConstraintSet(), FaCTConfig())
+        assert result.p == len(small_census)
+
+    def test_deterministic_given_seed(self, small_census):
+        constraints = census_constraints()
+        a = construct(small_census, constraints, FaCTConfig(rng_seed=9))
+        b = construct(small_census, constraints, FaCTConfig(rng_seed=9))
+        assert a.partition.regions == b.partition.regions
+        assert a.pass_scores == b.pass_scores
+
+
+class TestAvgFeasibilityModes:
+    def test_strict_mode_blocks_construction(self, small_census):
+        constraints = ConstraintSet([avg_constraint("EMPLOYED", 5000, 6000)])
+        config = FaCTConfig(strict_avg_feasibility=True)
+        with pytest.raises(InfeasibleProblemError):
+            construct(small_census, constraints, config)
+
+    def test_default_mode_solves_with_unassigned(self, small_census):
+        constraints = ConstraintSet([avg_constraint("EMPLOYED", 5000, 6000)])
+        result = construct(small_census, constraints, FaCTConfig(rng_seed=1))
+        # global average ~2100 is far below the range: whatever regions
+        # exist must satisfy it; most areas are unassigned
+        assert result.partition.validate(small_census, constraints) == []
+        assert len(result.partition.unassigned) > 0

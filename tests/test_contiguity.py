@@ -1,0 +1,206 @@
+"""Tests for repro.contiguity (weights + graph algorithms).
+
+The graph algorithms are checked against networkx as an oracle.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.contiguity import (
+    adjacency_to_edges,
+    articulation_points,
+    bfs_order,
+    connected_components,
+    edges_to_adjacency,
+    is_connected,
+    queen_adjacency,
+    rook_adjacency,
+    validate_adjacency,
+)
+from repro.exceptions import InvalidAreaError
+from repro.geometry import Polygon, grid_tessellation
+
+
+def square(x: float, y: float) -> Polygon:
+    return Polygon([(x, y), (x + 1, y), (x + 1, y + 1), (x, y + 1)])
+
+
+class TestRookAdjacency:
+    def test_two_touching_squares(self):
+        adjacency = rook_adjacency([square(0, 0), square(1, 0)])
+        assert adjacency[0] == frozenset({1})
+        assert adjacency[1] == frozenset({0})
+
+    def test_diagonal_squares_not_rook_neighbors(self):
+        adjacency = rook_adjacency([square(0, 0), square(1, 1)])
+        assert adjacency[0] == frozenset()
+
+    def test_disjoint_squares(self):
+        adjacency = rook_adjacency([square(0, 0), square(5, 5)])
+        assert adjacency[0] == frozenset()
+
+    def test_matches_grid_tessellation_adjacency(self):
+        grid = grid_tessellation(3, 4)
+        derived = rook_adjacency(list(grid.polygons))
+        assert derived == dict(grid.adjacency)
+
+    def test_float_noise_tolerated(self):
+        a = square(0, 0)
+        b = Polygon(
+            [
+                (1 + 1e-12, 0),
+                (2, 0),
+                (2, 1),
+                (1 + 1e-12, 1),
+            ]
+        )
+        adjacency = rook_adjacency([a, b])
+        assert adjacency[0] == frozenset({1})
+
+
+class TestQueenAdjacency:
+    def test_diagonal_squares_are_queen_neighbors(self):
+        adjacency = queen_adjacency([square(0, 0), square(1, 1)])
+        assert adjacency[0] == frozenset({1})
+
+    def test_queen_superset_of_rook(self):
+        grid = grid_tessellation(3, 3)
+        rook = rook_adjacency(list(grid.polygons))
+        queen = queen_adjacency(list(grid.polygons))
+        for node, neighbors in rook.items():
+            assert neighbors <= queen[node]
+
+    def test_grid_center_has_eight_queen_neighbors(self):
+        grid = grid_tessellation(3, 3)
+        queen = queen_adjacency(list(grid.polygons))
+        assert len(queen[4]) == 8
+
+
+class TestAdjacencyUtilities:
+    def test_validate_accepts_good_map(self):
+        validate_adjacency({0: frozenset({1}), 1: frozenset({0})})
+
+    def test_validate_rejects_self_loop(self):
+        with pytest.raises(InvalidAreaError, match="itself"):
+            validate_adjacency({0: frozenset({0})})
+
+    def test_validate_rejects_unknown_neighbor(self):
+        with pytest.raises(InvalidAreaError, match="unknown"):
+            validate_adjacency({0: frozenset({5})})
+
+    def test_validate_rejects_asymmetry(self):
+        with pytest.raises(InvalidAreaError, match="asymmetric"):
+            validate_adjacency({0: frozenset({1}), 1: frozenset()})
+
+    def test_edges_round_trip(self):
+        adjacency = {0: frozenset({1, 2}), 1: frozenset({0}), 2: frozenset({0})}
+        edges = adjacency_to_edges(adjacency)
+        assert edges == {(0, 1), (0, 2)}
+        rebuilt = edges_to_adjacency(edges, nodes=adjacency)
+        assert rebuilt == adjacency
+
+    def test_edges_to_adjacency_rejects_self_loop(self):
+        with pytest.raises(InvalidAreaError):
+            edges_to_adjacency([(1, 1)])
+
+    def test_edges_to_adjacency_keeps_isolated_nodes(self):
+        adjacency = edges_to_adjacency([(0, 1)], nodes=[0, 1, 2])
+        assert adjacency[2] == frozenset()
+
+
+def _neighbor_fn(adjacency):
+    return lambda node: adjacency.get(node, frozenset())
+
+
+class TestGraphAlgorithms:
+    def test_bfs_order_visits_component(self):
+        adjacency = edges_to_adjacency([(1, 2), (2, 3), (4, 5)])
+        order = bfs_order(1, {1, 2, 3, 4, 5}, _neighbor_fn(adjacency))
+        assert set(order) == {1, 2, 3}
+        assert order[0] == 1
+
+    def test_bfs_requires_member_start(self):
+        with pytest.raises(ValueError):
+            bfs_order(9, {1, 2}, lambda n: [])
+
+    def test_is_connected_cases(self):
+        adjacency = edges_to_adjacency([(1, 2), (2, 3)])
+        fn = _neighbor_fn(adjacency)
+        assert is_connected({1, 2, 3}, fn)
+        assert not is_connected({1, 3}, fn)
+        assert not is_connected(set(), fn)
+        assert is_connected({1}, fn)
+
+    def test_connected_components(self):
+        adjacency = edges_to_adjacency([(1, 2), (3, 4)], nodes=[1, 2, 3, 4, 5])
+        components = connected_components(adjacency, _neighbor_fn(adjacency))
+        assert sorted(sorted(c) for c in components) == [[1, 2], [3, 4], [5]]
+
+    def test_articulation_point_of_path(self):
+        adjacency = edges_to_adjacency([(1, 2), (2, 3)])
+        cut = articulation_points({1, 2, 3}, _neighbor_fn(adjacency))
+        assert cut == frozenset({2})
+
+    def test_no_articulation_in_cycle(self):
+        adjacency = edges_to_adjacency([(1, 2), (2, 3), (3, 4), (4, 1)])
+        cut = articulation_points({1, 2, 3, 4}, _neighbor_fn(adjacency))
+        assert cut == frozenset()
+
+    def test_articulation_root_with_two_subtrees(self):
+        # star: center 0 connects leaves 1, 2, 3
+        adjacency = edges_to_adjacency([(0, 1), (0, 2), (0, 3)])
+        cut = articulation_points({0, 1, 2, 3}, _neighbor_fn(adjacency))
+        assert cut == frozenset({0})
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 14), st.data())
+    def test_articulation_matches_networkx(self, n, data):
+        possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = data.draw(
+            st.lists(st.sampled_from(possible), max_size=3 * n, unique=True)
+        )
+        adjacency = edges_to_adjacency(chosen, nodes=range(n))
+        fn = _neighbor_fn(adjacency)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(chosen)
+        assert articulation_points(range(n), fn) == frozenset(
+            nx.articulation_points(graph)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 14), st.data())
+    def test_components_match_networkx(self, n, data):
+        possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = data.draw(
+            st.lists(st.sampled_from(possible), max_size=2 * n, unique=True)
+        )
+        adjacency = edges_to_adjacency(chosen, nodes=range(n))
+        fn = _neighbor_fn(adjacency)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(chosen)
+        ours = {frozenset(c) for c in connected_components(range(n), fn)}
+        theirs = {frozenset(c) for c in nx.connected_components(graph)}
+        assert ours == theirs
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 12), st.data())
+    def test_articulation_removal_disconnects(self, n, data):
+        possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = data.draw(
+            st.lists(st.sampled_from(possible), min_size=1, max_size=2 * n,
+                     unique=True)
+        )
+        adjacency = edges_to_adjacency(chosen, nodes=range(n))
+        fn = _neighbor_fn(adjacency)
+        components_before = connected_components(range(n), fn)
+        for cut in articulation_points(range(n), fn):
+            # Removing an articulation point splits its own component
+            # into at least two pieces; other components are untouched.
+            remaining = set(range(n)) - {cut}
+            components_after = connected_components(remaining, fn)
+            assert len(components_after) >= len(components_before) + 1

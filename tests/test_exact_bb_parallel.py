@@ -1,0 +1,201 @@
+"""Tests for the branch-and-bound exact solver and parallel passes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import ConstraintSet, FaCT, FaCTConfig
+from repro.baselines import solve_exact
+from repro.baselines.branch_and_bound import solve_exact_bb
+from repro.core import (
+    avg_constraint,
+    count_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from repro.data import schema, synthetic_census
+from repro.exceptions import DatasetError, InvalidConstraintError
+
+from conftest import make_grid_collection, make_line_collection
+
+
+class TestBranchAndBound:
+    def test_matches_exhaustive_on_line(self):
+        collection = make_line_collection([1, 2, 3, 4])
+        constraints = ConstraintSet([sum_constraint("s", lower=3)])
+        exhaustive = solve_exact(collection, constraints)
+        bb = solve_exact_bb(collection, constraints)
+        assert bb.p == exhaustive.p == 3
+        assert bb.heterogeneity == pytest.approx(exhaustive.heterogeneity)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.integers(0, 10_000), st.booleans())
+    def test_matches_exhaustive_on_random_grids(self, seed, allow_unassigned):
+        rng = random.Random(seed)
+        values = {i: float(rng.randint(1, 12)) for i in range(1, 10)}
+        collection = make_grid_collection(3, 3, values=values)
+        pool = [
+            ConstraintSet([sum_constraint("s", lower=rng.randint(3, 30))]),
+            ConstraintSet([avg_constraint("s", 3, 3 + rng.randint(2, 8))]),
+            ConstraintSet([count_constraint(2, rng.randint(3, 6))]),
+            ConstraintSet(
+                [
+                    sum_constraint("s", lower=8),
+                    count_constraint(1, 5),
+                ]
+            ),
+        ]
+        constraints = pool[seed % len(pool)]
+        try:
+            exhaustive = solve_exact(
+                collection, constraints, allow_unassigned=allow_unassigned
+            )
+        except DatasetError:
+            with pytest.raises(DatasetError):
+                solve_exact_bb(
+                    collection, constraints, allow_unassigned=allow_unassigned
+                )
+            return
+        bb = solve_exact_bb(
+            collection, constraints, allow_unassigned=allow_unassigned
+        )
+        assert bb.p == exhaustive.p
+        assert bb.heterogeneity == pytest.approx(
+            exhaustive.heterogeneity, abs=1e-6
+        )
+
+    def test_scales_past_exhaustive_limit(self):
+        # 10 areas: exhaustive needs ~700k labelings; B&B closes in
+        # well under a second thanks to the material bound + warm start.
+        collection = synthetic_census(10, seed=17)
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=12000)]
+        )
+        solution = solve_exact_bb(collection, constraints)
+        assert solution.p >= 1
+        assert solution.partition.validate(collection, constraints) == []
+
+    def test_prunes_far_fewer_nodes_than_exhaustive(self):
+        collection = synthetic_census(9, seed=18)
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=9000)]
+        )
+        exhaustive = solve_exact(collection, constraints)
+        bb = solve_exact_bb(collection, constraints)
+        assert bb.p == exhaustive.p
+        assert bb.n_evaluated < exhaustive.n_evaluated / 3
+
+    def test_min_constraint_with_invalid_areas(self):
+        collection = make_line_collection([1, 6, 7, 3, 8])
+        constraints = ConstraintSet([min_constraint("s", 5, 9)])
+        solution = solve_exact_bb(collection, constraints)
+        assert 1 in solution.partition.unassigned
+        assert 4 in solution.partition.unassigned
+        assert solution.p >= 1
+
+    def test_full_partition_mode(self):
+        collection = make_line_collection([5, 5, 5, 5])
+        constraints = ConstraintSet([sum_constraint("s", lower=5)])
+        solution = solve_exact_bb(
+            collection, constraints, allow_unassigned=False
+        )
+        assert solution.p == 4
+
+    def test_full_partition_impossible_raises(self):
+        collection = make_line_collection([1, 6, 7])
+        constraints = ConstraintSet([min_constraint("s", 5, 9)])
+        with pytest.raises(DatasetError, match="no feasible full partition"):
+            solve_exact_bb(collection, constraints, allow_unassigned=False)
+
+    def test_area_limit(self):
+        collection = make_grid_collection(5, 5)
+        with pytest.raises(DatasetError, match="at most"):
+            solve_exact_bb(collection, ConstraintSet())
+
+    def test_node_limit(self):
+        collection = make_grid_collection(3, 3)
+        constraints = ConstraintSet([sum_constraint("s", lower=5)])
+        with pytest.raises(DatasetError, match="node limit"):
+            solve_exact_bb(collection, constraints, node_limit=10)
+
+    def test_fact_never_beats_bb_optimum(self):
+        collection = synthetic_census(10, seed=19)
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=10000)]
+        )
+        optimum = solve_exact_bb(collection, constraints)
+        heuristic = FaCT(
+            FaCTConfig(rng_seed=0, construction_iterations=5,
+                       enable_tabu=False)
+        ).solve(collection, constraints)
+        assert heuristic.p <= optimum.p
+
+
+class TestParallelConstruction:
+    def _constraints(self):
+        return ConstraintSet([sum_constraint(schema.TOTALPOP, lower=20000)])
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(InvalidConstraintError, match="n_jobs"):
+            FaCTConfig(n_jobs=0)
+
+    def test_parallel_solution_valid(self, small_census):
+        constraints = self._constraints()
+        solution = FaCT(
+            FaCTConfig(
+                rng_seed=1,
+                construction_iterations=4,
+                n_jobs=2,
+                enable_tabu=False,
+            )
+        ).solve(small_census, constraints)
+        assert solution.partition.validate(small_census, constraints) == []
+        assert len(solution.construction.pass_scores) == 4
+
+    def test_parallel_deterministic(self, small_census):
+        constraints = self._constraints()
+
+        def run():
+            return FaCT(
+                FaCTConfig(
+                    rng_seed=5,
+                    construction_iterations=3,
+                    n_jobs=2,
+                    enable_tabu=False,
+                )
+            ).solve(small_census, constraints)
+
+        assert run().partition.regions == run().partition.regions
+
+    def test_parallel_feeds_tabu(self, small_census):
+        constraints = self._constraints()
+        solution = FaCT(
+            FaCTConfig(
+                rng_seed=2,
+                construction_iterations=2,
+                n_jobs=2,
+                tabu_max_no_improve=30,
+            )
+        ).solve(small_census, constraints)
+        assert solution.tabu is not None
+        assert solution.partition.validate(small_census, constraints) == []
+
+    def test_parallel_keeps_best_pass(self, small_census):
+        constraints = self._constraints()
+        solution = FaCT(
+            FaCTConfig(
+                rng_seed=3,
+                construction_iterations=4,
+                n_jobs=2,
+                enable_tabu=False,
+            )
+        ).solve(small_census, constraints)
+        best_p = max(p for p, _ in solution.construction.pass_scores)
+        assert solution.p == best_p

@@ -1,0 +1,83 @@
+"""Smoke tests: every example script runs end to end at a tiny size."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickstart:
+    def test_runs_and_reports(self):
+        stdout = run_example("quickstart.py", "--scale", "0.03")
+        assert "FaCT solution report" in stdout
+        assert "regions (p):" in stdout
+        assert "feasibility report" in stdout
+
+    def test_geojson_output(self, tmp_path):
+        out = tmp_path / "regions.geojson"
+        stdout = run_example(
+            "quickstart.py", "--scale", "0.03", "--geojson", str(out)
+        )
+        assert out.exists()
+        assert "regions written" in stdout
+        import json
+
+        document = json.loads(out.read_text())
+        assert document["type"] == "FeatureCollection"
+        assert all(
+            "region" in f["properties"] for f in document["features"]
+        )
+
+
+class TestCovidPolicyRegions:
+    def test_runs_and_profiles_regions(self):
+        stdout = run_example("covid_policy_regions.py", "--tracts", "80")
+        assert "synthetic metro: 80 tracts" in stdout
+        assert "SUM(TOTALPOP)" in stdout
+        assert "per-region profile" in stdout
+
+
+class TestPopulationGrowthStudy:
+    def test_runs_all_combinations(self):
+        stdout = run_example("population_growth_study.py", "--scale", "0.03")
+        for combo in ("M", "MS", "MA", "MAS"):
+            assert f"\n{combo:>6} |" in stdout or f"{combo:>6} |" in stdout
+        assert "feasibility report" in stdout
+
+
+class TestPoliceDistricting:
+    def test_runs_both_queries(self):
+        stdout = run_example("police_districting.py", "--beats", "80")
+        assert "balanced sectors" in stdout
+        assert "lower-bound only" in stdout
+        assert "sector workload" in stdout
+
+
+class TestCompactHealthcareDistricts:
+    def test_runs_three_objectives(self, tmp_path):
+        stdout = run_example(
+            "compact_healthcare_districts.py",
+            "--tracts",
+            "60",
+            "--svg-prefix",
+            str(tmp_path) + "/",
+        )
+        for name in ("heterogeneity", "compactness", "balanced"):
+            assert name in stdout
+            assert (tmp_path / f"{name}.svg").exists()

@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy (repro.exceptions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ContiguityError,
+    DatasetError,
+    GeometryError,
+    InfeasibleProblemError,
+    InvalidAreaError,
+    InvalidConstraintError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            ContiguityError,
+            DatasetError,
+            GeometryError,
+            InfeasibleProblemError,
+            InvalidAreaError,
+            InvalidConstraintError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_value_errors_also_catchable_as_valueerror(self):
+        for exception_type in (
+            InvalidConstraintError,
+            InvalidAreaError,
+            DatasetError,
+            ContiguityError,
+            GeometryError,
+        ):
+            assert issubclass(exception_type, ValueError)
+
+    def test_infeasible_is_runtime_error(self):
+        assert issubclass(InfeasibleProblemError, RuntimeError)
+
+    def test_infeasible_carries_report(self):
+        error = InfeasibleProblemError("nope", report="the-report")
+        assert error.report == "the-report"
+        assert str(error) == "nope"
+
+    def test_library_raises_are_catchable_with_base(self, grid3):
+        from repro import ConstraintSet, FaCT, sum_constraint
+
+        with pytest.raises(ReproError):
+            FaCT().solve(
+                grid3, ConstraintSet([sum_constraint("s", lower=1e9)])
+            )

@@ -1,0 +1,90 @@
+"""Tests for repro.bench.extensions (MAX/COUNT dual workloads)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.extensions import (
+    count_constraints,
+    max_constraints,
+    max_mirror_range,
+    run_count_row,
+    run_max_row,
+)
+from repro.data import synthetic_census
+
+
+@pytest.fixture(scope="module")
+def census():
+    return synthetic_census(150, seed=23)
+
+
+class TestMirrorMath:
+    def test_open_lower_maps_to_open_upper(self):
+        assert max_mirror_range((None, 2000), pivot=6700) == (4700, None)
+
+    def test_open_upper_maps_to_open_lower(self):
+        assert max_mirror_range((2000, None), pivot=6700) == (None, 4700)
+
+    def test_bounded_range_reflects(self):
+        assert max_mirror_range((1000, 5000), pivot=6000) == (1000, 5000)
+        assert max_mirror_range((2000, 3000), pivot=6000) == (3000, 4000)
+
+    def test_mirror_is_involution(self):
+        original = (1500, 4200)
+        assert max_mirror_range(
+            max_mirror_range(original, pivot=7000), pivot=7000
+        ) == original
+
+
+class TestConstraintBuilders:
+    def test_max_constraints(self):
+        cs = max_constraints((4700, None))
+        assert len(cs) == 1
+        assert cs[0].aggregate == "MAX"
+        assert cs[0].lower == 4700 and math.isinf(cs[0].upper)
+
+    def test_count_constraints(self):
+        cs = count_constraints(3, 8)
+        assert cs[0].aggregate == "COUNT"
+        assert (cs[0].lower, cs[0].upper) == (3, 8)
+
+    def test_count_open_upper(self):
+        cs = count_constraints(3)
+        assert math.isinf(cs[0].upper)
+
+
+class TestDualRuns:
+    def test_max_row_runs_and_validates(self, census):
+        row = run_max_row(census, (4000, None), dataset="t")
+        assert row.solver == "FaCT" and row.combo == "X"
+        assert row.p > 0
+        assert row.setting.startswith("MAX")
+
+    def test_max_filters_high_areas(self, census):
+        """MAX with a finite upper bound filters areas above it into
+        U0 — the dual of MIN's lower-bound filtration."""
+        values = census.attribute_values("POP16UP")
+        cutoff = sorted(values.values())[int(0.8 * len(values))]
+        row = run_max_row(census, (None, cutoff), dataset="t")
+        n_above = sum(1 for v in values.values() if v > cutoff)
+        assert row.n_unassigned >= n_above
+
+    def test_count_row_runs_and_validates(self, census):
+        row = run_count_row(census, 4, dataset="t")
+        assert row.combo == "C"
+        assert row.p > 0
+        assert row.setting.startswith("COUNT")
+
+    def test_count_regions_respect_bounds(self, census):
+        from repro import FaCT
+        from repro.bench.runner import bench_config
+
+        constraints = count_constraints(4, 9)
+        solution = FaCT(bench_config(len(census), enable_tabu=False)).solve(
+            census, constraints
+        )
+        for members in solution.partition.regions:
+            assert 4 <= len(members) <= 9

@@ -1,0 +1,197 @@
+"""Tests for the FaCT feasibility phase (Section V-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    avg_constraint,
+    count_constraint,
+    max_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from repro.exceptions import InfeasibleProblemError
+from repro.fact import FaCTConfig, check_feasibility
+
+
+class TestAvgChecks:
+    def test_global_average_outside_range_warns_by_default(self, grid3):
+        # mean of 1..9 is 5; constraint requires avg >= 8
+        report = check_feasibility(
+            grid3, ConstraintSet([avg_constraint("s", 8, 9)])
+        )
+        assert report.feasible
+        assert any("Theorem 3" in w for w in report.warnings)
+
+    def test_strict_mode_escalates_to_infeasible(self, grid3):
+        config = FaCTConfig(strict_avg_feasibility=True)
+        report = check_feasibility(
+            grid3, ConstraintSet([avg_constraint("s", 8, 9)]), config
+        )
+        assert not report.feasible
+
+    def test_global_average_inside_range_is_clean(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([avg_constraint("s", 4, 6)])
+        )
+        assert report.feasible
+        assert not report.warnings
+
+
+class TestMinChecks:
+    def test_all_areas_below_lower_is_infeasible(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([min_constraint("s", 100, 200)])
+        )
+        assert not report.feasible
+        assert any("below the lower bound" in r for r in report.reasons)
+
+    def test_all_areas_above_upper_is_infeasible(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([min_constraint("s", -5, 0)])
+        )
+        assert not report.feasible
+
+    def test_partial_filter_keeps_feasible(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([min_constraint("s", 4, 9)])
+        )
+        assert report.feasible
+        assert report.invalid_areas == frozenset({1, 2, 3})
+        assert any("moved" in w for w in report.warnings)
+
+    def test_raise_if_infeasible(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([min_constraint("s", 100, 200)])
+        )
+        with pytest.raises(InfeasibleProblemError) as excinfo:
+            report.raise_if_infeasible()
+        assert excinfo.value.report is report
+
+
+class TestMaxChecks:
+    def test_all_areas_above_upper_is_infeasible(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([max_constraint("s", -5, 0)])
+        )
+        assert not report.feasible
+
+    def test_all_areas_below_lower_is_infeasible(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([max_constraint("s", 100, 200)])
+        )
+        assert not report.feasible
+
+    def test_high_areas_filtered(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([max_constraint("s", 1, 6)])
+        )
+        assert report.feasible
+        assert report.invalid_areas == frozenset({7, 8, 9})
+
+
+class TestSumChecks:
+    def test_min_above_upper_is_infeasible(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([sum_constraint("s", 0, 0.5)])
+        )
+        assert not report.feasible
+        assert any("smallest single area" in r for r in report.reasons)
+
+    def test_total_below_lower_is_infeasible(self, grid3):
+        # total of 1..9 is 45
+        report = check_feasibility(
+            grid3, ConstraintSet([sum_constraint("s", lower=100)])
+        )
+        assert not report.feasible
+        assert any("falls short" in r for r in report.reasons)
+
+    def test_oversized_areas_filtered(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([sum_constraint("s", 1, 7)])
+        )
+        assert report.feasible
+        assert report.invalid_areas == frozenset({8, 9})
+
+
+class TestCountChecks:
+    def test_too_few_areas_is_infeasible(self, grid3):
+        report = check_feasibility(grid3, ConstraintSet([count_constraint(20)]))
+        assert not report.feasible
+
+    def test_upper_below_one_is_infeasible(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([count_constraint(0, 0.5)])
+        )
+        assert not report.feasible
+
+    def test_satisfiable_count_is_feasible(self, grid3):
+        report = check_feasibility(grid3, ConstraintSet([count_constraint(2, 5)]))
+        assert report.feasible
+
+
+class TestCombinedFiltration:
+    def test_paper_example_filtration_and_seeds(self, grid3):
+        """Fig 1b: MIN [2,4] + MAX [6,7] drop {1,8,9}, seed {2,3,4,6,7}."""
+        constraints = ConstraintSet(
+            [min_constraint("s", 2, 4), max_constraint("s", 6, 7)]
+        )
+        report = check_feasibility(grid3, constraints)
+        assert report.feasible
+        assert report.invalid_areas == frozenset({1, 8, 9})
+        assert report.seed_areas == frozenset({2, 3, 4, 6, 7})
+
+    def test_everything_invalid_is_infeasible(self, grid3):
+        constraints = ConstraintSet(
+            [min_constraint("s", 5, 9), max_constraint("s", 1, 4)]
+        )
+        # every area is either < 5 (invalid for MIN) or > 4 (invalid for MAX)
+        report = check_feasibility(grid3, constraints)
+        assert not report.feasible
+
+    def test_no_seed_after_filter_is_infeasible(self, grid3):
+        # valid areas need s >= 2 but seeds need s within [2, 4] on MIN
+        # and within [11, 12] on MAX (none); MAX filter drops nothing.
+        constraints = ConstraintSet(
+            [min_constraint("s", 10.5, 12)]
+        )
+        report = check_feasibility(grid3, constraints)
+        assert not report.feasible
+
+    def test_empty_constraint_set_is_trivially_feasible(self, grid3):
+        report = check_feasibility(grid3, ConstraintSet())
+        assert report.feasible
+        assert report.invalid_areas == frozenset()
+        assert report.seed_areas == frozenset(grid3.ids)
+
+
+class TestReportContents:
+    def test_global_aggregates_exposed(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([sum_constraint("s", lower=1)])
+        )
+        assert report.global_aggregates[("SUM", "s")] == 45.0
+        assert report.global_aggregates[("MIN", "s")] == 1.0
+        assert report.global_aggregates[("MAX", "s")] == 9.0
+        assert report.global_aggregates[("AVG", "s")] == 5.0
+        assert report.global_aggregates[("COUNT", "")] == 9.0
+
+    def test_summary_keys(self, grid3):
+        report = check_feasibility(
+            grid3, ConstraintSet([sum_constraint("s", lower=1)])
+        )
+        summary = report.summary()
+        assert summary["feasible"] is True
+        assert summary["n_invalid_areas"] == 0
+
+
+class TestUnknownAttribute:
+    def test_constraint_on_missing_attribute_raises_cleanly(self, grid3):
+        from repro.exceptions import InvalidAreaError
+
+        with pytest.raises(InvalidAreaError, match="unknown attribute"):
+            check_feasibility(
+                grid3, ConstraintSet([sum_constraint("income", lower=1)])
+            )

@@ -1,0 +1,95 @@
+"""Unit tests for repro.geometry.point and repro.geometry.bbox."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry import BBox, Point
+
+coords = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+class TestPoint:
+    def test_coordinates_coerced_to_float(self):
+        p = Point(1, 2)
+        assert isinstance(p.x, float) and isinstance(p.y, float)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1, 2), Point(-4, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_rounded_canonicalizes_noise(self):
+        a = Point(1.0 + 1e-12, 2.0)
+        b = Point(1.0, 2.0)
+        assert a.rounded() == b.rounded()
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_points_are_hashable_and_ordered(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+        assert Point(0, 1) < Point(1, 0)
+
+    @given(coords, coords)
+    def test_distance_to_self_is_zero(self, x, y):
+        assert Point(x, y).distance_to(Point(x, y)) == 0.0
+
+
+class TestBBox:
+    def test_inverted_box_raises(self):
+        with pytest.raises(GeometryError, match="inverted"):
+            BBox(1, 0, 0, 1)
+
+    def test_of_points(self):
+        box = BBox.of_points([Point(1, 5), Point(-2, 3), Point(0, 9)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 3, 1, 9)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            BBox.of_points([])
+
+    def test_dimensions(self):
+        box = BBox(0, 0, 4, 3)
+        assert box.width == 4 and box.height == 3 and box.area == 12
+        assert box.center == Point(2, 1.5)
+
+    def test_contains_point_boundary_inclusive(self):
+        box = BBox(0, 0, 1, 1)
+        assert box.contains_point(Point(0, 0))
+        assert box.contains_point(Point(0.5, 0.5))
+        assert not box.contains_point(Point(1.1, 0.5))
+
+    def test_intersects_overlapping(self):
+        assert BBox(0, 0, 2, 2).intersects(BBox(1, 1, 3, 3))
+
+    def test_intersects_touching(self):
+        assert BBox(0, 0, 1, 1).intersects(BBox(1, 0, 2, 1))
+
+    def test_intersects_disjoint(self):
+        assert not BBox(0, 0, 1, 1).intersects(BBox(2, 2, 3, 3))
+
+    def test_intersects_with_tolerance(self):
+        assert BBox(0, 0, 1, 1).intersects(BBox(1.05, 0, 2, 1), tolerance=0.1)
+
+    def test_expanded(self):
+        box = BBox(0, 0, 1, 1).expanded(0.5)
+        assert (box.min_x, box.max_x) == (-0.5, 1.5)
+
+    @given(coords, coords, coords, coords)
+    def test_intersection_is_symmetric(self, x1, y1, x2, y2):
+        a = BBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        b = BBox(0, 0, 10, 10)
+        assert a.intersects(b) == b.intersects(a)

@@ -1,0 +1,206 @@
+"""Tests for FaCT Step 2 — Region Growing (Section V-B, Algorithm 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    avg_constraint,
+    max_constraint,
+    min_constraint,
+)
+from repro.fact import FaCTConfig, check_feasibility, grow_regions, select_seeds
+from repro.fact.state import SolutionState
+
+from conftest import make_grid_collection, make_line_collection
+
+
+def run_growing(collection, constraints, config=None, seed=0, excluded="auto"):
+    """Drive feasibility + seeding + Step 2 and return the state."""
+    config = config or FaCTConfig(rng_seed=seed)
+    report = check_feasibility(collection, constraints, config)
+    report.raise_if_infeasible()
+    seeding = select_seeds(collection, constraints, report)
+    state = SolutionState(
+        collection,
+        constraints,
+        excluded=report.invalid_areas if excluded == "auto" else excluded,
+    )
+    grow_regions(state, seeding, config, random.Random(seed))
+    return state
+
+
+class TestSubstep21Initialization:
+    def test_in_range_seeds_become_singletons(self):
+        # Three areas inside the AVG range, no extrema: p is maximized
+        # by making every seed its own region.
+        collection = make_line_collection([5, 5, 5])
+        constraints = ConstraintSet([avg_constraint("s", 4, 6)])
+        state = run_growing(collection, constraints)
+        assert state.p == 3
+        assert all(len(r) == 1 for r in state.iter_regions())
+
+    def test_algorithm1_merges_opposite_extremes(self):
+        # Seed 1 (s=3) is below the AVG range; its neighbor (s=7) lies
+        # above the upper bound, so Algorithm 1 absorbs it: avg 5.
+        collection = make_line_collection([3, 7])
+        constraints = ConstraintSet([avg_constraint("s", 4, 6)])
+        state = run_growing(collection, constraints)
+        assert state.p == 1
+        region = next(state.iter_regions())
+        assert region.area_ids == frozenset({1, 2})
+        assert region.aggregate("AVG", "s") == 5.0
+
+    def test_algorithm1_reverts_when_no_candidate(self):
+        # Both areas below the range and no high-side neighbors: the
+        # temporary regions are reverted; Round 1 cannot place them
+        # either, so everything stays unassigned.
+        collection = make_line_collection([3, 3])
+        constraints = ConstraintSet([avg_constraint("s", 4, 6)])
+        state = run_growing(collection, constraints)
+        assert state.p == 0
+        assert state.n_unassigned == 2
+
+    def test_algorithm1_chains_multiple_absorptions(self):
+        # Seed s=1 needs two high areas to pull the average into
+        # [4, 4.5]: 1,7 -> 4; commit at exactly 4.
+        collection = make_line_collection([1, 7, 7])
+        constraints = ConstraintSet([avg_constraint("s", 4, 4.5)])
+        state = run_growing(collection, constraints)
+        assert state.p >= 1
+        for region in state.iter_regions():
+            assert 4 <= region.aggregate("AVG", "s") <= 4.5
+
+
+class TestSubstep22Round1:
+    def test_low_area_joins_region_keeping_avg_valid(self):
+        # Area 2 (s=3) cannot form a region alone but joining the
+        # singleton region of area 1 keeps the average at 4.
+        collection = make_line_collection([5, 3])
+        constraints = ConstraintSet([avg_constraint("s", 4, 6)])
+        state = run_growing(collection, constraints)
+        assert state.p == 1
+        assert next(state.iter_regions()).area_ids == frozenset({1, 2})
+
+    def test_low_area_rejected_when_it_breaks_avg(self):
+        # Joining would drop the average to 3.5 < 4.
+        collection = make_line_collection([5, 2])
+        constraints = ConstraintSet([avg_constraint("s", 4, 6)])
+        state = run_growing(collection, constraints)
+        assert state.n_unassigned == 1
+        assert state.is_unassigned(2)
+
+    def test_without_avg_everything_is_swept_into_regions(self, grid3):
+        constraints = ConstraintSet([min_constraint("s", 2, 4)])
+        state = run_growing(grid3, constraints)
+        # area 1 is filtered (s < 2); everything else must be assigned
+        assert state.n_unassigned == 0
+        assert state.excluded == frozenset({1})
+
+    def test_cascading_assignment_over_multiple_passes(self):
+        # 2 can only join once 4 has joined: [6, 4, 2] with avg [3.5,6]:
+        # {6}+4 -> 5; then +2 -> 4; single pass ordering may need the
+        # fixpoint loop to catch 2 on a later pass.
+        collection = make_line_collection([6, 4, 2])
+        constraints = ConstraintSet([avg_constraint("s", 3.5, 6)])
+        state = run_growing(collection, constraints)
+        assert state.n_unassigned == 0
+
+
+class TestSubstep22Round2:
+    def test_merge_rescues_blocked_area(self):
+        # Two singleton regions (5, 5); area 3 (s=2) cannot join either
+        # alone (avg 3.5 < 4) but the merged pair absorbs it: avg 4.
+        collection = make_line_collection([5, 5, 2])
+        constraints = ConstraintSet([avg_constraint("s", 4, 6)])
+        state = run_growing(collection, constraints)
+        assert state.n_unassigned == 0
+        assert state.p == 1
+        region = next(state.iter_regions())
+        assert region.aggregate("AVG", "s") == 4.0
+
+    def test_merge_limit_zero_disables_round2(self):
+        collection = make_line_collection([5, 5, 2])
+        constraints = ConstraintSet([avg_constraint("s", 4, 6)])
+        state = run_growing(
+            collection, constraints, config=FaCTConfig(merge_limit=0)
+        )
+        assert state.is_unassigned(3)
+        assert state.p == 2
+
+    def test_merged_region_is_contiguous(self):
+        collection = make_line_collection([5, 5, 2])
+        constraints = ConstraintSet([avg_constraint("s", 4, 6)])
+        state = run_growing(collection, constraints)
+        for region in state.iter_regions():
+            assert region.is_contiguous()
+
+
+class TestSubstep23ExtremaCombination:
+    def test_min_only_region_merges_with_max_satisfying_neighbor(self):
+        # MIN seeds {1}, MAX seeds {2}; singletons satisfy one extrema
+        # constraint each and must merge to satisfy both.
+        collection = make_line_collection([3, 7])
+        constraints = ConstraintSet(
+            [min_constraint("s", 2, 4), max_constraint("s", 6, 8)]
+        )
+        state = run_growing(collection, constraints)
+        assert state.p == 1
+        region = next(state.iter_regions())
+        assert region.satisfies_all(constraints)
+
+    def test_complementary_deficient_regions_pair_up(self):
+        # Four areas: two MIN seeds and two MAX seeds arranged so both
+        # pairings are possible; every final region satisfies both.
+        collection = make_line_collection([3, 7, 3, 7])
+        constraints = ConstraintSet(
+            [min_constraint("s", 2, 4), max_constraint("s", 6, 8)]
+        )
+        state = run_growing(collection, constraints)
+        assert state.p >= 1
+        for region in state.iter_regions():
+            assert region.satisfies_all(constraints)
+
+    def test_paper_example_regions_satisfy_all_constraints(self, grid3):
+        """The full Fig 1-4 scenario: MIN [2,4], MAX [6,7], AVG [4,5]."""
+        constraints = ConstraintSet(
+            [
+                min_constraint("s", 2, 4),
+                max_constraint("s", 6, 7),
+                avg_constraint("s", 4, 5),
+            ]
+        )
+        state = run_growing(grid3, constraints, seed=1)
+        assert state.excluded == frozenset({1, 8, 9})
+        for region in state.iter_regions():
+            assert region.is_contiguous()
+            # Step 2 guarantees MIN/MAX/AVG satisfaction for all
+            # committed regions (counting comes later in Step 3).
+            assert region.satisfies_all(constraints)
+
+
+class TestGrowingInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_seeds_always_produce_valid_avg_regions(self, seed):
+        collection = make_grid_collection(
+            4,
+            4,
+            values={i: (i * 7919) % 10 + 1 for i in range(1, 17)},
+        )
+        constraints = ConstraintSet([avg_constraint("s", 4, 7)])
+        state = run_growing(collection, constraints, seed=seed)
+        for region in state.iter_regions():
+            assert region.is_contiguous()
+            assert 4 <= region.aggregate("AVG", "s") <= 7
+
+    def test_assignment_partition_invariant(self, grid3):
+        constraints = ConstraintSet([avg_constraint("s", 4, 6)])
+        state = run_growing(grid3, constraints)
+        assigned = set()
+        for region in state.iter_regions():
+            assert not (assigned & region.area_ids)
+            assigned |= region.area_ids
+        assert assigned | state.unassigned | state.excluded == set(grid3.ids)

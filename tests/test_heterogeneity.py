@@ -1,0 +1,92 @@
+"""Tests for repro.core.heterogeneity (Definition III.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.heterogeneity import (
+    improvement_ratio,
+    pairwise_absolute_deviation,
+    pairwise_absolute_deviation_naive,
+    region_heterogeneity,
+    total_heterogeneity,
+)
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestPairwiseAbsoluteDeviation:
+    def test_empty_is_zero(self):
+        assert pairwise_absolute_deviation([]) == 0.0
+
+    def test_singleton_is_zero(self):
+        assert pairwise_absolute_deviation([3.5]) == 0.0
+
+    def test_pair(self):
+        assert pairwise_absolute_deviation([1.0, 4.0]) == 3.0
+
+    def test_triple(self):
+        # |1-2| + |1-4| + |2-4| = 1 + 3 + 2
+        assert pairwise_absolute_deviation([1.0, 2.0, 4.0]) == 6.0
+
+    def test_identical_values_are_zero(self):
+        assert pairwise_absolute_deviation([5.0] * 10) == 0.0
+
+    def test_order_invariance(self):
+        assert pairwise_absolute_deviation([3, 1, 2]) == (
+            pairwise_absolute_deviation([1, 2, 3])
+        )
+
+    @given(values_strategy)
+    def test_fast_matches_naive(self, values):
+        fast = pairwise_absolute_deviation(values)
+        naive = pairwise_absolute_deviation_naive(values)
+        assert fast == pytest.approx(naive, rel=1e-9, abs=1e-6)
+
+    @given(values_strategy)
+    def test_non_negative(self, values):
+        assert pairwise_absolute_deviation(values) >= 0.0
+
+    @given(values_strategy, st.floats(-100, 100, allow_nan=False))
+    def test_translation_invariance(self, values, shift):
+        base = pairwise_absolute_deviation(values)
+        shifted = pairwise_absolute_deviation([v + shift for v in values])
+        assert shifted == pytest.approx(base, rel=1e-6, abs=1e-4)
+
+
+class TestRegionAndTotal:
+    def test_region_heterogeneity_uses_dissimilarity(self, grid3):
+        assert region_heterogeneity(grid3, [1, 2, 3]) == pytest.approx(4.0)
+
+    def test_total_sums_regions(self, grid3):
+        total = total_heterogeneity(grid3, [[1, 2], [3, 4]])
+        assert total == pytest.approx(1.0 + 1.0)
+
+    def test_total_of_no_regions_is_zero(self, grid3):
+        assert total_heterogeneity(grid3, []) == 0.0
+
+    def test_unassigned_not_counted(self, grid3):
+        # One big region vs the same region plus ignored singletons.
+        assert total_heterogeneity(grid3, [[1, 2, 3]]) == (
+            total_heterogeneity(grid3, [[1, 2, 3]])
+        )
+
+
+class TestImprovementRatio:
+    def test_halving_is_fifty_percent(self):
+        assert improvement_ratio(100.0, 50.0) == pytest.approx(0.5)
+
+    def test_no_change_is_zero(self):
+        assert improvement_ratio(100.0, 100.0) == 0.0
+
+    def test_zero_baseline_is_zero(self):
+        assert improvement_ratio(0.0, 10.0) == 0.0
+
+    def test_worsening_uses_absolute_difference(self):
+        # The paper defines the ratio over |before - after|.
+        assert improvement_ratio(100.0, 120.0) == pytest.approx(0.2)

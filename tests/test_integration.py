@@ -1,0 +1,165 @@
+"""Cross-module integration tests: realistic end-to-end workflows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    FaCT,
+    FaCTConfig,
+    avg_constraint,
+    count_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from repro.analysis import partition_quality, rand_index, region_profile
+from repro.contiguity import queen_adjacency, rook_adjacency
+from repro.core import Area, AreaCollection
+from repro.data import dump_geojson, load_geojson, synthetic_census
+from repro.geometry import voronoi_tessellation
+from repro.io import load_partition, save_partition
+from repro.viz import partition_to_svg
+
+from conftest import make_grid_collection
+
+
+class TestQueenVsRook:
+    """Queen contiguity is a superset of rook: a queen solver run must
+    stay valid and can only find richer adjacency."""
+
+    def _worlds(self):
+        tess = voronoi_tessellation(80, seed=61)
+        rook = rook_adjacency(list(tess.polygons))
+        queen = queen_adjacency(list(tess.polygons))
+        base = synthetic_census(80, seed=61)  # same tessellation seed
+        areas = list(base)
+        rook_world = AreaCollection(
+            areas, rook, dissimilarity_attribute="HOUSEHOLDS"
+        )
+        queen_world = AreaCollection(
+            areas, queen, dissimilarity_attribute="HOUSEHOLDS"
+        )
+        return rook_world, queen_world
+
+    def test_both_contiguities_solve(self):
+        rook_world, queen_world = self._worlds()
+        constraints = ConstraintSet([sum_constraint("TOTALPOP", lower=20000)])
+        config = FaCTConfig(rng_seed=1, enable_tabu=False)
+        rook_solution = FaCT(config).solve(rook_world, constraints)
+        queen_solution = FaCT(config).solve(queen_world, constraints)
+        assert rook_solution.partition.validate(rook_world, constraints) == []
+        assert queen_solution.partition.validate(queen_world, constraints) == []
+
+    def test_rook_regions_are_valid_under_queen(self):
+        rook_world, queen_world = self._worlds()
+        constraints = ConstraintSet([sum_constraint("TOTALPOP", lower=20000)])
+        solution = FaCT(FaCTConfig(rng_seed=1, enable_tabu=False)).solve(
+            rook_world, constraints
+        )
+        # rook-contiguous regions are automatically queen-contiguous
+        assert solution.partition.validate(queen_world, constraints) == []
+
+
+class TestExplicitDissimilarity:
+    def test_solver_honors_explicit_d_values(self):
+        # attributes say one thing; explicit dissimilarity another —
+        # heterogeneity must follow the explicit values
+        areas = [
+            Area(i, {"POP": 10.0}, dissimilarity=float(i % 2) * 100)
+            for i in range(1, 5)
+        ]
+        adjacency = {1: {2}, 2: {1, 3}, 3: {2, 4}, 4: {3}}
+        collection = AreaCollection(areas, adjacency)
+        constraints = ConstraintSet([count_constraint(2, 2)])
+        solution = FaCT(FaCTConfig(rng_seed=0)).solve(collection, constraints)
+        assert solution.partition.validate(collection, constraints) == []
+        # the perfect split pairs equal-d neighbors where possible
+        assert solution.p == 2
+
+
+class TestFullWorkflow:
+    """The realistic analyst loop: solve -> profile -> persist ->
+    reload -> render -> compare."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        return synthetic_census(100, seed=71)
+
+    @pytest.fixture(scope="class")
+    def query(self):
+        return ConstraintSet(
+            [
+                min_constraint("POP16UP", upper=3000),
+                avg_constraint("EMPLOYED", 1000, 4000),
+                sum_constraint("TOTALPOP", lower=15000),
+            ]
+        )
+
+    @pytest.fixture(scope="class")
+    def solution(self, world, query):
+        return FaCT(FaCTConfig(rng_seed=5, tabu_max_no_improve=40)).solve(
+            world, query
+        )
+
+    def test_profile_covers_every_region(self, world, solution):
+        rows = region_profile(world, solution.partition)
+        assert len(rows) == solution.p
+        for row in rows:
+            assert row["SUM(TOTALPOP)"] >= 15000
+            assert 1000 <= row["AVG(EMPLOYED)"] <= 4000
+
+    def test_quality_summary(self, world, solution):
+        quality = partition_quality(world, solution.partition)
+        assert quality["p"] == solution.p
+        assert quality["compactness"] > 0
+
+    def test_persist_reload_render(self, world, solution, tmp_path):
+        run_path = tmp_path / "run.json"
+        save_partition(solution.partition, run_path, metadata={"seed": 5})
+        reloaded, metadata = load_partition(run_path)
+        assert metadata["seed"] == 5
+        assert rand_index(reloaded, solution.partition) == 1.0
+
+        svg_path = tmp_path / "map.svg"
+        partition_to_svg(world, reloaded, svg_path)
+        assert svg_path.read_text().count("<path") == len(world)
+
+    def test_geojson_round_trip_preserves_solution_validity(
+        self, world, query, solution, tmp_path
+    ):
+        geo_path = tmp_path / "world.geojson"
+        dump_geojson(world, geo_path, solution.partition.labels())
+        reloaded_world = load_geojson(
+            geo_path,
+            attribute_names=[
+                "POP16UP",
+                "EMPLOYED",
+                "TOTALPOP",
+                "HOUSEHOLDS",
+            ],
+            dissimilarity_attribute="HOUSEHOLDS",
+            id_property="area_id",
+        )
+        # the solution remains valid on the re-imported world
+        assert solution.partition.validate(reloaded_world, query) == []
+
+
+class TestGridWorldEndToEnd:
+    """The library is not census-specific: a plain grid world with one
+    attribute drives the whole pipeline."""
+
+    def test_grid_solve_with_all_five_aggregates(self):
+        values = {i: float((i * 13) % 17 + 1) for i in range(1, 37)}
+        collection = make_grid_collection(6, 6, values=values)
+        constraints = ConstraintSet(
+            [
+                min_constraint("s", 1, 15),
+                avg_constraint("s", 2, 16),
+                sum_constraint("s", 10, 200),
+                count_constraint(2, 12),
+            ]
+        )
+        solution = FaCT(FaCTConfig(rng_seed=2)).solve(collection, constraints)
+        assert solution.partition.validate(collection, constraints) == []
+        assert solution.p >= 1

@@ -1,0 +1,97 @@
+"""Tests for repro.io — partition persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Partition
+from repro.exceptions import DatasetError
+from repro.io import (
+    load_partition,
+    partition_from_dict,
+    partition_to_dict,
+    save_partition,
+)
+
+
+@pytest.fixture
+def partition():
+    return Partition(([1, 2], [3, 6], [5]), [4, 9])
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, partition, tmp_path):
+        path = tmp_path / "run.json"
+        save_partition(partition, path, metadata={"seed": 7})
+        loaded, metadata = load_partition(path)
+        assert loaded.regions == partition.regions
+        assert loaded.unassigned == partition.unassigned
+        assert metadata == {"seed": 7}
+
+    def test_dict_round_trip(self, partition):
+        document = partition_to_dict(partition)
+        loaded, metadata = partition_from_dict(document)
+        assert loaded.p == 3
+        assert metadata == {}
+
+    def test_document_is_plain_json(self, partition, tmp_path):
+        path = tmp_path / "run.json"
+        save_partition(partition, path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-partition/1"
+        assert document["p"] == 3
+        assert [1, 2] in document["regions"]
+
+    def test_empty_partition(self, tmp_path):
+        partition = Partition((), frozenset({1, 2}))
+        path = tmp_path / "empty.json"
+        save_partition(partition, path)
+        loaded, _ = load_partition(path)
+        assert loaded.p == 0
+        assert loaded.unassigned == frozenset({1, 2})
+
+    def test_solver_output_round_trip(self, small_census, tmp_path):
+        from repro import ConstraintSet, FaCT, FaCTConfig, sum_constraint
+
+        constraints = ConstraintSet([sum_constraint("TOTALPOP", lower=20000)])
+        solution = FaCT(FaCTConfig(rng_seed=1, enable_tabu=False)).solve(
+            small_census, constraints
+        )
+        path = tmp_path / "solution.json"
+        save_partition(
+            solution.partition,
+            path,
+            metadata={"constraints": [str(c) for c in constraints]},
+        )
+        loaded, metadata = load_partition(path)
+        assert loaded.regions == solution.partition.regions
+        assert "SUM(TOTALPOP)" in metadata["constraints"][0]
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DatasetError, match="unsupported"):
+            partition_from_dict({"format": "repro-partition/99"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(DatasetError, match="malformed"):
+            partition_from_dict({"format": "repro-partition/1"})
+
+    def test_inconsistent_p_rejected(self, partition):
+        document = partition_to_dict(partition)
+        document["p"] = 99
+        with pytest.raises(DatasetError, match="declares p=99"):
+            partition_from_dict(document)
+
+    def test_overlapping_regions_rejected(self):
+        document = {
+            "format": "repro-partition/1",
+            "p": 2,
+            "regions": [[1, 2], [2, 3]],
+            "unassigned": [],
+            "metadata": {},
+        }
+        with pytest.raises(Exception):
+            partition_from_dict(document)

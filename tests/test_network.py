@@ -1,0 +1,146 @@
+"""Tests for repro.contiguity.network (network-max-p substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstraintSet, FaCT, FaCTConfig, sum_constraint
+from repro.contiguity import validate_adjacency
+from repro.contiguity.network import (
+    restrict_adjacency,
+    restricted_collection,
+    synthetic_road_network,
+)
+from repro.data import synthetic_census
+from repro.exceptions import InvalidAreaError
+
+from conftest import make_grid_collection
+
+
+@pytest.fixture(scope="module")
+def census():
+    return synthetic_census(150, seed=51)
+
+
+class TestRestrictAdjacency:
+    def test_keeps_only_connected_pairs(self, grid3):
+        adjacency = {i: grid3.neighbors(i) for i in grid3.ids}
+        restricted = restrict_adjacency(adjacency, [(1, 2), (2, 3)])
+        assert restricted[1] == frozenset({2})
+        assert restricted[2] == frozenset({1, 3})
+        assert restricted[5] == frozenset()
+
+    def test_pair_order_irrelevant(self, grid3):
+        adjacency = {i: grid3.neighbors(i) for i in grid3.ids}
+        assert restrict_adjacency(adjacency, [(2, 1)]) == restrict_adjacency(
+            adjacency, [(1, 2)]
+        )
+
+    def test_non_adjacent_road_pairs_ignored(self, grid3):
+        # a "road" between areas 1 and 9 (not spatially adjacent)
+        # must not create contiguity
+        adjacency = {i: grid3.neighbors(i) for i in grid3.ids}
+        restricted = restrict_adjacency(adjacency, [(1, 9)])
+        assert restricted[1] == frozenset()
+        assert restricted[9] == frozenset()
+
+    def test_result_is_valid_adjacency(self, grid3):
+        adjacency = {i: grid3.neighbors(i) for i in grid3.ids}
+        restricted = restrict_adjacency(adjacency, [(1, 2), (4, 5), (5, 6)])
+        validate_adjacency(restricted)
+
+
+class TestSyntheticRoadNetwork:
+    def _adjacency(self, collection):
+        return {i: collection.neighbors(i) for i in collection.ids}
+
+    def test_density_one_keeps_everything(self, grid3):
+        adjacency = self._adjacency(grid3)
+        roads = synthetic_road_network(adjacency, density=1.0, seed=1)
+        restricted = restrict_adjacency(adjacency, roads)
+        assert restricted == {i: frozenset(v) for i, v in adjacency.items()}
+
+    def test_density_zero_keeps_spanning_tree(self, grid3):
+        adjacency = self._adjacency(grid3)
+        roads = synthetic_road_network(adjacency, density=0.0, seed=1)
+        # a spanning tree of 9 nodes has exactly 8 edges
+        assert len(roads) == 8
+        restricted = restrict_adjacency(adjacency, roads)
+        from repro.contiguity import is_connected
+
+        assert is_connected(
+            grid3.ids, lambda i: restricted[i]
+        )
+
+    def test_component_structure_preserved(self):
+        collection = synthetic_census(40, seed=3, patches=2)
+        adjacency = {i: collection.neighbors(i) for i in collection.ids}
+        roads = synthetic_road_network(adjacency, density=0.0, seed=2)
+        restricted = restrict_adjacency(adjacency, roads)
+        from repro.contiguity import connected_components
+
+        before = connected_components(collection.ids, lambda i: adjacency[i])
+        after = connected_components(collection.ids, lambda i: restricted[i])
+        assert len(before) == len(after) == 2
+
+    def test_invalid_density_raises(self, grid3):
+        with pytest.raises(InvalidAreaError, match="density"):
+            synthetic_road_network(self._adjacency(grid3), density=1.5)
+
+    def test_deterministic_in_seed(self, grid3):
+        adjacency = self._adjacency(grid3)
+        assert synthetic_road_network(
+            adjacency, 0.5, seed=4
+        ) == synthetic_road_network(adjacency, 0.5, seed=4)
+
+    def test_density_monotone_in_edges(self, census):
+        adjacency = {i: census.neighbors(i) for i in census.ids}
+        sparse = synthetic_road_network(adjacency, density=0.1, seed=5)
+        dense = synthetic_road_network(adjacency, density=0.9, seed=5)
+        assert len(sparse) < len(dense)
+
+
+class TestRestrictedCollection:
+    def test_attributes_preserved(self, census):
+        network_world = restricted_collection(census, density=0.5, seed=1)
+        assert len(network_world) == len(census)
+        for area_id in census.ids:
+            assert network_world.attribute(
+                area_id, "TOTALPOP"
+            ) == census.attribute(area_id, "TOTALPOP")
+
+    def test_adjacency_is_subset(self, census):
+        network_world = restricted_collection(census, density=0.3, seed=1)
+        for area_id in census.ids:
+            assert network_world.neighbors(area_id) <= census.neighbors(
+                area_id
+            )
+
+    def test_explicit_pairs(self, grid3):
+        network_world = restricted_collection(
+            grid3, connected_pairs=[(1, 2), (2, 3)]
+        )
+        assert network_world.neighbors(2) == frozenset({1, 3})
+
+    def test_solver_runs_on_network_variant(self, census):
+        constraints = ConstraintSet([sum_constraint("TOTALPOP", lower=20000)])
+        network_world = restricted_collection(census, density=0.3, seed=2)
+        solution = FaCT(FaCTConfig(rng_seed=1, enable_tabu=False)).solve(
+            network_world, constraints
+        )
+        # regions must be contiguous under the RESTRICTED adjacency
+        assert solution.partition.validate(network_world, constraints) == []
+
+    def test_restriction_never_increases_p(self, census):
+        """Fewer usable adjacencies can only make regionalization
+        harder: p under the network restriction is bounded by p under
+        full spatial contiguity (with identical seeds/config)."""
+        constraints = ConstraintSet([sum_constraint("TOTALPOP", lower=25000)])
+        config = FaCTConfig(
+            rng_seed=4, construction_iterations=3, enable_tabu=False
+        )
+        unrestricted = FaCT(config).solve(census, constraints)
+        restricted = FaCT(config).solve(
+            restricted_collection(census, density=0.0, seed=3), constraints
+        )
+        assert restricted.p <= unrestricted.p + 2  # heuristic slack

@@ -1,0 +1,218 @@
+"""Tests for the pluggable Tabu objectives (repro.fact.objectives)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstraintSet, FaCT, FaCTConfig, count_constraint, sum_constraint
+from repro.data import schema, synthetic_census
+from repro.exceptions import DatasetError
+from repro.fact import (
+    CompactnessObjective,
+    HeterogeneityObjective,
+    WeightedObjective,
+    tabu_improve,
+)
+from repro.fact.state import SolutionState
+
+from conftest import make_line_collection
+
+
+@pytest.fixture(scope="module")
+def census():
+    return synthetic_census(150, seed=31)
+
+
+def seeded_state(collection, constraints):
+    """A valid starting partition built by the FaCT construction."""
+    from repro.fact import construct
+
+    return construct(collection, constraints, FaCTConfig(rng_seed=1)).state
+
+
+def census_constraints():
+    return ConstraintSet([sum_constraint(schema.TOTALPOP, lower=20000)])
+
+
+class TestHeterogeneityObjective:
+    def test_total_matches_state(self, census):
+        state = seeded_state(census, census_constraints())
+        objective = HeterogeneityObjective()
+        objective.attach(state)
+        assert objective.total() == pytest.approx(state.total_heterogeneity())
+
+    def test_delta_matches_region_deltas(self, census):
+        state = seeded_state(census, census_constraints())
+        objective = HeterogeneityObjective()
+        objective.attach(state)
+        regions = list(state.iter_regions())
+        donor = regions[0]
+        # find a boundary area between two regions
+        for area_id in donor.area_ids:
+            for receiver in state.neighbor_regions(area_id):
+                if receiver.region_id != donor.region_id:
+                    expected = donor.heterogeneity_delta_remove(
+                        area_id
+                    ) + receiver.heterogeneity_delta_add(area_id)
+                    assert objective.delta_move(
+                        donor, receiver, area_id
+                    ) == pytest.approx(expected)
+                    return
+        pytest.skip("no boundary pair found")
+
+
+class TestCompactnessObjective:
+    def test_requires_polygons(self, grid3):
+        state = SolutionState(grid3, ConstraintSet([count_constraint(1, 9)]))
+        state.new_region(list(grid3.ids))
+        with pytest.raises(DatasetError, match="polygon"):
+            CompactnessObjective().attach(state)
+
+    def test_total_is_centroid_dispersion(self, census):
+        state = seeded_state(census, census_constraints())
+        objective = CompactnessObjective()
+        objective.attach(state)
+        # oracle: recompute from scratch
+        expected = 0.0
+        for region in state.iter_regions():
+            points = [
+                census.area(i).polygon.centroid for i in region.area_ids
+            ]
+            mx = sum(p.x for p in points) / len(points)
+            my = sum(p.y for p in points) / len(points)
+            expected += sum(
+                (p.x - mx) ** 2 + (p.y - my) ** 2 for p in points
+            )
+        assert objective.total() == pytest.approx(expected, rel=1e-9)
+
+    def test_delta_matches_recompute(self, census):
+        state = seeded_state(census, census_constraints())
+        objective = CompactnessObjective()
+        objective.attach(state)
+        regions = list(state.iter_regions())
+        donor = regions[0]
+        for area_id in donor.area_ids:
+            for receiver in state.neighbor_regions(area_id):
+                if receiver.region_id == donor.region_id:
+                    continue
+                before = objective.total()
+                predicted = objective.delta_move(donor, receiver, area_id)
+                state.move(area_id, receiver)
+                objective.apply_move(
+                    donor.region_id, receiver.region_id, area_id
+                )
+                assert objective.total() == pytest.approx(
+                    before + predicted, rel=1e-9, abs=1e-9
+                )
+                return
+        pytest.skip("no boundary pair found")
+
+    def test_tabu_with_compactness_improves_compactness(self, census):
+        constraints = census_constraints()
+        state = seeded_state(census, constraints)
+        result = tabu_improve(
+            state,
+            FaCTConfig(tabu_max_no_improve=60),
+            objective=CompactnessObjective(),
+        )
+        assert result.heterogeneity_after <= result.heterogeneity_before + 1e-9
+        assert result.partition.validate(census, constraints) == []
+
+    def test_solver_facade_accepts_objective(self, census):
+        constraints = census_constraints()
+        solution = FaCT(
+            FaCTConfig(rng_seed=2, tabu_max_no_improve=40),
+            objective=CompactnessObjective(),
+        ).solve(census, constraints)
+        assert solution.partition.validate(census, constraints) == []
+
+
+class TestWeightedObjective:
+    def test_empty_components_rejected(self):
+        with pytest.raises(DatasetError):
+            WeightedObjective([])
+
+    def test_normalized_initial_total(self, census):
+        state = seeded_state(census, census_constraints())
+        objective = WeightedObjective(
+            [
+                (HeterogeneityObjective(), 1.0),
+                (CompactnessObjective(), 1.0),
+            ]
+        )
+        objective.attach(state)
+        # each component normalized to 1.0 at attach time
+        assert objective.total() == pytest.approx(2.0, rel=1e-6)
+
+    def test_balancing_run_stays_valid(self, census):
+        constraints = census_constraints()
+        state = seeded_state(census, constraints)
+        objective = WeightedObjective(
+            [
+                (HeterogeneityObjective(), 1.0),
+                (CompactnessObjective(), 0.5),
+            ]
+        )
+        result = tabu_improve(
+            state, FaCTConfig(tabu_max_no_improve=40), objective=objective
+        )
+        assert result.heterogeneity_after <= result.heterogeneity_before + 1e-9
+        assert result.partition.validate(census, constraints) == []
+
+    def test_weight_zero_equals_single_component(self, census):
+        """With weight 0 on compactness the weighted objective ranks
+        moves exactly like pure heterogeneity (same final score up to
+        normalization)."""
+        constraints = census_constraints()
+        state_a = seeded_state(census, constraints)
+        pure = tabu_improve(
+            state_a,
+            FaCTConfig(tabu_max_no_improve=30),
+            objective=HeterogeneityObjective(),
+        )
+        state_b = seeded_state(census, constraints)
+        initial_h = state_b.total_heterogeneity()
+        mixed = tabu_improve(
+            state_b,
+            FaCTConfig(tabu_max_no_improve=30),
+            objective=WeightedObjective(
+                [
+                    (HeterogeneityObjective(), 1.0),
+                    (CompactnessObjective(), 0.0),
+                ]
+            ),
+        )
+        # weighted score is H/H0; convert back to compare
+        assert mixed.heterogeneity_after * initial_h == pytest.approx(
+            pure.heterogeneity_after, rel=1e-6
+        )
+
+
+class TestObjectiveTradeoff:
+    def test_compactness_objective_yields_more_compact_regions(self):
+        """Optimizing compactness should not lose to optimizing
+        heterogeneity on the compactness measure itself."""
+        census = synthetic_census(120, seed=44)
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=25000)]
+        )
+
+        def dispersion(partition):
+            total = 0.0
+            for members in partition.regions:
+                pts = [census.area(i).polygon.centroid for i in members]
+                mx = sum(p.x for p in pts) / len(pts)
+                my = sum(p.y for p in pts) / len(pts)
+                total += sum(
+                    (p.x - mx) ** 2 + (p.y - my) ** 2 for p in pts
+                )
+            return total
+
+        het = FaCT(
+            FaCTConfig(rng_seed=3, tabu_max_no_improve=60)
+        ).solve(census, constraints)
+        compact = FaCT(
+            FaCTConfig(rng_seed=3, tabu_max_no_improve=60),
+            objective=CompactnessObjective(),
+        ).solve(census, constraints)
+        assert dispersion(compact.partition) <= dispersion(het.partition) + 1e-9

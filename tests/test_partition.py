@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.partition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    Partition,
+    Region,
+    avg_constraint,
+    sum_constraint,
+)
+from repro.core.partition import UNASSIGNED
+from repro.exceptions import InvalidAreaError
+
+
+class TestConstruction:
+    def test_regions_become_frozensets(self):
+        partition = Partition(([1, 2], [3]), [4])
+        assert partition.regions == (frozenset({1, 2}), frozenset({3}))
+        assert partition.unassigned == frozenset({4})
+
+    def test_empty_region_raises(self):
+        with pytest.raises(InvalidAreaError, match="empty"):
+            Partition((frozenset(),))
+
+    def test_overlapping_regions_raise(self):
+        with pytest.raises(InvalidAreaError, match="more than one region"):
+            Partition(([1, 2], [2, 3]))
+
+    def test_assigned_and_unassigned_overlap_raises(self):
+        with pytest.raises(InvalidAreaError, match="both assigned"):
+            Partition(([1],), [1])
+
+    def test_from_regions_accepts_region_objects(self, grid3):
+        region = Region(0, grid3, [], areas=[1, 2])
+        partition = Partition.from_regions([region, [3]], unassigned=[9])
+        assert partition.p == 2
+        assert partition.unassigned == frozenset({9})
+
+    def test_from_labels_groups_by_label(self):
+        labels = {1: 0, 2: 0, 3: 1, 4: UNASSIGNED}
+        partition = Partition.from_labels(labels)
+        assert partition.p == 2
+        assert frozenset({1, 2}) in partition.regions
+        assert partition.unassigned == frozenset({4})
+
+    def test_from_labels_custom_unassigned_label(self):
+        partition = Partition.from_labels({1: 5, 2: 99}, unassigned_label=99)
+        assert partition.p == 1
+        assert partition.unassigned == frozenset({2})
+
+
+class TestAccessors:
+    @pytest.fixture
+    def partition(self):
+        return Partition(([1, 2], [3, 6], [5]), [4])
+
+    def test_p(self, partition):
+        assert partition.p == 3
+        assert len(partition) == 3
+
+    def test_assigned_and_all_areas(self, partition):
+        assert partition.assigned == frozenset({1, 2, 3, 5, 6})
+        assert partition.all_areas == frozenset({1, 2, 3, 4, 5, 6})
+
+    def test_labels_round_trip(self, partition):
+        labels = partition.labels()
+        rebuilt = Partition.from_labels(labels)
+        assert set(rebuilt.regions) == set(partition.regions)
+        assert rebuilt.unassigned == partition.unassigned
+
+    def test_region_of(self, partition):
+        assert partition.region_of(3) == 1
+        assert partition.region_of(4) == UNASSIGNED
+        with pytest.raises(InvalidAreaError):
+            partition.region_of(42)
+
+    def test_region_sizes(self, partition):
+        assert sorted(partition.region_sizes()) == [1, 2, 2]
+
+    def test_iteration_yields_regions(self, partition):
+        assert list(partition) == list(partition.regions)
+
+
+class TestValidation:
+    def test_valid_partition_over_grid(self, grid3):
+        partition = Partition(([1, 2, 3], [4, 5, 6], [7, 8, 9]))
+        assert partition.validate(grid3) == []
+        assert partition.is_valid(grid3)
+
+    def test_uncovered_areas_reported(self, grid3):
+        partition = Partition(([1, 2],))
+        problems = partition.validate(grid3)
+        assert any("not covered" in p for p in problems)
+
+    def test_unknown_areas_reported(self, grid3):
+        partition = Partition(([1, 2, 99],), set(range(3, 10)))
+        problems = partition.validate(grid3)
+        assert any("unknown areas" in p for p in problems)
+
+    def test_non_contiguous_region_reported(self, grid3):
+        partition = Partition(
+            ([1, 9],), frozenset({2, 3, 4, 5, 6, 7, 8})
+        )
+        problems = partition.validate(grid3)
+        assert any("not contiguous" in p for p in problems)
+
+    def test_constraint_violations_reported(self, grid3):
+        partition = Partition(
+            ([1, 2],), frozenset({3, 4, 5, 6, 7, 8, 9})
+        )
+        constraints = ConstraintSet([sum_constraint("s", lower=100)])
+        problems = partition.validate(grid3, constraints)
+        assert any("violates" in p for p in problems)
+
+    def test_satisfying_constraints_pass(self, grid3):
+        partition = Partition(([4, 5],), frozenset({1, 2, 3, 6, 7, 8, 9}))
+        constraints = ConstraintSet([avg_constraint("s", 4, 5)])
+        assert partition.is_valid(grid3, constraints)
+
+
+class TestScoring:
+    def test_heterogeneity(self, grid3):
+        partition = Partition(([1, 2], [3, 6]), frozenset({4, 5, 7, 8, 9}))
+        assert partition.heterogeneity(grid3) == pytest.approx(1.0 + 3.0)
+
+    def test_region_heterogeneities(self, grid3):
+        partition = Partition(([1, 2], [3, 6]), frozenset({4, 5, 7, 8, 9}))
+        assert partition.region_heterogeneities(grid3) == [
+            pytest.approx(1.0),
+            pytest.approx(3.0),
+        ]
+
+    def test_summary(self, grid3):
+        partition = Partition(([1, 2], [3, 6]), frozenset({4, 5, 7, 8, 9}))
+        summary = partition.summary(grid3)
+        assert summary["p"] == 2
+        assert summary["n_unassigned"] == 5
+        assert summary["unassigned_fraction"] == pytest.approx(5 / 9)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.geometry.polygon."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry import Point, Polygon
+
+
+def unit_square() -> Polygon:
+    return Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+
+class TestConstruction:
+    def test_accepts_tuples_and_points(self):
+        a = Polygon([(0, 0), (1, 0), (0, 1)])
+        b = Polygon([Point(0, 0), Point(1, 0), Point(0, 1)])
+        assert a == b
+
+    def test_repeated_closing_vertex_dropped(self):
+        polygon = Polygon([(0, 0), (1, 0), (0, 1), (0, 0)])
+        assert len(polygon) == 3
+
+    def test_too_few_vertices_raise(self):
+        with pytest.raises(GeometryError, match="at least 3"):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_degenerate_zero_area_raises(self):
+        with pytest.raises(GeometryError, match="zero area"):
+            Polygon([(0, 0), (1, 1), (2, 2)])
+
+    def test_clockwise_ring_normalized_to_ccw(self):
+        cw = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])
+        assert cw.area == pytest.approx(1.0)
+        # signed shoelace of the stored ring must be positive
+        ring = cw.vertices
+        shoelace = sum(
+            ring[i].x * ring[(i + 1) % len(ring)].y
+            - ring[(i + 1) % len(ring)].x * ring[i].y
+            for i in range(len(ring))
+        )
+        assert shoelace > 0
+
+    def test_polygons_hashable(self):
+        assert len({unit_square(), unit_square()}) == 1
+
+
+class TestMeasures:
+    def test_unit_square_area(self):
+        assert unit_square().area == pytest.approx(1.0)
+
+    def test_triangle_area(self):
+        assert Polygon([(0, 0), (4, 0), (0, 3)]).area == pytest.approx(6.0)
+
+    def test_perimeter(self):
+        assert unit_square().perimeter == pytest.approx(4.0)
+
+    def test_centroid_of_square(self):
+        c = unit_square().centroid
+        assert (c.x, c.y) == (pytest.approx(0.5), pytest.approx(0.5))
+
+    def test_centroid_of_triangle(self):
+        c = Polygon([(0, 0), (3, 0), (0, 3)]).centroid
+        assert (c.x, c.y) == (pytest.approx(1.0), pytest.approx(1.0))
+
+    def test_bbox(self):
+        box = Polygon([(0, 0), (4, 0), (0, 3)]).bbox
+        assert (box.max_x, box.max_y) == (4.0, 3.0)
+
+    @given(st.floats(0.1, 50), st.floats(0.1, 50))
+    def test_rectangle_area_formula(self, w, h):
+        rect = Polygon([(0, 0), (w, 0), (w, h), (0, h)])
+        assert rect.area == pytest.approx(w * h, rel=1e-9)
+
+
+class TestStructure:
+    def test_edges_count_equals_vertices(self):
+        assert len(list(unit_square().edges())) == 4
+
+    def test_canonical_edges_orientation_independent(self):
+        ccw = unit_square()
+        cw = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])
+        assert ccw.canonical_edges() == cw.canonical_edges()
+
+    def test_shared_edge_between_adjacent_squares(self):
+        left = unit_square()
+        right = left.translated(1, 0)
+        assert left.canonical_edges() & right.canonical_edges()
+
+    def test_no_shared_edge_between_diagonal_squares(self):
+        a = unit_square()
+        b = a.translated(1, 1)
+        assert not (a.canonical_edges() & b.canonical_edges())
+        # but they share a corner vertex (queen contiguity)
+        assert a.canonical_vertices() & b.canonical_vertices()
+
+    def test_translated_preserves_shape(self):
+        moved = unit_square().translated(5, 7)
+        assert moved.area == pytest.approx(1.0)
+        assert moved.centroid == Point(5.5, 7.5)
+
+
+class TestContainsPoint:
+    def test_interior(self):
+        assert unit_square().contains_point(Point(0.5, 0.5))
+
+    def test_exterior(self):
+        assert not unit_square().contains_point(Point(1.5, 0.5))
+
+    def test_boundary_counts_inside(self):
+        assert unit_square().contains_point(Point(0.0, 0.5))
+        assert unit_square().contains_point(Point(0.5, 1.0))
+
+    def test_vertex_counts_inside(self):
+        assert unit_square().contains_point(Point(0, 0))
+
+    def test_outside_bbox_fast_path(self):
+        assert not unit_square().contains_point(Point(100, 100))
+
+    def test_concave_polygon(self):
+        # L-shape: the notch at (1.5, 1.5) is outside.
+        shape = Polygon(
+            [(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)]
+        )
+        assert shape.contains_point(Point(0.5, 1.5))
+        assert not shape.contains_point(Point(1.5, 1.5))
+
+    def test_centroid_inside_convex(self):
+        triangle = Polygon([(0, 0), (4, 1), (1, 5)])
+        assert triangle.contains_point(triangle.centroid)

@@ -1,0 +1,218 @@
+"""Property-based tests on the solver and the paper's theorems.
+
+These are the repository's strongest correctness guarantees: for
+arbitrary small worlds and arbitrary constraint combinations, FaCT's
+output must always be a valid EMP answer, and the feasibility phase's
+theorems must hold numerically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import FaCT, FaCTConfig
+from repro.baselines import solve_exact
+from repro.core import (
+    ConstraintSet,
+    avg_constraint,
+    count_constraint,
+    max_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from repro.exceptions import InfeasibleProblemError
+
+from conftest import make_grid_collection
+
+SOLVER_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+attribute_values = st.integers(min_value=1, max_value=20)
+
+
+@st.composite
+def small_world(draw):
+    """A random grid collection with integer attribute values."""
+    rows = draw(st.integers(2, 4))
+    cols = draw(st.integers(2, 4))
+    values = {
+        i: float(draw(attribute_values))
+        for i in range(1, rows * cols + 1)
+    }
+    return make_grid_collection(rows, cols, values=values)
+
+
+@st.composite
+def random_constraints(draw):
+    """A random non-empty subset of constraint types with random
+    bounds chosen so the query is not trivially infeasible."""
+    constraints = []
+    if draw(st.booleans()):
+        upper = draw(st.integers(5, 20))
+        constraints.append(min_constraint("s", upper=upper))
+    if draw(st.booleans()):
+        lower = draw(st.integers(1, 10))
+        constraints.append(max_constraint("s", lower=lower))
+    if draw(st.booleans()):
+        low = draw(st.integers(1, 10))
+        length = draw(st.integers(2, 12))
+        constraints.append(avg_constraint("s", low, low + length))
+    if draw(st.booleans()):
+        lower = draw(st.integers(2, 30))
+        constraints.append(sum_constraint("s", lower=lower))
+    if draw(st.booleans()):
+        lower = draw(st.integers(1, 3))
+        constraints.append(count_constraint(lower, lower + draw(st.integers(0, 5))))
+    if not constraints:
+        constraints.append(sum_constraint("s", lower=draw(st.integers(1, 10))))
+    return ConstraintSet(constraints)
+
+
+class TestSolverProperties:
+    @SOLVER_SETTINGS
+    @given(small_world(), random_constraints(), st.integers(0, 99))
+    def test_output_is_always_a_valid_emp_answer(
+        self, collection, constraints, seed
+    ):
+        """The fundamental invariant: whatever FaCT returns — whatever
+        the world, query and seed — regions are disjoint, contiguous,
+        satisfy every constraint, and cover exactly the non-U0 areas."""
+        solver = FaCT(
+            FaCTConfig(rng_seed=seed, construction_iterations=2,
+                       tabu_max_no_improve=10)
+        )
+        try:
+            solution = solver.solve(collection, constraints)
+        except InfeasibleProblemError:
+            return  # a proven-infeasible query is a legitimate outcome
+        assert solution.partition.validate(collection, constraints) == []
+
+    @SOLVER_SETTINGS
+    @given(small_world(), st.integers(0, 99))
+    def test_p_upper_bounded_by_seed_count(self, collection, seed):
+        constraints = ConstraintSet([min_constraint("s", 3, 9)])
+        solver = FaCT(FaCTConfig(rng_seed=seed, enable_tabu=False))
+        try:
+            solution = solver.solve(collection, constraints)
+        except InfeasibleProblemError:
+            return
+        n_seeds = sum(
+            1
+            for area in collection
+            if 3 <= area.attributes["s"] <= 9
+        )
+        assert solution.p <= n_seeds
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 50), st.integers(4, 30))
+    def test_fact_never_beats_exact_on_tiny_grids(self, seed, threshold):
+        rng = random.Random(seed)
+        values = {i: float(rng.randint(1, 12)) for i in range(1, 10)}
+        collection = make_grid_collection(3, 3, values=values)
+        constraints = ConstraintSet([sum_constraint("s", lower=threshold)])
+        exact = solve_exact(collection, constraints)
+        try:
+            fact = FaCT(
+                FaCTConfig(rng_seed=seed, construction_iterations=3,
+                           enable_tabu=False)
+            ).solve(collection, constraints)
+        except InfeasibleProblemError:
+            assert exact.p == 0
+            return
+        assert fact.p <= exact.p
+
+
+class TestTheorems:
+    """Numeric checks of Theorems 2 and 3 (Section V-A)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+    )
+    def test_theorem2_partition_averages_bound_global_average(
+        self, regions, lower, length
+    ):
+        """If every region's average lies in [l, u], the global average
+        over all areas lies in [l, u]."""
+        upper = lower + length
+        all_satisfy = all(
+            lower <= sum(region) / len(region) <= upper for region in regions
+        )
+        if not all_satisfy:
+            return
+        values = [v for region in regions for v in region]
+        global_avg = sum(values) / len(values)
+        assert lower - 1e-9 <= global_avg <= upper + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        ),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0.1, max_value=20, allow_nan=False),
+    )
+    def test_theorem3_contrapositive(self, values, lower, length):
+        """If the global average violates [l, u], no full partition can
+        have every part's average inside [l, u] — verified by checking
+        a family of contiguous partitions of the value list."""
+        upper = lower + length
+        global_avg = sum(values) / len(values)
+        if lower <= global_avg <= upper:
+            return
+        # check all two-part contiguous splits plus the trivial one
+        partitions = [[values]]
+        for cut in range(1, len(values)):
+            partitions.append([values[:cut], values[cut:]])
+        for parts in partitions:
+            averages_ok = all(
+                lower <= sum(part) / len(part) <= upper for part in parts
+            )
+            assert not averages_ok
+
+    def test_union_of_avg_satisfying_regions_satisfies_avg(self):
+        """The merging rule Substeps 2.2/2.3 rely on: the average of a
+        union lies between the two averages."""
+        rng = random.Random(0)
+        for _ in range(200):
+            a = [rng.uniform(0, 10) for _ in range(rng.randint(1, 6))]
+            b = [rng.uniform(0, 10) for _ in range(rng.randint(1, 6))]
+            avg_a = sum(a) / len(a)
+            avg_b = sum(b) / len(b)
+            union_avg = (sum(a) + sum(b)) / (len(a) + len(b))
+            assert min(avg_a, avg_b) - 1e-12 <= union_avg <= (
+                max(avg_a, avg_b) + 1e-12
+            )
+
+    def test_union_satisfies_extrema_iff_either_part_does(self):
+        """After filtration (all values >= l for MIN), a union satisfies
+        a MIN constraint iff either part does."""
+        lower, upper = 2.0, 4.0
+        rng = random.Random(1)
+        for _ in range(200):
+            a = [rng.uniform(lower, 10) for _ in range(rng.randint(1, 5))]
+            b = [rng.uniform(lower, 10) for _ in range(rng.randint(1, 5))]
+            a_ok = lower <= min(a) <= upper
+            b_ok = lower <= min(b) <= upper
+            union_ok = lower <= min(a + b) <= upper
+            assert union_ok == (a_ok or b_ok)

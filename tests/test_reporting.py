@@ -1,0 +1,80 @@
+"""Tests for repro.fact.reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstraintSet, FaCT, FaCTConfig, min_constraint, sum_constraint
+from repro.data import schema
+from repro.fact import (
+    check_feasibility,
+    format_feasibility_report,
+    format_solution_report,
+)
+
+
+@pytest.fixture(scope="module")
+def solution(small_census_module):
+    constraints = ConstraintSet(
+        [sum_constraint(schema.TOTALPOP, lower=20000)]
+    )
+    solver = FaCT(FaCTConfig(rng_seed=1, tabu_max_no_improve=30))
+    return solver.solve(small_census_module, constraints)
+
+
+@pytest.fixture(scope="module")
+def small_census_module():
+    from repro.data import synthetic_census
+
+    return synthetic_census(150, seed=14)
+
+
+class TestFeasibilityReportFormat:
+    def test_feasible_report(self, small_census_module):
+        report = check_feasibility(
+            small_census_module,
+            ConstraintSet([sum_constraint(schema.TOTALPOP, lower=1000)]),
+        )
+        text = format_feasibility_report(report)
+        assert "feasible: yes" in text
+        assert "SUM(TOTALPOP)" in text
+
+    def test_infeasible_report_lists_reasons(self, small_census_module):
+        report = check_feasibility(
+            small_census_module,
+            ConstraintSet([sum_constraint(schema.TOTALPOP, lower=1e12)]),
+        )
+        text = format_feasibility_report(report)
+        assert "feasible: NO" in text
+        assert "infeasible because" in text
+
+    def test_warning_rendered(self, small_census_module):
+        report = check_feasibility(
+            small_census_module,
+            ConstraintSet([min_constraint(schema.POP16UP, 4000, 9000)]),
+        )
+        text = format_feasibility_report(report)
+        assert "warning:" in text
+
+
+class TestSolutionReportFormat:
+    def test_contains_headline_measures(self, solution, small_census_module):
+        text = format_solution_report(solution, small_census_module)
+        assert f"regions (p): {solution.p}" in text
+        assert "heterogeneity:" in text
+        assert "construction time" in text
+        assert "tabu time" in text
+        assert "unassigned fraction" in text
+
+    def test_without_collection(self, solution):
+        text = format_solution_report(solution)
+        assert "unassigned fraction" not in text
+        assert "region sizes" in text
+
+    def test_tabu_disabled_reported(self, small_census_module):
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=20000)]
+        )
+        solver = FaCT(FaCTConfig(rng_seed=1, enable_tabu=False))
+        solution = solver.solve(small_census_module, constraints)
+        assert "tabu: disabled" in format_solution_report(solution)

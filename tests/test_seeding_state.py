@@ -1,0 +1,189 @@
+"""Tests for FaCT Step 1 (seeding) and the shared SolutionState."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    max_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from repro.exceptions import InvalidAreaError
+from repro.fact import check_feasibility, select_seeds
+from repro.fact.state import SolutionState
+
+
+def paper_constraints() -> ConstraintSet:
+    return ConstraintSet([min_constraint("s", 2, 4), max_constraint("s", 6, 7)])
+
+
+class TestSeeding:
+    def test_paper_example_seed_sets(self, grid3):
+        constraints = paper_constraints()
+        report = check_feasibility(grid3, constraints)
+        seeding = select_seeds(grid3, constraints, report)
+        assert seeding.valid_areas == frozenset({2, 3, 4, 5, 6, 7})
+        assert seeding.seeds == frozenset({2, 3, 4, 6, 7})
+        by_constraint = {
+            c.aggregate: ids
+            for c, ids in seeding.seeds_by_constraint.items()
+        }
+        assert by_constraint["MIN"] == frozenset({2, 3, 4})
+        assert by_constraint["MAX"] == frozenset({6, 7})
+
+    def test_p_upper_bound_is_seed_count(self, grid3):
+        constraints = paper_constraints()
+        report = check_feasibility(grid3, constraints)
+        seeding = select_seeds(grid3, constraints, report)
+        assert seeding.p_upper_bound == 5
+
+    def test_is_seed(self, grid3):
+        constraints = paper_constraints()
+        seeding = select_seeds(
+            grid3, constraints, check_feasibility(grid3, constraints)
+        )
+        assert seeding.is_seed(3)
+        assert not seeding.is_seed(5)
+
+    def test_without_extrema_every_valid_area_is_seed(self, grid3):
+        constraints = ConstraintSet([sum_constraint("s", lower=1)])
+        seeding = select_seeds(
+            grid3, constraints, check_feasibility(grid3, constraints)
+        )
+        assert seeding.seeds == frozenset(grid3.ids)
+        assert seeding.seeds_by_constraint == {}
+
+
+class TestSolutionState:
+    def _state(self, grid3, excluded=()):
+        constraints = ConstraintSet([sum_constraint("s", lower=1)])
+        return SolutionState(grid3, constraints, excluded=excluded)
+
+    def test_initially_all_unassigned(self, grid3):
+        state = self._state(grid3)
+        assert state.p == 0
+        assert state.n_unassigned == 9
+        assert state.region_of(1) is None
+
+    def test_excluded_areas_never_assignable(self, grid3):
+        state = self._state(grid3, excluded=[1, 9])
+        assert state.n_unassigned == 7
+        region = state.new_region([2])
+        with pytest.raises(InvalidAreaError):
+            state.assign(1, region)
+
+    def test_excluding_unknown_area_raises(self, grid3):
+        with pytest.raises(InvalidAreaError):
+            self._state(grid3, excluded=[42])
+
+    def test_new_region_and_assignment(self, grid3):
+        state = self._state(grid3)
+        region = state.new_region([1, 2])
+        assert state.p == 1
+        assert state.region_of(1) is region
+        assert not state.is_unassigned(2)
+
+    def test_assign_already_assigned_raises(self, grid3):
+        state = self._state(grid3)
+        region = state.new_region([1])
+        other = state.new_region([2])
+        with pytest.raises(InvalidAreaError):
+            state.assign(1, other)
+
+    def test_unassign_returns_to_pool(self, grid3):
+        state = self._state(grid3)
+        region = state.new_region([1, 2])
+        state.unassign(2)
+        assert state.is_unassigned(2)
+        assert region.area_ids == frozenset({1})
+
+    def test_unassign_last_area_drops_region(self, grid3):
+        state = self._state(grid3)
+        state.new_region([1])
+        state.unassign(1)
+        assert state.p == 0
+
+    def test_unassign_unassigned_raises(self, grid3):
+        state = self._state(grid3)
+        with pytest.raises(InvalidAreaError):
+            state.unassign(1)
+
+    def test_move_between_regions(self, grid3):
+        state = self._state(grid3)
+        a = state.new_region([1, 2])
+        b = state.new_region([3])
+        state.move(2, b)
+        assert state.region_of(2) is b
+        assert a.area_ids == frozenset({1})
+
+    def test_move_last_area_drops_source(self, grid3):
+        state = self._state(grid3)
+        a = state.new_region([1])
+        b = state.new_region([2])
+        state.move(1, b)
+        assert state.p == 1
+
+    def test_move_to_same_region_raises(self, grid3):
+        state = self._state(grid3)
+        a = state.new_region([1])
+        with pytest.raises(InvalidAreaError):
+            state.move(1, a)
+
+    def test_merge_regions(self, grid3):
+        state = self._state(grid3)
+        a = state.new_region([1, 2])
+        b = state.new_region([3])
+        merged = state.merge_regions(a, b)
+        assert merged is a
+        assert state.p == 1
+        assert state.region_of(3) is a
+
+    def test_merge_with_self_raises(self, grid3):
+        state = self._state(grid3)
+        a = state.new_region([1])
+        with pytest.raises(InvalidAreaError):
+            state.merge_regions(a, a)
+
+    def test_dissolve_region(self, grid3):
+        state = self._state(grid3)
+        region = state.new_region([1, 2, 3])
+        state.dissolve_region(region)
+        assert state.p == 0
+        assert state.n_unassigned == 9
+
+    def test_neighbor_regions(self, grid3):
+        state = self._state(grid3)
+        a = state.new_region([1])   # neighbors of area 2: 1, 3, 5
+        b = state.new_region([3])
+        regions = state.neighbor_regions(2)
+        assert {r.region_id for r in regions} == {a.region_id, b.region_id}
+
+    def test_adjacent_regions(self, grid3):
+        state = self._state(grid3)
+        a = state.new_region([1, 2])
+        b = state.new_region([3])
+        c = state.new_region([7])  # not adjacent to b
+        assert {r.region_id for r in state.adjacent_regions(b)} == {
+            a.region_id
+        }
+
+    def test_unassigned_neighbors(self, grid3):
+        state = self._state(grid3)
+        region = state.new_region([5])
+        assert set(state.unassigned_neighbors(region)) == {2, 4, 6, 8}
+
+    def test_to_partition_includes_excluded_in_u0(self, grid3):
+        state = self._state(grid3, excluded=[9])
+        state.new_region([1, 2])
+        partition = state.to_partition()
+        assert partition.p == 1
+        assert 9 in partition.unassigned
+        assert partition.all_areas == frozenset(grid3.ids)
+
+    def test_total_heterogeneity_sums_regions(self, grid3):
+        state = self._state(grid3)
+        state.new_region([1, 2])  # H = 1
+        state.new_region([3, 6])  # H = 3
+        assert state.total_heterogeneity() == pytest.approx(4.0)

@@ -1,0 +1,220 @@
+"""End-to-end tests for the FaCT solver facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConstraintSet,
+    FaCT,
+    FaCTConfig,
+    InfeasibleProblemError,
+    avg_constraint,
+    count_constraint,
+    max_constraint,
+    min_constraint,
+    solve_emp,
+    sum_constraint,
+)
+from repro.data import schema, synthetic_census
+
+
+def census_constraints() -> ConstraintSet:
+    return ConstraintSet(
+        [
+            min_constraint(schema.POP16UP, upper=3000),
+            avg_constraint(schema.EMPLOYED, 1500, 3500),
+            sum_constraint(schema.TOTALPOP, lower=20000),
+        ]
+    )
+
+
+class TestEndToEnd:
+    def test_default_combo_produces_valid_solution(self, small_census):
+        solution = FaCT(FaCTConfig(rng_seed=7)).solve(
+            small_census, census_constraints()
+        )
+        assert solution.p > 0
+        assert solution.partition.validate(
+            small_census, census_constraints()
+        ) == []
+
+    @pytest.mark.parametrize(
+        "constraints",
+        [
+            ConstraintSet([min_constraint(schema.POP16UP, upper=3000)]),
+            ConstraintSet([max_constraint(schema.POP16UP, lower=4000)]),
+            ConstraintSet([avg_constraint(schema.EMPLOYED, 1500, 3500)]),
+            ConstraintSet([sum_constraint(schema.TOTALPOP, lower=20000)]),
+            ConstraintSet([count_constraint(3, 20)]),
+            ConstraintSet(
+                [
+                    min_constraint(schema.POP16UP, upper=3000),
+                    sum_constraint(schema.TOTALPOP, lower=15000),
+                ]
+            ),
+            ConstraintSet(
+                [
+                    avg_constraint(schema.EMPLOYED, 1000, 4000),
+                    sum_constraint(schema.TOTALPOP, 15000, 80000),
+                    count_constraint(2, 30),
+                ]
+            ),
+        ],
+        ids=["M", "X", "A", "S", "C", "MS", "ASC"],
+    )
+    def test_every_constraint_subset_yields_valid_output(
+        self, small_census, constraints
+    ):
+        solution = FaCT(FaCTConfig(rng_seed=3)).solve(small_census, constraints)
+        assert solution.partition.validate(small_census, constraints) == []
+
+    def test_unconstrained_query_maximizes_p_with_singletons(
+        self, small_census
+    ):
+        solution = FaCT(FaCTConfig(rng_seed=1)).solve(small_census, None)
+        assert solution.p == len(small_census)
+        assert solution.n_unassigned == 0
+
+    def test_deterministic_for_fixed_seed(self, small_census):
+        run1 = FaCT(FaCTConfig(rng_seed=42)).solve(
+            small_census, census_constraints()
+        )
+        run2 = FaCT(FaCTConfig(rng_seed=42)).solve(
+            small_census, census_constraints()
+        )
+        assert run1.p == run2.p
+        assert set(run1.partition.regions) == set(run2.partition.regions)
+        assert run1.heterogeneity == pytest.approx(run2.heterogeneity)
+
+    def test_different_seeds_may_differ_but_stay_valid(self, small_census):
+        for seed in (1, 2, 3):
+            solution = FaCT(FaCTConfig(rng_seed=seed)).solve(
+                small_census, census_constraints()
+            )
+            assert solution.partition.validate(
+                small_census, census_constraints()
+            ) == []
+
+    def test_multi_component_dataset_supported(self):
+        # Classic max-p requires a single component; EMP does not.
+        collection = synthetic_census(60, seed=8, patches=3)
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=20000)]
+        )
+        solution = FaCT(FaCTConfig(rng_seed=5)).solve(collection, constraints)
+        assert solution.p >= 3  # at least one region per component
+        assert solution.partition.validate(collection, constraints) == []
+
+    def test_infeasible_problem_raises(self, small_census):
+        constraints = ConstraintSet(
+            [sum_constraint(schema.TOTALPOP, lower=1e12)]
+        )
+        with pytest.raises(InfeasibleProblemError):
+            FaCT().solve(small_census, constraints)
+
+    def test_tabu_improves_or_preserves_heterogeneity(self, small_census):
+        solution = FaCT(FaCTConfig(rng_seed=7)).solve(
+            small_census, census_constraints()
+        )
+        assert solution.heterogeneity <= solution.heterogeneity_before + 1e-6
+        assert 0 <= solution.improvement <= 1.0
+
+    def test_disable_tabu(self, small_census):
+        solution = FaCT(FaCTConfig(rng_seed=7, enable_tabu=False)).solve(
+            small_census, census_constraints()
+        )
+        assert solution.tabu is None
+        assert solution.tabu_seconds == 0.0
+        assert solution.improvement == 0.0
+
+    def test_more_restarts_never_reduce_p(self, small_census):
+        constraints = census_constraints()
+        single = FaCT(
+            FaCTConfig(rng_seed=9, construction_iterations=1, enable_tabu=False)
+        ).solve(small_census, constraints)
+        multi = FaCT(
+            FaCTConfig(rng_seed=9, construction_iterations=4, enable_tabu=False)
+        ).solve(small_census, constraints)
+        assert multi.p >= single.p
+
+
+class TestFacadeSurface:
+    def test_solve_emp_kwargs(self, small_census):
+        solution = solve_emp(
+            small_census,
+            [sum_constraint(schema.TOTALPOP, lower=30000)],
+            rng_seed=2,
+            enable_tabu=False,
+        )
+        assert solution.p > 0
+
+    def test_single_constraint_accepted(self, small_census):
+        solution = solve_emp(
+            small_census,
+            sum_constraint(schema.TOTALPOP, lower=30000),
+            enable_tabu=False,
+        )
+        assert solution.p > 0
+
+    def test_check_runs_feasibility_only(self, small_census):
+        report = FaCT().check(small_census, census_constraints())
+        assert report.feasible
+
+    def test_summary_contains_paper_measures(self, small_census):
+        solution = FaCT(FaCTConfig(rng_seed=7)).solve(
+            small_census, census_constraints()
+        )
+        summary = solution.summary()
+        for key in (
+            "p",
+            "n_unassigned",
+            "heterogeneity_before",
+            "heterogeneity_after",
+            "improvement",
+            "construction_seconds",
+            "tabu_seconds",
+        ):
+            assert key in summary
+
+    def test_timing_fields_are_positive(self, small_census):
+        solution = FaCT(FaCTConfig(rng_seed=7)).solve(
+            small_census, census_constraints()
+        )
+        assert solution.construction_seconds > 0
+        assert solution.total_seconds >= solution.construction_seconds
+
+
+class TestConfigValidation:
+    def test_bad_pickup_rejected(self):
+        with pytest.raises(Exception, match="pickup"):
+            FaCTConfig(pickup="greedy")
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(Exception, match="construction_iterations"):
+            FaCTConfig(construction_iterations=0)
+
+    def test_negative_merge_limit_rejected(self):
+        with pytest.raises(Exception, match="merge_limit"):
+            FaCTConfig(merge_limit=-1)
+
+    def test_negative_tabu_knobs_rejected(self):
+        with pytest.raises(Exception):
+            FaCTConfig(tabu_tenure=-1)
+        with pytest.raises(Exception):
+            FaCTConfig(tabu_max_no_improve=-5)
+
+    def test_resolved_patience_defaults_to_n(self):
+        assert FaCTConfig().resolved_tabu_patience(123) == 123
+        assert FaCTConfig(tabu_max_no_improve=7).resolved_tabu_patience(123) == 7
+
+    def test_resolved_cap_defaults_to_20n(self):
+        assert FaCTConfig().resolved_tabu_cap(10) == 200
+
+    def test_best_pickup_works_end_to_end(self, small_census):
+        solution = FaCT(
+            FaCTConfig(rng_seed=7, pickup="best", enable_tabu=False)
+        ).solve(small_census, census_constraints())
+        assert solution.partition.validate(
+            small_census, census_constraints()
+        ) == []

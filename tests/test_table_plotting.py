@@ -1,0 +1,213 @@
+"""Tests for repro.data.table and repro.bench.plotting."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.bench.figures import FigureData
+from repro.bench.plotting import bar_chart, figure_to_chart
+from repro.data.table import collection_from_columns, collection_from_csv
+from repro.exceptions import DatasetError
+
+
+class TestCollectionFromColumns:
+    def test_basic_build(self):
+        collection = collection_from_columns(
+            adjacency={0: [1], 1: [0, 2], 2: [1]},
+            columns={"POP": [100, 250, 175], "JOBS": [40, 90, 66]},
+            dissimilarity="JOBS",
+        )
+        assert len(collection) == 3
+        assert collection.attribute(1, "POP") == 250.0
+        assert collection.dissimilarity(2) == 66.0
+        assert collection.neighbors(1) == frozenset({0, 2})
+
+    def test_custom_ids(self):
+        collection = collection_from_columns(
+            adjacency={10: [20], 20: [10]},
+            columns={"POP": [1, 2]},
+            dissimilarity="POP",
+            ids=[10, 20],
+        )
+        assert set(collection.ids) == {10, 20}
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(DatasetError, match="at least one column"):
+            collection_from_columns({}, {}, "POP")
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(DatasetError, match="lengths differ"):
+            collection_from_columns(
+                {0: []}, {"A": [1], "B": [1, 2]}, "A"
+            )
+
+    def test_unknown_dissimilarity_rejected(self):
+        with pytest.raises(DatasetError, match="not among"):
+            collection_from_columns({0: []}, {"A": [1]}, "B")
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(DatasetError, match="ids has"):
+            collection_from_columns(
+                {0: []}, {"A": [1, 2]}, "A", ids=[0]
+            )
+
+    def test_polygons_attached(self):
+        from repro.geometry import Polygon
+
+        square = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        collection = collection_from_columns(
+            adjacency={0: []},
+            columns={"A": [1]},
+            dissimilarity="A",
+            polygons=[square],
+        )
+        assert collection.area(0).polygon is square
+
+    def test_mismatched_polygons_rejected(self):
+        with pytest.raises(DatasetError, match="polygons has"):
+            collection_from_columns(
+                {0: []}, {"A": [1]}, "A", polygons=[]
+            )
+
+
+class TestCollectionFromCsv:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "areas.csv"
+        path.write_text(textwrap.dedent(text))
+        return path
+
+    def test_basic_load(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            """\
+            id,neighbors,POP,JOBS
+            1,2,100,40
+            2,1 3,250,90
+            3,2,175,66
+            """,
+        )
+        collection = collection_from_csv(path, ["POP", "JOBS"], "JOBS")
+        assert len(collection) == 3
+        assert collection.neighbors(2) == frozenset({1, 3})
+        assert collection.attribute(3, "POP") == 175.0
+
+    def test_one_sided_neighbor_lists_symmetrized(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            """\
+            id,neighbors,POP
+            1,2,10
+            2,,20
+            """,
+        )
+        collection = collection_from_csv(path, ["POP"], "POP")
+        assert collection.neighbors(2) == frozenset({1})
+
+    def test_unknown_neighbor_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            """\
+            id,neighbors,POP
+            1,99,10
+            """,
+        )
+        with pytest.raises(DatasetError, match="unknown neighbor"):
+            collection_from_csv(path, ["POP"], "POP")
+
+    def test_missing_attribute_column_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            """\
+            id,neighbors,POP
+            1,,10
+            """,
+        )
+        with pytest.raises(DatasetError, match="JOBS"):
+            collection_from_csv(path, ["POP", "JOBS"], "POP")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self._write(tmp_path, "id,neighbors,POP\n")
+        with pytest.raises(DatasetError, match="no data rows"):
+            collection_from_csv(path, ["POP"], "POP")
+
+    def test_non_integer_id_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            """\
+            id,neighbors,POP
+            abc,,10
+            """,
+        )
+        with pytest.raises(DatasetError, match="non-integer"):
+            collection_from_csv(path, ["POP"], "POP")
+
+    def test_solver_runs_on_csv_collection(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            """\
+            id,neighbors,POP
+            1,2,10
+            2,1 3,20
+            3,2 4,30
+            4,3,40
+            """,
+        )
+        collection = collection_from_csv(path, ["POP"], "POP")
+        from repro import ConstraintSet, solve_emp, sum_constraint
+
+        solution = solve_emp(
+            collection,
+            ConstraintSet([sum_constraint("POP", lower=30)]),
+            enable_tabu=False,
+        )
+        assert solution.p >= 1
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        chart = bar_chart([("alpha", 10.0), ("beta", 5.0)], title="demo")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("alpha")
+        assert "10" in lines[1]
+
+    def test_longest_bar_is_longest(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)], width=20)
+        bar_a = chart.splitlines()[0].count("█")
+        bar_b = chart.splitlines()[1].count("█")
+        assert bar_a > bar_b
+        assert bar_a == 20
+
+    def test_zero_values_render_empty_bars(self):
+        chart = bar_chart([("a", 0.0), ("b", 2.0)])
+        assert chart.splitlines()[0].count("█") == 0
+
+    def test_empty_items(self):
+        assert bar_chart([], title="t") == "t"
+
+
+class TestFigureToChart:
+    def test_groups_by_x_value(self):
+        data = FigureData(
+            figure="Fig X",
+            title="demo",
+            x_label="range",
+            y_label="seconds",
+        )
+        data.add_point("M", "a", 1.0)
+        data.add_point("M", "b", 2.0)
+        data.add_point("MS", "a", 0.5)
+        chart = figure_to_chart(data)
+        assert "Fig X" in chart
+        assert "a:" in chart and "b:" in chart
+        assert chart.count("M ") >= 1
+
+    def test_missing_points_skipped(self):
+        data = FigureData(
+            figure="F", title="t", x_label="x", y_label="y"
+        )
+        data.add_point("only", "x1", 1.0)
+        chart = figure_to_chart(data)
+        assert "x1:" in chart
