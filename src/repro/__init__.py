@@ -27,6 +27,8 @@ Subpackages
 - :mod:`repro.data` — synthetic census datasets and GeoJSON I/O;
 - :mod:`repro.fact` — the FaCT solver;
 - :mod:`repro.baselines` — classic max-p-regions and an exact solver;
+- :mod:`repro.runtime` — wall-clock budgets, cooperative cancellation
+  and the fault-injection harness behind the chaos tests;
 - :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
 """
 
@@ -46,6 +48,7 @@ from .core import (
 )
 from .data import load_dataset, load_geojson, synthetic_census
 from .exceptions import (
+    BudgetError,
     ContiguityError,
     DatasetError,
     GeometryError,
@@ -53,8 +56,10 @@ from .exceptions import (
     InvalidAreaError,
     InvalidConstraintError,
     ReproError,
+    SolverInterrupted,
 )
 from .fact import (
+    ConstructionAttempt,
     EMPSolution,
     FaCT,
     FaCTConfig,
@@ -62,6 +67,7 @@ from .fact import (
     check_feasibility,
     solve_emp,
 )
+from .runtime import Budget, CancellationToken, RunStatus
 
 __version__ = "1.0.0"
 
@@ -69,8 +75,12 @@ __all__ = [
     "Aggregate",
     "Area",
     "AreaCollection",
+    "Budget",
+    "BudgetError",
+    "CancellationToken",
     "Constraint",
     "ConstraintSet",
+    "ConstructionAttempt",
     "ContiguityError",
     "DatasetError",
     "EMPSolution",
@@ -84,6 +94,8 @@ __all__ = [
     "Partition",
     "Region",
     "ReproError",
+    "RunStatus",
+    "SolverInterrupted",
     "avg_constraint",
     "check_feasibility",
     "count_constraint",

@@ -27,7 +27,7 @@ from typing import Sequence
 from .core.constraints import Constraint, ConstraintSet
 from .data.datasets import DATASETS, load_dataset
 from .data.geojson import dump_geojson, load_geojson
-from .exceptions import ReproError
+from .exceptions import ReproError, SolverInterrupted
 from .fact.config import FaCTConfig
 from .fact.reporting import format_feasibility_report, format_solution_report
 from .fact.solver import FaCT
@@ -102,6 +102,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     solve.add_argument("--seed", type=int, default=7)
     solve.add_argument("--no-tabu", action="store_true")
     solve.add_argument("--restarts", type=int, default=3)
+    solve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget; on expiry the best-so-far solution is "
+            "reported, flagged with its status"
+        ),
+    )
+    solve.add_argument(
+        "--strict-timeout",
+        action="store_true",
+        help="exit with an error on timeout instead of reporting best-so-far",
+    )
     solve.add_argument("--geojson-output", help="write regions as GeoJSON")
     solve.add_argument("--svg-output", help="write a region map as SVG")
 
@@ -151,9 +166,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 rng_seed=args.seed,
                 construction_iterations=args.restarts,
                 enable_tabu=not args.no_tabu,
+                deadline_seconds=args.timeout,
+                strict_interrupt=args.strict_timeout,
             )
         )
-        solution = solver.solve(collection, constraints)
+        try:
+            solution = solver.solve(collection, constraints)
+        except SolverInterrupted as interrupt:
+            print(
+                f"error: {interrupt} (re-run without --strict-timeout to "
+                "accept best-so-far results)",
+                file=sys.stderr,
+            )
+            return 2
         print(format_solution_report(solution, collection))
         if args.geojson_output:
             dump_geojson(

@@ -7,11 +7,20 @@ size ``p`` (plus the number of unassigned areas) and the relative
 heterogeneity improvement. :func:`run_emp` and :func:`run_maxp`
 produce one :class:`ExperimentRow` each; the table/figure modules
 assemble grids of them.
+
+Resilience: a cell that raises is reported as an *error row*
+(``status="error"``, the exception in ``error``) instead of aborting
+the whole table; ``REPRO_BENCH_CELL_DEADLINE`` imposes a per-cell
+wall-clock budget (interrupted cells carry the solver's best-so-far
+numbers flagged ``deadline_exceeded``); and an ambient
+:class:`~repro.bench.journal.RunJournal` installed via
+:func:`use_journal` makes multi-hour report runs resumable.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..core.area import AreaCollection
@@ -20,6 +29,8 @@ from ..fact.config import FaCTConfig
 from ..fact.solver import FaCT
 from ..baselines.maxp import MaxPConfig, solve_maxp
 from ..data import schema
+from ..runtime import RunStatus
+from .journal import RunJournal, journal_key
 from .workloads import Range, combo_constraints, format_range
 
 __all__ = [
@@ -27,12 +38,16 @@ __all__ = [
     "bench_scale",
     "bench_dataset",
     "bench_config",
+    "bench_cell_deadline",
     "run_emp",
     "run_maxp",
+    "use_journal",
+    "active_journal",
 ]
 
 _SCALE_ENV = "REPRO_BENCH_SCALE"
 _DEFAULT_BENCH_SCALE = 0.15
+_CELL_DEADLINE_ENV = "REPRO_BENCH_CELL_DEADLINE"
 
 
 def bench_scale() -> float:
@@ -46,19 +61,39 @@ def bench_scale() -> float:
     return float(os.environ.get(_SCALE_ENV, _DEFAULT_BENCH_SCALE))
 
 
+def bench_cell_deadline() -> float | None:
+    """Per-cell wall-clock budget in seconds, or ``None`` (no budget).
+
+    Controlled by the ``REPRO_BENCH_CELL_DEADLINE`` environment
+    variable. A cell that hits its deadline still yields a measured
+    row — the solver's best-so-far answer flagged
+    ``deadline_exceeded`` — so one pathological cell cannot stall an
+    entire report run.
+    """
+    raw = os.environ.get(_CELL_DEADLINE_ENV)
+    if raw is None or not raw.strip():
+        return None
+    return float(raw)
+
+
 def bench_dataset(name: str = "2k", scale: float | None = None) -> AreaCollection:
     """Load a registry dataset at the benchmark scale."""
     return load_dataset(name, scale=bench_scale() if scale is None else scale)
 
 
 def bench_config(
-    n_areas: int, rng_seed: int = 7, enable_tabu: bool = True
+    n_areas: int,
+    rng_seed: int = 7,
+    enable_tabu: bool = True,
+    deadline_seconds: float | None = None,
 ) -> FaCTConfig:
     """The FaCT configuration used across all benchmarks.
 
     One construction pass and the paper's default Tabu knobs (tenure
     10, patience = dataset size), with a hard iteration cap of ``4n``
-    so a pathological search cannot stall a benchmark run.
+    so a pathological search cannot stall a benchmark run. Retries are
+    disabled: a degenerate cell is itself a measured result, and
+    benchmark rows must reflect exactly one construction per seed.
     """
     return FaCTConfig(
         rng_seed=rng_seed,
@@ -66,6 +101,12 @@ def bench_config(
         enable_tabu=enable_tabu,
         tabu_max_no_improve=n_areas,
         tabu_max_iterations=4 * n_areas,
+        deadline_seconds=(
+            deadline_seconds
+            if deadline_seconds is not None
+            else bench_cell_deadline()
+        ),
+        construction_retry_attempts=0,
     )
 
 
@@ -75,7 +116,11 @@ class ExperimentRow:
 
     Field names mirror the quantities the paper plots: ``p``,
     unassigned count, construction/tabu seconds and heterogeneity
-    improvement.
+    improvement. ``status`` is ``"ok"`` for a clean run,
+    ``"deadline_exceeded"``/``"cancelled"`` for an interrupted one
+    (the measured numbers are then the solver's best-so-far), or
+    ``"error"`` when the cell raised — ``error`` then holds the
+    exception and the numeric fields are zeroed.
     """
 
     solver: str
@@ -89,14 +134,23 @@ class ExperimentRow:
     tabu_seconds: float
     improvement: float
     heterogeneity: float
+    status: str = "ok"
+    error: str = ""
+    rng_seed: int = 7
+    enable_tabu: bool = True
 
     @property
     def total_seconds(self) -> float:
         """Construction plus Tabu wall-clock time."""
         return self.construction_seconds + self.tabu_seconds
 
+    @property
+    def failed(self) -> bool:
+        """True when the cell raised instead of measuring."""
+        return self.status == "error"
+
     def as_dict(self) -> dict[str, object]:
-        """Plain-dict view (used by the report writer)."""
+        """Plain-dict view (used by the report writer and journal)."""
         return {
             "solver": self.solver,
             "combo": self.combo,
@@ -109,7 +163,81 @@ class ExperimentRow:
             "tabu_seconds": round(self.tabu_seconds, 4),
             "improvement": round(self.improvement, 4),
             "heterogeneity": round(self.heterogeneity, 2),
+            "status": self.status,
+            "error": self.error,
+            "rng_seed": self.rng_seed,
+            "enable_tabu": self.enable_tabu,
         }
+
+
+# ----------------------------------------------------------------------
+# ambient journal
+# ----------------------------------------------------------------------
+
+_journal: RunJournal | None = None
+
+
+@contextmanager
+def use_journal(journal: RunJournal | None):
+    """Install *journal* as the ambient run journal.
+
+    While active, :func:`run_emp` and :func:`run_maxp` replay cells
+    the journal already holds and record every cell they measure. The
+    journal is ambient rather than a parameter because the table and
+    figure generators between the report driver and the runners have
+    no business knowing about it.
+    """
+    global _journal
+    previous = _journal
+    _journal = journal
+    try:
+        yield journal
+    finally:
+        _journal = previous
+
+
+def active_journal() -> RunJournal | None:
+    """The currently installed run journal, if any."""
+    return _journal
+
+
+def _finish_row(key: tuple, make_row) -> ExperimentRow:
+    """Replay *key* from the ambient journal, or measure it with
+    *make_row* — converting an exception into an error row — and
+    record the outcome."""
+    journal = _journal
+    if journal is not None:
+        cached = journal.lookup(key)
+        if cached is not None:
+            return cached
+    solver, combo, dataset, setting, n_areas, rng_seed, enable_tabu = key
+    try:
+        row = make_row()
+    except Exception as exc:  # noqa: BLE001 - any cell failure becomes a row
+        row = ExperimentRow(
+            solver=solver,
+            combo=combo,
+            dataset=dataset,
+            n_areas=n_areas,
+            setting=setting,
+            p=0,
+            n_unassigned=n_areas,
+            construction_seconds=0.0,
+            tabu_seconds=0.0,
+            improvement=0.0,
+            heterogeneity=0.0,
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+            rng_seed=rng_seed,
+            enable_tabu=enable_tabu,
+        )
+    if journal is not None:
+        journal.record(row)
+    return row
+
+
+def _row_status(status: RunStatus) -> str:
+    return "ok" if status is RunStatus.COMPLETE else status.value
 
 
 def run_emp(
@@ -138,24 +266,35 @@ def run_emp(
     if sum_range is not None:
         kwargs["sum_range"] = sum_range
         settings.append(f"SUM{format_range(sum_range)}")
-    constraints = combo_constraints(combo, **kwargs)
-    config = bench_config(
-        len(collection), rng_seed=rng_seed, enable_tabu=enable_tabu
+    setting = " ".join(settings) or "defaults"
+    key = journal_key(
+        "FaCT", combo, dataset, setting, len(collection), rng_seed, enable_tabu
     )
-    solution = FaCT(config).solve(collection, constraints)
-    return ExperimentRow(
-        solver="FaCT",
-        combo=combo,
-        dataset=dataset,
-        n_areas=len(collection),
-        setting=" ".join(settings) or "defaults",
-        p=solution.p,
-        n_unassigned=solution.n_unassigned,
-        construction_seconds=solution.construction_seconds,
-        tabu_seconds=solution.tabu_seconds,
-        improvement=solution.improvement,
-        heterogeneity=solution.heterogeneity,
-    )
+
+    def _measure() -> ExperimentRow:
+        constraints = combo_constraints(combo, **kwargs)
+        config = bench_config(
+            len(collection), rng_seed=rng_seed, enable_tabu=enable_tabu
+        )
+        solution = FaCT(config).solve(collection, constraints)
+        return ExperimentRow(
+            solver="FaCT",
+            combo=combo,
+            dataset=dataset,
+            n_areas=len(collection),
+            setting=setting,
+            p=solution.p,
+            n_unassigned=solution.n_unassigned,
+            construction_seconds=solution.construction_seconds,
+            tabu_seconds=solution.tabu_seconds,
+            improvement=solution.improvement,
+            heterogeneity=solution.heterogeneity,
+            status=_row_status(solution.status),
+            rng_seed=rng_seed,
+            enable_tabu=enable_tabu,
+        )
+
+    return _finish_row(key, _measure)
 
 
 def run_maxp(
@@ -167,24 +306,32 @@ def run_maxp(
 ) -> ExperimentRow:
     """Run the classic max-p baseline (the paper's *MP* rows)."""
     n = len(collection)
-    config = MaxPConfig(
-        rng_seed=rng_seed,
-        iterations=1,
-        enable_tabu=enable_tabu,
-        tabu_max_no_improve=n,
-        tabu_max_iterations=4 * n,
-    )
-    result = solve_maxp(collection, schema.TOTALPOP, threshold, config)
-    return ExperimentRow(
-        solver="MP",
-        combo="MP",
-        dataset=dataset,
-        n_areas=n,
-        setting=f"SUM{format_range((threshold, None))}",
-        p=result.p,
-        n_unassigned=result.n_unassigned,
-        construction_seconds=result.construction_seconds,
-        tabu_seconds=result.tabu_seconds,
-        improvement=result.improvement,
-        heterogeneity=result.heterogeneity,
-    )
+    setting = f"SUM{format_range((threshold, None))}"
+    key = journal_key("MP", "MP", dataset, setting, n, rng_seed, enable_tabu)
+
+    def _measure() -> ExperimentRow:
+        config = MaxPConfig(
+            rng_seed=rng_seed,
+            iterations=1,
+            enable_tabu=enable_tabu,
+            tabu_max_no_improve=n,
+            tabu_max_iterations=4 * n,
+        )
+        result = solve_maxp(collection, schema.TOTALPOP, threshold, config)
+        return ExperimentRow(
+            solver="MP",
+            combo="MP",
+            dataset=dataset,
+            n_areas=n,
+            setting=setting,
+            p=result.p,
+            n_unassigned=result.n_unassigned,
+            construction_seconds=result.construction_seconds,
+            tabu_seconds=result.tabu_seconds,
+            improvement=result.improvement,
+            heterogeneity=result.heterogeneity,
+            rng_seed=rng_seed,
+            enable_tabu=enable_tabu,
+        )
+
+    return _finish_row(key, _measure)

@@ -130,7 +130,9 @@ def format_p_table(rows: Sequence[ExperimentRow], value: str = "p") -> str:
     """Render rows as a combo × setting text table (paper layout).
 
     *value* selects the reported quantity: ``p`` (default),
-    ``n_unassigned``, ``total_seconds`` …
+    ``n_unassigned``, ``total_seconds`` … Failed cells render as
+    ``ERR`` (the exception lives in the row's ``error`` field);
+    interrupted cells suffix their best-so-far value with ``*``.
     """
     combos: list[str] = []
     settings: list[str] = []
@@ -140,9 +142,14 @@ def format_p_table(rows: Sequence[ExperimentRow], value: str = "p") -> str:
             combos.append(row.combo)
         if row.setting not in settings:
             settings.append(row.setting)
-        quantity = getattr(row, value)
-        if isinstance(quantity, float):
-            quantity = round(quantity, 3)
+        if row.failed:
+            quantity: object = "ERR"
+        else:
+            quantity = getattr(row, value)
+            if isinstance(quantity, float):
+                quantity = round(quantity, 3)
+            if row.status != "ok":
+                quantity = f"{quantity}*"
         cells[(row.combo, row.setting)] = quantity
 
     header = ["combo"] + settings

@@ -3,8 +3,8 @@
 All library-raised errors derive from :class:`ReproError` so callers can
 catch one base class. Specific subclasses distinguish bad user input
 (:class:`InvalidConstraintError`, :class:`InvalidAreaError`,
-:class:`DatasetError`) from algorithmic outcomes
-(:class:`InfeasibleProblemError`).
+:class:`DatasetError`, :class:`BudgetError`) from algorithmic outcomes
+(:class:`InfeasibleProblemError`, :class:`SolverInterrupted`).
 """
 
 from __future__ import annotations
@@ -44,6 +44,36 @@ class InfeasibleProblemError(ReproError, RuntimeError):
     def __init__(self, message: str, report=None):
         super().__init__(message)
         self.report = report
+
+
+class BudgetError(ReproError, ValueError):
+    """A runtime budget or fault-injection plan is misconfigured.
+
+    Raised, for example, when a deadline is zero, negative or
+    non-finite, when a retry knob is out of range, or when a fault is
+    registered for a checkpoint name missing from
+    :data:`repro.runtime.faults.CHECKPOINTS`.
+    """
+
+
+class SolverInterrupted(ReproError, RuntimeError):
+    """A budgeted solver run was interrupted in strict mode.
+
+    Raised by :meth:`repro.fact.solver.FaCT.solve` under
+    ``FaCTConfig(strict_interrupt=True)`` when the wall-clock deadline
+    expires or the run's :class:`repro.runtime.CancellationToken` is
+    cancelled. Carries the best-so-far partial
+    :class:`repro.fact.solver.EMPSolution` (``solution``) and the
+    :class:`repro.runtime.RunStatus` that ended the run (``status``),
+    so strict callers can still inspect and use the partial result. In
+    the default (non-strict) mode the solver returns the flagged
+    solution instead of raising.
+    """
+
+    def __init__(self, message: str, solution=None, status=None):
+        super().__init__(message)
+        self.solution = solution
+        self.status = status
 
 
 class ContiguityError(ReproError, ValueError):

@@ -13,13 +13,14 @@ from .objectives import (
 )
 from .reporting import format_feasibility_report, format_solution_report
 from .seeding import SeedingResult, select_seeds
-from .solver import EMPSolution, FaCT, solve_emp
+from .solver import ConstructionAttempt, EMPSolution, FaCT, solve_emp
 from .state import SolutionState
 from .trace import SolveTrace, StepSnapshot, trace_solve
 from .tabu import TabuResult, tabu_improve
 
 __all__ = [
     "CompactnessObjective",
+    "ConstructionAttempt",
     "ConstructionResult",
     "EMPSolution",
     "FaCT",

@@ -39,15 +39,34 @@ __all__ = ["adjust_counting", "dissolve_infeasible"]
 
 
 def adjust_counting(
-    state: SolutionState, config: FaCTConfig, rng: random.Random
+    state: SolutionState,
+    config: FaCTConfig,
+    rng: random.Random,
+    budget=None,
 ) -> None:
-    """Run Step 3 over *state* (call after :func:`grow_regions`)."""
+    """Run Step 3 over *state* (call after :func:`grow_regions`).
+
+    *budget* is an optional :class:`repro.runtime.Budget` checked at
+    every phase boundary (absorb → swap → merge → trim → dissolve); an
+    exhausted budget raises :class:`repro.runtime.Interrupted` and the
+    caller dissolves whatever regions the finished phases left invalid.
+    """
+
+    def _phase_boundary() -> None:
+        if budget is not None:
+            budget.checkpoint("construction.adjust.phase")
+
     counting = state.constraints.counting
+    _phase_boundary()
     if counting:
         _absorb_unassigned(state, config, rng)
+        _phase_boundary()
         _swap_from_neighbors(state, rng)
+        _phase_boundary()
         _merge_deficient(state)
+        _phase_boundary()
         _trim_oversized(state, rng)
+        _phase_boundary()
     dissolve_infeasible(state)
 
 

@@ -8,12 +8,30 @@ knobs specific to this implementation.
 
 from __future__ import annotations
 
+import math
+import numbers
 import random
 from dataclasses import dataclass, field
 
-from ..exceptions import InvalidConstraintError
+from ..exceptions import BudgetError, InvalidConstraintError
 
 __all__ = ["FaCTConfig", "PickupCriterion"]
+
+# Multiplier used to derive independent-but-deterministic seeds from
+# rng_seed (also used by the parallel construction path).
+_SEED_STRIDE = 1_000_003
+
+
+def _require_integer(name: str, value) -> None:
+    """Reject bools and non-integral numbers for integer knobs.
+
+    ``bool`` is an ``int`` subclass, so ``n_jobs=True`` would otherwise
+    slip through every range check as 1.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise InvalidConstraintError(
+            f"{name} must be an integer, got {value!r}"
+        )
 
 
 class PickupCriterion:
@@ -83,6 +101,27 @@ class FaCTConfig:
         an independent RNG derived from ``rng_seed`` and its pass
         index, so parallel runs are deterministic too (though their
         random choices differ from the serial path's shared stream).
+    deadline_seconds:
+        Wall-clock budget for one :meth:`FaCT.solve` call (``None`` =
+        unlimited). On expiry the solver stops at the next checkpoint
+        and returns the best-so-far solution flagged with
+        ``RunStatus.DEADLINE_EXCEEDED`` — see :mod:`repro.runtime`.
+    strict_interrupt:
+        Raise :class:`repro.exceptions.SolverInterrupted` (carrying the
+        partial solution) on deadline/cancel instead of returning the
+        flagged solution. Off by default: services generally prefer the
+        best-so-far answer.
+    construction_retry_attempts:
+        Extra construction attempts (with seeds derived from
+        ``rng_seed``) when a construction yields a degenerate
+        partition — ``p == 0`` or more than
+        ``degenerate_unassigned_ratio`` of the valid areas left
+        unassigned. Every attempt is recorded in
+        ``EMPSolution.attempts`` and the best one wins. ``0`` disables
+        the retry policy.
+    degenerate_unassigned_ratio:
+        Unassigned-to-valid-areas ratio above which a constructed
+        partition counts as degenerate (in ``(0, 1]``).
     """
 
     rng_seed: int = 0
@@ -95,9 +134,22 @@ class FaCTConfig:
     tabu_max_iterations: int | None = None
     strict_avg_feasibility: bool = False
     n_jobs: int = 1
+    deadline_seconds: float | None = None
+    strict_interrupt: bool = False
+    construction_retry_attempts: int = 2
+    degenerate_unassigned_ratio: float = 0.95
 
     def __post_init__(self) -> None:
         self.pickup = PickupCriterion.validate(self.pickup)
+        for name in (
+            "rng_seed",
+            "construction_iterations",
+            "merge_limit",
+            "tabu_tenure",
+            "n_jobs",
+            "construction_retry_attempts",
+        ):
+            _require_integer(name, getattr(self, name))
         if self.construction_iterations < 1:
             raise InvalidConstraintError("construction_iterations must be >= 1")
         if self.merge_limit < 0:
@@ -106,10 +158,43 @@ class FaCTConfig:
             raise InvalidConstraintError("tabu_tenure must be >= 0")
         for name in ("tabu_max_no_improve", "tabu_max_iterations"):
             value = getattr(self, name)
-            if value is not None and value < 0:
-                raise InvalidConstraintError(f"{name} must be >= 0 or None")
+            if value is not None:
+                _require_integer(name, value)
+                if value < 0:
+                    raise InvalidConstraintError(f"{name} must be >= 0 or None")
         if self.n_jobs < 1:
             raise InvalidConstraintError("n_jobs must be >= 1")
+        if self.deadline_seconds is not None:
+            if isinstance(self.deadline_seconds, bool) or not isinstance(
+                self.deadline_seconds, numbers.Real
+            ):
+                raise BudgetError(
+                    "deadline_seconds must be a positive number or None, "
+                    f"got {self.deadline_seconds!r}"
+                )
+            self.deadline_seconds = float(self.deadline_seconds)
+            if (
+                not math.isfinite(self.deadline_seconds)
+                or self.deadline_seconds <= 0
+            ):
+                raise BudgetError(
+                    "deadline_seconds must be positive and finite, got "
+                    f"{self.deadline_seconds!r}"
+                )
+        if self.construction_retry_attempts < 0:
+            raise InvalidConstraintError(
+                "construction_retry_attempts must be >= 0"
+            )
+        ratio = self.degenerate_unassigned_ratio
+        if (
+            isinstance(ratio, bool)
+            or not isinstance(ratio, numbers.Real)
+            or not 0 < float(ratio) <= 1
+        ):
+            raise BudgetError(
+                f"degenerate_unassigned_ratio must be in (0, 1], got {ratio!r}"
+            )
+        self.degenerate_unassigned_ratio = float(ratio)
 
     def make_rng(self) -> random.Random:
         """A fresh RNG seeded from :attr:`rng_seed`."""
@@ -126,3 +211,11 @@ class FaCTConfig:
         if self.tabu_max_iterations is not None:
             return self.tabu_max_iterations
         return 20 * n_areas
+
+    def derived_seed(self, attempt: int) -> int:
+        """Deterministic seed for retry *attempt* (0 = ``rng_seed``).
+
+        Strided so retry streams are independent of both the base seed
+        and the parallel path's per-pass seeds.
+        """
+        return self.rng_seed + _SEED_STRIDE * attempt

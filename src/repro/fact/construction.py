@@ -6,6 +6,16 @@ and keeps the best one: largest ``p``, ties broken by fewest
 unassigned areas, then by lower heterogeneity. The winning pass's live
 :class:`~repro.fact.state.SolutionState` is handed to the local-search
 phase.
+
+Every pass observes an optional :class:`repro.runtime.Budget` at its
+iteration boundaries (pass start, each seed, each enclave sweep, each
+adjustment phase). On deadline or cancellation the in-flight pass is
+*salvaged*, not discarded: construction only ever builds regions out
+of whole contiguous pieces, so dissolving the constraint-violating
+ones (:func:`repro.fact.adjustment.dissolve_infeasible`) leaves a
+valid — if smaller — candidate partition, and the best pass seen so
+far is returned flagged with the interruption
+:class:`~repro.runtime.RunStatus`.
 """
 
 from __future__ import annotations
@@ -16,7 +26,8 @@ from dataclasses import dataclass, field
 from ..core.area import AreaCollection
 from ..core.constraints import ConstraintSet
 from ..core.partition import Partition
-from .adjustment import adjust_counting
+from ..runtime import Budget, Interrupted, RunStatus
+from .adjustment import adjust_counting, dissolve_infeasible
 from .config import FaCTConfig
 from .feasibility import FeasibilityReport, check_feasibility
 from .growing import grow_regions
@@ -24,6 +35,10 @@ from .seeding import SeedingResult, select_seeds
 from .state import SolutionState
 
 __all__ = ["ConstructionResult", "construct"]
+
+# How often the parallel path re-checks its budget while waiting on
+# worker processes (workers also enforce their own deadlines).
+_PARALLEL_POLL_SECONDS = 0.05
 
 
 @dataclass
@@ -41,11 +56,16 @@ class ConstructionResult:
     seeding:
         The Step-1 seed classification.
     iterations:
-        Number of construction passes executed.
+        Number of construction passes actually executed (equals
+        ``config.construction_iterations`` unless interrupted).
     pass_scores:
-        ``(p, n_unassigned)`` per pass, for diagnostics/ablations.
+        ``(p, n_unassigned)`` per executed pass, for diagnostics.
     elapsed_seconds:
         Wall-clock construction time (feasibility included).
+    status:
+        ``COMPLETE``, or the :class:`~repro.runtime.RunStatus` of the
+        deadline/cancel that cut the phase short (the partition is
+        then the best-so-far candidate).
     """
 
     state: SolutionState
@@ -55,11 +75,17 @@ class ConstructionResult:
     iterations: int
     pass_scores: list[tuple[int, int]] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    status: RunStatus = RunStatus.COMPLETE
 
     @property
     def p(self) -> int:
         """Number of regions in the constructed partition."""
         return self.partition.p
+
+    @property
+    def interrupted(self) -> bool:
+        """True when the phase stopped on deadline or cancellation."""
+        return self.status is not RunStatus.COMPLETE
 
 
 def construct(
@@ -67,38 +93,56 @@ def construct(
     constraints: ConstraintSet,
     config: FaCTConfig | None = None,
     feasibility: FeasibilityReport | None = None,
+    budget: Budget | None = None,
 ) -> ConstructionResult:
     """Build a feasible initial partition maximizing ``p``.
 
     Raises :class:`repro.exceptions.InfeasibleProblemError` when the
-    feasibility phase proves no solution exists.
+    feasibility phase proves no solution exists. When *budget* expires
+    (or its token is cancelled) mid-phase, returns the best-so-far
+    partition flagged with the interruption status instead of raising.
     """
     config = config or FaCTConfig()
+    budget = (budget or Budget.unlimited()).start()
     started = time.perf_counter()
     if feasibility is None:
-        feasibility = check_feasibility(collection, constraints, config)
+        feasibility = check_feasibility(
+            collection, constraints, config, budget=budget
+        )
     feasibility.raise_if_infeasible()
     seeding = select_seeds(collection, constraints, feasibility)
 
     if config.n_jobs > 1:
-        best_state, pass_scores = _run_passes_parallel(
-            collection, constraints, config, feasibility, seeding
+        best_state, pass_scores, status = _run_passes_parallel(
+            collection, constraints, config, feasibility, seeding, budget
         )
     else:
-        best_state, pass_scores = _run_passes_serial(
-            collection, constraints, config, feasibility, seeding
+        best_state, pass_scores, status = _run_passes_serial(
+            collection, constraints, config, feasibility, seeding, budget
         )
 
-    assert best_state is not None  # construction_iterations >= 1
+    if best_state is None:
+        # Interrupted before any pass produced a candidate: an empty
+        # state is still a valid (p=0, all-unassigned) partial answer.
+        best_state = SolutionState(
+            collection, constraints, excluded=feasibility.invalid_areas
+        )
     return ConstructionResult(
         state=best_state,
         partition=best_state.to_partition(),
         feasibility=feasibility,
         seeding=seeding,
-        iterations=config.construction_iterations,
+        iterations=len(pass_scores),
         pass_scores=pass_scores,
         elapsed_seconds=time.perf_counter() - started,
+        status=status or RunStatus.COMPLETE,
     )
+
+
+def _score_key(state: SolutionState) -> tuple:
+    """Pass comparison key: maximize p, then minimize unassigned, then
+    minimize H."""
+    return (-state.p, state.n_unassigned, state.total_heterogeneity())
 
 
 def _run_passes_serial(
@@ -107,25 +151,36 @@ def _run_passes_serial(
     config: FaCTConfig,
     feasibility: FeasibilityReport,
     seeding: SeedingResult,
-) -> tuple[SolutionState, list[tuple[int, int]]]:
+    budget: Budget,
+) -> tuple[SolutionState | None, list[tuple[int, int]], RunStatus | None]:
     """The default path: passes share one RNG stream sequentially."""
     rng = config.make_rng()
     best_state: SolutionState | None = None
     best_key: tuple | None = None
     pass_scores: list[tuple[int, int]] = []
+    status: RunStatus | None = None
     for _ in range(config.construction_iterations):
         state = SolutionState(
             collection, constraints, excluded=feasibility.invalid_areas
         )
-        grow_regions(state, seeding, config, rng)
-        adjust_counting(state, config, rng)
+        try:
+            budget.checkpoint("construction.pass.start")
+            grow_regions(state, seeding, config, rng, budget=budget)
+            adjust_counting(state, config, rng, budget=budget)
+        except Interrupted as signal:
+            status = signal.status
+            # Salvage the in-flight pass: regions are whole contiguous
+            # pieces, so dropping the constraint-violating ones leaves
+            # a valid partial candidate.
+            dissolve_infeasible(state)
         pass_scores.append((state.p, state.n_unassigned))
-        # maximize p, then minimize unassigned, then minimize H
-        key = (-state.p, state.n_unassigned, state.total_heterogeneity())
+        key = _score_key(state)
         if best_key is None or key < best_key:
             best_key = key
             best_state = state
-    return best_state, pass_scores
+        if status is not None:
+            break
+    return best_state, pass_scores, status
 
 
 def _construction_pass_worker(
@@ -135,27 +190,40 @@ def _construction_pass_worker(
     excluded: frozenset[int],
     seeding: SeedingResult,
     pass_seed: int,
-) -> tuple[tuple, dict[int, int], tuple[int, int]]:
+    deadline_seconds: float | None = None,
+) -> tuple[tuple, dict[int, int], tuple[int, int], RunStatus | None]:
     """One construction pass in a worker process.
 
-    Returns the comparison key, the area -> region-label mapping and
-    the (p, unassigned) score; regions travel back as labels because
+    Returns the comparison key, the area -> region-label mapping, the
+    (p, unassigned) score and the pass's interruption status (``None``
+    when it ran to completion); regions travel back as labels because
     live :class:`SolutionState` objects are cheaper to rebuild than to
-    pickle.
+    pickle. *deadline_seconds* is the parent budget's remaining time —
+    each worker enforces it locally, since process boundaries make the
+    parent's token invisible here.
     """
     import random
 
     state = SolutionState(collection, constraints, excluded=excluded)
     rng = random.Random(pass_seed)
-    grow_regions(state, seeding, config, rng)
-    adjust_counting(state, config, rng)
+    worker_budget = (
+        Budget(deadline_seconds=deadline_seconds).start()
+        if deadline_seconds is not None
+        else None
+    )
+    status: RunStatus | None = None
+    try:
+        grow_regions(state, seeding, config, rng, budget=worker_budget)
+        adjust_counting(state, config, rng, budget=worker_budget)
+    except Interrupted as signal:
+        status = signal.status
+        dissolve_infeasible(state)
     labels = {
         area_id: region_id
         for area_id, region_id in state.assignment.items()
         if region_id is not None
     }
-    key = (-state.p, state.n_unassigned, state.total_heterogeneity())
-    return key, labels, (state.p, state.n_unassigned)
+    return _score_key(state), labels, (state.p, state.n_unassigned), status
 
 
 def _run_passes_parallel(
@@ -164,22 +232,34 @@ def _run_passes_parallel(
     config: FaCTConfig,
     feasibility: FeasibilityReport,
     seeding: SeedingResult,
-) -> tuple[SolutionState, list[tuple[int, int]]]:
+    budget: Budget,
+) -> tuple[SolutionState | None, list[tuple[int, int]], RunStatus | None]:
     """Fan construction passes out over worker processes.
 
-    Each pass gets the deterministic seed ``hash((rng_seed, index))``;
-    the best pass's labels are replayed into a fresh state in the
-    parent (the Tabu phase needs a live state).
+    Each pass gets a deterministic seed derived from ``rng_seed`` and
+    its index, plus the budget's remaining wall-clock time as its own
+    local deadline. The parent polls its budget while waiting so a
+    cancellation is honored promptly: pending passes are cancelled,
+    completed ones are kept, and the best completed pass's labels are
+    replayed into a fresh state (the Tabu phase needs a live state).
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import ProcessPoolExecutor, wait
+
+    try:
+        budget.checkpoint("construction.pass.start")
+    except Interrupted as signal:
+        return None, [], signal.status
 
     pass_seeds = [
         (config.rng_seed * 1_000_003 + index)
         for index in range(config.construction_iterations)
     ]
     workers = min(config.n_jobs, config.construction_iterations)
-    results = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    deadline_remaining = budget.remaining()
+    status: RunStatus | None = None
+    outcome: dict = {}
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
         futures = [
             pool.submit(
                 _construction_pass_worker,
@@ -189,14 +269,40 @@ def _run_passes_parallel(
                 feasibility.invalid_areas,
                 seeding,
                 pass_seed,
+                deadline_remaining,
             )
             for pass_seed in pass_seeds
         ]
-        for future in futures:
-            results.append(future.result())
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, timeout=_PARALLEL_POLL_SECONDS)
+            for future in done:
+                outcome[future] = future.result()
+            status = budget.status()
+            if status is not None:
+                for future in pending:
+                    future.cancel()
+                break
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
-    pass_scores = [score for _key, _labels, score in results]
-    best_key, best_labels, _score = min(results, key=lambda item: item[0])
+    # Submission order keeps tie-breaking (and thus the chosen pass)
+    # deterministic regardless of completion order.
+    results = [outcome[future] for future in futures if future in outcome]
+    if status is None:
+        # A worker may have tripped its local deadline even though the
+        # parent loop never observed the budget as expired.
+        for _key, _labels, _score, worker_status in results:
+            if worker_status is not None:
+                status = worker_status
+                break
+    if not results:
+        return None, [], status
+
+    pass_scores = [score for _key, _labels, score, _status in results]
+    _best_key, best_labels, _score, _status = min(
+        results, key=lambda item: item[0]
+    )
 
     # Replay the winning labels into a live state for the Tabu phase.
     state = SolutionState(
@@ -207,4 +313,4 @@ def _run_passes_parallel(
         groups.setdefault(label, []).append(area_id)
     for members in groups.values():
         state.new_region(members)
-    return state, pass_scores
+    return state, pass_scores, status

@@ -96,12 +96,18 @@ def check_feasibility(
     collection: AreaCollection,
     constraints: ConstraintSet,
     config: FaCTConfig | None = None,
+    budget=None,
 ) -> FeasibilityReport:
     """Run the feasibility phase over *collection* and *constraints*.
 
     Single pass over the areas (``O(m × n)``, Remark 1): computes the
     global aggregates every check needs, classifies invalid areas and
     marks seed areas.
+
+    *budget* is an optional :class:`repro.runtime.Budget`; the phase is
+    a single fast scan, so it always completes — its checkpoint exists
+    for fault injection and so a pre-expired budget is noticed before
+    construction starts.
     """
     config = config or FaCTConfig()
     reasons: list[str] = []
@@ -221,6 +227,16 @@ def check_feasibility(
             f"{len(invalid)} of {n} areas are invalid and will be moved "
             "to U_0 before construction"
         )
+
+    if budget is not None:
+        from ..runtime import Interrupted
+
+        try:
+            budget.checkpoint("feasibility.checked")
+        except Interrupted:
+            # The report is already complete; the exhausted budget is
+            # re-observed by the construction phase's first checkpoint.
+            pass
 
     return FeasibilityReport(
         feasible=not reasons,

@@ -54,11 +54,19 @@ def grow_regions(
     seeding: SeedingResult,
     config: FaCTConfig,
     rng: random.Random,
+    budget=None,
 ) -> None:
-    """Run Step 2 over *state* (all areas initially unassigned)."""
+    """Run Step 2 over *state* (all areas initially unassigned).
+
+    *budget* is an optional :class:`repro.runtime.Budget` checked at
+    every seed (Substep 2.1) and every enclave sweep (Substep 2.2); an
+    exhausted budget raises :class:`repro.runtime.Interrupted`, leaving
+    the state to the caller, which dissolves any half-grown (invalid)
+    regions before using it.
+    """
     avgs = state.constraints.avgs
-    _initialize_from_seeds(state, seeding, avgs, config, rng)
-    _assign_enclaves(state, avgs, config, rng)
+    _initialize_from_seeds(state, seeding, avgs, config, rng, budget)
+    _assign_enclaves(state, avgs, config, rng, budget)
     _combine_for_extrema(state)
 
 
@@ -106,17 +114,20 @@ def _initialize_from_seeds(
     avgs: Sequence[Constraint],
     config: FaCTConfig,
     rng: random.Random,
+    budget=None,
 ) -> None:
     seeds = [a for a in seeding.seeds if state.is_unassigned(a)]
     rng.shuffle(seeds)
     off_range: list[int] = []
     for area_id in seeds:
+        if budget is not None:
+            budget.checkpoint("construction.grow.seed")
         if _classify_area(state, area_id, avgs) == _CLASS_AVG:
             # In-range seeds each become their own region, maximizing p.
             state.new_region([area_id])
         else:
             off_range.append(area_id)
-    _merge_off_range_seeds(state, off_range, avgs, config, rng)
+    _merge_off_range_seeds(state, off_range, avgs, config, rng, budget)
 
 
 def _merge_off_range_seeds(
@@ -125,10 +136,13 @@ def _merge_off_range_seeds(
     avgs: Sequence[Constraint],
     config: FaCTConfig,
     rng: random.Random,
+    budget=None,
 ) -> None:
     """Algorithm 1 — grow each off-range seed into a valid region by
     absorbing unassigned opposite-extreme neighbors."""
     for seed_id in off_range:
+        if budget is not None:
+            budget.checkpoint("construction.grow.seed")
         if not state.is_unassigned(seed_id):
             continue
         region = state.new_region([seed_id])
@@ -186,9 +200,10 @@ def _assign_enclaves(
     avgs: Sequence[Constraint],
     config: FaCTConfig,
     rng: random.Random,
+    budget=None,
 ) -> None:
     while True:
-        _assignment_round(state, avgs, config, rng)
+        _assignment_round(state, avgs, config, rng, budget)
         if not avgs:
             return  # round 2 exists only to rescue AVG-blocked areas
         if not _merging_round(state, avgs, config, rng):
@@ -200,11 +215,14 @@ def _assignment_round(
     avgs: Sequence[Constraint],
     config: FaCTConfig,
     rng: random.Random,
+    budget=None,
 ) -> None:
     """Round 1: sweep unassigned areas into adjacent regions until no
     pass makes an update."""
     changed = True
     while changed:
+        if budget is not None:
+            budget.checkpoint("construction.grow.enclave")
         changed = False
         pending = list(state.unassigned)
         rng.shuffle(pending)

@@ -41,6 +41,11 @@ def format_solution_report(
 ) -> str:
     """Render a full solution report as a multi-line string."""
     lines = ["FaCT solution report"]
+    if solution.interrupted:
+        lines.append(
+            f"  status: {solution.status.value} — best-so-far result "
+            "(run was cut short by its budget)"
+        )
     lines.append(f"  regions (p): {solution.p}")
     lines.append(f"  unassigned areas (|U0|): {solution.n_unassigned}")
     if collection is not None:
@@ -55,6 +60,12 @@ def format_solution_report(
         f"  construction time: {solution.construction_seconds:.3f}s over "
         f"{solution.construction.iterations} pass(es)"
     )
+    if len(solution.attempts) > 1:
+        retried = sum(1 for attempt in solution.attempts if attempt.degenerate)
+        lines.append(
+            f"  construction attempts: {len(solution.attempts)} "
+            f"({retried} degenerate, retried with derived seeds)"
+        )
     if solution.tabu is not None:
         lines.append(
             f"  tabu time: {solution.tabu_seconds:.3f}s "

@@ -20,22 +20,50 @@ Tabu local search — and returns an :class:`EMPSolution` carrying the
 final partition plus the per-phase statistics the paper reports
 (construction time, tabu time, ``p``, unassigned count, heterogeneity
 improvement).
+
+Resilience: a run can carry a wall-clock deadline and a cancellation
+token (``FaCTConfig(deadline_seconds=...)`` or an explicit
+:class:`repro.runtime.Budget` passed to :meth:`FaCT.solve`). On
+deadline or cancel the solver returns the best-so-far solution flagged
+with a :class:`~repro.runtime.RunStatus` instead of raising — or, with
+``strict_interrupt=True``, raises
+:class:`repro.exceptions.SolverInterrupted` carrying that same partial
+solution. Degenerate constructions (``p == 0`` or almost everything
+unassigned) are retried automatically with derived seeds, each attempt
+recorded in :attr:`EMPSolution.attempts`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.area import AreaCollection
 from ..core.constraints import Constraint, ConstraintSet
 from ..core.partition import Partition
+from ..exceptions import SolverInterrupted
+from ..runtime import Budget, RunStatus
 from .config import FaCTConfig
 from .construction import ConstructionResult, construct
 from .feasibility import FeasibilityReport, check_feasibility
 from .tabu import TabuResult, tabu_improve
 
-__all__ = ["EMPSolution", "FaCT", "solve_emp"]
+__all__ = ["ConstructionAttempt", "EMPSolution", "FaCT", "solve_emp"]
+
+
+@dataclass(frozen=True)
+class ConstructionAttempt:
+    """Diagnostics for one construction attempt under the retry policy.
+
+    The first attempt uses ``FaCTConfig.rng_seed``; retries (triggered
+    by a degenerate partition) use seeds derived from it.
+    """
+
+    seed: int
+    p: int
+    n_unassigned: int
+    degenerate: bool
+    elapsed_seconds: float
 
 
 @dataclass(frozen=True)
@@ -49,16 +77,29 @@ class EMPSolution:
     feasibility:
         The Phase-1 report.
     construction:
-        Phase-2 diagnostics (pass scores, timing).
+        Phase-2 diagnostics (pass scores, timing) of the winning
+        attempt.
     tabu:
         Phase-3 diagnostics, or ``None`` when the local search was
-        disabled.
+        disabled (or never started because the budget ran out first).
+    status:
+        ``RunStatus.COMPLETE`` for a full run; ``DEADLINE_EXCEEDED`` or
+        ``CANCELLED`` when the run was interrupted and this solution is
+        the best one found before the interruption.
+    feasibility_seconds:
+        Wall-clock time of the Phase-1 scan alone.
+    attempts:
+        One :class:`ConstructionAttempt` per construction tried by the
+        degenerate-retry policy (a single entry for ordinary runs).
     """
 
     partition: Partition
     feasibility: FeasibilityReport
     construction: ConstructionResult
     tabu: TabuResult | None = None
+    status: RunStatus = RunStatus.COMPLETE
+    feasibility_seconds: float = 0.0
+    attempts: tuple[ConstructionAttempt, ...] = ()
 
     # -- the paper's three performance measures (Section VII-A) --------
     @property
@@ -87,6 +128,20 @@ class EMPSolution:
         return self.construction_seconds + self.tabu_seconds
 
     @property
+    def interrupted(self) -> bool:
+        """True when this is a best-so-far result of an interrupted run."""
+        return self.status is not RunStatus.COMPLETE
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        """Per-phase wall-clock breakdown."""
+        return {
+            "feasibility": self.feasibility_seconds,
+            "construction": self.construction_seconds,
+            "tabu": self.tabu_seconds,
+        }
+
+    @property
     def heterogeneity_before(self) -> float:
         """``H(P)`` after construction, before local search."""
         if self.tabu:
@@ -111,11 +166,13 @@ class EMPSolution:
         return {
             "p": self.p,
             "n_unassigned": self.n_unassigned,
+            "status": self.status.value,
             "heterogeneity_before": round(self.heterogeneity_before, 3),
             "heterogeneity_after": round(self.heterogeneity, 3),
             "improvement": round(self.improvement, 4),
             "construction_seconds": round(self.construction_seconds, 4),
             "tabu_seconds": round(self.tabu_seconds, 4),
+            "n_construction_attempts": max(len(self.attempts), 1),
             "n_invalid_areas": self.feasibility.n_invalid,
             "warnings": list(self.feasibility.warnings),
         }
@@ -130,7 +187,8 @@ class FaCT:
     Parameters
     ----------
     config:
-        Solver knobs (seeds, merge limit, Tabu settings).
+        Solver knobs (seeds, merge limit, Tabu settings, deadline and
+        retry policy).
     objective:
         Optional :class:`repro.fact.objectives.Objective` for the
         local-search phase — e.g. ``CompactnessObjective()`` or a
@@ -152,30 +210,141 @@ class FaCT:
         self,
         collection: AreaCollection,
         constraints: ConstraintSet | None = None,
+        budget: Budget | None = None,
     ) -> EMPSolution:
         """Solve one EMP instance end to end.
+
+        Parameters
+        ----------
+        budget:
+            Optional :class:`repro.runtime.Budget` to observe. When
+            omitted, one is built from ``config.deadline_seconds``
+            (unlimited by default). Deadline expiry or cancellation of
+            the budget's token ends the run gracefully at the next
+            checkpoint: the best-so-far solution is returned flagged
+            with its :class:`~repro.runtime.RunStatus` — or, with
+            ``config.strict_interrupt``, raised inside
+            :class:`repro.exceptions.SolverInterrupted`.
 
         Raises :class:`repro.exceptions.InfeasibleProblemError` when
         Phase 1 proves the query infeasible on this dataset.
         """
+        config = self.config
         constraints = _coerce_constraints(constraints)
-        feasibility = check_feasibility(collection, constraints, self.config)
-        construction = construct(
-            collection, constraints, self.config, feasibility=feasibility
+        budget = budget or Budget(deadline_seconds=config.deadline_seconds)
+        budget.start()
+
+        phase_started = time.perf_counter()
+        feasibility = check_feasibility(
+            collection, constraints, config, budget=budget
         )
+        feasibility_seconds = time.perf_counter() - phase_started
+        feasibility.raise_if_infeasible()
+
+        construction, attempts = self._construct_with_retries(
+            collection, constraints, feasibility, budget
+        )
+
         tabu: TabuResult | None = None
         partition = construction.partition
-        if self.config.enable_tabu and construction.state.p > 0:
+        if (
+            config.enable_tabu
+            and construction.state.p > 0
+            and budget.status() is None
+        ):
             tabu = tabu_improve(
-                construction.state, self.config, objective=self.objective
+                construction.state,
+                config,
+                objective=self.objective,
+                budget=budget,
             )
             partition = tabu.partition
-        return EMPSolution(
+
+        status = budget.status() or RunStatus.COMPLETE
+        solution = EMPSolution(
             partition=partition,
             feasibility=feasibility,
             construction=construction,
             tabu=tabu,
+            status=status,
+            feasibility_seconds=feasibility_seconds,
+            attempts=attempts,
         )
+        if solution.interrupted and config.strict_interrupt:
+            raise SolverInterrupted(
+                f"solver run interrupted ({status.value}); best-so-far "
+                f"solution has p={solution.p}",
+                solution=solution,
+                status=status,
+            )
+        return solution
+
+    # ------------------------------------------------------------------
+    # construction retry policy
+    # ------------------------------------------------------------------
+    def _construct_with_retries(
+        self,
+        collection: AreaCollection,
+        constraints: ConstraintSet,
+        feasibility: FeasibilityReport,
+        budget: Budget,
+    ) -> tuple[ConstructionResult, tuple[ConstructionAttempt, ...]]:
+        """Run construction, retrying degenerate outcomes with derived
+        seeds up to ``config.construction_retry_attempts`` times.
+
+        Returns the best attempt (largest ``p``, then fewest
+        unassigned) and the per-attempt diagnostics.
+        """
+        config = self.config
+        n_valid = len(collection) - feasibility.n_invalid
+        attempts: list[ConstructionAttempt] = []
+        best: ConstructionResult | None = None
+        best_key: tuple | None = None
+        for attempt_index in range(config.construction_retry_attempts + 1):
+            attempt_config = (
+                config
+                if attempt_index == 0
+                else replace(config, rng_seed=config.derived_seed(attempt_index))
+            )
+            attempt_started = time.perf_counter()
+            construction = construct(
+                collection,
+                constraints,
+                attempt_config,
+                feasibility=feasibility,
+                budget=budget,
+            )
+            degenerate = _is_degenerate(construction, n_valid, config)
+            attempts.append(
+                ConstructionAttempt(
+                    seed=attempt_config.rng_seed,
+                    p=construction.p,
+                    n_unassigned=construction.state.n_unassigned,
+                    degenerate=degenerate,
+                    elapsed_seconds=time.perf_counter() - attempt_started,
+                )
+            )
+            key = (-construction.p, construction.state.n_unassigned)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = construction
+            if not degenerate or construction.interrupted or n_valid == 0:
+                break
+        assert best is not None  # at least one attempt always runs
+        return best, tuple(attempts)
+
+
+def _is_degenerate(
+    construction: ConstructionResult, n_valid: int, config: FaCTConfig
+) -> bool:
+    """Degenerate construction: no regions at all, or nearly every
+    valid (non-filtered) area left unassigned."""
+    if construction.p == 0:
+        return True
+    if n_valid == 0:
+        return False
+    ratio = construction.state.n_unassigned / n_valid
+    return ratio > config.degenerate_unassigned_ratio
 
 
 def _coerce_constraints(
@@ -198,5 +367,5 @@ def solve_emp(
     **config_options,
 ) -> EMPSolution:
     """One-call convenience wrapper: ``solve_emp(collection,
-    [min_constraint(...), ...], rng_seed=7)``."""
+    [min_constraint(...), ...], rng_seed=7, deadline_seconds=2.0)``."""
     return FaCT(FaCTConfig(**config_options)).solve(collection, constraints)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from ..core.partition import Partition
 from ..core.region import Region
+from ..runtime import Interrupted, RunStatus
 from .config import FaCTConfig
 from .state import SolutionState
 
@@ -41,6 +42,11 @@ class TabuResult:
 
     ``improvement`` is the paper's measure: ``|H_before - H_after| /
     H_before`` (0 when the construction heterogeneity was already 0).
+    ``status`` is ``COMPLETE`` when the search reached its natural
+    stopping condition, or the interruption status when a budget
+    deadline/cancel cut it short — the returned partition is then the
+    best one seen before the interruption (always constraint-valid;
+    the search never stores an invalid snapshot).
     """
 
     partition: Partition
@@ -49,6 +55,7 @@ class TabuResult:
     iterations: int = 0
     moves_applied: int = 0
     elapsed_seconds: float = 0.0
+    status: RunStatus = RunStatus.COMPLETE
 
     @property
     def improvement(self) -> float:
@@ -71,6 +78,7 @@ def tabu_improve(
     state: SolutionState,
     config: FaCTConfig,
     objective=None,
+    budget=None,
 ) -> TabuResult:
     """Run Tabu search on *state* in place and return the best result.
 
@@ -81,6 +89,10 @@ def tabu_improve(
         paper's heterogeneity ``H(P)``. When a custom objective is
         used, the ``heterogeneity_before/after`` fields of the result
         carry *that objective's* scores.
+    budget:
+        Optional :class:`repro.runtime.Budget` checked at the top of
+        every iteration; on deadline/cancel the search stops and
+        returns the best snapshot so far with the interruption status.
     """
     import time
 
@@ -104,8 +116,15 @@ def tabu_improve(
     iterations = 0
     moves_applied = 0
     no_improve = 0
+    status = RunStatus.COMPLETE
 
     while iterations < iteration_cap and no_improve < patience:
+        if budget is not None:
+            try:
+                budget.checkpoint("tabu.iteration")
+            except Interrupted as signal:
+                status = signal.status
+                break
         iterations += 1
         chosen = pool.best_admissible(iterations, tabu_until, current_h, best_h)
         if chosen is None:
@@ -133,6 +152,7 @@ def tabu_improve(
         iterations=iterations,
         moves_applied=moves_applied,
         elapsed_seconds=time.perf_counter() - started,
+        status=status,
     )
 
 

@@ -1,0 +1,37 @@
+"""Solver resilience runtime — budgets, cancellation, fault injection.
+
+This package is the substrate the FaCT phases use to stay responsive
+under wall-clock limits and caller aborts:
+
+- :class:`Budget` / :class:`CancellationToken` — a deadline plus a
+  cooperative cancel flag, checked at every phase's iteration
+  boundaries;
+- :class:`RunStatus` — how a run ended (``COMPLETE``,
+  ``DEADLINE_EXCEEDED``, ``CANCELLED``);
+- :class:`Interrupted` — the internal control-flow signal raised at an
+  exhausted checkpoint and converted by each phase into a flagged
+  best-so-far result;
+- :mod:`repro.runtime.faults` — deterministic delay/crash/cancel
+  injection at the named checkpoints, for chaos testing.
+"""
+
+from .budget import Budget, CancellationToken, Interrupted, RunStatus
+from .faults import (
+    CHECKPOINTS,
+    FaultInjector,
+    InjectedFault,
+    active_injector,
+    inject,
+)
+
+__all__ = [
+    "Budget",
+    "CHECKPOINTS",
+    "CancellationToken",
+    "FaultInjector",
+    "InjectedFault",
+    "Interrupted",
+    "RunStatus",
+    "active_injector",
+    "inject",
+]

@@ -1,0 +1,235 @@
+"""Wall-clock budgets and cooperative cancellation for solver runs.
+
+The FaCT phases are long loops (construction passes, enclave sweeps,
+Tabu iterations). A :class:`Budget` carries a wall-clock deadline and a
+:class:`CancellationToken` through those loops; each phase calls
+:meth:`Budget.checkpoint` at its iteration boundaries, which raises
+:class:`Interrupted` once the deadline passes or the token is
+cancelled. The phases catch the signal, finalize their best-so-far
+state and report a :class:`RunStatus`, so a bounded run always returns
+a usable (partial) solution instead of either blocking or crashing.
+
+Checkpoints double as the fault-injection sites used by the chaos
+tests — see :mod:`repro.runtime.faults`.
+
+Typical usage::
+
+    from repro import Budget, FaCT
+
+    budget = Budget(deadline_seconds=0.5)
+    solution = FaCT().solve(collection, constraints, budget=budget)
+    if solution.interrupted:
+        print("best-so-far:", solution.status, solution.p)
+
+    # cancel from another thread
+    budget.token.cancel()
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import numbers
+import threading
+import time
+
+from ..exceptions import BudgetError
+
+__all__ = ["Budget", "CancellationToken", "Interrupted", "RunStatus"]
+
+
+class RunStatus(enum.Enum):
+    """How a solver run ended.
+
+    - ``COMPLETE`` — every phase ran to its natural stopping point.
+    - ``DEADLINE_EXCEEDED`` — the wall-clock budget expired; the
+      returned solution is the best one found before the deadline.
+    - ``CANCELLED`` — the run's :class:`CancellationToken` was
+      cancelled; the returned solution is the best one found so far.
+    """
+
+    COMPLETE = "complete"
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class CancellationToken:
+    """Thread-safe cooperative cancel flag.
+
+    Cancellation is sticky: once :meth:`cancel` is called the token
+    stays cancelled. Safe to share between the thread running the
+    solver and the thread (or signal handler) requesting the stop.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CancellationToken(cancelled={self.cancelled})"
+
+
+class Interrupted(Exception):
+    """Internal control-flow signal raised by :meth:`Budget.checkpoint`.
+
+    Carries the :class:`RunStatus` that ended the run and the name of
+    the checkpoint that observed it. The solver phases catch it and
+    convert it into a flagged partial result; it deliberately does NOT
+    derive from :class:`repro.exceptions.ReproError` so that generic
+    library error handlers never swallow it by accident.
+    """
+
+    def __init__(self, status: RunStatus, checkpoint: str | None = None):
+        self.status = status
+        self.checkpoint = checkpoint
+        where = f" at checkpoint {checkpoint!r}" if checkpoint else ""
+        super().__init__(f"run interrupted ({status.value}){where}")
+
+
+def _validate_deadline(deadline_seconds) -> float | None:
+    if deadline_seconds is None:
+        return None
+    if isinstance(deadline_seconds, bool) or not isinstance(
+        deadline_seconds, numbers.Real
+    ):
+        raise BudgetError(
+            f"deadline_seconds must be a positive number or None, "
+            f"got {deadline_seconds!r}"
+        )
+    value = float(deadline_seconds)
+    if not math.isfinite(value) or value <= 0:
+        raise BudgetError(
+            f"deadline_seconds must be positive and finite, got {value!r}"
+        )
+    return value
+
+
+class Budget:
+    """A wall-clock deadline plus a cancellation token for one run.
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Wall-clock limit, measured from :meth:`start` (the first
+        checkpoint auto-starts the clock). ``None`` means unlimited.
+    token:
+        Cancellation token to observe; a fresh one is created when
+        omitted (reachable as :attr:`token`, e.g. to cancel from
+        another thread).
+    faults:
+        Optional :class:`repro.runtime.faults.FaultInjector` fired at
+        every checkpoint. When omitted, the process-wide injector
+        installed by :func:`repro.runtime.faults.inject` (if any) is
+        used — that is how the chaos tests reach production code paths
+        without threading an injector through every signature.
+
+    Raises :class:`repro.exceptions.BudgetError` for non-positive or
+    non-finite deadlines.
+    """
+
+    __slots__ = ("deadline_seconds", "token", "faults", "_clock", "_started_at")
+
+    def __init__(
+        self,
+        deadline_seconds: float | None = None,
+        token: CancellationToken | None = None,
+        faults=None,
+        clock=time.perf_counter,
+    ):
+        self.deadline_seconds = _validate_deadline(deadline_seconds)
+        self.token = token or CancellationToken()
+        self.faults = faults
+        self._clock = clock
+        self._started_at: float | None = None
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget with no deadline and a fresh token."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def start(self) -> "Budget":
+        """Start the deadline clock (idempotent); returns self."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+        return self
+
+    @property
+    def started(self) -> bool:
+        """True once the clock is running."""
+        return self._started_at is not None
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0 when not started)."""
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def remaining(self) -> float | None:
+        """Seconds left before the deadline (``None`` = unlimited)."""
+        if self.deadline_seconds is None:
+            return None
+        return max(0.0, self.deadline_seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        """True once the deadline has passed."""
+        return (
+            self.deadline_seconds is not None
+            and self._started_at is not None
+            and self.elapsed() > self.deadline_seconds
+        )
+
+    # ------------------------------------------------------------------
+    # cooperative interruption
+    # ------------------------------------------------------------------
+    def status(self) -> RunStatus | None:
+        """The interruption status, or ``None`` while the run may
+        continue. Cancellation wins over an expired deadline (it is the
+        more explicit signal)."""
+        if self.token.cancelled:
+            return RunStatus.CANCELLED
+        if self.expired():
+            return RunStatus.DEADLINE_EXCEEDED
+        return None
+
+    def checkpoint(self, name: str) -> None:
+        """One cooperative interruption point.
+
+        Fires any injected faults registered for *name* (delays,
+        exceptions, cancellations — see :mod:`repro.runtime.faults`),
+        then raises :class:`Interrupted` when the budget is exhausted
+        or cancelled. Auto-starts the clock on first use so bare phase
+        calls need no ceremony.
+        """
+        self.start()
+        injector = self.faults
+        if injector is None:
+            from .faults import active_injector
+
+            injector = active_injector()
+        if injector is not None:
+            injector.fire(name, self)
+        status = self.status()
+        if status is not None:
+            raise Interrupted(status, checkpoint=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Budget(deadline_seconds={self.deadline_seconds}, "
+            f"elapsed={self.elapsed():.3f}, status={self.status()})"
+        )

@@ -1,0 +1,219 @@
+"""Deterministic fault injection at named solver checkpoints.
+
+Every cooperative interruption point inside the FaCT phases calls
+``budget.checkpoint(name)`` with a name from :data:`CHECKPOINTS`. A
+:class:`FaultInjector` registered on the budget — or installed
+process-wide with :func:`inject` — observes every checkpoint visit and
+can deterministically:
+
+- **delay** (``time.sleep``) to simulate a slow phase and force a
+  deadline to trip at a known point;
+- **fail** (raise an exception, :class:`InjectedFault` by default) to
+  simulate a crash inside a phase;
+- **cancel** (set the budget's token) to simulate a caller abort.
+
+Faults fire on an exact visit ordinal (``on_visit``, 1-based), so a
+chaos test can say "cancel the 5th Tabu iteration" and get the same
+interruption point on every run. The injector also records visit
+counts, which the smoke tests use to prove each registered checkpoint
+is actually reachable (guarding against names drifting from the code).
+
+Example::
+
+    from repro.runtime import FaultInjector, inject
+
+    injector = FaultInjector()
+    injector.cancel("tabu.iteration", on_visit=5)
+    with inject(injector):
+        solution = FaCT().solve(collection, constraints)
+    assert solution.status is RunStatus.CANCELLED
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..exceptions import BudgetError
+
+__all__ = [
+    "CHECKPOINTS",
+    "FaultInjector",
+    "InjectedFault",
+    "active_injector",
+    "inject",
+]
+
+
+CHECKPOINTS: tuple[str, ...] = (
+    "feasibility.checked",
+    "construction.pass.start",
+    "construction.grow.seed",
+    "construction.grow.enclave",
+    "construction.adjust.phase",
+    "tabu.iteration",
+)
+"""Registry of every named checkpoint inside the solver.
+
+- ``feasibility.checked`` — end of the Phase-1 scan (the report is
+  already complete; a deadline here only affects later phases).
+- ``construction.pass.start`` — before each construction pass.
+- ``construction.grow.seed`` — per seed handled in Substep 2.1.
+- ``construction.grow.enclave`` — per enclave-assignment sweep
+  (Substep 2.2).
+- ``construction.adjust.phase`` — entry and each phase boundary of
+  Step 3 (absorb/swap/merge/trim/dissolve).
+- ``tabu.iteration`` — top of every Tabu iteration.
+"""
+
+
+class InjectedFault(RuntimeError):
+    """Default exception raised by a ``fail`` fault.
+
+    Deliberately NOT a :class:`repro.exceptions.ReproError`: it stands
+    in for an unexpected crash, so it must fly past the library's own
+    error handling exactly as a real bug would.
+    """
+
+
+@dataclass(frozen=True)
+class _Fault:
+    action: str  # "delay" | "fail" | "cancel"
+    on_visit: int
+    seconds: float = 0.0
+    exception: BaseException | None = None
+
+
+def _validate_checkpoint(name: str) -> str:
+    if name not in CHECKPOINTS:
+        raise BudgetError(
+            f"unknown checkpoint {name!r}; registered checkpoints are "
+            f"{list(CHECKPOINTS)}"
+        )
+    return name
+
+
+class FaultInjector:
+    """Plan of deterministic faults plus a record of checkpoint visits.
+
+    Thread-safe: visit counting is locked so the parallel construction
+    path can share one injector. Registering a fault for a name not in
+    :data:`CHECKPOINTS` raises :class:`repro.exceptions.BudgetError`
+    immediately — a registered-but-unreachable fault means the plan
+    (or the registry) is stale.
+    """
+
+    def __init__(self) -> None:
+        self.visits: Counter[str] = Counter()
+        self._faults: dict[str, list[_Fault]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # plan construction
+    # ------------------------------------------------------------------
+    def _add(self, checkpoint: str, fault: _Fault) -> "FaultInjector":
+        _validate_checkpoint(checkpoint)
+        if fault.on_visit < 1:
+            raise BudgetError(
+                f"on_visit must be >= 1, got {fault.on_visit!r}"
+            )
+        self._faults.setdefault(checkpoint, []).append(fault)
+        return self
+
+    def delay(
+        self, checkpoint: str, seconds: float, on_visit: int = 1
+    ) -> "FaultInjector":
+        """Sleep *seconds* on the *on_visit*-th visit to *checkpoint*."""
+        if seconds < 0:
+            raise BudgetError(f"delay seconds must be >= 0, got {seconds!r}")
+        return self._add(
+            checkpoint, _Fault("delay", on_visit, seconds=float(seconds))
+        )
+
+    def fail(
+        self,
+        checkpoint: str,
+        exception: BaseException | None = None,
+        on_visit: int = 1,
+    ) -> "FaultInjector":
+        """Raise *exception* (default :class:`InjectedFault`) on the
+        *on_visit*-th visit to *checkpoint*."""
+        return self._add(
+            checkpoint, _Fault("fail", on_visit, exception=exception)
+        )
+
+    def cancel(self, checkpoint: str, on_visit: int = 1) -> "FaultInjector":
+        """Cancel the run's token on the *on_visit*-th visit."""
+        return self._add(checkpoint, _Fault("cancel", on_visit))
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+    def fire(self, checkpoint: str, budget=None) -> None:
+        """Record one visit and apply any fault scheduled for it.
+
+        Called by :meth:`repro.runtime.Budget.checkpoint`; *budget* is
+        the visiting budget (needed by ``cancel`` faults).
+        """
+        _validate_checkpoint(checkpoint)
+        with self._lock:
+            self.visits[checkpoint] += 1
+            ordinal = self.visits[checkpoint]
+            due = [
+                fault
+                for fault in self._faults.get(checkpoint, ())
+                if fault.on_visit == ordinal
+            ]
+        for fault in due:
+            if fault.action == "delay":
+                time.sleep(fault.seconds)
+            elif fault.action == "cancel":
+                if budget is not None:
+                    budget.token.cancel()
+            elif fault.action == "fail":
+                raise fault.exception or InjectedFault(
+                    f"injected fault at {checkpoint!r} (visit {ordinal})"
+                )
+
+    def visited(self, checkpoint: str) -> int:
+        """Number of recorded visits to one checkpoint."""
+        return self.visits[_validate_checkpoint(checkpoint)]
+
+    def unvisited(self) -> frozenset[str]:
+        """Registered checkpoints never visited so far."""
+        return frozenset(name for name in CHECKPOINTS if not self.visits[name])
+
+
+# ----------------------------------------------------------------------
+# process-wide injector (lets chaos tests reach any entry point without
+# threading an injector through every call signature)
+# ----------------------------------------------------------------------
+
+_active: FaultInjector | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    """The process-wide injector installed by :func:`inject`, if any."""
+    return _active
+
+
+@contextmanager
+def inject(injector: FaultInjector):
+    """Install *injector* process-wide for the duration of the block.
+
+    Budgets without their own ``faults`` pick it up at every
+    checkpoint. Nesting restores the previous injector on exit. Note:
+    worker *processes* (``FaCTConfig.n_jobs > 1``) do not inherit it —
+    in-process fault injection covers the serial code path; the
+    parallel path is exercised through worker-side deadlines instead.
+    """
+    global _active
+    previous = _active
+    _active = injector
+    try:
+        yield injector
+    finally:
+        _active = previous

@@ -1,0 +1,195 @@
+"""Tests for the hardened benchmark runner: error rows, per-cell
+budgets and the resumable journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    ExperimentRow,
+    RunJournal,
+    bench_cell_deadline,
+    bench_config,
+    format_p_table,
+    run_emp,
+    use_journal,
+)
+from repro.bench.runner import active_journal
+from repro.runtime import FaultInjector, inject
+
+
+@pytest.fixture
+def world(tiny_census):
+    return tiny_census
+
+
+def _cells(collection, ranges=((2000, None), (2500, None)), **kwargs):
+    return [
+        run_emp(collection, "M", min_range=r, dataset="tiny", **kwargs)
+        for r in ranges
+    ]
+
+
+class TestErrorRows:
+    def test_failing_cell_becomes_error_row_and_others_complete(self, world):
+        # The injected fault fires on the second construction pass
+        # overall == the second cell (bench cells run one pass each).
+        injector = FaultInjector().fail("construction.pass.start", on_visit=2)
+        with inject(injector):
+            rows = _cells(world)
+        assert [row.status for row in rows] == ["ok", "error"]
+        assert "InjectedFault" in rows[1].error
+        assert rows[1].failed and not rows[0].failed
+        assert rows[1].p == 0
+
+    def test_error_cells_render_as_err(self, world):
+        injector = FaultInjector().fail("construction.pass.start", on_visit=2)
+        with inject(injector):
+            rows = _cells(world)
+        table = format_p_table(rows, "p")
+        assert "ERR" in table
+        assert str(rows[0].p) in table
+
+    def test_interrupted_cells_are_starred(self):
+        row = ExperimentRow(
+            solver="FaCT",
+            combo="M",
+            dataset="tiny",
+            n_areas=30,
+            setting="MIN[2k,-]",
+            p=4,
+            n_unassigned=2,
+            construction_seconds=0.1,
+            tabu_seconds=0.0,
+            improvement=0.0,
+            heterogeneity=1.0,
+            status="deadline_exceeded",
+        )
+        assert "4*" in format_p_table([row], "p")
+
+
+class TestCellDeadline:
+    def test_env_var_controls_cell_deadline(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_CELL_DEADLINE", raising=False)
+        assert bench_cell_deadline() is None
+        assert bench_config(100).deadline_seconds is None
+        monkeypatch.setenv("REPRO_BENCH_CELL_DEADLINE", "2.5")
+        assert bench_cell_deadline() == 2.5
+        assert bench_config(100).deadline_seconds == 2.5
+
+    def test_explicit_deadline_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CELL_DEADLINE", "2.5")
+        assert bench_config(100, deadline_seconds=0.5).deadline_seconds == 0.5
+
+    def test_bench_config_never_retries(self):
+        assert bench_config(100).construction_retry_attempts == 0
+
+
+class TestJournal:
+    def test_ambient_journal_installs_and_restores(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "j.jsonl"))
+        assert active_journal() is None
+        with use_journal(journal):
+            assert active_journal() is journal
+        assert active_journal() is None
+
+    def test_rows_are_recorded_and_replayed(self, world, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with RunJournal(path) as journal, use_journal(journal):
+            first = _cells(world)
+        assert all(row.status == "ok" for row in first)
+
+        with RunJournal(path) as journal, use_journal(journal):
+            assert len(journal) == 2
+            second = _cells(world)
+            assert journal.replayed == 2
+        # Replayed rows carry the journal's (rounded) timings; the
+        # measured quantities themselves are identical.
+        for measured, replayed in zip(first, second):
+            assert replayed.p == measured.p
+            assert replayed.n_unassigned == measured.n_unassigned
+            assert replayed.setting == measured.setting
+            assert replayed.status == "ok"
+
+    def test_resume_skips_completed_cells_and_retries_failures(
+        self, world, tmp_path
+    ):
+        path = str(tmp_path / "journal.jsonl")
+        injector = FaultInjector().fail("construction.pass.start", on_visit=2)
+        with RunJournal(path) as journal, use_journal(journal):
+            with inject(injector):
+                first = _cells(world)
+        assert [row.status for row in first] == ["ok", "error"]
+
+        # Second invocation, no fault: the ok cell replays from disk,
+        # the failed cell re-runs and succeeds this time.
+        with RunJournal(path) as journal, use_journal(journal):
+            second = _cells(world)
+            assert journal.replayed == 1
+        assert second[0].p == first[0].p
+        assert second[0].status == "ok"
+        assert second[1].status == "ok"
+        assert second[1].p > 0
+
+    def test_torn_final_line_is_dropped_on_load(self, world, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with RunJournal(path) as journal, use_journal(journal):
+            _cells(world, ranges=((2000, None),))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"solver": "FaCT", "combo": "M", "truncat')
+        journal = RunJournal(path)
+        assert len(journal) == 1
+
+    def test_journal_rows_round_trip_all_fields(self, world, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with RunJournal(path) as journal, use_journal(journal):
+            (row,) = _cells(world, ranges=((2000, None),))
+        with open(path, encoding="utf-8") as handle:
+            entry = json.loads(handle.readline())
+        assert entry["status"] == "ok"
+        assert entry["rng_seed"] == row.rng_seed
+        assert entry["setting"] == row.setting
+
+    def test_tabu_setting_is_part_of_the_cell_identity(self, world, tmp_path):
+        # Tables measure p without Tabu; the timing figures re-run the
+        # same combo/setting cells with it enabled. A no-tabu row must
+        # never replay into a tabu-enabled request.
+        path = str(tmp_path / "journal.jsonl")
+        with RunJournal(path) as journal, use_journal(journal):
+            _cells(world, ranges=((2000, None),), enable_tabu=False)
+        with RunJournal(path) as journal, use_journal(journal):
+            _cells(world, ranges=((2000, None),), enable_tabu=True)
+            assert journal.replayed == 0
+            assert len(journal) == 2
+
+    def test_different_seed_is_a_different_cell(self, world, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with RunJournal(path) as journal, use_journal(journal):
+            _cells(world, ranges=((2000, None),), rng_seed=7)
+        with RunJournal(path) as journal, use_journal(journal):
+            _cells(world, ranges=((2000, None),), rng_seed=8)
+            assert journal.replayed == 0
+
+    def test_delete_removes_the_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(str(path))
+        journal.record(
+            ExperimentRow(
+                solver="FaCT",
+                combo="M",
+                dataset="tiny",
+                n_areas=30,
+                setting="MIN[2k,-]",
+                p=4,
+                n_unassigned=2,
+                construction_seconds=0.1,
+                tabu_seconds=0.0,
+                improvement=0.0,
+                heterogeneity=1.0,
+            )
+        )
+        assert path.exists()
+        journal.delete()
+        assert not path.exists()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import (
+    BudgetError,
     ContiguityError,
     DatasetError,
     GeometryError,
@@ -12,6 +13,7 @@ from repro.exceptions import (
     InvalidAreaError,
     InvalidConstraintError,
     ReproError,
+    SolverInterrupted,
 )
 
 
@@ -19,12 +21,14 @@ class TestHierarchy:
     @pytest.mark.parametrize(
         "exception_type",
         [
+            BudgetError,
             ContiguityError,
             DatasetError,
             GeometryError,
             InfeasibleProblemError,
             InvalidAreaError,
             InvalidConstraintError,
+            SolverInterrupted,
         ],
     )
     def test_all_derive_from_repro_error(self, exception_type):
@@ -37,6 +41,7 @@ class TestHierarchy:
             DatasetError,
             ContiguityError,
             GeometryError,
+            BudgetError,
         ):
             assert issubclass(exception_type, ValueError)
 
@@ -47,6 +52,22 @@ class TestHierarchy:
         error = InfeasibleProblemError("nope", report="the-report")
         assert error.report == "the-report"
         assert str(error) == "nope"
+
+    def test_solver_interrupted_is_runtime_error(self):
+        assert issubclass(SolverInterrupted, RuntimeError)
+
+    def test_solver_interrupted_carries_solution_and_status(self):
+        error = SolverInterrupted(
+            "out of time", solution="partial", status="deadline_exceeded"
+        )
+        assert error.solution == "partial"
+        assert error.status == "deadline_exceeded"
+        assert str(error) == "out of time"
+
+    def test_solver_interrupted_defaults(self):
+        error = SolverInterrupted("cancelled")
+        assert error.solution is None
+        assert error.status is None
 
     def test_library_raises_are_catchable_with_base(self, grid3):
         from repro import ConstraintSet, FaCT, sum_constraint

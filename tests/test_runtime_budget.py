@@ -1,0 +1,213 @@
+"""Tests for repro.runtime budgets and graceful solver degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConstraintSet, avg_constraint, min_constraint
+from repro.data import load_dataset
+from repro.data.schema import default_constraints
+from repro.exceptions import BudgetError, ReproError, SolverInterrupted
+from repro.fact import FaCT, FaCTConfig
+from repro.runtime import Budget, CancellationToken, Interrupted, RunStatus
+
+
+class FakeClock:
+    """A manually advanced clock so deadline tests never sleep."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCancellationToken:
+    def test_starts_uncancelled(self):
+        assert not CancellationToken().cancelled
+
+    def test_cancel_is_sticky_and_idempotent(self):
+        token = CancellationToken()
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+
+
+class TestBudget:
+    def test_unlimited_never_expires(self):
+        budget = Budget.unlimited().start()
+        assert budget.remaining() is None
+        assert not budget.expired()
+        assert budget.status() is None
+        budget.checkpoint("tabu.iteration")  # no raise
+
+    def test_deadline_expiry_raises_interrupted_at_checkpoint(self):
+        clock = FakeClock()
+        budget = Budget(deadline_seconds=1.0, clock=clock).start()
+        budget.checkpoint("tabu.iteration")
+        clock.advance(1.5)
+        assert budget.expired()
+        with pytest.raises(Interrupted) as caught:
+            budget.checkpoint("tabu.iteration")
+        assert caught.value.status is RunStatus.DEADLINE_EXCEEDED
+        assert caught.value.checkpoint == "tabu.iteration"
+
+    def test_remaining_counts_down_and_clamps_at_zero(self):
+        clock = FakeClock()
+        budget = Budget(deadline_seconds=2.0, clock=clock).start()
+        clock.advance(0.5)
+        assert budget.remaining() == pytest.approx(1.5)
+        clock.advance(10)
+        assert budget.remaining() == 0.0
+
+    def test_cancellation_wins_over_expired_deadline(self):
+        clock = FakeClock()
+        budget = Budget(deadline_seconds=1.0, clock=clock).start()
+        clock.advance(5)
+        budget.token.cancel()
+        assert budget.status() is RunStatus.CANCELLED
+
+    def test_checkpoint_autostarts_the_clock(self):
+        budget = Budget(deadline_seconds=60)
+        assert not budget.started
+        budget.checkpoint("tabu.iteration")
+        assert budget.started
+
+    def test_interrupted_is_not_a_repro_error(self):
+        # Generic `except ReproError` handlers must never swallow the
+        # control-flow signal.
+        assert not issubclass(Interrupted, ReproError)
+
+    @pytest.mark.parametrize("bad", [0, -1, float("inf"), float("nan"), True, "1"])
+    def test_invalid_deadlines_rejected(self, bad):
+        with pytest.raises(BudgetError):
+            Budget(deadline_seconds=bad)
+
+
+class TestConfigValidation:
+    def test_rejects_bool_n_jobs(self):
+        with pytest.raises(ReproError):
+            FaCTConfig(n_jobs=True)
+
+    def test_rejects_non_integer_rng_seed(self):
+        with pytest.raises(ReproError):
+            FaCTConfig(rng_seed=1.5)
+
+    def test_rejects_bool_rng_seed(self):
+        with pytest.raises(ReproError):
+            FaCTConfig(rng_seed=False)
+
+    @pytest.mark.parametrize("bad", [0, -0.5, float("inf"), True])
+    def test_rejects_bad_deadline(self, bad):
+        with pytest.raises(BudgetError):
+            FaCTConfig(deadline_seconds=bad)
+
+    def test_rejects_negative_retry_attempts(self):
+        with pytest.raises(ReproError):
+            FaCTConfig(construction_retry_attempts=-1)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5, float("nan")])
+    def test_rejects_bad_degenerate_ratio(self, bad):
+        with pytest.raises(BudgetError):
+            FaCTConfig(degenerate_unassigned_ratio=bad)
+
+    def test_derived_seeds_are_deterministic_and_distinct(self):
+        config = FaCTConfig(rng_seed=7)
+        seeds = [config.derived_seed(i) for i in range(1, 4)]
+        assert seeds == [FaCTConfig(rng_seed=7).derived_seed(i) for i in range(1, 4)]
+        assert len({7, *seeds}) == 4
+
+
+class TestGracefulDegradation:
+    """The acceptance scenario: a tight deadline on the full 2k world."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        collection = load_dataset("2k")
+        constraints = ConstraintSet(default_constraints())
+        return collection, constraints
+
+    def test_deadline_returns_flagged_best_so_far(self, world):
+        collection, constraints = world
+        config = FaCTConfig(rng_seed=7, deadline_seconds=0.05)
+        solution = FaCT(config).solve(collection, constraints)
+        assert solution.status is RunStatus.DEADLINE_EXCEEDED
+        assert solution.interrupted
+        # The partial answer is still a valid partition.
+        assert solution.partition.validate(collection, constraints) == []
+        assert solution.summary()["status"] == "deadline_exceeded"
+        assert set(solution.phase_seconds) == {
+            "feasibility",
+            "construction",
+            "tabu",
+        }
+
+    def test_strict_mode_raises_with_partial_solution(self, world):
+        collection, constraints = world
+        config = FaCTConfig(
+            rng_seed=7, deadline_seconds=0.05, strict_interrupt=True
+        )
+        with pytest.raises(SolverInterrupted) as caught:
+            FaCT(config).solve(collection, constraints)
+        assert caught.value.status is RunStatus.DEADLINE_EXCEEDED
+        carried = caught.value.solution
+        assert carried is not None
+        assert carried.partition.validate(collection, constraints) == []
+
+    def test_precancelled_token_flags_cancelled(self, small_census):
+        budget = Budget()
+        budget.token.cancel()
+        solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+            small_census,
+            ConstraintSet(default_constraints()),
+            budget=budget,
+        )
+        assert solution.status is RunStatus.CANCELLED
+        assert solution.p == 0  # cancelled before any pass could run
+
+    def test_completed_run_is_flagged_complete(self, tiny_census):
+        solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+            tiny_census, ConstraintSet([min_constraint("POP16UP", upper=3000)])
+        )
+        assert solution.status is RunStatus.COMPLETE
+        assert not solution.interrupted
+        assert len(solution.attempts) == 1
+        assert not solution.attempts[0].degenerate
+
+
+class TestRetryPolicy:
+    def test_degenerate_construction_retries_with_derived_seeds(self, grid3):
+        # AVG s in [100, 200] is unreachable (values are 1..9): every
+        # pass collapses to p == 0, so each attempt is degenerate and
+        # the policy exhausts its retries.
+        config = FaCTConfig(rng_seed=5, construction_retry_attempts=2)
+        solution = FaCT(config).solve(
+            grid3, ConstraintSet([avg_constraint("s", 100, 200)])
+        )
+        assert solution.p == 0
+        assert solution.status is RunStatus.COMPLETE
+        assert len(solution.attempts) == 3
+        assert all(attempt.degenerate for attempt in solution.attempts)
+        assert [attempt.seed for attempt in solution.attempts] == [
+            5,
+            config.derived_seed(1),
+            config.derived_seed(2),
+        ]
+
+    def test_healthy_construction_does_not_retry(self, grid3):
+        config = FaCTConfig(rng_seed=5, construction_retry_attempts=2)
+        solution = FaCT(config).solve(
+            grid3, ConstraintSet([min_constraint("s", 2, 4)])
+        )
+        assert solution.p > 0
+        assert len(solution.attempts) == 1
+
+    def test_retries_disabled_with_zero_attempts(self, grid3):
+        config = FaCTConfig(rng_seed=5, construction_retry_attempts=0)
+        solution = FaCT(config).solve(
+            grid3, ConstraintSet([avg_constraint("s", 100, 200)])
+        )
+        assert len(solution.attempts) == 1

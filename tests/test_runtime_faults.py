@@ -1,0 +1,139 @@
+"""Chaos tests: fault injection at every named solver checkpoint.
+
+The invariant under test: *no matter where* a run is interrupted —
+deadline, cancellation, at any checkpoint — the returned partition
+satisfies contiguity and every constraint. Construction only ever
+builds regions out of whole contiguous pieces and salvage dissolves
+anything half-grown, so interruption can shrink the answer but never
+corrupt it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConstraintSet
+from repro.data.schema import default_constraints
+from repro.exceptions import BudgetError
+from repro.fact import FaCT, FaCTConfig
+from repro.runtime import (
+    CHECKPOINTS,
+    Budget,
+    FaultInjector,
+    InjectedFault,
+    RunStatus,
+    active_injector,
+    inject,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture
+def constraints() -> ConstraintSet:
+    return ConstraintSet(default_constraints())
+
+
+class TestCheckpointRegistry:
+    def test_every_registered_checkpoint_is_reachable(
+        self, small_census, constraints
+    ):
+        # Drives the full three-phase solve under a fault-free injector
+        # and demands a visit to every name in CHECKPOINTS — the guard
+        # against checkpoint names drifting away from the code.
+        injector = FaultInjector()
+        with inject(injector):
+            solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+                small_census, constraints
+            )
+        assert solution.status is RunStatus.COMPLETE
+        assert injector.unvisited() == frozenset()
+        assert all(injector.visited(name) >= 1 for name in CHECKPOINTS)
+
+    def test_unknown_checkpoint_rejected_at_registration(self):
+        with pytest.raises(BudgetError):
+            FaultInjector().cancel("construction.no.such.checkpoint")
+
+    def test_zero_visit_ordinal_rejected(self):
+        with pytest.raises(BudgetError):
+            FaultInjector().cancel("tabu.iteration", on_visit=0)
+
+    def test_inject_restores_previous_injector(self):
+        outer = FaultInjector()
+        inner = FaultInjector()
+        with inject(outer):
+            with inject(inner):
+                assert active_injector() is inner
+            assert active_injector() is outer
+        assert active_injector() is None
+
+
+class TestInterruptionInvariants:
+    @pytest.mark.parametrize("checkpoint", CHECKPOINTS)
+    def test_cancel_at_any_checkpoint_leaves_valid_partition(
+        self, small_census, constraints, checkpoint
+    ):
+        injector = FaultInjector().cancel(checkpoint)
+        with inject(injector):
+            solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+                small_census, constraints
+            )
+        assert solution.status is RunStatus.CANCELLED
+        assert solution.interrupted
+        # The chaos invariant: contiguity, coverage and every
+        # constraint hold at every interruption point.
+        assert solution.partition.validate(small_census, constraints) == []
+
+    @pytest.mark.parametrize("visit", [1, 5, 25])
+    def test_cancel_at_later_tabu_iterations(
+        self, small_census, constraints, visit
+    ):
+        injector = FaultInjector().cancel("tabu.iteration", on_visit=visit)
+        with inject(injector):
+            solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+                small_census, constraints
+            )
+        assert solution.status is RunStatus.CANCELLED
+        assert injector.visited("tabu.iteration") == visit
+        assert solution.partition.validate(small_census, constraints) == []
+        assert solution.p > 0  # construction finished before the cancel
+
+    def test_injected_delay_trips_deadline_deterministically(
+        self, small_census, constraints
+    ):
+        # The delay makes the first construction pass overshoot the
+        # deadline, so the run is interrupted at a known point without
+        # any dependence on machine speed.
+        injector = FaultInjector().delay("construction.pass.start", 0.05)
+        config = FaCTConfig(rng_seed=3, deadline_seconds=0.02)
+        with inject(injector):
+            solution = FaCT(config).solve(small_census, constraints)
+        assert solution.status is RunStatus.DEADLINE_EXCEEDED
+        assert solution.partition.validate(small_census, constraints) == []
+
+    def test_injected_failure_propagates_like_a_real_crash(
+        self, small_census, constraints
+    ):
+        injector = FaultInjector().fail("construction.grow.enclave")
+        with inject(injector):
+            with pytest.raises(InjectedFault):
+                FaCT(FaCTConfig(rng_seed=3)).solve(small_census, constraints)
+
+    def test_custom_exception_can_be_injected(self, small_census, constraints):
+        injector = FaultInjector().fail(
+            "tabu.iteration", exception=MemoryError("simulated OOM")
+        )
+        with inject(injector):
+            with pytest.raises(MemoryError):
+                FaCT(FaCTConfig(rng_seed=3)).solve(small_census, constraints)
+
+    def test_budget_local_injector_takes_priority(self, tiny_census):
+        # An injector attached to the budget itself is honored even
+        # with no process-wide injector installed.
+        injector = FaultInjector().cancel("construction.pass.start")
+        budget = Budget(faults=injector)
+        solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+            tiny_census, ConstraintSet(default_constraints()), budget=budget
+        )
+        assert solution.status is RunStatus.CANCELLED
+        assert injector.visited("construction.pass.start") == 1
