@@ -1,0 +1,107 @@
+"""Hot-path cache benchmarks: incremental contiguity oracle and the
+SolutionState frontier/adjacency indexes vs their uncached reference
+paths (DESIGN.md "Performance model").
+
+Each cached/uncached pair runs the identical workload with the gate
+(:func:`repro.core.perf.set_hotpath_caches`) flipped, so a run both
+measures the speedup and asserts the bit-identity the caches promise.
+The checked-in full-scale trajectory lives in ``BENCH_hotpaths.json``
+(regenerate with ``python -m repro.bench micro``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaCT, FaCTConfig
+from repro.core.perf import set_hotpath_caches
+from repro.bench.micro import _grow_state
+from repro.bench.runner import bench_config
+from repro.bench.workloads import combo_constraints
+
+from conftest import run_once
+
+
+@pytest.fixture(params=[True, False], ids=["cached", "uncached"])
+def cache_gate(request):
+    previous = set_hotpath_caches(request.param)
+    yield request.param
+    set_hotpath_caches(previous)
+
+
+def _solve(collection, constraints, rng_seed=7, enable_tabu=True):
+    config = bench_config(
+        len(collection), rng_seed=rng_seed, enable_tabu=enable_tabu
+    )
+    return FaCT(config).solve(collection, constraints)
+
+
+def test_hotpaths_full_solve(benchmark, default_2k, cache_gate):
+    """The headline pair: one Tabu-enabled solve, caches on vs off."""
+    constraints = combo_constraints("MAS")
+    solution = run_once(benchmark, _solve, default_2k, constraints)
+    perf = solution.perf.as_dict()
+    benchmark.extra_info.update(
+        cached=cache_gate,
+        p=solution.p,
+        heterogeneity=solution.heterogeneity,
+        graph_traversals=perf["graph_traversals"],
+        full_bfs_checks=perf["full_bfs_checks"],
+        oracle_hit_rate=perf["oracle_hit_rate"],
+    )
+
+
+def test_hotpaths_contiguity_queries(benchmark, default_2k, cache_gate):
+    """Repeated ``remains_contiguous_without`` over every member of a
+    partially grown partition — the oracle's O(1)-vs-BFS inner loop."""
+    constraints = combo_constraints("MAS")
+    state = _grow_state(default_2k, constraints)
+    regions = [state.regions[rid] for rid in sorted(state.regions)]
+
+    def drain():
+        verdicts = 0
+        for region in regions:
+            removable = region.removable_areas()
+            for area_id in sorted(region.area_ids):
+                if region.remains_contiguous_without(area_id):
+                    verdicts += 1
+                assert (area_id in removable) == (
+                    region.remains_contiguous_without(area_id)
+                )
+        return verdicts
+
+    verdicts = run_once(benchmark, drain)
+    benchmark.extra_info.update(cached=cache_gate, removable=verdicts)
+
+
+def test_hotpaths_frontier_queries(benchmark, default_2k, cache_gate):
+    """Frontier/adjacency queries over a partially grown partition —
+    the indexed-vs-scan pair behind growing and Phase-B swaps."""
+    constraints = combo_constraints("MAS")
+    state = _grow_state(default_2k, constraints)
+    regions = [state.regions[rid] for rid in sorted(state.regions)]
+
+    def drain():
+        touched = 0
+        for region in regions:
+            touched += len(state.unassigned_neighbors(region))
+            touched += len(state.adjacent_regions(region))
+        return touched
+
+    touched = run_once(benchmark, drain)
+    benchmark.extra_info.update(cached=cache_gate, touched=touched)
+
+
+def test_cached_and_uncached_solves_are_bit_identical(default_2k):
+    """The invariant the whole PR rests on, at benchmark scale."""
+    constraints = combo_constraints("MAS")
+    previous = set_hotpath_caches(True)
+    try:
+        with_caches = _solve(default_2k, constraints)
+        set_hotpath_caches(False)
+        without_caches = _solve(default_2k, constraints)
+    finally:
+        set_hotpath_caches(previous)
+    assert with_caches.partition.labels() == without_caches.partition.labels()
+    assert with_caches.heterogeneity == without_caches.heterogeneity
+    assert with_caches.p == without_caches.p

@@ -1,0 +1,43 @@
+"""``python -m repro.bench`` — benchmark subcommand dispatch.
+
+Subcommands:
+
+- ``micro``  — hot-path cache microbenchmark (:mod:`repro.bench.micro`);
+  verifies cached vs uncached solver output is bit-identical and
+  reports the speedup.
+- ``report`` — full paper-table/figure report run
+  (:mod:`repro.bench.report`, also runnable directly as
+  ``python -m repro.bench.report``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import micro, report
+
+_USAGE = """usage: python -m repro.bench <command> [options]
+
+commands:
+  micro    hot-path cache microbenchmark (cached vs uncached)
+  report   generate EXPERIMENTS.md tables and figures
+
+run `python -m repro.bench <command> --help` for command options."""
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "micro":
+        return micro.main(rest)
+    if command == "report":
+        return report.main(rest)
+    print(f"unknown command: {command!r}\n\n{_USAGE}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

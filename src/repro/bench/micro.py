@@ -1,0 +1,303 @@
+"""Hot-path microbenchmark — cached vs uncached reference path.
+
+The incremental contiguity oracle and the frontier/adjacency indexes
+(PR "hot-path caches") must be *pure* accelerations: with caches
+disabled the solver recomputes everything from scratch, and both modes
+must produce bit-identical partitions for a fixed seed. This module
+measures the speedup and proves the identity in one run:
+
+    python -m repro.bench micro --output BENCH_hotpaths.json
+
+It solves the same dataset twice — once with hot-path caches enabled
+(the default) and once with them disabled via
+:func:`repro.core.perf.set_hotpath_caches` — then
+
+- **fails (exit code 2)** unless labels, ``p``, unassigned count and
+  heterogeneity match exactly between the two runs;
+- reports the wall-clock speedup and the reduction in full graph
+  traversals (Hopcroft–Tarjan / BFS passes) the oracle achieved;
+- times the three hot-path queries in isolation (micro-ops):
+  ``remains_contiguous_without``, ``unassigned_neighbors`` and
+  ``adjacent_regions``.
+
+``--smoke`` shrinks the dataset so CI can assert the cached/uncached
+identity in seconds; the full-scale run that produced the checked-in
+``BENCH_hotpaths.json`` uses the defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Sequence
+
+from ..core.area import AreaCollection
+from ..core.constraints import ConstraintSet
+from ..core.perf import set_hotpath_caches
+from ..data.datasets import load_dataset
+from ..fact.solver import FaCT
+from ..fact.state import SolutionState
+from .runner import bench_config
+from .workloads import combo_constraints
+
+__all__ = ["run_micro", "main"]
+
+_SMOKE_SCALE = 0.08
+
+
+def _solve_once(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    rng_seed: int,
+    cached: bool,
+) -> dict:
+    """One full FaCT solve with the cache gate forced to *cached*."""
+    config = bench_config(len(collection), rng_seed=rng_seed, enable_tabu=True)
+    previous = set_hotpath_caches(cached)
+    try:
+        started = time.perf_counter()
+        solution = FaCT(config).solve(collection, constraints)
+        wall = time.perf_counter() - started
+    finally:
+        set_hotpath_caches(previous)
+    return {
+        "wall_seconds": wall,
+        "labels": solution.partition.labels(),
+        "p": solution.p,
+        "n_unassigned": solution.n_unassigned,
+        "heterogeneity": solution.heterogeneity,
+        "perf": solution.perf.as_dict() if solution.perf is not None else {},
+    }
+
+
+def _grow_state(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    target_regions: int = 12,
+    fill_fraction: float = 0.8,
+) -> SolutionState:
+    """A deterministic partially-grown state for micro-op timing.
+
+    Regions are grown breadth-first from the lowest area ids; growth
+    stops at *fill_fraction* so the unassigned frontier is non-empty
+    (otherwise ``unassigned_neighbors`` would measure an empty query).
+    """
+    state = SolutionState(collection, constraints)
+    budget = int(len(collection) * fill_fraction)
+    per_region = max(2, budget // target_regions)
+    while state.n_unassigned > len(collection) - budget:
+        seed = min(state.unassigned)
+        region = state.new_region([seed])
+        while len(region) < per_region:
+            frontier = state.unassigned_neighbors(region)
+            if not frontier:
+                break
+            state.assign(frontier[0], region)
+        if state.n_unassigned <= len(collection) - budget:
+            break
+    return state
+
+
+def _time_micro_ops(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    cached: bool,
+    repeats: int = 3,
+) -> dict[str, float]:
+    """Mean per-call latency (µs) of the three hot-path queries."""
+    previous = set_hotpath_caches(cached)
+    try:
+        state = _grow_state(collection, constraints)
+        regions = [state.regions[rid] for rid in sorted(state.regions)]
+
+        def contiguity() -> int:
+            calls = 0
+            for region in regions:
+                for area_id in sorted(region.area_ids):
+                    region.remains_contiguous_without(area_id)
+                    calls += 1
+            return calls
+
+        def frontier() -> int:
+            calls = 0
+            for region in regions:
+                state.unassigned_neighbors(region)
+                calls += 1
+            return calls
+
+        def adjacency() -> int:
+            calls = 0
+            for region in regions:
+                state.adjacent_regions(region)
+                calls += 1
+            return calls
+
+        timings: dict[str, float] = {}
+        for name, op in (
+            ("remains_contiguous_without", contiguity),
+            ("unassigned_neighbors", frontier),
+            ("adjacent_regions", adjacency),
+        ):
+            best = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                calls = op()
+                elapsed = time.perf_counter() - started
+                best = min(best, elapsed / max(1, calls))
+            timings[name] = best * 1e6
+        return timings
+    finally:
+        set_hotpath_caches(previous)
+
+
+def run_micro(
+    dataset: str = "2k",
+    scale: float = 1.0,
+    rng_seed: int = 7,
+    combo: str = "MAS",
+    micro_ops: bool = True,
+) -> dict:
+    """Run the cached/uncached comparison and return the result dict.
+
+    ``result["identical"]`` is the acceptance gate: ``False`` means the
+    caches changed solver behaviour and the build must fail.
+    """
+    collection = load_dataset(dataset, scale=scale)
+    constraints = combo_constraints(combo)
+
+    cached = _solve_once(collection, constraints, rng_seed, cached=True)
+    uncached = _solve_once(collection, constraints, rng_seed, cached=False)
+
+    identical = (
+        cached["labels"] == uncached["labels"]
+        and cached["p"] == uncached["p"]
+        and cached["n_unassigned"] == uncached["n_unassigned"]
+        and cached["heterogeneity"] == uncached["heterogeneity"]
+    )
+    traversals_cached = max(1, cached["perf"].get("graph_traversals", 0))
+    traversals_uncached = uncached["perf"].get("graph_traversals", 0)
+    bfs_checks_cached = max(1, cached["perf"].get("full_bfs_checks", 0))
+    bfs_checks_uncached = uncached["perf"].get("full_bfs_checks", 0)
+
+    result = {
+        "benchmark": "hotpaths",
+        "dataset": dataset,
+        "scale": scale,
+        "n_areas": len(collection),
+        "combo": combo,
+        "rng_seed": rng_seed,
+        "identical": identical,
+        "p": cached["p"],
+        "n_unassigned": cached["n_unassigned"],
+        "heterogeneity": cached["heterogeneity"],
+        "cached": {
+            "wall_seconds": round(cached["wall_seconds"], 4),
+            "perf": cached["perf"],
+        },
+        "uncached": {
+            "wall_seconds": round(uncached["wall_seconds"], 4),
+            "perf": uncached["perf"],
+        },
+        "speedup": round(
+            uncached["wall_seconds"] / max(1e-9, cached["wall_seconds"]), 3
+        ),
+        # Contiguity checks answered by a full BFS, uncached / cached —
+        # the oracle's headline: checks become O(1) lookups unless the
+        # check itself triggers the lazy rebuild.
+        "bfs_check_reduction": round(
+            bfs_checks_uncached / bfs_checks_cached, 3
+        ),
+        # All induced-subgraph passes (incl. oracle rebuilds), both
+        # modes — the conservative overall-work view.
+        "traversal_reduction": round(
+            traversals_uncached / traversals_cached, 3
+        ),
+    }
+    if micro_ops:
+        result["micro_ops_us"] = {
+            "cached": {
+                name: round(value, 3)
+                for name, value in _time_micro_ops(
+                    collection, constraints, cached=True
+                ).items()
+            },
+            "uncached": {
+                name: round(value, 3)
+                for name, value in _time_micro_ops(
+                    collection, constraints, cached=False
+                ).items()
+            },
+        }
+    return result
+
+
+def _strip_labels(result: dict) -> dict:
+    """The JSON payload: everything except the raw label maps."""
+    return {key: value for key, value in result.items() if key != "labels"}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench micro",
+        description=(
+            "Measure the hot-path caches against the uncached reference "
+            "path and verify bit-identical solver output."
+        ),
+    )
+    parser.add_argument("--dataset", default="2k", help="registry dataset name")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale factor"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="solver RNG seed")
+    parser.add_argument(
+        "--combo", default="MAS", help="constraint combination (subset of MAS)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI mode: shrink the dataset to scale {_SMOKE_SCALE} and "
+        "skip micro-op timing; the cached/uncached identity check "
+        "still runs in full",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON result here (default: stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = _SMOKE_SCALE if args.smoke else args.scale
+    result = run_micro(
+        dataset=args.dataset,
+        scale=scale,
+        rng_seed=args.seed,
+        combo=args.combo,
+        micro_ops=not args.smoke,
+    )
+
+    payload = json.dumps(_strip_labels(result), indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+
+    if not result["identical"]:
+        print(
+            "FAIL: cached and uncached runs diverged — the hot-path "
+            "caches changed solver behaviour",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"OK: identical output; speedup {result['speedup']}x, "
+        f"full-BFS check reduction {result['bfs_check_reduction']}x, "
+        f"graph-traversal reduction {result['traversal_reduction']}x",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

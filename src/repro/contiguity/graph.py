@@ -22,6 +22,7 @@ __all__ = [
     "connected_components",
     "articulation_points",
     "bfs_order",
+    "removable_set",
 ]
 
 NeighborFn = Callable[[int], Iterable[int]]
@@ -80,7 +81,20 @@ def articulation_points(
     regions are safe). Nodes in other components than the start node
     are handled by restarting the DFS per component.
     """
-    node_set = set(nodes)
+    return _components_and_articulation(set(nodes), neighbors)[1]
+
+
+def _components_and_articulation(
+    node_set: set[int], neighbors: NeighborFn
+) -> tuple[list[frozenset[int]], frozenset[int]]:
+    """Connected components *and* articulation points in one DFS pass.
+
+    Every DFS restart roots a new component, so component membership
+    falls out of the same Hopcroft–Tarjan traversal for free — this is
+    what lets :func:`removable_set` answer with a single pass over the
+    induced subgraph instead of one pass per question.
+    """
+    components: list[frozenset[int]] = []
     discovery: dict[int, int] = {}
     low: dict[int, int] = {}
     parent: dict[int, int | None] = {}
@@ -90,6 +104,7 @@ def articulation_points(
     for root in node_set:
         if root in discovery:
             continue
+        component = [root]
         parent[root] = None
         root_children = 0
         # stack entries: (node, iterator over its in-set neighbors)
@@ -106,6 +121,7 @@ def articulation_points(
                         root_children += 1
                     discovery[neighbor] = low[neighbor] = counter
                     counter += 1
+                    component.append(neighbor)
                     stack.append(
                         (
                             neighbor,
@@ -132,4 +148,45 @@ def articulation_points(
                     articulation.add(parent_node)
         if root_children > 1:
             articulation.add(root)
-    return frozenset(articulation)
+        components.append(frozenset(component))
+    return components, frozenset(articulation)
+
+
+def removable_set(
+    nodes: Iterable[int], neighbors: NeighborFn
+) -> tuple[bool, frozenset[int]]:
+    """``(connected, removable)`` for the induced subgraph of *nodes*.
+
+    ``removable`` is the set of nodes whose individual removal leaves
+    the *remaining* node set connected and non-empty — exactly the
+    verdict of a per-node BFS check, computed for every node at once:
+
+    - one connected component: every non-articulation node (a single
+      Hopcroft–Tarjan pass instead of ``|nodes|`` BFS runs);
+    - two components: only an isolated node can leave (the other
+      component is then the connected remainder);
+    - three or more components, or a single node: nothing is removable
+      (removal leaves a disconnected or empty remainder).
+
+    This is the batch primitive behind the per-region contiguity
+    oracle (:meth:`repro.core.region.Region.removable_areas`); it
+    costs exactly one DFS traversal of the induced subgraph.
+    """
+    node_set = set(nodes)
+    if not node_set:
+        return False, frozenset()
+    if len(node_set) == 1:
+        return True, frozenset()
+    components, articulation = _components_and_articulation(
+        node_set, neighbors
+    )
+    if len(components) == 1:
+        return True, frozenset(node_set) - articulation
+    if len(components) == 2:
+        return False, frozenset(
+            node
+            for component in components
+            if len(component) == 1
+            for node in component
+        )
+    return False, frozenset()

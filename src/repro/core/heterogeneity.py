@@ -35,7 +35,11 @@ def pairwise_absolute_deviation(values: Iterable[float]) -> float:
     """
     ordered = sorted(float(v) for v in values)
     g = len(ordered)
-    return sum(value * (2 * k - g + 1) for k, value in enumerate(ordered))
+    total = sum(value * (2 * k - g + 1) for k, value in enumerate(ordered))
+    # The exact quantity is a sum of absolute values, hence >= 0; the
+    # coefficient identity can leave a tiny negative rounding residue
+    # (e.g. g equal large-magnitude values), so clamp it away.
+    return max(0.0, total)
 
 
 def pairwise_absolute_deviation_naive(values: Sequence[float]) -> float:

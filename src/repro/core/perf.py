@@ -1,0 +1,207 @@
+"""Hot-path instrumentation: performance counters and the cache gate.
+
+The FaCT phases spend almost all their wall-clock answering two kinds
+of queries — "may this area leave its region?" (contiguity) and "what
+borders this region?" (frontier/adjacency). Both are served by
+incremental caches (:meth:`repro.core.region.Region.removable_areas`,
+the indexes inside :class:`repro.fact.state.SolutionState`). This
+module provides:
+
+- :class:`PerfCounters` — a lightweight mutable struct counting cache
+  hits, rebuilds, full graph traversals and candidate evaluations,
+  plus named wall-clock timings. One instance is owned by each
+  ``SolutionState`` and surfaces on :class:`repro.fact.solver.
+  EMPSolution` and in the microbenchmark harness.
+- the **hot-path cache gate** — a process-wide switch that forces
+  every cached query back onto its recompute-everything reference
+  path. Both paths return *identical* results (the benchmark harness
+  and CI assert this bit-for-bit); the gate exists so the reference
+  path stays executable, comparable and honest forever.
+
+Set ``REPRO_DISABLE_HOTPATH_CACHES=1`` (or call
+:func:`set_hotpath_caches`) to run uncached.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = [
+    "PerfCounters",
+    "hotpath_caches_enabled",
+    "set_hotpath_caches",
+]
+
+_CACHES_ENV = "REPRO_DISABLE_HOTPATH_CACHES"
+_FALSEY = ("", "0", "false", "no", "off")
+
+# None = defer to the environment variable; True/False = explicit
+# process-wide override installed by set_hotpath_caches().
+_override: bool | None = None
+
+
+def hotpath_caches_enabled() -> bool:
+    """True when the incremental oracle and state indexes are active.
+
+    Defaults to True; disabled by ``REPRO_DISABLE_HOTPATH_CACHES`` (any
+    value other than 0/false/no/off) or a :func:`set_hotpath_caches`
+    override. Structures consult this at *query* time, so results stay
+    correct even when the gate is flipped mid-run — a disabled query
+    simply recomputes from scratch, and a re-enabled one rebuilds its
+    (invalidated-on-write) cache.
+    """
+    if _override is not None:
+        return _override
+    return os.environ.get(_CACHES_ENV, "").strip().lower() in _FALSEY
+
+
+def set_hotpath_caches(enabled: bool | None) -> bool | None:
+    """Install a process-wide cache override; returns the previous one.
+
+    Pass ``None`` to fall back to the environment variable. Intended
+    for the benchmark harness and tests::
+
+        previous = set_hotpath_caches(False)
+        try:
+            ...  # reference (uncached) run
+        finally:
+            set_hotpath_caches(previous)
+    """
+    global _override
+    previous = _override
+    _override = enabled
+    return previous
+
+
+class PerfCounters:
+    """Mutable hot-path counters shared by a solver run.
+
+    Attributes
+    ----------
+    contiguity_checks:
+        Calls to ``Region.remains_contiguous_without`` (every Step-3
+        swap/trim candidate and every Tabu donor re-validation).
+    oracle_hits:
+        Contiguity answers served from a region's cached
+        articulation/removable set — O(1) each.
+    oracle_rebuilds:
+        Lazy rebuilds of that cache (one Tarjan/component pass over the
+        region per rebuild, amortized over every query between two
+        mutations of the same region).
+    graph_traversals:
+        Full passes over a region's induced subgraph (BFS connectivity
+        checks, component scans, articulation passes) — the quantity
+        the oracle exists to minimize.
+    full_bfs_checks:
+        Contiguity checks that were answered by running a full BFS
+        over the region (as opposed to an O(1) oracle lookup). On the
+        uncached reference path every check is one; with the oracle
+        only a check that itself triggers the lazy rebuild counts.
+    candidate_evaluations:
+        Candidate moves examined by Step-3 adjustment and the Tabu
+        move-pool derivation.
+    frontier_queries / adjacency_queries:
+        Region-frontier and region-adjacency lookups served by the
+        ``SolutionState`` indexes (or their scan fallbacks).
+    index_updates:
+        Incremental index maintenance operations (one per area
+        assignment change; O(degree) each).
+    timings:
+        Named wall-clock sections recorded via :meth:`time_section`
+        or :meth:`record_seconds` (per-phase timings come from the
+        solver facade).
+    """
+
+    __slots__ = (
+        "contiguity_checks",
+        "oracle_hits",
+        "oracle_rebuilds",
+        "graph_traversals",
+        "full_bfs_checks",
+        "candidate_evaluations",
+        "frontier_queries",
+        "adjacency_queries",
+        "index_updates",
+        "timings",
+    )
+
+    _COUNTER_FIELDS = (
+        "contiguity_checks",
+        "oracle_hits",
+        "oracle_rebuilds",
+        "graph_traversals",
+        "full_bfs_checks",
+        "candidate_evaluations",
+        "frontier_queries",
+        "adjacency_queries",
+        "index_updates",
+    )
+
+    def __init__(self) -> None:
+        self.contiguity_checks = 0
+        self.oracle_hits = 0
+        self.oracle_rebuilds = 0
+        self.graph_traversals = 0
+        self.full_bfs_checks = 0
+        self.candidate_evaluations = 0
+        self.frontier_queries = 0
+        self.adjacency_queries = 0
+        self.index_updates = 0
+        self.timings: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def oracle_hit_rate(self) -> float:
+        """Fraction of oracle lookups served without a rebuild."""
+        total = self.oracle_hits + self.oracle_rebuilds
+        if total == 0:
+            return 0.0
+        return self.oracle_hits / total
+
+    def record_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock time under *name*."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    @contextmanager
+    def time_section(self, name: str):
+        """Context manager accumulating the body's wall-clock under
+        *name*."""
+        started = perf_counter()
+        try:
+            yield self
+        finally:
+            self.record_seconds(name, perf_counter() - started)
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Fold *other*'s counters and timings into this one."""
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name, seconds in other.timings.items():
+            self.record_seconds(name, seconds)
+        return self
+
+    def reset(self) -> None:
+        """Zero every counter and drop all timings."""
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, 0)
+        self.timings = {}
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (JSON-serializable) for reports and bench
+        output."""
+        payload: dict[str, object] = {
+            name: getattr(self, name) for name in self._COUNTER_FIELDS
+        }
+        payload["oracle_hit_rate"] = round(self.oracle_hit_rate, 4)
+        payload["timings"] = {
+            name: round(seconds, 6) for name, seconds in sorted(self.timings.items())
+        }
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        inner = ", ".join(
+            f"{name}={getattr(self, name)}" for name in self._COUNTER_FIELDS
+        )
+        return f"PerfCounters({inner})"

@@ -14,16 +14,30 @@ Contiguity is **not** enforced by ``add_area``/``remove_area`` — the
 solver performs moves it has already validated — but the class provides
 the validation predicates (:meth:`is_contiguous`,
 :meth:`remains_contiguous_without`) used before every move.
+
+Those predicates are served by an **incremental contiguity oracle**:
+the region lazily computes, in one Tarjan/component pass, the set of
+members whose removal keeps it contiguous (:meth:`removable_areas`),
+caches it, and invalidates the cache on every membership mutation.
+Between mutations, ``remains_contiguous_without`` is an O(1) set
+lookup instead of a BFS over the region — the difference between
+O(candidates × (|R|+E)) and O(|R|+E) per solver iteration. Setting
+``REPRO_DISABLE_HOTPATH_CACHES`` (see :mod:`repro.core.perf`) bypasses
+the cache and recomputes every verdict from scratch; both paths return
+identical answers.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterable, Iterator
 
+from ..contiguity.graph import removable_set
 from ..exceptions import ContiguityError, InvalidAreaError
 from .aggregates import Aggregate, AggregateState
 from .area import AreaCollection
 from .constraints import Constraint, ConstraintSet
+from .perf import PerfCounters, hotpath_caches_enabled
 
 __all__ = ["Region"]
 
@@ -55,6 +69,8 @@ class Region:
         "_heterogeneity",
         "_sorted_d",
         "_prefix_d",
+        "_contig_cache",
+        "perf",
     )
 
     def __init__(
@@ -63,6 +79,7 @@ class Region:
         collection: AreaCollection,
         tracked_attributes: Iterable[str] = (),
         areas: Iterable[int] = (),
+        perf: PerfCounters | None = None,
     ):
         self.region_id = region_id
         self._collection = collection
@@ -77,6 +94,10 @@ class Region:
         # loop) into O(log g) bisections instead of O(g) scans.
         self._sorted_d: list[float] | None = None
         self._prefix_d: list[float] | None = None
+        # Contiguity oracle: (is_contiguous, removable member set),
+        # rebuilt lazily and invalidated on every membership mutation.
+        self._contig_cache: tuple[bool, frozenset[int]] | None = None
+        self.perf = perf
         for area_id in areas:
             self.add_area(area_id)
 
@@ -125,6 +146,7 @@ class Region:
         self._dissimilarities[area_id] = d
         self._areas.add(area_id)
         self._sorted_d = None  # invalidate the delta-query cache
+        self._contig_cache = None  # invalidate the contiguity oracle
 
     def remove_area(self, area_id: int) -> None:
         """Remove one area, updating aggregates and heterogeneity."""
@@ -139,6 +161,7 @@ class Region:
         self._heterogeneity -= self._abs_deviation_sum(d)
         self._areas.remove(area_id)
         self._sorted_d = None  # invalidate the delta-query cache
+        self._contig_cache = None  # invalidate the contiguity oracle
         if not self._areas:
             self._heterogeneity = 0.0  # cancel any float drift
 
@@ -159,6 +182,7 @@ class Region:
             self.region_id if region_id is None else region_id,
             self._collection,
             self._aggregates.keys(),
+            perf=self.perf,
         )
         for area_id in self._areas:
             clone.add_area(area_id)
@@ -244,23 +268,79 @@ class Region:
     # ------------------------------------------------------------------
     # contiguity
     # ------------------------------------------------------------------
+    def _oracle(self) -> tuple[bool, frozenset[int]]:
+        """``(is_contiguous, removable members)``, cached.
+
+        One Hopcroft–Tarjan pass per rebuild (components and
+        articulation points fall out of the same DFS); every query
+        between two membership mutations is then an O(1) lookup.
+        """
+        perf = self.perf
+        if self._contig_cache is None:
+            self._contig_cache = removable_set(
+                self._areas, self._collection.neighbors
+            )
+            if perf is not None:
+                perf.oracle_rebuilds += 1
+                perf.graph_traversals += 1
+        elif perf is not None:
+            perf.oracle_hits += 1
+        return self._contig_cache
+
     def is_contiguous(self) -> bool:
         """True when the member areas form one connected component."""
-        return self._collection.is_contiguous(self._areas)
+        if not self._areas:
+            return False
+        if not hotpath_caches_enabled():
+            if self.perf is not None:
+                self.perf.graph_traversals += 1
+            return self._collection.is_contiguous(self._areas)
+        return self._oracle()[0]
+
+    def removable_areas(self) -> frozenset[int]:
+        """Members whose removal keeps the region contiguous and
+        non-empty — the non-articulation members of a connected region.
+
+        This is the oracle's batch view: the Tabu move-pool derivation
+        consumes it directly instead of running its own articulation
+        pass, and :meth:`remains_contiguous_without` is a membership
+        test against it. With the hot-path cache gate off
+        (:func:`repro.core.perf.hotpath_caches_enabled`), recomputes
+        from scratch on every call and stores nothing.
+        """
+        if not hotpath_caches_enabled():
+            if self.perf is not None:
+                self.perf.graph_traversals += 1
+            return removable_set(self._areas, self._collection.neighbors)[1]
+        return self._oracle()[1]
 
     def remains_contiguous_without(self, area_id: int) -> bool:
         """True when removing *area_id* leaves a connected, non-empty
         region — i.e. the area is not an articulation point of the
         region's induced subgraph (the donor-side check of Step 3 and
-        the Tabu phase)."""
+        the Tabu phase). O(1) between membership mutations; with the
+        cache gate off, one fresh BFS over the remaining members per
+        call (the pre-oracle reference behaviour)."""
         if area_id not in self._areas:
             raise InvalidAreaError(
                 f"area {area_id} is not in region {self.region_id}"
             )
-        remaining = self._areas - {area_id}
-        if not remaining:
-            return False
-        return self._collection.is_contiguous(remaining)
+        perf = self.perf
+        if perf is not None:
+            perf.contiguity_checks += 1
+        if not hotpath_caches_enabled():
+            remaining = self._areas - {area_id}
+            if not remaining:
+                return False
+            if perf is not None:
+                perf.graph_traversals += 1
+                perf.full_bfs_checks += 1
+            return self._collection.is_contiguous(remaining)
+        if perf is not None and self._contig_cache is None:
+            # This check has to pay for the rebuild itself — the only
+            # case where a check still costs a full graph pass.
+            perf.full_bfs_checks += 1
+        return area_id in self._oracle()[1]
 
     def neighboring_areas(self) -> frozenset[int]:
         """Area ids adjacent to the region but not inside it (its
@@ -305,8 +385,6 @@ class Region:
         A member whose own value equals *d* contributes 0, so the same
         query serves both "add an area with value d" and "remove the
         member with value d"."""
-        from bisect import bisect_left
-
         self._ensure_sorted()
         values = self._sorted_d
         if not values:

@@ -109,9 +109,11 @@ def _absorb_unassigned(
         if region is None:
             continue
         while _violates_lower(region, counting):
+            frontier = state.unassigned_neighbors(region)
+            state.perf.candidate_evaluations += len(frontier)
             candidates = [
                 area_id
-                for area_id in state.unassigned_neighbors(region)
+                for area_id in frontier
                 if _safe_to_add(state, region, area_id)
             ]
             if not candidates:
@@ -139,13 +141,12 @@ def _swap_from_neighbors(state: SolutionState, rng: random.Random) -> None:
         while _violates_lower(region, counting) and progress:
             progress = False
             for donor in state.adjacent_regions(region):
-                boundary = [
-                    area_id
-                    for area_id in donor.area_ids
-                    if region.touches(area_id)
-                ]
+                # The receiver's border index already knows which donor
+                # members touch it — no per-member adjacency rescans.
+                boundary = state.donor_boundary(donor, region)
                 rng.shuffle(boundary)
                 for area_id in boundary:
+                    state.perf.candidate_evaluations += 1
                     if not _swap_is_valid(
                         state, donor, region, area_id, all_constraints
                     ):
@@ -250,9 +251,10 @@ def _trim_oversized(state: SolutionState, rng: random.Random) -> None:
             # candidate (a region spanning a whole component has no
             # exterior frontier, so "boundary" means the subgraph's
             # non-articulation members, enforced by the check below).
-            candidates = list(region.area_ids)
+            candidates = sorted(region.area_ids)
             rng.shuffle(candidates)
             for area_id in candidates:
+                state.perf.candidate_evaluations += 1
                 if len(region) <= 1:
                     break
                 if not region.satisfies_after_remove(keep_satisfied, area_id):

@@ -180,9 +180,7 @@ def _opposite_extreme_neighbors(
     running_average = region.constraint_value(violated)
     below = running_average < violated.lower
     result = []
-    for area_id in region.neighboring_areas():
-        if not state.is_unassigned(area_id):
-            continue
+    for area_id in state.unassigned_neighbors(region):
         value = state.collection.attribute(area_id, violated.attribute)
         if below and value > violated.upper:
             result.append(area_id)

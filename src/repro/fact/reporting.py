@@ -74,6 +74,18 @@ def format_solution_report(
         )
     else:
         lines.append("  tabu: disabled")
+    if solution.perf is not None:
+        perf = solution.perf
+        lines.append(
+            f"  contiguity checks: {perf.contiguity_checks:,} "
+            f"(oracle hit rate {perf.oracle_hit_rate:.1%}, "
+            f"{perf.graph_traversals:,} graph traversals)"
+        )
+        lines.append(
+            f"  candidate evaluations: {perf.candidate_evaluations:,} "
+            f"(frontier queries {perf.frontier_queries:,}, "
+            f"adjacency queries {perf.adjacency_queries:,})"
+        )
     sizes = solution.partition.region_sizes()
     if sizes:
         lines.append(

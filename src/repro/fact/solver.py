@@ -41,6 +41,7 @@ from dataclasses import dataclass, field, replace
 from ..core.area import AreaCollection
 from ..core.constraints import Constraint, ConstraintSet
 from ..core.partition import Partition
+from ..core.perf import PerfCounters
 from ..exceptions import SolverInterrupted
 from ..runtime import Budget, RunStatus
 from .config import FaCTConfig
@@ -91,6 +92,12 @@ class EMPSolution:
     attempts:
         One :class:`ConstructionAttempt` per construction tried by the
         degenerate-retry policy (a single entry for ordinary runs).
+    perf:
+        Hot-path counters of the winning construction pass and the
+        Tabu search that refined it (contiguity-oracle hits/rebuilds,
+        candidate evaluations, index traffic), with the per-phase
+        wall-clock recorded under ``perf.timings``. ``None`` only for
+        hand-built solutions.
     """
 
     partition: Partition
@@ -100,6 +107,7 @@ class EMPSolution:
     status: RunStatus = RunStatus.COMPLETE
     feasibility_seconds: float = 0.0
     attempts: tuple[ConstructionAttempt, ...] = ()
+    perf: PerfCounters | None = None
 
     # -- the paper's three performance measures (Section VII-A) --------
     @property
@@ -175,6 +183,7 @@ class EMPSolution:
             "n_construction_attempts": max(len(self.attempts), 1),
             "n_invalid_areas": self.feasibility.n_invalid,
             "warnings": list(self.feasibility.warnings),
+            "perf": self.perf.as_dict() if self.perf is not None else None,
         }
 
 
@@ -261,6 +270,11 @@ class FaCT:
             partition = tabu.partition
 
         status = budget.status() or RunStatus.COMPLETE
+        perf = construction.state.perf
+        perf.record_seconds("feasibility", feasibility_seconds)
+        perf.record_seconds("construction", construction.elapsed_seconds)
+        if tabu is not None:
+            perf.record_seconds("tabu", tabu.elapsed_seconds)
         solution = EMPSolution(
             partition=partition,
             feasibility=feasibility,
@@ -269,6 +283,7 @@ class FaCT:
             status=status,
             feasibility_seconds=feasibility_seconds,
             attempts=attempts,
+            perf=perf,
         )
         if solution.interrupted and config.strict_interrupt:
             raise SolverInterrupted(

@@ -10,6 +10,28 @@ It provides the transactional primitives the phases are written in
 terms of — create/dissolve regions, assign/unassign areas, merge two
 regions — each of which keeps assignment and region bookkeeping
 consistent, and a :meth:`to_partition` snapshot.
+
+Hot-path indexes
+----------------
+The phases' inner loops ask, thousands of times per iteration, "which
+unassigned areas border this region?", "which regions border this
+region?" and "which of a donor's members touch this receiver?". Each
+used to be answered by scanning every member's adjacency list —
+O(|R| · degree) per query. The state now maintains two incremental
+indexes, updated in O(degree) at every mutation primitive:
+
+- ``_border``: per region, the *non-member* areas adjacent to it, each
+  with the count of member neighbors backing it (counts make
+  decremental updates exact);
+- ``_region_adj``: per region, the adjacent regions with the number of
+  shared boundary edges.
+
+Every query sorts its result, so answers are deterministic and
+identical between the indexed path and the scan fallback (the
+reference path used when ``REPRO_DISABLE_HOTPATH_CACHES`` is set — see
+:mod:`repro.core.perf`). :meth:`check_indexes` re-derives both indexes
+from scratch and asserts equality; the property-test suite calls it
+after randomized mutation sequences.
 """
 
 from __future__ import annotations
@@ -19,6 +41,7 @@ from typing import Iterable, Iterator
 from ..core.area import AreaCollection
 from ..core.constraints import ConstraintSet
 from ..core.partition import Partition
+from ..core.perf import PerfCounters, hotpath_caches_enabled
 from ..core.region import Region
 from ..exceptions import InvalidAreaError
 
@@ -38,6 +61,10 @@ class SolutionState:
     excluded:
         Areas removed by the feasibility phase — they are reported in
         ``U_0`` and never assigned.
+    perf:
+        Optional shared :class:`~repro.core.perf.PerfCounters`; one is
+        created when omitted. Every region this state creates counts
+        into it.
     """
 
     def __init__(
@@ -45,6 +72,7 @@ class SolutionState:
         collection: AreaCollection,
         constraints: ConstraintSet,
         excluded: Iterable[int] = (),
+        perf: PerfCounters | None = None,
     ):
         self.collection = collection
         self.constraints = constraints
@@ -61,6 +89,14 @@ class SolutionState:
         }
         self._unassigned: set[int] = set(self.assignment)
         self._next_region_id = 0
+        self.perf = perf if perf is not None else PerfCounters()
+        # Captured once per state: flipping the gate mid-life would
+        # desynchronize incrementally maintained structures.
+        self._use_indexes = hotpath_caches_enabled()
+        # region id -> {adjacent non-member area -> #member neighbors}
+        self._border: dict[int, dict[int, int]] = {}
+        # region id -> {adjacent region id -> #shared boundary edges}
+        self._region_adj: dict[int, dict[int, int]] = {}
 
     # ------------------------------------------------------------------
     # introspection
@@ -96,34 +132,179 @@ class SolutionState:
         return iter(self.regions.values())
 
     def neighbor_regions(self, area_id: int) -> list[Region]:
-        """Distinct regions spatially adjacent to one area."""
-        seen: set[int] = set()
-        result: list[Region] = []
-        for neighbor in self.collection.neighbors(area_id):
-            region_id = self.assignment.get(neighbor)
-            if region_id is not None and region_id not in seen:
-                seen.add(region_id)
-                result.append(self.regions[region_id])
-        return result
+        """Distinct regions spatially adjacent to one area, in region-id
+        order."""
+        region_ids = {
+            region_id
+            for neighbor in self.collection.neighbors(area_id)
+            if (region_id := self.assignment.get(neighbor)) is not None
+        }
+        return [self.regions[region_id] for region_id in sorted(region_ids)]
 
     def adjacent_regions(self, region: Region) -> list[Region]:
-        """Distinct regions sharing a boundary with *region*."""
+        """Distinct regions sharing a boundary with *region*, in
+        region-id order (served by the adjacency index)."""
+        self.perf.adjacency_queries += 1
+        if self._use_indexes:
+            region_ids = self._region_adj.get(region.region_id, {})
+            return [self.regions[rid] for rid in sorted(region_ids)]
         seen: set[int] = {region.region_id}
-        result: list[Region] = []
         for area_id in region.neighboring_areas():
             region_id = self.assignment.get(area_id)
-            if region_id is not None and region_id not in seen:
+            if region_id is not None:
                 seen.add(region_id)
-                result.append(self.regions[region_id])
-        return result
+        seen.discard(region.region_id)
+        return [self.regions[rid] for rid in sorted(seen)]
 
     def unassigned_neighbors(self, region: Region) -> list[int]:
-        """Unassigned areas on *region*'s spatial frontier."""
-        return [
+        """Unassigned areas on *region*'s spatial frontier, in area-id
+        order (served by the frontier index)."""
+        self.perf.frontier_queries += 1
+        if self._use_indexes:
+            border = self._border.get(region.region_id, {})
+            return sorted(a for a in border if a in self._unassigned)
+        return sorted(
             area_id
             for area_id in region.neighboring_areas()
             if area_id in self._unassigned
-        ]
+        )
+
+    def donor_boundary(self, donor: Region, receiver: Region) -> list[int]:
+        """Members of *donor* spatially adjacent to *receiver*, in
+        area-id order — the candidate pool of a Step-3 swap, read off
+        the receiver's border index instead of rescanning every donor
+        member."""
+        self.perf.frontier_queries += 1
+        donor_id = donor.region_id
+        if self._use_indexes:
+            border = self._border.get(receiver.region_id, {})
+            return sorted(
+                a for a in border if self.assignment.get(a) == donor_id
+            )
+        return sorted(
+            area_id for area_id in donor.area_ids if receiver.touches(area_id)
+        )
+
+    # ------------------------------------------------------------------
+    # index maintenance (all O(degree of the touched area))
+    # ------------------------------------------------------------------
+    def _index_new_region(self, region_id: int) -> None:
+        if not self._use_indexes:
+            return
+        self._border[region_id] = {}
+        self._region_adj[region_id] = {}
+
+    def _index_drop_region(self, region_id: int) -> None:
+        if not self._use_indexes:
+            return
+        self._border.pop(region_id, None)
+        for other_id in self._region_adj.pop(region_id, {}):
+            self._region_adj[other_id].pop(region_id, None)
+
+    def _index_add_member(self, region_id: int, area_id: int) -> None:
+        """Record that *area_id* just became a member of *region_id*.
+
+        Must run after both the region's membership and
+        ``assignment[area_id]`` are updated.
+        """
+        if not self._use_indexes:
+            return
+        self.perf.index_updates += 1
+        border = self._border[region_id]
+        adjacency = self._region_adj[region_id]
+        border.pop(area_id, None)  # now internal
+        for neighbor in self.collection.neighbors(area_id):
+            neighbor_region = self.assignment.get(neighbor)
+            if neighbor_region == region_id:
+                continue  # internal edge
+            border[neighbor] = border.get(neighbor, 0) + 1
+            if neighbor_region is not None:
+                adjacency[neighbor_region] = (
+                    adjacency.get(neighbor_region, 0) + 1
+                )
+                other = self._region_adj[neighbor_region]
+                other[region_id] = other.get(region_id, 0) + 1
+
+    def _index_remove_member(self, region_id: int, area_id: int) -> None:
+        """Record that *area_id* just left *region_id*.
+
+        Must run after the region's membership and
+        ``assignment[area_id]`` are updated (the area's own assignment
+        is never consulted, only its neighbors').
+        """
+        if not self._use_indexes:
+            return
+        self.perf.index_updates += 1
+        border = self._border[region_id]
+        adjacency = self._region_adj[region_id]
+        member_edges = 0
+        for neighbor in self.collection.neighbors(area_id):
+            neighbor_region = self.assignment.get(neighbor)
+            if neighbor_region == region_id:
+                member_edges += 1
+                continue
+            count = border.get(neighbor, 0) - 1
+            if count > 0:
+                border[neighbor] = count
+            else:
+                border.pop(neighbor, None)
+            if neighbor_region is not None:
+                self._decrement_adjacency(adjacency, neighbor_region)
+                self._decrement_adjacency(
+                    self._region_adj[neighbor_region], region_id
+                )
+        if member_edges:
+            border[area_id] = member_edges
+
+    @staticmethod
+    def _decrement_adjacency(adjacency: dict[int, int], key: int) -> None:
+        count = adjacency.get(key, 0) - 1
+        if count > 0:
+            adjacency[key] = count
+        else:
+            adjacency.pop(key, None)
+
+    def check_indexes(self) -> None:
+        """Assert both indexes match a from-scratch rederivation.
+
+        O(n · degree) — a test/debug aid, never called on hot paths.
+        Raises ``AssertionError`` on any divergence.
+        """
+        if not self._use_indexes:
+            return
+        neighbors = self.collection.neighbors
+        for region_id, region in self.regions.items():
+            members = region.area_ids
+            expected_border: dict[int, int] = {}
+            expected_adjacency: dict[int, int] = {}
+            for member in members:
+                for neighbor in neighbors(member):
+                    if neighbor in members:
+                        continue
+                    expected_border[neighbor] = (
+                        expected_border.get(neighbor, 0) + 1
+                    )
+                    other = self.assignment.get(neighbor)
+                    if other is not None:
+                        expected_adjacency[other] = (
+                            expected_adjacency.get(other, 0) + 1
+                        )
+            assert self._border.get(region_id) == expected_border, (
+                f"border index diverged for region {region_id}: "
+                f"{self._border.get(region_id)} != {expected_border}"
+            )
+            assert self._region_adj.get(region_id) == expected_adjacency, (
+                f"adjacency index diverged for region {region_id}: "
+                f"{self._region_adj.get(region_id)} != {expected_adjacency}"
+            )
+        assert set(self._border) == set(self.regions), (
+            "border index tracks dead regions: "
+            f"{set(self._border) ^ set(self.regions)}"
+        )
+        assert set(self._region_adj) == set(self.regions), (
+            "adjacency index tracks dead regions: "
+            f"{set(self._region_adj) ^ set(self.regions)}"
+        )
 
     # ------------------------------------------------------------------
     # mutation primitives
@@ -132,8 +313,11 @@ class SolutionState:
         """Create a region from currently-unassigned areas."""
         region_id = self._next_region_id
         self._next_region_id += 1
-        region = Region(region_id, self.collection, self.tracked)
+        region = Region(
+            region_id, self.collection, self.tracked, perf=self.perf
+        )
         self.regions[region_id] = region
+        self._index_new_region(region_id)
         for area_id in areas:
             self.assign(area_id, region)
         return region
@@ -147,6 +331,7 @@ class SolutionState:
         region.add_area(area_id)
         self.assignment[area_id] = region.region_id
         self._unassigned.discard(area_id)
+        self._index_add_member(region.region_id, area_id)
 
     def unassign(self, area_id: int) -> None:
         """Remove an area from its region back to the unassigned pool."""
@@ -156,8 +341,10 @@ class SolutionState:
         region.remove_area(area_id)
         self.assignment[area_id] = None
         self._unassigned.add(area_id)
+        self._index_remove_member(region.region_id, area_id)
         if len(region) == 0:
             del self.regions[region.region_id]
+            self._index_drop_region(region.region_id)
 
     def move(self, area_id: int, target: Region) -> None:
         """Move an assigned area directly into another region."""
@@ -171,8 +358,11 @@ class SolutionState:
         source.remove_area(area_id)
         target.add_area(area_id)
         self.assignment[area_id] = target.region_id
+        self._index_remove_member(source.region_id, area_id)
+        self._index_add_member(target.region_id, area_id)
         if len(source) == 0:
             del self.regions[source.region_id]
+            self._index_drop_region(source.region_id)
 
     def merge_regions(self, keep: Region, absorb: Region) -> Region:
         """Merge *absorb* into *keep* and drop the empty region."""
@@ -182,7 +372,35 @@ class SolutionState:
             self.assignment[area_id] = keep.region_id
         keep.merge(absorb)
         del self.regions[absorb.region_id]
+        self._index_merge_regions(keep.region_id, absorb.region_id)
         return keep
+
+    def _index_merge_regions(self, keep_id: int, absorb_id: int) -> None:
+        """Fold *absorb*'s index entries into *keep*'s in O(border +
+        adjacent regions) — no per-area rederivation."""
+        if not self._use_indexes:
+            return
+        self.perf.index_updates += 1
+        # Border: sum the member-neighbor counts, then drop entries
+        # that became internal (absorb's members adjacent to keep and
+        # vice versa — all now assigned to keep_id).
+        merged: dict[int, int] = {}
+        for source in (self._border[keep_id], self._border.pop(absorb_id)):
+            for area_id, count in source.items():
+                if self.assignment.get(area_id) == keep_id:
+                    continue
+                merged[area_id] = merged.get(area_id, 0) + count
+        self._border[keep_id] = merged
+        # Region adjacency: redirect absorb's edges onto keep.
+        keep_adj = self._region_adj[keep_id]
+        keep_adj.pop(absorb_id, None)
+        for other_id, count in self._region_adj.pop(absorb_id).items():
+            if other_id == keep_id:
+                continue
+            keep_adj[other_id] = keep_adj.get(other_id, 0) + count
+            other = self._region_adj[other_id]
+            other.pop(absorb_id, None)
+            other[keep_id] = other.get(keep_id, 0) + count
 
     def dissolve_region(self, region: Region) -> None:
         """Return every area of *region* to the unassigned pool."""

@@ -211,23 +211,20 @@ class _MovePool:
     def _derive_moves(self, donor: Region) -> dict[_MoveKey, float]:
         """All valid moves donating one of *donor*'s boundary areas to
         an adjacent region, with their heterogeneity deltas."""
-        from ..contiguity.graph import articulation_points
-
         state = self._state
         constraints = state.constraints
         moves: dict[_MoveKey, float] = {}
         if len(donor) <= 1:
             return moves
         collection = state.collection
-        members = donor.area_ids
-        # One Hopcroft-Tarjan pass replaces a per-area BFS: an area may
-        # leave the donor iff it is not an articulation point of the
-        # donor's induced subgraph.
-        stuck = articulation_points(
-            members, lambda a: collection.neighbors(a) & members
-        )
-        for area_id in members:
-            if area_id in stuck:
+        perf = state.perf
+        # The region's contiguity oracle answers "who may leave?" for
+        # every member at once (one cached Hopcroft–Tarjan pass instead
+        # of a per-area BFS) — and the same cache then serves the O(1)
+        # re-validation in _live_delta.
+        removable = donor.removable_areas()
+        for area_id in sorted(donor.area_ids):
+            if area_id not in removable:
                 continue
             receiver_ids = {
                 state.assignment[neighbor]
@@ -239,7 +236,8 @@ class _MovePool:
                 continue
             if not donor.satisfies_after_remove(constraints, area_id):
                 continue
-            for receiver_id in receiver_ids:
+            for receiver_id in sorted(receiver_ids):
+                perf.candidate_evaluations += 1
                 receiver = state.regions[receiver_id]
                 if not receiver.satisfies_after_add(constraints, area_id):
                     continue

@@ -63,10 +63,17 @@ class StepSnapshot:
 
 @dataclass
 class SolveTrace:
-    """Full trace of one FaCT run."""
+    """Full trace of one FaCT run.
+
+    ``perf`` carries the run's hot-path counters (see
+    :class:`repro.core.perf.PerfCounters`) so a trace shows not just
+    *what* each step decided but how much contiguity/frontier work it
+    cost.
+    """
 
     snapshots: list[StepSnapshot] = field(default_factory=list)
     partition: Partition | None = None
+    perf: object | None = None
 
     def record(self, step: str, description: str, state: SolutionState) -> None:
         """Append a snapshot of *state*."""
@@ -92,7 +99,16 @@ class SolveTrace:
 
     def format(self) -> str:
         """The whole trace as an aligned text block."""
-        return "\n".join(snapshot.format() for snapshot in self.snapshots)
+        lines = [snapshot.format() for snapshot in self.snapshots]
+        if self.perf is not None:
+            lines.append(
+                f"{'hot-path':<22} "
+                f"contiguity={self.perf.contiguity_checks} "
+                f"oracle_hit_rate={self.perf.oracle_hit_rate:.1%} "
+                f"traversals={self.perf.graph_traversals} "
+                f"candidates={self.perf.candidate_evaluations}"
+            )
+        return "\n".join(lines)
 
 
 def trace_solve(
@@ -158,4 +174,5 @@ def trace_solve(
         )
     else:
         trace.partition = state.to_partition()
+    trace.perf = state.perf
     return trace

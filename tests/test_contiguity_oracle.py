@@ -1,0 +1,325 @@
+"""Property tests for the incremental contiguity oracle and the
+SolutionState frontier/adjacency indexes.
+
+The oracle caches ``(is_contiguous, removable members)`` per region
+and invalidates on every membership mutation; the state maintains
+counted border/adjacency indexes through ``assign``/``move``/
+``unassign``/``merge_regions``/``dissolve_region``. These tests drive
+random mutation sequences and assert, after **every** mutation, that
+
+- every cached contiguity verdict matches a fresh BFS over the same
+  member set (the pre-oracle reference semantics),
+- the indexes match a from-scratch rederivation
+  (``SolutionState.check_indexes``),
+- indexed queries return exactly what the scan fallback returns with
+  the hot-path cache gate off (the bit-identity the benchmark harness
+  and CI rely on).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ConstraintSet, PerfCounters, sum_constraint
+from repro.core.perf import set_hotpath_caches
+from repro.core.region import Region
+from repro.fact.state import SolutionState
+
+from conftest import make_grid_collection
+
+
+def trivial_constraints() -> ConstraintSet:
+    return ConstraintSet([sum_constraint("s", lower=0)])
+
+
+def reference_verdicts(collection, members):
+    """Per-node BFS reference: ``(is_contiguous, removable set)``."""
+    members = frozenset(members)
+    connected = collection.is_contiguous(members)
+    removable = frozenset(
+        area_id
+        for area_id in members
+        if len(members) > 1 and collection.is_contiguous(members - {area_id})
+    )
+    return connected, removable
+
+
+def assert_oracle_matches_reference(state):
+    for region in state.iter_regions():
+        connected, removable = reference_verdicts(
+            state.collection, region.area_ids
+        )
+        assert region.is_contiguous() == connected
+        assert region.removable_areas() == removable
+        for area_id in sorted(region.area_ids):
+            assert region.remains_contiguous_without(area_id) == (
+                area_id in removable
+            )
+
+
+def random_mutation_walk(state, rng, steps, mirror=None):
+    """Drive *state* through a random mutation sequence.
+
+    Only legal operations are attempted (areas exist, donors stay
+    non-empty). When *mirror* is given, the identical sequence is
+    applied to it so the two states stay comparable. Yields after
+    every applied mutation.
+    """
+
+    def regions():
+        return [state.regions[rid] for rid in sorted(state.regions)]
+
+    for _ in range(steps):
+        ops = []
+        live = regions()
+        if state.unassigned:
+            ops.append("new_region")
+            if live:
+                ops.append("assign")
+        donors = [r for r in live if len(r) > 1]
+        if donors and len(live) > 1:
+            ops.append("move")
+        if donors:
+            ops.append("unassign")
+        if len(live) > 1:
+            ops.append("merge")
+        if live:
+            ops.append("dissolve")
+        if not ops:
+            break
+        op = rng.choice(ops)
+        if op == "new_region":
+            seed = rng.choice(sorted(state.unassigned))
+            state.new_region([seed])
+            if mirror is not None:
+                mirror.new_region([seed])
+        elif op == "assign":
+            area_id = rng.choice(sorted(state.unassigned))
+            region = rng.choice(regions())
+            state.assign(area_id, region)
+            if mirror is not None:
+                mirror.assign(area_id, mirror.regions[region.region_id])
+        elif op == "move":
+            donor = rng.choice([r for r in regions() if len(r) > 1])
+            area_id = rng.choice(sorted(donor.area_ids))
+            receivers = [
+                r for r in regions() if r.region_id != donor.region_id
+            ]
+            receiver = rng.choice(receivers)
+            state.move(area_id, receiver)
+            if mirror is not None:
+                mirror.move(area_id, mirror.regions[receiver.region_id])
+        elif op == "unassign":
+            donor = rng.choice([r for r in regions() if len(r) > 1])
+            area_id = rng.choice(sorted(donor.area_ids))
+            state.unassign(area_id)
+            if mirror is not None:
+                mirror.unassign(area_id)
+        elif op == "merge":
+            keep, absorb = rng.sample(regions(), 2)
+            state.merge_regions(keep, absorb)
+            if mirror is not None:
+                mirror.merge_regions(
+                    mirror.regions[keep.region_id],
+                    mirror.regions[absorb.region_id],
+                )
+        elif op == "dissolve":
+            region = rng.choice(regions())
+            state.dissolve_region(region)
+            if mirror is not None:
+                mirror.dissolve_region(mirror.regions[region.region_id])
+        yield op
+
+
+class TestOracleMatchesFreshBFS:
+    @pytest.mark.parametrize("seed", [3, 17, 42, 99])
+    def test_random_mutation_sequence(self, seed):
+        collection = make_grid_collection(5, 5)
+        state = SolutionState(collection, trivial_constraints())
+        rng = random.Random(seed)
+        for _ in random_mutation_walk(state, rng, steps=60):
+            assert_oracle_matches_reference(state)
+            state.check_indexes()
+
+    def test_disconnected_region_semantics(self, grid3):
+        """Two-component and three-component regions match per-node
+        BFS verdicts exactly (only singleton components may leave a
+        two-component region)."""
+        region = Region(0, grid3, areas=[1, 3])  # opposite corners
+        assert not region.is_contiguous()
+        # Removing either singleton leaves the other, which is
+        # connected — both are removable.
+        assert region.removable_areas() == frozenset({1, 3})
+        region.add_area(2)  # bridges: now one path component 1-2-3
+        assert region.is_contiguous()
+        assert region.removable_areas() == frozenset({1, 3})
+        region.add_area(7)  # detached corner: two components again
+        assert not region.is_contiguous()
+        assert region.removable_areas() == frozenset({7})
+        region.add_area(9)  # three components: nothing may leave
+        assert not region.is_contiguous()
+        assert region.removable_areas() == frozenset()
+        _, removable = reference_verdicts(grid3, region.area_ids)
+        assert region.removable_areas() == removable
+
+    def test_singleton_region(self, grid3):
+        region = Region(0, grid3, areas=[5])
+        assert region.is_contiguous()
+        assert region.removable_areas() == frozenset()
+        assert not region.remains_contiguous_without(5)
+
+
+class TestCacheInvalidation:
+    def test_add_and_remove_invalidate(self, grid3):
+        perf = PerfCounters()
+        region = Region(0, grid3, areas=[1, 2, 3], perf=perf)
+        assert region.removable_areas() == frozenset({1, 3})
+        rebuilds = perf.oracle_rebuilds
+        assert region.remains_contiguous_without(1)  # cache hit
+        assert perf.oracle_rebuilds == rebuilds
+        region.add_area(6)
+        assert region.removable_areas() == frozenset({1, 6})
+        assert perf.oracle_rebuilds == rebuilds + 1
+        region.remove_area(6)
+        assert region.removable_areas() == frozenset({1, 3})
+        assert perf.oracle_rebuilds == rebuilds + 2
+
+    def test_merge_regions_invalidates(self, grid3):
+        state = SolutionState(grid3, trivial_constraints())
+        left = state.new_region([1, 2])
+        right = state.new_region([3, 6])
+        assert left.removable_areas() == frozenset({1, 2})
+        merged = state.merge_regions(left, right)
+        assert merged is left
+        # The stale verdict would claim 2 is removable; after the merge
+        # it is the bridge between 1 and {3, 6}.
+        assert merged.removable_areas() == frozenset({1, 6})
+        assert not merged.remains_contiguous_without(2)
+        assert_oracle_matches_reference(state)
+        state.check_indexes()
+
+    def test_dissolve_region_returns_members_to_pool(self, grid3):
+        state = SolutionState(grid3, trivial_constraints())
+        region = state.new_region([1, 2, 3])
+        other = state.new_region([4, 5])
+        assert region.removable_areas() == frozenset({1, 3})
+        state.dissolve_region(region)
+        assert region.region_id not in state.regions
+        assert {1, 2, 3} <= set(state.unassigned)
+        # The surviving region's oracle and the indexes are intact.
+        assert_oracle_matches_reference(state)
+        state.check_indexes()
+        assert state.unassigned_neighbors(other) == [1, 2, 6, 7, 8]
+
+
+class TestIndexedQueriesMatchScanFallback:
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_bit_identical_query_results(self, seed):
+        """Indexed and fallback paths return identical (sorted) results
+        after every mutation — the invariant that makes cached and
+        uncached solver runs bit-identical."""
+        collection = make_grid_collection(5, 5)
+        indexed = SolutionState(collection, trivial_constraints())
+        previous = set_hotpath_caches(False)
+        try:
+            fallback = SolutionState(collection, trivial_constraints())
+        finally:
+            set_hotpath_caches(previous)
+        rng = random.Random(seed)
+        for _ in random_mutation_walk(indexed, rng, 60, mirror=fallback):
+            assert indexed.assignment == fallback.assignment
+            for region_id in sorted(indexed.regions):
+                region = indexed.regions[region_id]
+                shadow = fallback.regions[region_id]
+                assert indexed.unassigned_neighbors(
+                    region
+                ) == fallback.unassigned_neighbors(shadow)
+                assert [
+                    r.region_id for r in indexed.adjacent_regions(region)
+                ] == [r.region_id for r in fallback.adjacent_regions(shadow)]
+                for other_id in sorted(indexed.regions):
+                    if other_id == region_id:
+                        continue
+                    assert indexed.donor_boundary(
+                        region, indexed.regions[other_id]
+                    ) == fallback.donor_boundary(
+                        shadow, fallback.regions[other_id]
+                    )
+
+
+class TestPerfCounters:
+    def test_hits_and_rebuilds_accounting(self, grid3):
+        perf = PerfCounters()
+        region = Region(0, grid3, areas=[1, 2, 3], perf=perf)
+        region.removable_areas()  # rebuild
+        region.removable_areas()  # hit
+        region.is_contiguous()  # hit
+        assert perf.oracle_rebuilds == 1
+        assert perf.oracle_hits == 2
+        assert perf.graph_traversals == 1
+        assert perf.oracle_hit_rate == pytest.approx(2 / 3)
+
+    def test_full_bfs_checks_cached_vs_uncached(self, grid3):
+        cached = PerfCounters()
+        region = Region(0, grid3, areas=[1, 2, 3], perf=cached)
+        region.remains_contiguous_without(1)  # pays for the rebuild
+        region.remains_contiguous_without(2)  # O(1) lookup
+        region.remains_contiguous_without(3)  # O(1) lookup
+        assert cached.contiguity_checks == 3
+        assert cached.full_bfs_checks == 1
+        uncached = PerfCounters()
+        shadow = Region(1, grid3, areas=[1, 2, 3], perf=uncached)
+        previous = set_hotpath_caches(False)
+        try:
+            for area_id in (1, 2, 3):
+                shadow.remains_contiguous_without(area_id)
+        finally:
+            set_hotpath_caches(previous)
+        assert uncached.contiguity_checks == 3
+        assert uncached.full_bfs_checks == 3
+
+    def test_merge_and_reset(self):
+        first = PerfCounters()
+        first.contiguity_checks = 3
+        first.record_seconds("tabu", 1.5)
+        second = PerfCounters()
+        second.contiguity_checks = 4
+        second.oracle_hits = 2
+        second.record_seconds("tabu", 0.5)
+        second.record_seconds("construction", 1.0)
+        first.merge(second)
+        assert first.contiguity_checks == 7
+        assert first.oracle_hits == 2
+        assert first.timings == {"tabu": 2.0, "construction": 1.0}
+        first.reset()
+        assert first.contiguity_checks == 0
+        assert first.timings == {}
+
+    def test_as_dict_is_json_shaped(self):
+        perf = PerfCounters()
+        perf.contiguity_checks = 2
+        perf.oracle_hits = 1
+        perf.oracle_rebuilds = 1
+        with perf.time_section("tabu"):
+            pass
+        payload = perf.as_dict()
+        assert payload["contiguity_checks"] == 2
+        assert payload["oracle_hit_rate"] == 0.5
+        assert "tabu" in payload["timings"]
+
+    def test_state_threads_one_counter_into_regions(self, grid3):
+        state = SolutionState(grid3, trivial_constraints())
+        region = state.new_region([1, 2])
+        assert region.perf is state.perf
+        assert state.perf.index_updates > 0
+
+    def test_solution_carries_perf(self, grid3):
+        from repro.fact import FaCT, FaCTConfig
+
+        constraints = trivial_constraints()
+        solution = FaCT(FaCTConfig(rng_seed=1)).solve(grid3, constraints)
+        assert solution.perf is not None
+        summary = solution.summary()
+        assert summary["perf"]["contiguity_checks"] >= 0
