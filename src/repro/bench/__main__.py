@@ -4,7 +4,9 @@ Subcommands:
 
 - ``micro``  — hot-path cache microbenchmark (:mod:`repro.bench.micro`);
   verifies cached vs uncached solver output is bit-identical and
-  reports the speedup.
+  reports the speedup. ``micro --objective`` checks the incremental
+  objective engine and the Tabu portfolio's worker-count invariance;
+  ``micro --profile`` prints a cProfile breakdown of one solve.
 - ``report`` — full paper-table/figure report run
   (:mod:`repro.bench.report`, also runnable directly as
   ``python -m repro.bench.report``).
@@ -19,7 +21,9 @@ from . import micro, report
 _USAGE = """usage: python -m repro.bench <command> [options]
 
 commands:
-  micro    hot-path cache microbenchmark (cached vs uncached)
+  micro    hot-path cache microbenchmark (cached vs uncached);
+           --objective for the incremental-objective/portfolio checks,
+           --profile for a cProfile breakdown
   report   generate EXPERIMENTS.md tables and figures
 
 run `python -m repro.bench <command> --help` for command options."""

@@ -23,6 +23,17 @@ It solves the same dataset twice — once with hot-path caches enabled
 ``--smoke`` shrinks the dataset so CI can assert the cached/uncached
 identity in seconds; the full-scale run that produced the checked-in
 ``BENCH_hotpaths.json`` uses the defaults.
+
+Two further modes share the dataset/seed options:
+
+- ``--objective`` (:func:`run_objective`) targets the incremental
+  objective engine: it verifies the cached delta path against the
+  recompute-everything reference path, verifies that the Tabu
+  portfolio returns bit-identical partitions at every worker count,
+  and reports the delta fast-path rate plus the tabu-phase speedup —
+  the full-scale run produces the checked-in ``BENCH_objective.json``;
+- ``--profile`` wraps one cached solve in :mod:`cProfile` and prints
+  the top cumulative-time entries — the optimization worklist.
 """
 
 from __future__ import annotations
@@ -42,7 +53,7 @@ from ..fact.state import SolutionState
 from .runner import bench_config
 from .workloads import combo_constraints
 
-__all__ = ["run_micro", "main"]
+__all__ = ["run_micro", "run_objective", "main"]
 
 _SMOKE_SCALE = 0.08
 
@@ -233,6 +244,197 @@ def run_micro(
     return result
 
 
+def _solve_objective_once(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    rng_seed: int,
+    cached: bool,
+    n_jobs: int = 1,
+    tabu_portfolio: int = 1,
+) -> dict:
+    """One FaCT solve with explicit parallelism knobs, for the
+    objective-identity benchmark."""
+    from dataclasses import replace
+
+    config = replace(
+        bench_config(len(collection), rng_seed=rng_seed, enable_tabu=True),
+        n_jobs=n_jobs,
+        tabu_portfolio=tabu_portfolio,
+    )
+    previous = set_hotpath_caches(cached)
+    try:
+        started = time.perf_counter()
+        solution = FaCT(config).solve(collection, constraints)
+        wall = time.perf_counter() - started
+    finally:
+        set_hotpath_caches(previous)
+    perf = solution.perf.as_dict() if solution.perf is not None else {}
+    return {
+        "wall_seconds": wall,
+        "labels": solution.partition.labels(),
+        "p": solution.p,
+        "n_unassigned": solution.n_unassigned,
+        "heterogeneity": solution.heterogeneity,
+        "tabu_seconds": perf.get("timings", {}).get("tabu", 0.0),
+        "perf": perf,
+    }
+
+
+def _baseline_tabu_seconds(path: str) -> float | None:
+    """Tabu-phase seconds of the checked-in hot-path baseline, if the
+    file exists and carries them (PR2's ``BENCH_hotpaths.json``)."""
+    import os
+
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        value = payload["cached"]["perf"]["timings"]["tabu"]
+    except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return None
+    return float(value)
+
+
+def run_objective(
+    dataset: str = "2k",
+    scale: float = 1.0,
+    rng_seed: int = 7,
+    combo: str = "MAS",
+    n_jobs_grid: Sequence[int] = (1, 2, 4),
+    tabu_portfolio: int = 3,
+    baseline_path: str = "BENCH_hotpaths.json",
+) -> dict:
+    """The objective-engine benchmark: delta fast path + portfolio.
+
+    Three checks in one run, mirroring the PR's acceptance gates:
+
+    - **identity** — cached vs uncached (reference-path) solves must
+      produce bit-identical partitions; the maintained sorted-values
+      structure and the heap move index are pure accelerations;
+    - **fast-path rate** — share of objective delta queries served by
+      the maintained structure without a full recompute
+      (``delta_fastpath_rate`` from
+      :class:`~repro.core.perf.PerfCounters`);
+    - **worker invariance** — with the Tabu portfolio on, partitions
+      must be bit-identical at every ``n_jobs`` in *n_jobs_grid*.
+
+    ``result["identical"]`` and ``result["n_jobs_invariant"]`` are the
+    failure gates; tabu-phase wall-clock is reported against both the
+    in-run uncached solve and the checked-in PR2 baseline file.
+    """
+    collection = load_dataset(dataset, scale=scale)
+    constraints = combo_constraints(combo)
+
+    cached = _solve_objective_once(collection, constraints, rng_seed, cached=True)
+    uncached = _solve_objective_once(
+        collection, constraints, rng_seed, cached=False
+    )
+    identical = (
+        cached["labels"] == uncached["labels"]
+        and cached["heterogeneity"] == uncached["heterogeneity"]
+    )
+
+    portfolio_runs = {
+        n_jobs: _solve_objective_once(
+            collection,
+            constraints,
+            rng_seed,
+            cached=True,
+            n_jobs=n_jobs,
+            tabu_portfolio=tabu_portfolio,
+        )
+        for n_jobs in n_jobs_grid
+    }
+    reference = portfolio_runs[n_jobs_grid[0]]
+    n_jobs_invariant = all(
+        run["labels"] == reference["labels"]
+        and run["heterogeneity"] == reference["heterogeneity"]
+        for run in portfolio_runs.values()
+    )
+
+    baseline_tabu = _baseline_tabu_seconds(baseline_path)
+    tabu_cached = cached["tabu_seconds"]
+    return {
+        "benchmark": "objective",
+        "dataset": dataset,
+        "scale": scale,
+        "n_areas": len(collection),
+        "combo": combo,
+        "rng_seed": rng_seed,
+        "identical": identical,
+        "n_jobs_invariant": n_jobs_invariant,
+        "p": cached["p"],
+        "n_unassigned": cached["n_unassigned"],
+        "heterogeneity": cached["heterogeneity"],
+        "delta_fastpath_rate": cached["perf"].get("delta_fastpath_rate", 0.0),
+        "delta_fastpath": cached["perf"].get("delta_fastpath", 0),
+        "delta_recompute": cached["perf"].get("delta_recompute", 0),
+        "objective_struct_updates": cached["perf"].get(
+            "objective_struct_updates", 0
+        ),
+        "tabu_seconds_cached": round(tabu_cached, 4),
+        "tabu_seconds_uncached": round(uncached["tabu_seconds"], 4),
+        "tabu_speedup_vs_uncached": round(
+            uncached["tabu_seconds"] / max(1e-9, tabu_cached), 3
+        ),
+        "tabu_baseline_seconds": baseline_tabu,
+        "tabu_speedup_vs_baseline": (
+            round(baseline_tabu / max(1e-9, tabu_cached), 3)
+            if baseline_tabu is not None
+            else None
+        ),
+        "wall_seconds_cached": round(cached["wall_seconds"], 4),
+        "wall_seconds_uncached": round(uncached["wall_seconds"], 4),
+        "portfolio": {
+            "tabu_portfolio": tabu_portfolio,
+            "runs": {
+                str(n_jobs): {
+                    "wall_seconds": round(run["wall_seconds"], 4),
+                    "tabu_seconds": round(run["tabu_seconds"], 4),
+                    "heterogeneity": run["heterogeneity"],
+                    "p": run["p"],
+                }
+                for n_jobs, run in portfolio_runs.items()
+            },
+            "heterogeneity": reference["heterogeneity"],
+            "improvement_over_single": round(
+                (cached["heterogeneity"] - reference["heterogeneity"])
+                / max(1e-9, cached["heterogeneity"]),
+                4,
+            ),
+        },
+        "cached_perf": cached["perf"],
+        "uncached_perf": uncached["perf"],
+    }
+
+
+def _profile_solve(
+    dataset: str, scale: float, rng_seed: int, combo: str, top: int = 25
+) -> None:
+    """cProfile one cached solve and print the *top* cumulative-time
+    entries (the optimization worklist view)."""
+    import cProfile
+    import io
+    import pstats
+
+    collection = load_dataset(dataset, scale=scale)
+    constraints = combo_constraints(combo)
+    config = bench_config(len(collection), rng_seed=rng_seed, enable_tabu=True)
+    previous = set_hotpath_caches(True)
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        FaCT(config).solve(collection, constraints)
+        profiler.disable()
+    finally:
+        set_hotpath_caches(previous)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    print(stream.getvalue())
+
+
 def _strip_labels(result: dict) -> dict:
     """The JSON payload: everything except the raw label maps."""
     return {key: value for key, value in result.items() if key != "labels"}
@@ -266,16 +468,68 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="write the JSON result here (default: stdout only)",
     )
+    parser.add_argument(
+        "--objective",
+        action="store_true",
+        help="objective-engine mode: verify the incremental objective "
+        "deltas (cached vs reference path) and the Tabu portfolio's "
+        "n_jobs invariance; report the delta fast-path rate and the "
+        "tabu-phase speedup (emits BENCH_objective.json with --output)",
+    )
+    parser.add_argument(
+        "--jobs",
+        default="1,2,4",
+        help="objective mode: comma-separated n_jobs grid for the "
+        "worker-invariance check (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--portfolio",
+        type=int,
+        default=3,
+        help="objective mode: tabu_portfolio size for the invariance "
+        "runs (default 3)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_hotpaths.json",
+        help="objective mode: prior-PR benchmark file to compare the "
+        "tabu-phase wall-clock against",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile one cached solve and print the top-25 "
+        "cumulative-time entries instead of benchmarking",
+    )
     args = parser.parse_args(argv)
 
     scale = _SMOKE_SCALE if args.smoke else args.scale
-    result = run_micro(
-        dataset=args.dataset,
-        scale=scale,
-        rng_seed=args.seed,
-        combo=args.combo,
-        micro_ops=not args.smoke,
-    )
+
+    if args.profile:
+        _profile_solve(args.dataset, scale, args.seed, args.combo)
+        return 0
+
+    if args.objective:
+        n_jobs_grid = tuple(
+            int(part) for part in args.jobs.split(",") if part.strip()
+        )
+        result = run_objective(
+            dataset=args.dataset,
+            scale=scale,
+            rng_seed=args.seed,
+            combo=args.combo,
+            n_jobs_grid=n_jobs_grid,
+            tabu_portfolio=args.portfolio,
+            baseline_path=args.baseline,
+        )
+    else:
+        result = run_micro(
+            dataset=args.dataset,
+            scale=scale,
+            rng_seed=args.seed,
+            combo=args.combo,
+            micro_ops=not args.smoke,
+        )
 
     payload = json.dumps(_strip_labels(result), indent=2, sort_keys=True)
     if args.output:
@@ -290,6 +544,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.objective:
+        if not result["n_jobs_invariant"]:
+            print(
+                "FAIL: portfolio results differ across n_jobs — worker "
+                "execution changed solver behaviour",
+                file=sys.stderr,
+            )
+            return 2
+        speedup_note = (
+            f"tabu speedup vs PR2 baseline {result['tabu_speedup_vs_baseline']}x"
+            if result["tabu_speedup_vs_baseline"] is not None
+            else "no baseline file for tabu speedup comparison"
+        )
+        print(
+            "OK: identical output, n_jobs-invariant portfolio; delta "
+            f"fast-path rate {result['delta_fastpath_rate']:.2%}, "
+            f"tabu speedup vs reference path "
+            f"{result['tabu_speedup_vs_uncached']}x, {speedup_note}",
+            file=sys.stderr,
+        )
+        return 0
     print(
         f"OK: identical output; speedup {result['speedup']}x, "
         f"full-BFS check reduction {result['bfs_check_reduction']}x, "

@@ -68,6 +68,12 @@ class Aggregate:
 
 AGGREGATE_NAMES = Aggregate.all()
 
+# Set view of the canonical names: the constraint-validation hot path
+# (millions of hypothetical-update calls per solve) skips the
+# str.upper() round trip for names that are already canonical — which
+# they always are when they come off a Constraint.
+_CANONICAL = frozenset(AGGREGATE_NAMES)
+
 
 class AggregateState:
     """Incrementally maintained aggregates of one value multiset.
@@ -181,7 +187,11 @@ class AggregateState:
 
     def value(self, aggregate: str) -> float:
         """Return the value of the named aggregate function."""
-        name = Aggregate.normalize(aggregate)
+        name = (
+            aggregate
+            if aggregate in _CANONICAL
+            else Aggregate.normalize(aggregate)
+        )
         if name == Aggregate.MIN:
             return self.min
         if name == Aggregate.MAX:
@@ -197,7 +207,11 @@ class AggregateState:
     # ------------------------------------------------------------------
     def value_after_add(self, aggregate: str, added: float) -> float:
         """Aggregate value if *added* were inserted, without mutating."""
-        name = Aggregate.normalize(aggregate)
+        name = (
+            aggregate
+            if aggregate in _CANONICAL
+            else Aggregate.normalize(aggregate)
+        )
         added = float(added)
         if name == Aggregate.MIN:
             return min(self._min, added)
@@ -214,7 +228,11 @@ class AggregateState:
 
         MIN/MAX may require a scan when *removed* is the unique extremum.
         """
-        name = Aggregate.normalize(aggregate)
+        name = (
+            aggregate
+            if aggregate in _CANONICAL
+            else Aggregate.normalize(aggregate)
+        )
         removed = float(removed)
         if self._counts.get(removed, 0) <= 0:
             raise KeyError(f"value {removed!r} not present in aggregate state")

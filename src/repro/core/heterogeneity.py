@@ -26,14 +26,26 @@ __all__ = [
 ]
 
 
-def pairwise_absolute_deviation(values: Iterable[float]) -> float:
+def pairwise_absolute_deviation(
+    values: Iterable[float], assume_sorted: bool = False
+) -> float:
     """Sum of ``|x - y|`` over unordered pairs, in O(g log g).
 
     For sorted values ``d_(0) <= ... <= d_(g-1)`` each ``d_(k)`` appears
     with coefficient ``+k`` (as the larger element of k pairs) and
     ``-(g-1-k)`` (as the smaller element of the rest).
+
+    Callers that already hold the values in non-decreasing order (e.g.
+    a :class:`~repro.core.region.Region`'s maintained sorted structure)
+    can pass ``assume_sorted=True`` to skip the redundant ``sorted()``
+    and evaluate the identity in O(g). The order is trusted, not
+    verified — an unsorted input silently yields a wrong (smaller)
+    total.
     """
-    ordered = sorted(float(v) for v in values)
+    if assume_sorted:
+        ordered = [float(v) for v in values]
+    else:
+        ordered = sorted(float(v) for v in values)
     g = len(ordered)
     total = sum(value * (2 * k - g + 1) for k, value in enumerate(ordered))
     # The exact quantity is a sum of absolute values, hence >= 0; the

@@ -108,6 +108,19 @@ class PerfCounters:
     index_updates:
         Incremental index maintenance operations (one per area
         assignment change; O(degree) each).
+    delta_fastpath:
+        Heterogeneity/objective delta queries answered off a region's
+        *maintained* sorted-values + prefix-sums structure — an
+        O(log g) bisection, no re-sort of the region's dissimilarity
+        vector.
+    delta_recompute:
+        Delta queries that had to (re)build the sorted structure from
+        scratch — the first query of a fresh region, or every query on
+        the uncached reference path.
+    objective_struct_updates:
+        Incremental maintenance operations on the objective structures
+        (one sorted-list insertion/deletion or coordinate-sum update
+        per region mutation).
     timings:
         Named wall-clock sections recorded via :meth:`time_section`
         or :meth:`record_seconds` (per-phase timings come from the
@@ -124,6 +137,9 @@ class PerfCounters:
         "frontier_queries",
         "adjacency_queries",
         "index_updates",
+        "delta_fastpath",
+        "delta_recompute",
+        "objective_struct_updates",
         "timings",
     )
 
@@ -137,6 +153,9 @@ class PerfCounters:
         "frontier_queries",
         "adjacency_queries",
         "index_updates",
+        "delta_fastpath",
+        "delta_recompute",
+        "objective_struct_updates",
     )
 
     def __init__(self) -> None:
@@ -149,6 +168,9 @@ class PerfCounters:
         self.frontier_queries = 0
         self.adjacency_queries = 0
         self.index_updates = 0
+        self.delta_fastpath = 0
+        self.delta_recompute = 0
+        self.objective_struct_updates = 0
         self.timings: dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -159,6 +181,15 @@ class PerfCounters:
         if total == 0:
             return 0.0
         return self.oracle_hits / total
+
+    @property
+    def delta_fastpath_rate(self) -> float:
+        """Fraction of objective-delta queries answered off the
+        maintained structure (no from-scratch re-sort)."""
+        total = self.delta_fastpath + self.delta_recompute
+        if total == 0:
+            return 0.0
+        return self.delta_fastpath / total
 
     def record_seconds(self, name: str, seconds: float) -> None:
         """Accumulate wall-clock time under *name*."""
@@ -195,6 +226,7 @@ class PerfCounters:
             name: getattr(self, name) for name in self._COUNTER_FIELDS
         }
         payload["oracle_hit_rate"] = round(self.oracle_hit_rate, 4)
+        payload["delta_fastpath_rate"] = round(self.delta_fastpath_rate, 4)
         payload["timings"] = {
             name: round(seconds, 6) for name, seconds in sorted(self.timings.items())
         }

@@ -21,15 +21,30 @@ members whose removal keeps it contiguous (:meth:`removable_areas`),
 caches it, and invalidates the cache on every membership mutation.
 Between mutations, ``remains_contiguous_without`` is an O(1) set
 lookup instead of a BFS over the region — the difference between
-O(candidates × (|R|+E)) and O(|R|+E) per solver iteration. Setting
-``REPRO_DISABLE_HOTPATH_CACHES`` (see :mod:`repro.core.perf`) bypasses
-the cache and recomputes every verdict from scratch; both paths return
-identical answers.
+O(candidates × (|R|+E)) and O(|R|+E) per solver iteration.
+
+Heterogeneity-delta queries (the Tabu phase's innermost loop) are
+served by a **maintained objective structure**: the member
+dissimilarities in sorted order plus their prefix sums. One membership
+mutation updates the sorted list in place (one ``insort``/deletion —
+``objective_struct_updates`` in :class:`~repro.core.perf.
+PerfCounters`) and merely marks the prefix sums dirty; a delta query
+is then a single bisection, ``rank * d - prefix[rank]`` plus the
+symmetric upper term — O(log g) instead of the O(g log g) re-sort of
+the pre-structure implementation (``delta_fastpath`` vs
+``delta_recompute``).
+
+Setting ``REPRO_DISABLE_HOTPATH_CACHES`` (see :mod:`repro.core.perf`)
+bypasses both caches and recomputes every verdict from scratch; both
+paths return bit-identical answers (the sorted multiset, the prefix
+accumulation order and the closed-form evaluation are the same in
+either mode).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, insort
+from itertools import accumulate
 from typing import Iterable, Iterator
 
 from ..contiguity.graph import removable_set
@@ -89,9 +104,11 @@ class Region:
         }
         self._dissimilarities: dict[int, float] = {}
         self._heterogeneity = 0.0
-        # Sorted dissimilarity values + prefix sums, rebuilt lazily:
-        # they turn heterogeneity-delta queries (the Tabu phase's inner
-        # loop) into O(log g) bisections instead of O(g) scans.
+        # Maintained sorted dissimilarity values + lazily refreshed
+        # prefix sums: heterogeneity-delta queries (the Tabu phase's
+        # inner loop) are O(log g) bisections, and one membership
+        # mutation costs a single in-place insort/deletion instead of
+        # invalidating the whole structure.
         self._sorted_d: list[float] | None = None
         self._prefix_d: list[float] | None = None
         # Contiguity oracle: (is_contiguous, removable member set),
@@ -132,8 +149,8 @@ class Region:
     # mutation
     # ------------------------------------------------------------------
     def add_area(self, area_id: int) -> None:
-        """Add one area, updating aggregates and heterogeneity in
-        O(g + #tracked attributes)."""
+        """Add one area, updating aggregates, heterogeneity and the
+        sorted objective structure in O(g + #tracked attributes)."""
         if area_id in self._areas:
             raise InvalidAreaError(
                 f"area {area_id} is already in region {self.region_id}"
@@ -142,14 +159,18 @@ class Region:
         for name, state in self._aggregates.items():
             state.add(area.attributes[name])
         d = self._collection.dissimilarity(area_id)
+        # Delta over the *current* members, then insert — so the cached
+        # structure and the uncached reference both price the same
+        # multiset and the maintained total stays bit-identical.
         self._heterogeneity += self._abs_deviation_sum(d)
         self._dissimilarities[area_id] = d
         self._areas.add(area_id)
-        self._sorted_d = None  # invalidate the delta-query cache
+        self._struct_insert(d)
         self._contig_cache = None  # invalidate the contiguity oracle
 
     def remove_area(self, area_id: int) -> None:
-        """Remove one area, updating aggregates and heterogeneity."""
+        """Remove one area, updating aggregates, heterogeneity and the
+        sorted objective structure."""
         if area_id not in self._areas:
             raise InvalidAreaError(
                 f"area {area_id} is not in region {self.region_id}"
@@ -158,9 +179,11 @@ class Region:
         for name, state in self._aggregates.items():
             state.remove(area.attributes[name])
         d = self._dissimilarities.pop(area_id)
+        # Delete first, then price the departure against the remaining
+        # members (the member's own |d - d| = 0 term never mattered).
+        self._struct_remove(d)
         self._heterogeneity -= self._abs_deviation_sum(d)
         self._areas.remove(area_id)
-        self._sorted_d = None  # invalidate the delta-query cache
         self._contig_cache = None  # invalidate the contiguity oracle
         if not self._areas:
             self._heterogeneity = 0.0  # cancel any float drift
@@ -250,9 +273,12 @@ class Region:
         self, constraints: ConstraintSet | Iterable[Constraint], area_id: int
     ) -> bool:
         """True when adding *area_id* keeps every constraint satisfied."""
-        return all(
-            c.contains(self.value_after_add(c, area_id)) for c in constraints
-        )
+        # Explicit loop: this runs once per Tabu candidate evaluation,
+        # where the all(<genexpr>) frame overhead is measurable.
+        for c in constraints:
+            if not c.contains(self.value_after_add(c, area_id)):
+                return False
+        return True
 
     def satisfies_after_remove(
         self, constraints: ConstraintSet | Iterable[Constraint], area_id: int
@@ -261,9 +287,10 @@ class Region:
         (the region must stay non-empty)."""
         if len(self._areas) <= 1:
             return False
-        return all(
-            c.contains(self.value_after_remove(c, area_id)) for c in constraints
-        )
+        for c in constraints:
+            if not c.contains(self.value_after_remove(c, area_id)):
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # contiguity
@@ -369,30 +396,117 @@ class Region:
         maintained incrementally."""
         return self._heterogeneity
 
-    def _ensure_sorted(self) -> None:
-        """(Re)build the sorted-dissimilarity prefix-sum cache."""
-        if self._sorted_d is None:
-            self._sorted_d = sorted(self._dissimilarities.values())
-            prefix = [0.0]
-            for value in self._sorted_d:
-                prefix.append(prefix[-1] + value)
-            self._prefix_d = prefix
+    # -- maintained sorted-values + prefix-sums structure ---------------
+    def _struct_insert(self, d: float) -> None:
+        """Insert one dissimilarity value into the sorted structure.
+
+        One O(g) ``insort`` (a C-level memmove); the prefix sums are
+        only marked dirty and rebuilt lazily in one ``accumulate`` pass
+        at the next query, so a burst of mutations pays for a single
+        rebuild. With the cache gate off the structure is dropped and
+        every query recomputes from scratch.
+        """
+        if not hotpath_caches_enabled():
+            self._sorted_d = None
+            self._prefix_d = None
+            return
+        if self._sorted_d is not None:
+            insort(self._sorted_d, d)
+            self._prefix_d = None
+            if self.perf is not None:
+                self.perf.objective_struct_updates += 1
+
+    def _struct_remove(self, d: float) -> None:
+        """Remove one occurrence of *d* from the sorted structure."""
+        if not hotpath_caches_enabled():
+            self._sorted_d = None
+            self._prefix_d = None
+            return
+        values = self._sorted_d
+        if values is not None:
+            index = bisect_left(values, d)
+            if index >= len(values) or values[index] != d:
+                raise InvalidAreaError(
+                    f"objective structure of region {self.region_id} "
+                    f"diverged: value {d!r} not found"
+                )
+            del values[index]
+            self._prefix_d = None
+            if self.perf is not None:
+                self.perf.objective_struct_updates += 1
 
     def _abs_deviation_sum(self, d: float) -> float:
-        """``sum_j |d - d_j|`` over the member dissimilarities in
-        O(log g) (after an amortized O(g log g) cache rebuild).
+        """``sum_j |d - d_j|`` over the member dissimilarities.
+
+        O(log g) off the maintained structure (one bisection, then
+        ``rank * d - prefix[rank]`` plus the symmetric upper term);
+        O(g log g) from scratch on the first query of a fresh region or
+        whenever the hot-path cache gate is off. Both paths sort the
+        same multiset and accumulate the prefix sums in the same order,
+        so they return bit-identical values.
 
         A member whose own value equals *d* contributes 0, so the same
         query serves both "add an area with value d" and "remove the
         member with value d"."""
-        self._ensure_sorted()
-        values = self._sorted_d
+        perf = self.perf
+        if not hotpath_caches_enabled():
+            # Reference path: no stored structure, full recompute.
+            if perf is not None:
+                perf.delta_recompute += 1
+            values = sorted(self._dissimilarities.values())
+            prefix = list(accumulate(values, initial=0.0))
+        else:
+            values = self._sorted_d
+            if values is None:
+                values = self._sorted_d = sorted(
+                    self._dissimilarities.values()
+                )
+                self._prefix_d = None
+                if perf is not None:
+                    perf.delta_recompute += 1
+            elif perf is not None:
+                perf.delta_fastpath += 1
+            prefix = self._prefix_d
+            if prefix is None:
+                prefix = self._prefix_d = list(
+                    accumulate(values, initial=0.0)
+                )
         if not values:
             return 0.0
         k = bisect_left(values, d)
-        below_sum = self._prefix_d[k]
-        above_sum = self._prefix_d[-1] - below_sum
+        below_sum = prefix[k]
+        above_sum = prefix[-1] - below_sum
         return (d * k - below_sum) + (above_sum - d * (len(values) - k))
+
+    def sorted_dissimilarities(self) -> list[float]:
+        """The member dissimilarities in non-decreasing order (a copy).
+
+        Served off the maintained structure when the cache gate is on;
+        suitable for ``pairwise_absolute_deviation(...,
+        assume_sorted=True)``."""
+        if hotpath_caches_enabled() and self._sorted_d is not None:
+            return list(self._sorted_d)
+        return sorted(self._dissimilarities.values())
+
+    def check_objective_structure(self) -> None:
+        """Assert the maintained structure matches a rederivation.
+
+        O(g log g) — a test/debug aid, never called on hot paths.
+        Raises ``AssertionError`` on any divergence.
+        """
+        if self._sorted_d is None:
+            return
+        expected = sorted(self._dissimilarities.values())
+        assert self._sorted_d == expected, (
+            f"sorted structure diverged for region {self.region_id}: "
+            f"{self._sorted_d} != {expected}"
+        )
+        if self._prefix_d is not None:
+            rebuilt = list(accumulate(expected, initial=0.0))
+            assert self._prefix_d == rebuilt, (
+                f"prefix sums diverged for region {self.region_id}: "
+                f"{self._prefix_d} != {rebuilt}"
+            )
 
     def heterogeneity_delta_add(self, area_id: int) -> float:
         """Change in this region's heterogeneity if *area_id* joined."""

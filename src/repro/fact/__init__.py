@@ -5,6 +5,8 @@ from .config import FaCTConfig, PickupCriterion
 from .construction import ConstructionResult, construct
 from .feasibility import FeasibilityReport, check_feasibility
 from .growing import grow_regions
+from .pool import SolverPool
+from .portfolio import improve_portfolio
 from .objectives import (
     CompactnessObjective,
     HeterogeneityObjective,
@@ -31,6 +33,7 @@ __all__ = [
     "PickupCriterion",
     "SeedingResult",
     "SolutionState",
+    "SolverPool",
     "SolveTrace",
     "StepSnapshot",
     "TabuResult",
@@ -42,6 +45,7 @@ __all__ = [
     "format_feasibility_report",
     "format_solution_report",
     "grow_regions",
+    "improve_portfolio",
     "select_seeds",
     "solve_emp",
     "tabu_improve",

@@ -94,13 +94,28 @@ class FaCTConfig:
         unassigned areas, so a solution may still exist; the condition
         is always reported as a warning.
     n_jobs:
-        Construction passes to run in parallel worker processes (the
+        Worker processes for the parallel parts of a solve (the
         paper's stated future work: "further improve the algorithm
-        performance through parallelization"). ``1`` (default) keeps
-        the fully serial code path; with ``n_jobs > 1`` each pass gets
-        an independent RNG derived from ``rng_seed`` and its pass
-        index, so parallel runs are deterministic too (though their
-        random choices differ from the serial path's shared stream).
+        performance through parallelization"): construction passes
+        fan out across the pool, and the Tabu portfolio (see
+        ``tabu_portfolio``) runs its members there too. ``1``
+        (default) executes everything in-process. The *result* is
+        invariant to ``n_jobs``: every pass and every portfolio
+        member gets its own seed derived from ``rng_seed`` and its
+        index — identical in serial and parallel execution — and
+        reductions break ties deterministically, so a fixed
+        ``rng_seed`` yields a bit-identical partition at any worker
+        count.
+    tabu_portfolio:
+        Number of independently seeded Tabu searches to run over the
+        best construction passes (a portfolio: member 0 starts from
+        the winning pass unperturbed, further members start from the
+        runner-up passes and/or apply seeded perturbation kicks). The
+        best member — lowest final objective, ties to the lowest
+        member index — wins. ``1`` (default) keeps the single
+        deterministic search. Members execute on the ``n_jobs``
+        worker pool when available, serially otherwise; either way
+        the result is identical.
     deadline_seconds:
         Wall-clock budget for one :meth:`FaCT.solve` call (``None`` =
         unlimited). On expiry the solver stops at the next checkpoint
@@ -134,6 +149,7 @@ class FaCTConfig:
     tabu_max_iterations: int | None = None
     strict_avg_feasibility: bool = False
     n_jobs: int = 1
+    tabu_portfolio: int = 1
     deadline_seconds: float | None = None
     strict_interrupt: bool = False
     construction_retry_attempts: int = 2
@@ -147,6 +163,7 @@ class FaCTConfig:
             "merge_limit",
             "tabu_tenure",
             "n_jobs",
+            "tabu_portfolio",
             "construction_retry_attempts",
         ):
             _require_integer(name, getattr(self, name))
@@ -164,6 +181,8 @@ class FaCTConfig:
                     raise InvalidConstraintError(f"{name} must be >= 0 or None")
         if self.n_jobs < 1:
             raise InvalidConstraintError("n_jobs must be >= 1")
+        if self.tabu_portfolio < 1:
+            raise InvalidConstraintError("tabu_portfolio must be >= 1")
         if self.deadline_seconds is not None:
             if isinstance(self.deadline_seconds, bool) or not isinstance(
                 self.deadline_seconds, numbers.Real
@@ -219,3 +238,18 @@ class FaCTConfig:
         and the parallel path's per-pass seeds.
         """
         return self.rng_seed + _SEED_STRIDE * attempt
+
+    def derived_pass_seed(self, index: int) -> int:
+        """Deterministic seed for construction pass *index*.
+
+        Used identically by the serial and the parallel construction
+        paths, so a pass produces the same partition regardless of
+        where it executes.
+        """
+        return self.rng_seed * _SEED_STRIDE + index
+
+    def derived_tabu_seed(self, member: int) -> int:
+        """Deterministic perturbation seed for portfolio member
+        *member*, independent of the construction pass seeds (7919 is
+        prime and far from the pass-index increments)."""
+        return self.rng_seed * _SEED_STRIDE + 7919 * (member + 1)

@@ -3,9 +3,19 @@
 Runs the feasibility phase, Step 1 (filtering/seeding), then several
 independent randomized construction passes (Steps 2 and 3 each pass)
 and keeps the best one: largest ``p``, ties broken by fewest
-unassigned areas, then by lower heterogeneity. The winning pass's live
-:class:`~repro.fact.state.SolutionState` is handed to the local-search
+unassigned areas, then by lower heterogeneity. The winning pass's
+labels are rebuilt into a canonical live
+:class:`~repro.fact.state.SolutionState`
+(:meth:`SolutionState.from_labels`) which is handed to the local-search
 phase.
+
+Every pass runs the same task function
+(:func:`repro.fact.pool.construction_pass_task`) on a deterministic
+seed derived from ``rng_seed`` and the pass index — in-process when
+``n_jobs == 1``, on the solve's :class:`~repro.fact.pool.SolverPool`
+otherwise. Because the per-pass seeds, the reduction tie-break
+(submission order) and the canonical rebuild are identical on both
+paths, construction results are bit-identical at any worker count.
 
 Every pass observes an optional :class:`repro.runtime.Budget` at its
 iteration boundaries (pass start, each seed, each enclave sweep, each
@@ -27,10 +37,8 @@ from ..core.area import AreaCollection
 from ..core.constraints import ConstraintSet
 from ..core.partition import Partition
 from ..runtime import Budget, Interrupted, RunStatus
-from .adjustment import adjust_counting, dissolve_infeasible
 from .config import FaCTConfig
 from .feasibility import FeasibilityReport, check_feasibility
-from .growing import grow_regions
 from .seeding import SeedingResult, select_seeds
 from .state import SolutionState
 
@@ -40,6 +48,10 @@ __all__ = ["ConstructionResult", "construct"]
 # worker processes (workers also enforce their own deadlines).
 _PARALLEL_POLL_SECONDS = 0.05
 
+# (score_key, labels, (p, n_unassigned), status, perf) — what one
+# construction pass returns, see pool.construction_pass_task.
+_PassResult = tuple
+
 
 @dataclass
 class ConstructionResult:
@@ -48,7 +60,8 @@ class ConstructionResult:
     Attributes
     ----------
     state:
-        The winning pass's live solution state (consumed by Tabu).
+        The winning pass's solution state, canonically rebuilt from
+        its labels (consumed by Tabu).
     partition:
         Frozen snapshot of that state.
     feasibility:
@@ -60,6 +73,11 @@ class ConstructionResult:
         ``config.construction_iterations`` unless interrupted).
     pass_scores:
         ``(p, n_unassigned)`` per executed pass, for diagnostics.
+    ranked_labels:
+        Label snapshots of the executed passes that tied the winning
+        pass on ``(p, n_unassigned)``, best first — the starting
+        points for the Tabu portfolio. ``ranked_labels[0]`` is the
+        winning pass itself.
     elapsed_seconds:
         Wall-clock construction time (feasibility included).
     status:
@@ -74,6 +92,7 @@ class ConstructionResult:
     seeding: SeedingResult
     iterations: int
     pass_scores: list[tuple[int, int]] = field(default_factory=list)
+    ranked_labels: list[dict[int, int]] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     status: RunStatus = RunStatus.COMPLETE
 
@@ -94,6 +113,7 @@ def construct(
     config: FaCTConfig | None = None,
     feasibility: FeasibilityReport | None = None,
     budget: Budget | None = None,
+    pool=None,
 ) -> ConstructionResult:
     """Build a feasible initial partition maximizing ``p``.
 
@@ -101,7 +121,14 @@ def construct(
     feasibility phase proves no solution exists. When *budget* expires
     (or its token is cancelled) mid-phase, returns the best-so-far
     partition flagged with the interruption status instead of raising.
+
+    *pool* is an optional :class:`repro.fact.pool.SolverPool` to run
+    passes on when ``config.n_jobs > 1`` — the solver shares one pool
+    across its construction attempts and the Tabu portfolio. Without
+    one, a temporary pool is created (and torn down) here.
     """
+    from .pool import SolverPool
+
     config = config or FaCTConfig()
     budget = (budget or Budget.unlimited()).start()
     started = time.perf_counter()
@@ -112,16 +139,50 @@ def construct(
     feasibility.raise_if_infeasible()
     seeding = select_seeds(collection, constraints, feasibility)
 
-    if config.n_jobs > 1:
-        best_state, pass_scores, status = _run_passes_parallel(
-            collection, constraints, config, feasibility, seeding, budget
+    owns_pool = pool is None
+    if owns_pool:
+        pool = SolverPool(
+            collection,
+            constraints,
+            feasibility.invalid_areas,
+            config,
+            max_workers=config.n_jobs,
+        )
+    try:
+        if config.n_jobs > 1:
+            results, status = _run_passes_parallel(
+                config, seeding, budget, pool
+            )
+        else:
+            results, status = _run_passes_serial(config, seeding, budget, pool)
+    finally:
+        if owns_pool:
+            pool.shutdown()
+
+    pass_scores = [score for _key, _labels, score, _status, _perf in results]
+    ranked_labels: list[dict[int, int]] = []
+    if results:
+        # Submission order breaks ties, keeping the chosen pass (and
+        # the portfolio's starting points) deterministic regardless of
+        # completion order.
+        order = sorted(range(len(results)), key=lambda i: (results[i][0], i))
+        best_key, best_labels, _score, _status, best_perf = results[order[0]]
+        # Only passes matching the winner's (p, n_unassigned) may seed
+        # portfolio members: Tabu preserves both, and the portfolio
+        # reduction compares members by objective score alone.
+        ranked_labels = [
+            results[i][1]
+            for i in order
+            if results[i][0][:2] == best_key[:2]
+        ]
+        best_state = SolutionState.from_labels(
+            collection,
+            constraints,
+            best_labels,
+            excluded=feasibility.invalid_areas,
+            perf=best_perf,
         )
     else:
-        best_state, pass_scores, status = _run_passes_serial(
-            collection, constraints, config, feasibility, seeding, budget
-        )
-
-    if best_state is None:
         # Interrupted before any pass produced a candidate: an empty
         # state is still a valid (p=0, all-unassigned) partial answer.
         best_state = SolutionState(
@@ -132,8 +193,9 @@ def construct(
         partition=best_state.to_partition(),
         feasibility=feasibility,
         seeding=seeding,
-        iterations=len(pass_scores),
+        iterations=len(results),
         pass_scores=pass_scores,
+        ranked_labels=ranked_labels,
         elapsed_seconds=time.perf_counter() - started,
         status=status or RunStatus.COMPLETE,
     )
@@ -146,134 +208,77 @@ def _score_key(state: SolutionState) -> tuple:
 
 
 def _run_passes_serial(
-    collection: AreaCollection,
-    constraints: ConstraintSet,
     config: FaCTConfig,
-    feasibility: FeasibilityReport,
     seeding: SeedingResult,
     budget: Budget,
-) -> tuple[SolutionState | None, list[tuple[int, int]], RunStatus | None]:
-    """The default path: passes share one RNG stream sequentially."""
-    rng = config.make_rng()
-    best_state: SolutionState | None = None
-    best_key: tuple | None = None
-    pass_scores: list[tuple[int, int]] = []
+    pool,
+) -> tuple[list[_PassResult], RunStatus | None]:
+    """Run the passes in-process, sharing the parent budget (so a
+    cancellation is observed mid-pass, not only between passes)."""
+    from .pool import construction_pass_task
+
+    results: list[_PassResult] = []
     status: RunStatus | None = None
-    for _ in range(config.construction_iterations):
-        state = SolutionState(
-            collection, constraints, excluded=feasibility.invalid_areas
-        )
+    for index in range(config.construction_iterations):
         try:
             budget.checkpoint("construction.pass.start")
-            grow_regions(state, seeding, config, rng, budget=budget)
-            adjust_counting(state, config, rng, budget=budget)
         except Interrupted as signal:
             status = signal.status
-            # Salvage the in-flight pass: regions are whole contiguous
-            # pieces, so dropping the constraint-violating ones leaves
-            # a valid partial candidate.
-            dissolve_infeasible(state)
-        pass_scores.append((state.p, state.n_unassigned))
-        key = _score_key(state)
-        if best_key is None or key < best_key:
-            best_key = key
-            best_state = state
-        if status is not None:
             break
-    return best_state, pass_scores, status
-
-
-def _construction_pass_worker(
-    collection: AreaCollection,
-    constraints: ConstraintSet,
-    config: FaCTConfig,
-    excluded: frozenset[int],
-    seeding: SeedingResult,
-    pass_seed: int,
-    deadline_seconds: float | None = None,
-) -> tuple[tuple, dict[int, int], tuple[int, int], RunStatus | None]:
-    """One construction pass in a worker process.
-
-    Returns the comparison key, the area -> region-label mapping, the
-    (p, unassigned) score and the pass's interruption status (``None``
-    when it ran to completion); regions travel back as labels because
-    live :class:`SolutionState` objects are cheaper to rebuild than to
-    pickle. *deadline_seconds* is the parent budget's remaining time —
-    each worker enforces it locally, since process boundaries make the
-    parent's token invisible here.
-    """
-    import random
-
-    state = SolutionState(collection, constraints, excluded=excluded)
-    rng = random.Random(pass_seed)
-    worker_budget = (
-        Budget(deadline_seconds=deadline_seconds).start()
-        if deadline_seconds is not None
-        else None
-    )
-    status: RunStatus | None = None
-    try:
-        grow_regions(state, seeding, config, rng, budget=worker_budget)
-        adjust_counting(state, config, rng, budget=worker_budget)
-    except Interrupted as signal:
-        status = signal.status
-        dissolve_infeasible(state)
-    labels = {
-        area_id: region_id
-        for area_id, region_id in state.assignment.items()
-        if region_id is not None
-    }
-    return _score_key(state), labels, (state.p, state.n_unassigned), status
+        result = pool.run_local(
+            construction_pass_task,
+            seeding,
+            config.derived_pass_seed(index),
+            config,
+            None,
+            budget,
+        )
+        results.append(result)
+        pass_status = result[3]
+        if pass_status is not None:
+            status = pass_status
+            break
+    return results, status
 
 
 def _run_passes_parallel(
-    collection: AreaCollection,
-    constraints: ConstraintSet,
     config: FaCTConfig,
-    feasibility: FeasibilityReport,
     seeding: SeedingResult,
     budget: Budget,
-) -> tuple[SolutionState | None, list[tuple[int, int]], RunStatus | None]:
-    """Fan construction passes out over worker processes.
+    pool,
+) -> tuple[list[_PassResult], RunStatus | None]:
+    """Fan the passes out over the worker pool.
 
-    Each pass gets a deterministic seed derived from ``rng_seed`` and
-    its index, plus the budget's remaining wall-clock time as its own
-    local deadline. The parent polls its budget while waiting so a
+    Each pass gets the budget's remaining wall-clock time as its own
+    local deadline (the parent's cancellation token is invisible
+    across processes). The parent polls its budget while waiting so a
     cancellation is honored promptly: pending passes are cancelled,
-    completed ones are kept, and the best completed pass's labels are
-    replayed into a fresh state (the Tabu phase needs a live state).
+    completed ones are kept.
     """
-    from concurrent.futures import ProcessPoolExecutor, wait
+    from concurrent.futures import wait
+
+    from .pool import construction_pass_task
 
     try:
         budget.checkpoint("construction.pass.start")
     except Interrupted as signal:
-        return None, [], signal.status
+        return [], signal.status
 
-    pass_seeds = [
-        (config.rng_seed * 1_000_003 + index)
-        for index in range(config.construction_iterations)
-    ]
-    workers = min(config.n_jobs, config.construction_iterations)
     deadline_remaining = budget.remaining()
     status: RunStatus | None = None
     outcome: dict = {}
-    pool = ProcessPoolExecutor(max_workers=workers)
+    futures = [
+        pool.submit(
+            construction_pass_task,
+            seeding,
+            config.derived_pass_seed(index),
+            config,
+            deadline_remaining,
+        )
+        for index in range(config.construction_iterations)
+    ]
+    pending = set(futures)
     try:
-        futures = [
-            pool.submit(
-                _construction_pass_worker,
-                collection,
-                constraints,
-                config,
-                feasibility.invalid_areas,
-                seeding,
-                pass_seed,
-                deadline_remaining,
-            )
-            for pass_seed in pass_seeds
-        ]
-        pending = set(futures)
         while pending:
             done, pending = wait(pending, timeout=_PARALLEL_POLL_SECONDS)
             for future in done:
@@ -284,33 +289,17 @@ def _run_passes_parallel(
                     future.cancel()
                 break
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        if pending:
+            for future in pending:
+                future.cancel()
 
-    # Submission order keeps tie-breaking (and thus the chosen pass)
-    # deterministic regardless of completion order.
+    # Submission order, like the serial path appends.
     results = [outcome[future] for future in futures if future in outcome]
     if status is None:
         # A worker may have tripped its local deadline even though the
         # parent loop never observed the budget as expired.
-        for _key, _labels, _score, worker_status in results:
-            if worker_status is not None:
-                status = worker_status
+        for result in results:
+            if result[3] is not None:
+                status = result[3]
                 break
-    if not results:
-        return None, [], status
-
-    pass_scores = [score for _key, _labels, score, _status in results]
-    _best_key, best_labels, _score, _status = min(
-        results, key=lambda item: item[0]
-    )
-
-    # Replay the winning labels into a live state for the Tabu phase.
-    state = SolutionState(
-        collection, constraints, excluded=feasibility.invalid_areas
-    )
-    groups: dict[int, list[int]] = {}
-    for area_id, label in best_labels.items():
-        groups.setdefault(label, []).append(area_id)
-    for members in groups.values():
-        state.new_region(members)
-    return state, pass_scores, status
+    return results, status

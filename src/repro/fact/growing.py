@@ -116,7 +116,11 @@ def _initialize_from_seeds(
     rng: random.Random,
     budget=None,
 ) -> None:
-    seeds = [a for a in seeding.seeds if state.is_unassigned(a)]
+    # Sorted before the shuffle: the seeding result crosses process
+    # boundaries on the parallel path, and a pickle round trip may
+    # reorder frozenset iteration — the shuffle must start from the
+    # same sequence everywhere for pass results to be reproducible.
+    seeds = [a for a in sorted(seeding.seeds) if state.is_unassigned(a)]
     rng.shuffle(seeds)
     off_range: list[int] = []
     for area_id in seeds:

@@ -22,9 +22,11 @@ the Tabu scan stays fast. The Tabu phase itself only sees the
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import Sequence
 
+from ..core.perf import hotpath_caches_enabled
 from ..core.region import Region
 from ..exceptions import DatasetError
 from .state import SolutionState
@@ -64,12 +66,32 @@ class Objective(ABC):
     def apply_move(self, donor_id: int, receiver_id: int, area_id: int) -> None:
         """Update caches after the move was executed (default: none)."""
 
+    # Attach-time state (``_state`` plus any per-region caches) must
+    # never travel to worker processes: it drags the whole solution
+    # state through pickle. Portfolio workers receive a detached copy
+    # and call :meth:`attach` on their own rebuilt state.
+    _ATTACH_ATTRS: tuple[str, ...] = ("_state",)
+
+    def detached(self) -> "Objective":
+        """A copy of this objective with all attach-time state dropped.
+
+        The copy is safe to pickle into a worker process; it must be
+        re-:meth:`attach`-ed before use.
+        """
+        clone = copy.copy(self)
+        for attr in self._ATTACH_ATTRS:
+            clone.__dict__.pop(attr, None)
+        return clone
+
 
 class HeterogeneityObjective(Objective):
     """The paper's default objective: ``H(P)`` (Definition III.3).
 
     Stateless — regions already maintain their own heterogeneity
-    incrementally, including O(log g) delta queries.
+    incrementally, including O(log g) delta queries off the maintained
+    sorted-values + prefix-sums structure (``delta_fastpath`` /
+    ``delta_recompute`` in :class:`~repro.core.perf.PerfCounters`
+    record which path served each query).
     """
 
     name = "heterogeneity"
@@ -94,11 +116,22 @@ class CompactnessObjective(Objective):
     p-compact-regions family. Maintained per region as running sums
     (Σx, Σy, Σx², Σy², g), giving O(1) totals and move deltas.
 
+    With the hot-path cache gate off
+    (:func:`repro.core.perf.hotpath_caches_enabled`) the maintained
+    sums are ignored and every total/delta recomputes the coordinate
+    sums from the live region membership — the reference path. The two
+    paths agree to float accumulation order (the incremental path adds
+    and subtracts terms the recompute path re-sums fresh), so
+    comparisons belong at ``pytest.approx`` tolerance, unlike the
+    heterogeneity structure whose two paths are bit-identical.
+
     Requires every area to carry a polygon (centroids come from the
     geometry); raises :class:`DatasetError` otherwise.
     """
 
     name = "compactness"
+
+    _ATTACH_ATTRS = ("_state", "_centroids", "_sums")
 
     def attach(self, state: SolutionState) -> None:
         self._state = state
@@ -113,7 +146,11 @@ class CompactnessObjective(Objective):
             self._centroids[area.area_id] = (centroid.x, centroid.y)
         self._sums: dict[int, list[float]] = {}
         for region in state.iter_regions():
-            self._sums[region.region_id] = self._sums_of(region.area_ids)
+            # Sorted member order keeps the accumulated sums identical
+            # across processes (portfolio workers rebuild their own).
+            self._sums[region.region_id] = self._sums_of(
+                sorted(region.area_ids)
+            )
 
     def _sums_of(self, area_ids) -> list[float]:
         sx = sy = sxx = syy = 0.0
@@ -127,6 +164,27 @@ class CompactnessObjective(Objective):
             count += 1
         return [sx, sy, sxx, syy, float(count)]
 
+    def _region_sums(self, region: Region) -> list[float]:
+        """Maintained sums when the gate is on; fresh recompute (in
+        sorted member order, for determinism) when it is off."""
+        perf = self._state.perf
+        if hotpath_caches_enabled():
+            sums = self._sums.get(region.region_id)
+            if sums is None:
+                # A region created after attach (construction-time use
+                # of the objective) enters the maintained map lazily.
+                sums = self._sums[region.region_id] = self._sums_of(
+                    sorted(region.area_ids)
+                )
+                if perf is not None:
+                    perf.delta_recompute += 1
+            elif perf is not None:
+                perf.delta_fastpath += 1
+            return sums
+        if perf is not None:
+            perf.delta_recompute += 1
+        return self._sums_of(sorted(region.area_ids))
+
     @staticmethod
     def _score(sums: Sequence[float]) -> float:
         sx, sy, sxx, syy, count = sums
@@ -135,7 +193,15 @@ class CompactnessObjective(Objective):
         return (sxx - sx * sx / count) + (syy - sy * sy / count)
 
     def total(self) -> float:
-        return sum(self._score(sums) for sums in self._sums.values())
+        if not hotpath_caches_enabled():
+            return sum(
+                self._score(self._sums_of(sorted(region.area_ids)))
+                for region in self._state.iter_regions()
+            )
+        return sum(
+            self._score(self._region_sums(region))
+            for region in self._state.iter_regions()
+        )
 
     def _score_after(self, sums, x, y, sign) -> float:
         sx, sy, sxx, syy, count = sums
@@ -151,8 +217,8 @@ class CompactnessObjective(Objective):
 
     def delta_move(self, donor: Region, receiver: Region, area_id: int) -> float:
         x, y = self._centroids[area_id]
-        donor_sums = self._sums[donor.region_id]
-        receiver_sums = self._sums[receiver.region_id]
+        donor_sums = self._region_sums(donor)
+        receiver_sums = self._region_sums(receiver)
         return (
             self._score_after(donor_sums, x, y, -1)
             - self._score(donor_sums)
@@ -162,13 +228,18 @@ class CompactnessObjective(Objective):
 
     def apply_move(self, donor_id: int, receiver_id: int, area_id: int) -> None:
         x, y = self._centroids[area_id]
+        perf = self._state.perf
         for region_id, sign in ((donor_id, -1), (receiver_id, +1)):
-            sums = self._sums[region_id]
+            sums = self._sums.get(region_id)
+            if sums is None:
+                continue  # never materialized (gate off since attach)
             sums[0] += sign * x
             sums[1] += sign * y
             sums[2] += sign * x * x
             sums[3] += sign * y * y
             sums[4] += sign
+            if perf is not None:
+                perf.objective_struct_updates += 1
 
 
 class WeightedObjective(Objective):
@@ -211,3 +282,11 @@ class WeightedObjective(Objective):
     def apply_move(self, donor_id: int, receiver_id: int, area_id: int) -> None:
         for objective, _weight in self._components:
             objective.apply_move(donor_id, receiver_id, area_id)
+
+    def detached(self) -> "WeightedObjective":
+        return WeightedObjective(
+            [
+                (objective.detached(), weight)
+                for objective, weight in self._components
+            ]
+        )

@@ -1,0 +1,214 @@
+"""Persistent worker pool for the parallel parts of a solve.
+
+One :class:`SolverPool` is created per :meth:`FaCT.solve` call when
+``n_jobs > 1`` and lives across *all* parallel stages of that call —
+every construction pass of every retry attempt, then every Tabu
+portfolio member. The heavy, immutable payload (area collection,
+constraint set, excluded areas, config) is shipped to each worker
+process exactly once, through the executor's *initializer*; individual
+task submissions then carry only the per-task scalars (a seed, a label
+snapshot, a deadline). This replaces the earlier scheme of pickling the
+whole dataset into every submitted future, which dominated dispatch
+cost for large collections.
+
+Worker tasks rebuild live solver state with
+:meth:`repro.fact.state.SolutionState.from_labels` (the canonical
+renumbering), so a task's result depends only on its arguments — never
+on which process ran it or in what order. The reductions on the parent
+side are deterministic for the same reason, which is what makes solve
+results bit-identical across ``n_jobs`` values.
+
+Budgets do not cross process boundaries (the parent's cancellation
+token is invisible here), so each task receives the parent budget's
+*remaining seconds* and enforces it with a local
+:class:`~repro.runtime.Budget`; the parent additionally polls its own
+budget while waiting and cancels still-pending futures on interrupt.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from ..core.area import AreaCollection
+from ..core.constraints import ConstraintSet
+from ..core.perf import PerfCounters
+from ..runtime import Budget, Interrupted, RunStatus
+from .config import FaCTConfig
+from .state import SolutionState
+
+__all__ = ["SolverPool"]
+
+# The per-process payload installed by the pool initializer. One tuple
+# (collection, constraints, excluded, config) per worker process.
+_WORKER_CONTEXT: tuple | None = None
+
+
+def _init_worker(payload: tuple) -> None:
+    """Executor initializer: install the solve's shared payload."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = payload
+
+
+def _worker_context() -> tuple:
+    if _WORKER_CONTEXT is None:  # pragma: no cover - defensive
+        raise RuntimeError(
+            "solver pool worker used without initialization; tasks must "
+            "be submitted through SolverPool"
+        )
+    return _WORKER_CONTEXT
+
+
+def _local_budget(deadline_seconds: float | None) -> Budget | None:
+    if deadline_seconds is None:
+        return None
+    return Budget(deadline_seconds=deadline_seconds).start()
+
+
+def construction_pass_task(
+    seeding,
+    pass_seed: int,
+    config_override: FaCTConfig | None = None,
+    deadline_seconds: float | None = None,
+    budget: Budget | None = None,
+) -> tuple[tuple, dict[int, int], tuple[int, int], RunStatus | None, PerfCounters]:
+    """One construction pass against the installed worker context.
+
+    Returns ``(score_key, labels, (p, n_unassigned), status, perf)``.
+    Regions travel back as labels because live states are cheaper to
+    rebuild than to pickle. *config_override* carries a retry
+    attempt's config (same knobs, different base seed); the actual
+    randomness comes from *pass_seed* either way. In-process callers
+    pass their live *budget* (cancellation token included); worker
+    submissions pass *deadline_seconds* instead and get a local one.
+    """
+    from .adjustment import adjust_counting, dissolve_infeasible
+    from .construction import _score_key
+    from .growing import grow_regions
+
+    collection, constraints, excluded, config = _worker_context()
+    if config_override is not None:
+        config = config_override
+    state = SolutionState(collection, constraints, excluded=excluded)
+    rng = random.Random(pass_seed)
+    if budget is None:
+        budget = _local_budget(deadline_seconds)
+    status: RunStatus | None = None
+    try:
+        grow_regions(state, seeding, config, rng, budget=budget)
+        adjust_counting(state, config, rng, budget=budget)
+    except Interrupted as signal:
+        status = signal.status
+        dissolve_infeasible(state)
+    labels = {
+        area_id: region_id
+        for area_id, region_id in state.assignment.items()
+        if region_id is not None
+    }
+    return _score_key(state), labels, (state.p, state.n_unassigned), status, state.perf
+
+
+def portfolio_member_task(
+    labels: dict[int, int],
+    member_index: int,
+    tabu_seed: int,
+    perturbation_moves: int,
+    objective=None,
+    deadline_seconds: float | None = None,
+    budget: Budget | None = None,
+) -> tuple[float, dict[int, int], dict, PerfCounters]:
+    """One Tabu portfolio member against the installed worker context.
+
+    Rebuilds the member's starting state canonically from *labels*,
+    runs the full Tabu search (perturbed first when
+    ``perturbation_moves > 0``) and returns ``(best_score,
+    best_labels, stats, perf)``. Deterministic in its arguments — the
+    serial portfolio path calls this very function in-process.
+    """
+    from .tabu import tabu_improve
+
+    collection, constraints, excluded, config = _worker_context()
+    state = SolutionState.from_labels(
+        collection, constraints, labels, excluded=excluded
+    )
+    result = tabu_improve(
+        state,
+        config,
+        objective=objective,
+        budget=budget if budget is not None else _local_budget(deadline_seconds),
+        rng=random.Random(tabu_seed),
+        perturbation_moves=perturbation_moves,
+    )
+    best_labels = result.partition.labels()
+    stats = {
+        "member": member_index,
+        "heterogeneity_before": result.heterogeneity_before,
+        "heterogeneity_after": result.heterogeneity_after,
+        "iterations": result.iterations,
+        "moves_applied": result.moves_applied,
+        "elapsed_seconds": result.elapsed_seconds,
+        "status": result.status,
+    }
+    return result.heterogeneity_after, best_labels, stats, state.perf
+
+
+class SolverPool:
+    """A process pool bound to one solve's immutable payload.
+
+    The executor is created lazily on the first submission, so building
+    a :class:`SolverPool` is free when no parallel stage ends up
+    running. ``run_local`` executes the same task functions in-process
+    (after installing the payload as the in-process context), which is
+    how ``n_jobs=1`` and worker execution stay behaviorally identical.
+    """
+
+    def __init__(
+        self,
+        collection: AreaCollection,
+        constraints: ConstraintSet,
+        excluded,
+        config: FaCTConfig,
+        max_workers: int,
+    ):
+        self._payload = (collection, constraints, frozenset(excluded), config)
+        self._max_workers = max(1, int(max_workers))
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                initializer=_init_worker,
+                initargs=(self._payload,),
+            )
+        return self._executor
+
+    def submit(self, task, *args) -> Future:
+        """Submit one of this module's task functions to the pool."""
+        return self._ensure_executor().submit(task, *args)
+
+    def run_local(self, task, *args):
+        """Run a task function in-process against the same payload."""
+        global _WORKER_CONTEXT
+        previous = _WORKER_CONTEXT
+        _WORKER_CONTEXT = self._payload
+        try:
+            return task(*args)
+        finally:
+            _WORKER_CONTEXT = previous
+
+    def shutdown(self) -> None:
+        """Tear the executor down without waiting on cancelled work."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "SolverPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

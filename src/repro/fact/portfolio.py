@@ -1,0 +1,214 @@
+"""Portfolio-parallel Tabu search (Phase 3 at ``tabu_portfolio > 1``).
+
+A *portfolio* runs several independently seeded Tabu searches and
+keeps the best final partition — the classic algorithm-portfolio
+recipe for a stochastic local search whose outcome depends on its
+starting point. The members diversify along two axes:
+
+- **starting point**: member *i* starts from construction pass
+  ``ranked_labels[i % len(ranked_labels)]`` — the winning pass first,
+  then the runner-up passes that tied it on ``(p, n_unassigned)``;
+- **perturbation**: every member except member 0 applies a few seeded
+  random admissible moves (made tabu) before its descent, so members
+  sharing a starting pass still explore different basins.
+
+Member 0 is the plain deterministic search from the winning pass, so
+the portfolio's answer is never worse than the single-search answer
+for the same construction. The reduction is ``min`` over
+``(final_score, member_index)`` — bit-deterministic, which together
+with the canonical per-member state rebuild
+(:meth:`~repro.fact.state.SolutionState.from_labels`) makes the
+portfolio result identical whether members run serially
+(``n_jobs == 1``) or on the worker pool.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..runtime import Budget, RunStatus
+from .config import FaCTConfig
+from .pool import portfolio_member_task
+from .state import SolutionState
+from .tabu import TabuResult, tabu_improve
+
+__all__ = ["improve_portfolio"]
+
+# Perturbation kicks applied by members 1..k-1 before their descent.
+# A handful is enough to leave the starting basin; each kick's reverse
+# move is tabu, so a member cannot immediately undo its diversification.
+_PERTURBATION_KICKS = 3
+
+# Parent-side poll interval while waiting on member futures.
+_POLL_SECONDS = 0.05
+
+
+def improve_portfolio(
+    state: SolutionState,
+    config: FaCTConfig,
+    objective=None,
+    budget: Budget | None = None,
+    pool=None,
+    ranked_labels=None,
+) -> TabuResult:
+    """Run a ``config.tabu_portfolio``-member Tabu portfolio.
+
+    *state* is the canonical construction state (member 0's starting
+    point); *ranked_labels* the construction passes eligible as
+    starting points (defaults to just *state*'s own labels). With
+    ``tabu_portfolio == 1`` this is exactly :func:`tabu_improve` on
+    *state*. Members run on *pool* (a
+    :class:`~repro.fact.pool.SolverPool`) when given and
+    ``config.n_jobs > 1``, serially in-process otherwise — with
+    bit-identical results.
+
+    The winning member's search statistics are returned; its
+    ``heterogeneity_before`` is always member 0's (the winning
+    construction pass), so :attr:`TabuResult.improvement` measures
+    against the partition the serial solver would have started from.
+    Per-member wall-clock lands in ``state.perf.timings`` under
+    ``tabu.member<i>``, and each member's hot-path counters are merged
+    into ``state.perf``.
+    """
+    members = config.tabu_portfolio
+    if members <= 1:
+        return tabu_improve(state, config, objective=objective, budget=budget)
+
+    started = time.perf_counter()
+    base_labels = _labels_of(state)
+    starts = list(ranked_labels) if ranked_labels else [base_labels]
+    detached = objective.detached() if objective is not None else None
+    specs = [
+        (
+            starts[index % len(starts)],
+            index,
+            config.derived_tabu_seed(index),
+            0 if index == 0 else _PERTURBATION_KICKS,
+            detached,
+        )
+        for index in range(members)
+    ]
+
+    if pool is not None and config.n_jobs > 1:
+        outcomes, status = _run_members_parallel(specs, budget, pool)
+    else:
+        outcomes, status = _run_members_serial(specs, budget, pool, config, state)
+
+    perf = state.perf
+    baseline_h = state.total_heterogeneity()
+    if not outcomes:
+        # Interrupted before any member finished: the construction
+        # partition itself is the best available answer.
+        return TabuResult(
+            partition=state.to_partition(),
+            heterogeneity_before=baseline_h,
+            heterogeneity_after=baseline_h,
+            elapsed_seconds=time.perf_counter() - started,
+            status=status or RunStatus.COMPLETE,
+        )
+
+    for score, labels, stats, member_perf in outcomes:
+        perf.merge(member_perf)
+        perf.record_seconds(
+            f"tabu.member{stats['member']}", stats["elapsed_seconds"]
+        )
+    best_score, best_labels, best_stats, _perf = min(
+        outcomes, key=lambda item: (item[0], item[2]["member"])
+    )
+
+    before = next(
+        (
+            stats["heterogeneity_before"]
+            for _s, _l, stats, _p in outcomes
+            if stats["member"] == 0
+        ),
+        baseline_h,
+    )
+    if status is None:
+        member_status = best_stats["status"]
+        if member_status is not RunStatus.COMPLETE:
+            status = member_status
+    return TabuResult(
+        partition=_partition_from_labels(best_labels),
+        heterogeneity_before=before,
+        heterogeneity_after=best_score,
+        iterations=best_stats["iterations"],
+        moves_applied=best_stats["moves_applied"],
+        elapsed_seconds=time.perf_counter() - started,
+        status=status or RunStatus.COMPLETE,
+    )
+
+
+def _labels_of(state: SolutionState) -> dict[int, int]:
+    return {
+        area_id: region_id
+        for area_id, region_id in state.assignment.items()
+        if region_id is not None
+    }
+
+
+def _partition_from_labels(labels: dict[int, int]):
+    from ..core.partition import Partition
+
+    return Partition.from_labels(labels)
+
+
+def _run_members_serial(specs, budget, pool, config, state):
+    """Run the members one after another in-process.
+
+    Uses the pool's ``run_local`` when a pool exists (so the exact
+    same task function executes either way); without one, installs an
+    equivalent context from *state* directly.
+    """
+    from .pool import SolverPool
+
+    if pool is None:
+        pool = SolverPool(
+            state.collection,
+            state.constraints,
+            state.excluded,
+            config,
+            max_workers=1,
+        )
+    outcomes = []
+    status = None
+    for spec in specs:
+        if budget is not None:
+            status = budget.status()
+            if status is not None:
+                break
+        outcomes.append(
+            pool.run_local(portfolio_member_task, *spec, None, budget)
+        )
+    return outcomes, status
+
+
+def _run_members_parallel(specs, budget, pool):
+    """Fan the members out over the worker pool, polling the parent
+    budget (workers enforce the remaining deadline locally)."""
+    from concurrent.futures import wait
+
+    deadline_remaining = budget.remaining() if budget is not None else None
+    futures = [
+        pool.submit(portfolio_member_task, *spec, deadline_remaining)
+        for spec in specs
+    ]
+    outcome_by_future = {}
+    pending = set(futures)
+    status = None
+    while pending:
+        done, pending = wait(pending, timeout=_POLL_SECONDS)
+        for future in done:
+            outcome_by_future[future] = future.result()
+        if budget is not None:
+            status = budget.status()
+            if status is not None:
+                for future in pending:
+                    future.cancel()
+                break
+    outcomes = [
+        outcome_by_future[future]
+        for future in futures
+        if future in outcome_by_future
+    ]
+    return outcomes, status

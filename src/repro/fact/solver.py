@@ -47,7 +47,9 @@ from ..runtime import Budget, RunStatus
 from .config import FaCTConfig
 from .construction import ConstructionResult, construct
 from .feasibility import FeasibilityReport, check_feasibility
-from .tabu import TabuResult, tabu_improve
+from .pool import SolverPool
+from .portfolio import improve_portfolio
+from .tabu import TabuResult
 
 __all__ = ["ConstructionAttempt", "EMPSolution", "FaCT", "solve_emp"]
 
@@ -250,24 +252,43 @@ class FaCT:
         feasibility_seconds = time.perf_counter() - phase_started
         feasibility.raise_if_infeasible()
 
-        construction, attempts = self._construct_with_retries(
-            collection, constraints, feasibility, budget
-        )
-
-        tabu: TabuResult | None = None
-        partition = construction.partition
-        if (
-            config.enable_tabu
-            and construction.state.p > 0
-            and budget.status() is None
-        ):
-            tabu = tabu_improve(
-                construction.state,
+        # One worker pool serves every parallel stage of this solve —
+        # all construction passes of all retry attempts, then the Tabu
+        # portfolio members. The dataset ships to each worker process
+        # once, at pool initialization.
+        pool = None
+        if config.n_jobs > 1:
+            pool = SolverPool(
+                collection,
+                constraints,
+                feasibility.invalid_areas,
                 config,
-                objective=self.objective,
-                budget=budget,
+                max_workers=config.n_jobs,
             )
-            partition = tabu.partition
+        try:
+            construction, attempts = self._construct_with_retries(
+                collection, constraints, feasibility, budget, pool
+            )
+
+            tabu: TabuResult | None = None
+            partition = construction.partition
+            if (
+                config.enable_tabu
+                and construction.state.p > 0
+                and budget.status() is None
+            ):
+                tabu = improve_portfolio(
+                    construction.state,
+                    config,
+                    objective=self.objective,
+                    budget=budget,
+                    pool=pool,
+                    ranked_labels=construction.ranked_labels,
+                )
+                partition = tabu.partition
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         status = budget.status() or RunStatus.COMPLETE
         perf = construction.state.perf
@@ -303,6 +324,7 @@ class FaCT:
         constraints: ConstraintSet,
         feasibility: FeasibilityReport,
         budget: Budget,
+        pool: SolverPool | None = None,
     ) -> tuple[ConstructionResult, tuple[ConstructionAttempt, ...]]:
         """Run construction, retrying degenerate outcomes with derived
         seeds up to ``config.construction_retry_attempts`` times.
@@ -328,6 +350,7 @@ class FaCT:
                 attempt_config,
                 feasibility=feasibility,
                 budget=budget,
+                pool=pool,
             )
             degenerate = _is_degenerate(construction, n_valid, config)
             attempts.append(

@@ -307,6 +307,45 @@ class SolutionState:
         )
 
     # ------------------------------------------------------------------
+    # construction from snapshots
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_labels(
+        cls,
+        collection: AreaCollection,
+        constraints: ConstraintSet,
+        labels: dict[int, int],
+        excluded: Iterable[int] = (),
+        perf: PerfCounters | None = None,
+    ) -> "SolutionState":
+        """Rebuild a live state from an area → region-label snapshot.
+
+        The rebuild is **canonical**: regions are renumbered
+        ``0..p-1`` ordered by their smallest member area id, and each
+        region's areas are inserted in ascending id order. Two
+        snapshots describing the same partition under different label
+        values therefore rebuild into bit-identical states — every
+        incrementally accumulated float (aggregates, heterogeneity,
+        objective sums) sees the same insertion sequence. This is what
+        makes solver results invariant to *where* a partition was
+        produced (serial pass, worker process, portfolio member):
+        downstream tie-breaking on region ids sees the same ids
+        everywhere.
+
+        Labels that are ``None`` or negative mean "unassigned".
+        """
+        state = cls(collection, constraints, excluded=excluded, perf=perf)
+        groups: dict[int, list[int]] = {}
+        for area_id in sorted(labels):
+            label = labels[area_id]
+            if label is None or label < 0:
+                continue
+            groups.setdefault(label, []).append(area_id)
+        for label in sorted(groups, key=lambda key: groups[key][0]):
+            state.new_region(groups[label])
+        return state
+
+    # ------------------------------------------------------------------
     # mutation primitives
     # ------------------------------------------------------------------
     def new_region(self, areas: Iterable[int] = ()) -> Region:

@@ -20,14 +20,33 @@ Classic Tabu mechanics (Glover & Laguna):
 The candidate-move pool is maintained incrementally: after a move,
 only regions whose state changed (donor, receiver) have their incident
 moves re-derived, mirroring the paper's "update the valid moves …
-in the region updated by the previous move".
+in the region updated by the previous move". On top of the pool sits a
+**lazy min-heap index**: every derived move is pushed once, entries are
+invalidated by a per-donor generation stamp instead of being searched
+for, and the per-iteration "best admissible move" query pops a handful
+of entries instead of scanning the entire pool — O(log m) amortized
+versus O(m) per iteration. With the hot-path cache gate off
+(:func:`repro.core.perf.hotpath_caches_enabled`) the pool falls back
+to the exhaustive reference scan; both paths order candidates by the
+same total key ``(delta, area, receiver, donor)``, so the chosen
+trajectory is identical.
+
+For the portfolio parallelism of :mod:`repro.fact.portfolio`, the
+search accepts an optional seeded RNG plus a perturbation count:
+``perturbation_moves`` random admissible moves are applied (and made
+tabu) before the deterministic descent starts, diversifying the
+portfolio members' starting points. The best snapshot is taken *before*
+the kicks, so a member never returns something worse than its input.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from random import Random
 
 from ..core.partition import Partition
+from ..core.perf import hotpath_caches_enabled
 from ..core.region import Region
 from ..runtime import Interrupted, RunStatus
 from .config import FaCTConfig
@@ -79,6 +98,8 @@ def tabu_improve(
     config: FaCTConfig,
     objective=None,
     budget=None,
+    rng: Random | None = None,
+    perturbation_moves: int = 0,
 ) -> TabuResult:
     """Run Tabu search on *state* in place and return the best result.
 
@@ -93,6 +114,12 @@ def tabu_improve(
         Optional :class:`repro.runtime.Budget` checked at the top of
         every iteration; on deadline/cancel the search stops and
         returns the best snapshot so far with the interruption status.
+    rng, perturbation_moves:
+        Portfolio diversification: apply this many random admissible
+        moves (chosen by *rng*, each made tabu) before the
+        deterministic search starts. The best-seen snapshot is taken
+        before the kicks, so the result is never worse than the input
+        partition. ``perturbation_moves > 0`` requires an *rng*.
     """
     import time
 
@@ -109,7 +136,12 @@ def tabu_improve(
     current_h = objective.total()
     initial_h = current_h
     best_h = current_h
-    best_labels = _snapshot_labels(state)
+
+    # Labels are maintained incrementally (O(1) per move) so a new-best
+    # snapshot is one C-level dict copy instead of a Python pass over
+    # the whole collection.
+    labels = _initial_labels(state)
+    best_labels = dict(labels)
 
     pool = _MovePool(state, objective)
     tabu_until: dict[_MoveKey, int] = {}
@@ -117,6 +149,21 @@ def tabu_improve(
     moves_applied = 0
     no_improve = 0
     status = RunStatus.COMPLETE
+
+    for _ in range(perturbation_moves):
+        kick = pool.random_admissible(rng)
+        if kick is None:
+            break
+        delta, area_id, donor_id, receiver_id = kick
+        state.move(area_id, state.regions[receiver_id])
+        labels[area_id] = receiver_id
+        current_h += delta
+        moves_applied += 1
+        # The undo of a kick is tabu through the first `tenure`
+        # iterations of the main loop (which counts from 1).
+        tabu_until[(area_id, donor_id)] = config.tabu_tenure
+        objective.apply_move(donor_id, receiver_id, area_id)
+        pool.after_move(area_id, donor_id, receiver_id)
 
     while iterations < iteration_cap and no_improve < patience:
         if budget is not None:
@@ -132,6 +179,7 @@ def tabu_improve(
         delta, area_id, donor_id, receiver_id = chosen
         receiver = state.regions[receiver_id]
         state.move(area_id, receiver)
+        labels[area_id] = receiver_id
         current_h += delta
         moves_applied += 1
         # Forbid the reverse move for `tenure` iterations.
@@ -140,7 +188,7 @@ def tabu_improve(
         pool.after_move(area_id, donor_id, receiver_id)
         if current_h < best_h - 1e-9:
             best_h = current_h
-            best_labels = _snapshot_labels(state)
+            best_labels = dict(labels)
             no_improve = 0
         else:
             no_improve += 1
@@ -156,18 +204,19 @@ def tabu_improve(
     )
 
 
-def _snapshot_labels(state: SolutionState) -> dict[int, int]:
+def _initial_labels(state: SolutionState) -> dict[int, int]:
     """Labels of the current assignment (excluded areas included as
     unassigned so the Partition covers the whole collection)."""
     labels: dict[int, int] = {}
+    assignment = state.assignment
     for area_id in state.collection.ids:
-        region_id = state.assignment.get(area_id)
+        region_id = assignment.get(area_id)
         labels[area_id] = -1 if region_id is None else region_id
     return labels
 
 
 class _MovePool:
-    """Incrementally maintained pool of valid moves.
+    """Incrementally maintained pool of valid moves with a heap index.
 
     Moves are grouped by donor region. After an executed move only the
     regions whose *structure* changed are fully re-derived: the donor,
@@ -177,6 +226,14 @@ class _MovePool:
     deltas — :meth:`best_admissible` therefore re-validates its chosen
     move against live region state before returning it, correcting or
     evicting stale entries on the spot.
+
+    The heap index holds one entry per derived move, keyed
+    ``(delta, area, receiver, donor, stamp)``. Entries are never
+    removed eagerly: a per-donor generation stamp (bumped whenever the
+    donor's moves are re-derived) and an exact match against the
+    donor's current cached delta decide validity at pop time. Entries
+    popped but still valid (tabu-skipped, or the chosen move itself)
+    are pushed back, so the heap always covers the live pool.
     """
 
     def __init__(self, state: SolutionState, objective):
@@ -184,6 +241,11 @@ class _MovePool:
         self._objective = objective
         self._moves_by_donor: dict[int, dict[_MoveKey, float]] = {}
         self._dirty: set[int] = set(state.regions)
+        # Captured once per pool: flipping the gate mid-search would
+        # desynchronize the heap from the pool.
+        self._indexed = hotpath_caches_enabled()
+        self._heap: list[tuple[float, int, int, int, int]] = []
+        self._stamp: dict[int, int] = {}
 
     def mark_dirty(self, region_id: int) -> None:
         """Schedule one region's donated moves for re-derivation."""
@@ -200,12 +262,20 @@ class _MovePool:
                 self._dirty.add(neighbor_region)
 
     def _refresh(self) -> None:
+        heap = self._heap
         for region_id in self._dirty:
+            self._stamp[region_id] = stamp = self._stamp.get(region_id, 0) + 1
             region = self._state.regions.get(region_id)
             if region is None:
                 self._moves_by_donor.pop(region_id, None)
                 continue
-            self._moves_by_donor[region_id] = self._derive_moves(region)
+            moves = self._derive_moves(region)
+            self._moves_by_donor[region_id] = moves
+            if self._indexed:
+                for (area_id, receiver_id), delta in moves.items():
+                    heappush(
+                        heap, (delta, area_id, receiver_id, region_id, stamp)
+                    )
         self._dirty.clear()
 
     def _derive_moves(self, donor: Region) -> dict[_MoveKey, float]:
@@ -217,31 +287,35 @@ class _MovePool:
         if len(donor) <= 1:
             return moves
         collection = state.collection
+        assignment = state.assignment
+        regions = state.regions
         perf = state.perf
+        objective = self._objective
         # The region's contiguity oracle answers "who may leave?" for
         # every member at once (one cached Hopcroft–Tarjan pass instead
         # of a per-area BFS) — and the same cache then serves the O(1)
         # re-validation in _live_delta.
         removable = donor.removable_areas()
+        donor_id = donor.region_id
         for area_id in sorted(donor.area_ids):
             if area_id not in removable:
                 continue
             receiver_ids = {
-                state.assignment[neighbor]
+                assignment[neighbor]
                 for neighbor in collection.neighbors(area_id)
-                if state.assignment.get(neighbor) is not None
+                if assignment.get(neighbor) is not None
             }
-            receiver_ids.discard(donor.region_id)
+            receiver_ids.discard(donor_id)
             if not receiver_ids:
                 continue
             if not donor.satisfies_after_remove(constraints, area_id):
                 continue
             for receiver_id in sorted(receiver_ids):
                 perf.candidate_evaluations += 1
-                receiver = state.regions[receiver_id]
+                receiver = regions[receiver_id]
                 if not receiver.satisfies_after_add(constraints, area_id):
                     continue
-                moves[(area_id, receiver_id)] = self._objective.delta_move(
+                moves[(area_id, receiver_id)] = objective.delta_move(
                     donor, receiver, area_id
                 )
         return moves
@@ -253,6 +327,9 @@ class _MovePool:
         current_h: float,
         best_h: float,
     ) -> tuple[float, int, int, int] | None:
+        """Exhaustive reference scan: the admissible move minimizing
+        ``(delta, area, receiver, donor)`` — the same total order the
+        heap index pops in."""
         best: tuple[float, int, int, int] | None = None
         for donor_id, moves in self._moves_by_donor.items():
             for (area_id, receiver_id), delta in moves.items():
@@ -260,9 +337,13 @@ class _MovePool:
                     # Aspiration: accept a tabu move that beats best_h.
                     if current_h + delta >= best_h - 1e-9:
                         continue
-                if best is None or delta < best[0]:
-                    best = (delta, area_id, donor_id, receiver_id)
-        return best
+                candidate = (delta, area_id, receiver_id, donor_id)
+                if best is None or candidate < best:
+                    best = candidate
+        if best is None:
+            return None
+        delta, area_id, receiver_id, donor_id = best
+        return (delta, area_id, donor_id, receiver_id)
 
     def _live_delta(
         self, area_id: int, donor_id: int, receiver_id: int
@@ -289,6 +370,26 @@ class _MovePool:
             return None
         return self._objective.delta_move(donor, receiver, area_id)
 
+    def random_admissible(
+        self, rng: Random
+    ) -> tuple[float, int, int, int] | None:
+        """A uniformly random valid move as ``(delta, area, donor,
+        receiver)`` — the portfolio perturbation kick. Deterministic in
+        the *rng* state."""
+        self._refresh()
+        candidates: list[tuple[int, int, int]] = []
+        for donor_id in sorted(self._moves_by_donor):
+            for area_id, receiver_id in sorted(self._moves_by_donor[donor_id]):
+                candidates.append((area_id, donor_id, receiver_id))
+        while candidates:
+            area_id, donor_id, receiver_id = candidates.pop(
+                rng.randrange(len(candidates))
+            )
+            live = self._live_delta(area_id, donor_id, receiver_id)
+            if live is not None:
+                return (live, area_id, donor_id, receiver_id)
+        return None
+
     def best_admissible(
         self,
         iteration: int,
@@ -300,10 +401,61 @@ class _MovePool:
         ``(delta, area, donor, receiver)``, or ``None``.
 
         Chosen moves are re-validated against live state: a stale
-        entry is corrected (or evicted) and the scan repeats, so the
-        returned move is always executable with an exact delta.
+        entry is corrected (or evicted) and the query repeats, so the
+        returned move is always executable with an exact delta. Served
+        by the heap index, or the exhaustive scan when the hot-path
+        cache gate is off — both apply the same candidate order, so
+        the two modes choose identical moves.
         """
         self._refresh()
+        if not self._indexed:
+            return self._best_by_scan(iteration, tabu_until, current_h, best_h)
+        heap = self._heap
+        moves_by_donor = self._moves_by_donor
+        stamps = self._stamp
+        deferred: list[tuple[float, int, int, int, int]] = []
+        chosen: tuple[float, int, int, int] | None = None
+        while heap:
+            entry = heappop(heap)
+            delta, area_id, receiver_id, donor_id, stamp = entry
+            if stamp != stamps.get(donor_id):
+                continue  # donor re-derived since this entry was pushed
+            moves = moves_by_donor.get(donor_id)
+            if moves is None:
+                continue
+            key = (area_id, receiver_id)
+            cached = moves.get(key)
+            if cached is None or cached != delta:
+                continue  # evicted or superseded by a corrected entry
+            if tabu_until.get(key, 0) >= iteration and (
+                current_h + delta >= best_h - 1e-9
+            ):
+                deferred.append(entry)  # tabu now, maybe not next time
+                continue
+            live = self._live_delta(area_id, donor_id, receiver_id)
+            if live is None:
+                del moves[key]
+                continue
+            if abs(live - cached) > 1e-9:
+                moves[key] = live
+                heappush(heap, (live, area_id, receiver_id, donor_id, stamp))
+                continue
+            deferred.append(entry)  # the chosen move stays in the pool
+            chosen = (live, area_id, donor_id, receiver_id)
+            break
+        for entry in deferred:
+            heappush(heap, entry)
+        return chosen
+
+    def _best_by_scan(
+        self,
+        iteration: int,
+        tabu_until: dict[_MoveKey, int],
+        current_h: float,
+        best_h: float,
+    ) -> tuple[float, int, int, int] | None:
+        """Reference path: exhaustive scan plus the same correct-and-
+        repeat live validation the heap path applies."""
         while True:
             candidate = self._scan(iteration, tabu_until, current_h, best_h)
             if candidate is None:
