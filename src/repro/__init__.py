@@ -29,9 +29,12 @@ Subpackages
 - :mod:`repro.baselines` — classic max-p-regions and an exact solver;
 - :mod:`repro.runtime` — wall-clock budgets, cooperative cancellation
   and the fault-injection harness behind the chaos tests;
+- :mod:`repro.certify` — independent, cache-free certification of
+  solver answers;
 - :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
 """
 
+from .certify import Certificate, certify_partition, certify_solution
 from .core import (
     Aggregate,
     Area,
@@ -49,6 +52,8 @@ from .core import (
 from .data import load_dataset, load_geojson, synthetic_census
 from .exceptions import (
     BudgetError,
+    CertificationError,
+    CheckpointError,
     ContiguityError,
     DatasetError,
     GeometryError,
@@ -59,11 +64,13 @@ from .exceptions import (
     SolverInterrupted,
 )
 from .fact import (
+    CertifyLevel,
     ConstructionAttempt,
     EMPSolution,
     FaCT,
     FaCTConfig,
     FeasibilityReport,
+    SolveLedger,
     check_feasibility,
     solve_emp,
 )
@@ -78,6 +85,10 @@ __all__ = [
     "Budget",
     "BudgetError",
     "CancellationToken",
+    "Certificate",
+    "CertificationError",
+    "CertifyLevel",
+    "CheckpointError",
     "Constraint",
     "ConstraintSet",
     "ConstructionAttempt",
@@ -95,8 +106,11 @@ __all__ = [
     "Region",
     "ReproError",
     "RunStatus",
+    "SolveLedger",
     "SolverInterrupted",
     "avg_constraint",
+    "certify_partition",
+    "certify_solution",
     "check_feasibility",
     "count_constraint",
     "load_dataset",

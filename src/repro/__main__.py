@@ -21,6 +21,7 @@ e.g. ``SUM:TOTALPOP:20000:-``, ``AVG:EMPLOYED:1500:3500``,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -28,9 +29,10 @@ from .core.constraints import Constraint, ConstraintSet
 from .data.datasets import DATASETS, load_dataset
 from .data.geojson import dump_geojson, load_geojson
 from .exceptions import ReproError, SolverInterrupted
-from .fact.config import FaCTConfig
+from .fact.config import CertifyLevel, FaCTConfig
 from .fact.reporting import format_feasibility_report, format_solution_report
 from .fact.solver import FaCT
+from .runtime.atomic import atomic_write_text
 
 __all__ = ["main", "parse_constraint"]
 
@@ -117,6 +119,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="exit with an error on timeout instead of reporting best-so-far",
     )
+    solve.add_argument(
+        "--certify",
+        choices=[CertifyLevel.OFF, CertifyLevel.FINAL, CertifyLevel.PARANOID],
+        default=None,
+        help=(
+            "re-validate the result from first principles: 'final' "
+            "certifies the returned solution, 'paranoid' also certifies "
+            "phase boundaries (default: REPRO_CERTIFY env var, else off)"
+        ),
+    )
+    solve.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write periodic atomic solve checkpoints to PATH so an "
+            "interrupted run can be resumed with --resume-from"
+        ),
+    )
+    solve.add_argument(
+        "--resume-from",
+        metavar="PATH",
+        default=None,
+        help=(
+            "resume a previous run from its checkpoint file; completed "
+            "work units replay and the result is bit-identical to an "
+            "uninterrupted run with the same seed"
+        ),
+    )
+    solve.add_argument(
+        "--certificate-output",
+        metavar="PATH",
+        default=None,
+        help="write the solution certificate as JSON (implies --certify final)",
+    )
     solve.add_argument("--geojson-output", help="write regions as GeoJSON")
     solve.add_argument("--svg-output", help="write a region map as SVG")
 
@@ -161,6 +198,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(format_feasibility_report(solver.check(collection, constraints)))
             return 0
 
+        certify = args.certify
+        if args.certificate_output and certify is None:
+            certify = CertifyLevel.FINAL
         solver = FaCT(
             FaCTConfig(
                 rng_seed=args.seed,
@@ -168,10 +208,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                 enable_tabu=not args.no_tabu,
                 deadline_seconds=args.timeout,
                 strict_interrupt=args.strict_timeout,
+                certify=certify,
+                checkpoint_path=args.checkpoint,
             )
         )
         try:
-            solution = solver.solve(collection, constraints)
+            solution = solver.solve(
+                collection, constraints, resume_from=args.resume_from
+            )
         except SolverInterrupted as interrupt:
             print(
                 f"error: {interrupt} (re-run without --strict-timeout to "
@@ -180,6 +224,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
         print(format_solution_report(solution, collection))
+        if args.certificate_output and solution.certificate is not None:
+            atomic_write_text(
+                args.certificate_output,
+                json.dumps(solution.certificate.as_dict(), indent=1,
+                           sort_keys=True) + "\n",
+            )
+            print(f"certificate written to {args.certificate_output}")
         if args.geojson_output:
             dump_geojson(
                 collection, args.geojson_output, solution.partition.labels()

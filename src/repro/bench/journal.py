@@ -18,8 +18,14 @@ through every table/figure generator would touch a dozen call sites
 for what is purely an operational concern.
 
 The file format is deliberately dumb — one JSON object per line, the
-cell key embedded in the row — so a half-written final line (the
-typical crash artifact) is detected and dropped on load.
+cell key embedded in the row. Each record atomically rewrites the
+whole file (:func:`repro.runtime.atomic.atomic_write_text`: sibling
+temp file + ``os.replace``), so a SIGALRM watchdog, a per-cell
+deadline kill or plain OOM death mid-record can never truncate the
+journal a later ``--journal`` resume depends on — a reader always
+sees a complete previous or complete new snapshot. Torn lines from
+journals written by older (append-mode) versions are still detected
+and dropped on load.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ from __future__ import annotations
 import json
 import os
 from typing import TYPE_CHECKING
+
+from ..runtime.atomic import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runner import ExperimentRow
@@ -82,7 +90,6 @@ class RunJournal:
     def __init__(self, path: str):
         self.path = str(path)
         self._rows: dict[tuple, dict] = {}
-        self._handle = None
         self.replayed = 0
         self._load()
 
@@ -134,25 +141,23 @@ class RunJournal:
         return row
 
     def record(self, row: "ExperimentRow") -> None:
-        """Append one measured row, flushed immediately so a crash
-        right after loses nothing."""
+        """Record one measured row, atomically rewriting the journal
+        so a kill at any instant leaves a complete, parseable file."""
         entry = row.as_dict()
         self._rows[journal_key(*(entry[f] for f in _KEY_FIELDS))] = entry
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._handle.flush()
+        lines = [
+            json.dumps(stored, sort_keys=True)
+            for stored in self._rows.values()
+        ]
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
 
     def close(self) -> None:
-        """Close the underlying file handle (idempotent)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Kept for API compatibility — atomic rewrites hold no open
+        handle, so there is nothing to close."""
 
     def delete(self) -> None:
-        """Close and remove the journal file — called after a fully
-        successful run, when there is nothing left to resume."""
-        self.close()
+        """Remove the journal file — called after a fully successful
+        run, when there is nothing left to resume."""
         if os.path.exists(self.path):
             os.remove(self.path)
 

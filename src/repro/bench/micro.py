@@ -50,6 +50,7 @@ from ..core.perf import set_hotpath_caches
 from ..data.datasets import load_dataset
 from ..fact.solver import FaCT
 from ..fact.state import SolutionState
+from ..runtime.atomic import atomic_write_text
 from .runner import bench_config
 from .workloads import combo_constraints
 
@@ -533,8 +534,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     payload = json.dumps(_strip_labels(result), indent=2, sort_keys=True)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(payload + "\n")
+        # Atomic: a watchdog kill mid-write must not truncate a
+        # checked-in BENCH_*.json.
+        atomic_write_text(args.output, payload + "\n")
     print(payload)
 
     if not result["identical"]:

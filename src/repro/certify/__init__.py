@@ -1,0 +1,23 @@
+"""Independent solution certification (see :mod:`repro.certify.certifier`).
+
+The certifier is the trust boundary of the solver: it re-validates any
+partition from first principles — its own BFS, its own fresh aggregates,
+a fresh heterogeneity recomputation — sharing **no** code path with the
+incremental caches the hot solver phases rely on. A
+:class:`Certificate` therefore vouches for an answer even if every
+cache in :mod:`repro.core` were silently corrupt.
+"""
+
+from .certifier import (
+    Certificate,
+    Violation,
+    certify_partition,
+    certify_solution,
+)
+
+__all__ = [
+    "Certificate",
+    "Violation",
+    "certify_partition",
+    "certify_solution",
+]

@@ -121,6 +121,30 @@ class PerfCounters:
         Incremental maintenance operations on the objective structures
         (one sorted-list insertion/deletion or coordinate-sum update
         per region mutation).
+    pool_task_failures:
+        Worker-pool tasks that raised, returned an unpicklable result,
+        or died with their worker (each failure is retried or degraded
+        — see :func:`repro.fact.pool.collect_resilient`).
+    pool_task_retries:
+        Failed tasks resubmitted to the (possibly restarted) pool.
+    pool_tasks_degraded:
+        Tasks that exhausted their retries (or tripped the per-task
+        deadline) and were re-run in-process instead.
+    pool_broken_restarts:
+        Times a dead executor (``BrokenProcessPool``) was torn down and
+        rebuilt mid-solve.
+    pool_task_timeouts:
+        Tasks abandoned because they exceeded
+        ``FaCTConfig.worker_task_deadline_seconds``.
+    checkpoint_writes:
+        Atomic solve-checkpoint snapshots written
+        (``FaCTConfig.checkpoint_path``).
+    checkpoint_replays:
+        Construction passes / portfolio members replayed from a resume
+        checkpoint instead of being recomputed.
+    certifications:
+        Independent certification passes run over a partition
+        (``FaCTConfig.certify``).
     timings:
         Named wall-clock sections recorded via :meth:`time_section`
         or :meth:`record_seconds` (per-phase timings come from the
@@ -140,6 +164,14 @@ class PerfCounters:
         "delta_fastpath",
         "delta_recompute",
         "objective_struct_updates",
+        "pool_task_failures",
+        "pool_task_retries",
+        "pool_tasks_degraded",
+        "pool_broken_restarts",
+        "pool_task_timeouts",
+        "checkpoint_writes",
+        "checkpoint_replays",
+        "certifications",
         "timings",
     )
 
@@ -156,21 +188,19 @@ class PerfCounters:
         "delta_fastpath",
         "delta_recompute",
         "objective_struct_updates",
+        "pool_task_failures",
+        "pool_task_retries",
+        "pool_tasks_degraded",
+        "pool_broken_restarts",
+        "pool_task_timeouts",
+        "checkpoint_writes",
+        "checkpoint_replays",
+        "certifications",
     )
 
     def __init__(self) -> None:
-        self.contiguity_checks = 0
-        self.oracle_hits = 0
-        self.oracle_rebuilds = 0
-        self.graph_traversals = 0
-        self.full_bfs_checks = 0
-        self.candidate_evaluations = 0
-        self.frontier_queries = 0
-        self.adjacency_queries = 0
-        self.index_updates = 0
-        self.delta_fastpath = 0
-        self.delta_recompute = 0
-        self.objective_struct_updates = 0
+        for name in self._COUNTER_FIELDS:
+            setattr(self, name, 0)
         self.timings: dict[str, float] = {}
 
     # ------------------------------------------------------------------

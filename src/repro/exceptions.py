@@ -3,8 +3,9 @@
 All library-raised errors derive from :class:`ReproError` so callers can
 catch one base class. Specific subclasses distinguish bad user input
 (:class:`InvalidConstraintError`, :class:`InvalidAreaError`,
-:class:`DatasetError`, :class:`BudgetError`) from algorithmic outcomes
-(:class:`InfeasibleProblemError`, :class:`SolverInterrupted`).
+:class:`DatasetError`, :class:`BudgetError`, :class:`CheckpointError`)
+from algorithmic outcomes (:class:`InfeasibleProblemError`,
+:class:`SolverInterrupted`, :class:`CertificationError`).
 """
 
 from __future__ import annotations
@@ -63,17 +64,55 @@ class SolverInterrupted(ReproError, RuntimeError):
     ``FaCTConfig(strict_interrupt=True)`` when the wall-clock deadline
     expires or the run's :class:`repro.runtime.CancellationToken` is
     cancelled. Carries the best-so-far partial
-    :class:`repro.fact.solver.EMPSolution` (``solution``) and the
+    :class:`repro.fact.solver.EMPSolution` (``solution``), the
     :class:`repro.runtime.RunStatus` that ended the run (``status``),
-    so strict callers can still inspect and use the partial result. In
-    the default (non-strict) mode the solver returns the flagged
-    solution instead of raising.
+    the best-so-far area → region label snapshot (``best_labels``) and
+    — when ``FaCTConfig.certify`` is not ``"off"`` — the
+    :class:`repro.certify.Certificate` of the partial solution
+    (``certificate``), so strict callers can inspect, persist and
+    verify the partial result instead of losing it. In the default
+    (non-strict) mode the solver returns the flagged solution instead
+    of raising.
     """
 
-    def __init__(self, message: str, solution=None, status=None):
+    def __init__(
+        self,
+        message: str,
+        solution=None,
+        status=None,
+        certificate=None,
+        best_labels=None,
+    ):
         super().__init__(message)
         self.solution = solution
         self.status = status
+        self.certificate = certificate
+        self.best_labels = best_labels
+
+
+class CertificationError(ReproError, RuntimeError):
+    """An independent certification pass rejected a solver answer.
+
+    Raised when ``FaCTConfig.certify`` is ``"final"`` or ``"paranoid"``
+    and the cache-free re-validation of :mod:`repro.certify` finds a
+    contiguity breach, a constraint violation, a coverage hole or an
+    objective mismatch in a partition the solver was about to return.
+    Carries the failing :class:`repro.certify.Certificate`
+    (``certificate``) with the per-region violation details.
+    """
+
+    def __init__(self, message: str, certificate=None):
+        super().__init__(message)
+        self.certificate = certificate
+
+
+class CheckpointError(ReproError, ValueError):
+    """A solve checkpoint file cannot be used for resumption.
+
+    Raised when the file is missing, has an unknown format version, or
+    was written for a different problem (its fingerprint — seed,
+    constraint set, dataset shape — does not match the resuming solve).
+    """
 
 
 class ContiguityError(ReproError, ValueError):

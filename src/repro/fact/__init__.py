@@ -1,7 +1,8 @@
 """The FaCT algorithm — Feasibility, Construction, Tabu (Section V)."""
 
 from .adjustment import adjust_counting, dissolve_infeasible
-from .config import FaCTConfig, PickupCriterion
+from .checkpointing import SolveLedger
+from .config import CertifyLevel, FaCTConfig, PickupCriterion
 from .construction import ConstructionResult, construct
 from .feasibility import FeasibilityReport, check_feasibility
 from .growing import grow_regions
@@ -21,6 +22,7 @@ from .trace import SolveTrace, StepSnapshot, trace_solve
 from .tabu import TabuResult, tabu_improve
 
 __all__ = [
+    "CertifyLevel",
     "CompactnessObjective",
     "ConstructionAttempt",
     "ConstructionResult",
@@ -33,6 +35,7 @@ __all__ = [
     "PickupCriterion",
     "SeedingResult",
     "SolutionState",
+    "SolveLedger",
     "SolverPool",
     "SolveTrace",
     "StepSnapshot",

@@ -1,0 +1,270 @@
+"""Crash-recoverable solves: the atomic solve-checkpoint ledger.
+
+A :class:`SolveLedger` persists the progress of one :meth:`FaCT.solve`
+call to a versioned JSON file so a killed process can resume and finish
+**bit-identically** to an uninterrupted run.
+
+Why unit-granular replay works
+------------------------------
+The solver's parallel decomposition already forces every unit of work —
+one construction pass, one Tabu portfolio member — to be a pure
+function of its derived seed and inputs (that is what makes results
+invariant to ``n_jobs``). The ledger exploits the same property for
+durability: instead of snapshotting raw RNG state mid-stream, it
+records each *completed* unit's result keyed by its coordinates —
+
+- ``construction/{attempt}/{pass}`` → the pass result (score key,
+  labels, scores) of retry attempt *attempt*, pass *pass*;
+- ``tabu/{member}`` → portfolio member *member*'s outcome;
+
+and on resume replays recorded units verbatim while recomputing the
+rest. A replayed unit is byte-for-byte what the unit would produce if
+re-run (JSON round-trips Python floats exactly — ``json.dumps`` emits
+``repr`` shortest-round-trip forms), so the reduction downstream sees
+identical inputs in identical order and the final partition matches
+the uninterrupted run for any kill point and any worker count.
+Interrupted (partially executed) units are deliberately *not*
+recorded: the uninterrupted reference run completes them, so a resumed
+run must recompute them in full.
+
+Durability
+----------
+Every record triggers a whole-file rewrite through
+:func:`repro.runtime.atomic.atomic_write_text` (same-directory temp
+file + ``os.replace``), so the file on disk is always a complete,
+parseable snapshot — a crash during the write leaves the previous
+snapshot intact. Each write is announced at the ``checkpoint.write``
+fault checkpoint; an injected ``fail`` there simulates dying exactly
+at the snapshot boundary.
+
+The file also carries a **fingerprint** of the problem (seed, phase
+shape, constraint strings, dataset size). Resuming against a different
+problem raises :class:`repro.exceptions.CheckpointError` instead of
+silently splicing mismatched results, and the consumed wall-clock is
+stored so a resumed deadline run only gets the time the original had
+left.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..core.perf import PerfCounters
+from ..exceptions import CheckpointError
+from ..runtime import Budget, Interrupted, RunStatus
+from ..runtime.atomic import atomic_write_text
+
+__all__ = ["SolveLedger"]
+
+_FORMAT = "repro-solve-checkpoint/1"
+
+
+def _fingerprint(config, constraints, collection) -> dict:
+    """The identity of one solve, as far as replay safety is concerned.
+
+    Everything a recorded unit's result depends on (beyond its own
+    coordinates): the seed scheme, the phase shape and the problem
+    itself. Constraints compare by their canonical string forms.
+    """
+    return {
+        "rng_seed": config.rng_seed,
+        "construction_iterations": config.construction_iterations,
+        "construction_retry_attempts": config.construction_retry_attempts,
+        "tabu_portfolio": config.tabu_portfolio,
+        "merge_limit": config.merge_limit,
+        "pickup": config.pickup,
+        "constraints": sorted(str(c) for c in constraints),
+        "n_areas": len(collection),
+    }
+
+
+class SolveLedger:
+    """Checkpoint file for one solve; records and replays work units.
+
+    Create one with :meth:`fresh` (new solve) or :meth:`load` (resume).
+    The ledger accumulates its own :class:`PerfCounters`
+    (``checkpoint_writes`` / ``checkpoint_replays``) in
+    :attr:`counters`; the solver merges them into the solution's perf.
+    """
+
+    def __init__(self, path, fingerprint: dict, units: dict | None = None,
+                 consumed_seconds: float = 0.0):
+        self.path = os.fspath(path)
+        self.fingerprint = fingerprint
+        self.units: dict[str, object] = dict(units or {})
+        self.consumed_seconds = float(consumed_seconds)
+        self.counters = PerfCounters()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def fresh(cls, path, config, constraints, collection) -> "SolveLedger":
+        """Start a new ledger for this solve (any stale file at *path*
+        is superseded by the first write)."""
+        return cls(path, _fingerprint(config, constraints, collection))
+
+    @classmethod
+    def load(cls, path, config, constraints, collection) -> "SolveLedger":
+        """Load a ledger to resume from; validates format and
+        fingerprint.
+
+        Raises :class:`~repro.exceptions.CheckpointError` when the file
+        is missing, unparseable, of an unknown version, or written for
+        a different problem.
+        """
+        path = os.fspath(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"checkpoint file {path!r} does not exist"
+            ) from None
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"checkpoint file {path!r} is unreadable: {error}"
+            ) from error
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            raise CheckpointError(
+                f"checkpoint file {path!r} has unsupported format "
+                f"{payload.get('format') if isinstance(payload, dict) else None!r}"
+                f" (expected {_FORMAT!r})"
+            )
+        expected = _fingerprint(config, constraints, collection)
+        found = payload.get("fingerprint")
+        if found != expected:
+            mismatched = sorted(
+                key
+                for key in set(expected) | set(found or {})
+                if (found or {}).get(key) != expected.get(key)
+            )
+            raise CheckpointError(
+                f"checkpoint file {path!r} was written for a different "
+                f"problem (mismatched: {mismatched})"
+            )
+        return cls(
+            path,
+            expected,
+            units=payload.get("units", {}),
+            consumed_seconds=float(payload.get("consumed_seconds", 0.0)),
+        )
+
+    # ------------------------------------------------------------------
+    # construction passes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pass_key(attempt: int, index: int) -> str:
+        return f"construction/{attempt}/{index}"
+
+    def lookup_pass(self, attempt: int, index: int):
+        """Replay a recorded construction pass, or ``None``.
+
+        Returns the pass-result tuple ``(score_key, labels,
+        (p, n_unassigned), None, PerfCounters())`` exactly as
+        :func:`repro.fact.pool.construction_pass_task` would. Replayed
+        units carry fresh (empty) perf counters — hot-path counters are
+        diagnostics, not part of the bit-identity contract, which
+        covers the partition.
+        """
+        stored = self.units.get(self._pass_key(attempt, index))
+        if stored is None:
+            return None
+        score_key, labels, scores = stored
+        self.counters.checkpoint_replays += 1
+        return (
+            tuple(score_key),
+            {int(area_id): label for area_id, label in labels.items()},
+            tuple(scores),
+            None,
+            PerfCounters(),
+        )
+
+    def record_pass(self, attempt: int, index: int, result,
+                    budget: Budget | None = None) -> None:
+        """Record one *completed* construction pass and snapshot the
+        file. Interrupted passes (``result[3] is not None``) are
+        ignored — see the module docstring."""
+        score_key, labels, scores, status, _perf = result
+        if status is not None:
+            return
+        self.units[self._pass_key(attempt, index)] = [
+            list(score_key),
+            labels,
+            list(scores),
+        ]
+        self._snapshot(budget)
+
+    # ------------------------------------------------------------------
+    # tabu portfolio members
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _member_key(member: int) -> str:
+        return f"tabu/{member}"
+
+    def lookup_member(self, member: int):
+        """Replay a recorded portfolio member outcome, or ``None``."""
+        stored = self.units.get(self._member_key(member))
+        if stored is None:
+            return None
+        score, labels, stats = stored
+        self.counters.checkpoint_replays += 1
+        stats = dict(stats)
+        stats["status"] = RunStatus.COMPLETE
+        return (
+            score,
+            {int(area_id): label for area_id, label in labels.items()},
+            stats,
+            PerfCounters(),
+        )
+
+    def record_member(self, member: int, outcome,
+                      budget: Budget | None = None) -> None:
+        """Record one *completed* portfolio member and snapshot the
+        file (interrupted members are recomputed on resume)."""
+        score, labels, stats, _perf = outcome
+        if stats.get("status") is not RunStatus.COMPLETE:
+            return
+        stored_stats = {
+            key: value for key, value in stats.items() if key != "status"
+        }
+        self.units[self._member_key(member)] = [score, labels, stored_stats]
+        self._snapshot(budget)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _snapshot(self, budget: Budget | None) -> None:
+        """Atomically rewrite the checkpoint file.
+
+        The ``checkpoint.write`` fault point fires first — a ``fail``
+        fault there aborts *before* the write, simulating a crash at
+        the snapshot boundary; an interruption signal is noted but the
+        write still happens (the unit is already complete, and losing
+        it would force the resumed run to redo finished work).
+        """
+        consumed = self.consumed_seconds
+        if budget is not None:
+            consumed = max(consumed, budget.elapsed())
+            try:
+                budget.checkpoint("checkpoint.write")
+            except Interrupted:
+                pass  # observed by the caller at its next checkpoint
+        payload = {
+            "format": _FORMAT,
+            "fingerprint": self.fingerprint,
+            "consumed_seconds": consumed,
+            "units": self.units,
+        }
+        atomic_write_text(self.path, json.dumps(payload, sort_keys=True))
+        self.consumed_seconds = consumed
+        self.counters.checkpoint_writes += 1
+
+    def delete(self) -> None:
+        """Remove the checkpoint file (called after a COMPLETE solve —
+        a finished run must not be resumable into a stale answer)."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass

@@ -10,12 +10,17 @@ from __future__ import annotations
 
 import math
 import numbers
+import os
 import random
 from dataclasses import dataclass, field
 
 from ..exceptions import BudgetError, InvalidConstraintError
 
-__all__ = ["FaCTConfig", "PickupCriterion"]
+__all__ = ["CertifyLevel", "FaCTConfig", "PickupCriterion"]
+
+# Environment variable consulted when FaCTConfig.certify is None; lets
+# a whole test/CI run opt into certification without touching code.
+_CERTIFY_ENV = "REPRO_CERTIFY"
 
 # Multiplier used to derive independent-but-deterministic seeds from
 # rng_seed (also used by the parallel construction path).
@@ -32,6 +37,33 @@ def _require_integer(name: str, value) -> None:
         raise InvalidConstraintError(
             f"{name} must be an integer, got {value!r}"
         )
+
+
+class CertifyLevel:
+    """How much of a solve the independent certifier re-validates.
+
+    - ``OFF`` — never certify (default).
+    - ``FINAL`` — certify the final partition of every solve from
+      first principles (:mod:`repro.certify`) before returning it.
+    - ``PARANOID`` — additionally certify each phase boundary (the
+      construction partition before Tabu takes over) and every
+      degraded or interrupted best-so-far return.
+    """
+
+    OFF = "off"
+    FINAL = "final"
+    PARANOID = "paranoid"
+
+    @classmethod
+    def validate(cls, value: str) -> str:
+        """Return the canonical value or raise for unknown levels."""
+        value = str(value).lower()
+        if value not in (cls.OFF, cls.FINAL, cls.PARANOID):
+            raise InvalidConstraintError(
+                f"unknown certify level {value!r}; expected "
+                f"{cls.OFF!r}, {cls.FINAL!r} or {cls.PARANOID!r}"
+            )
+        return value
 
 
 class PickupCriterion:
@@ -137,6 +169,31 @@ class FaCTConfig:
     degenerate_unassigned_ratio:
         Unassigned-to-valid-areas ratio above which a constructed
         partition counts as degenerate (in ``(0, 1]``).
+    certify:
+        Independent-certification level, see :class:`CertifyLevel`
+        (``"off"``/``"final"``/``"paranoid"``). ``None`` (default)
+        defers to the ``REPRO_CERTIFY`` environment variable, falling
+        back to ``"off"``. A failed certification raises
+        :class:`repro.exceptions.CertificationError` carrying the
+        :class:`repro.certify.Certificate` with per-region violations.
+    checkpoint_path:
+        Path of the atomic solve-checkpoint file
+        (:class:`repro.fact.checkpointing.SolveLedger`). When set, each
+        completed construction pass and portfolio member is snapshotted
+        there; a killed solve can then continue bit-identically via
+        ``FaCT.solve(resume_from=...)``. The file is deleted after a
+        COMPLETE solve. ``None`` (default) disables checkpointing.
+    worker_task_deadline_seconds:
+        Per-task wall-clock deadline on the worker pool. A pass or
+        portfolio member still unfinished after this long is abandoned
+        (its eventual result ignored) and re-run in-process — the
+        guard against a wedged worker stalling the whole solve. ``None``
+        (default) trusts the run-level budget alone.
+    pool_task_retries:
+        How many times a failed worker task (crash, unpicklable
+        result, broken pool) is resubmitted before being degraded to
+        in-process execution. Degradation preserves determinism: the
+        same task function runs on the same arguments either way.
     """
 
     rng_seed: int = 0
@@ -154,6 +211,10 @@ class FaCTConfig:
     strict_interrupt: bool = False
     construction_retry_attempts: int = 2
     degenerate_unassigned_ratio: float = 0.95
+    certify: str | None = None
+    checkpoint_path: str | None = None
+    worker_task_deadline_seconds: float | None = None
+    pool_task_retries: int = 1
 
     def __post_init__(self) -> None:
         self.pickup = PickupCriterion.validate(self.pickup)
@@ -214,6 +275,37 @@ class FaCTConfig:
                 f"degenerate_unassigned_ratio must be in (0, 1], got {ratio!r}"
             )
         self.degenerate_unassigned_ratio = float(ratio)
+        if self.certify is not None:
+            self.certify = CertifyLevel.validate(self.certify)
+        if self.checkpoint_path is not None:
+            self.checkpoint_path = os.fspath(self.checkpoint_path)
+        if self.worker_task_deadline_seconds is not None:
+            value = self.worker_task_deadline_seconds
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, numbers.Real)
+                or not math.isfinite(float(value))
+                or float(value) <= 0
+            ):
+                raise BudgetError(
+                    "worker_task_deadline_seconds must be positive and "
+                    f"finite or None, got {value!r}"
+                )
+            self.worker_task_deadline_seconds = float(value)
+        _require_integer("pool_task_retries", self.pool_task_retries)
+        if self.pool_task_retries < 0:
+            raise BudgetError("pool_task_retries must be >= 0")
+
+    def certify_level(self) -> str:
+        """The effective certification level: the explicit
+        :attr:`certify` value, else ``REPRO_CERTIFY`` from the
+        environment, else ``"off"``."""
+        if self.certify is not None:
+            return self.certify
+        env = os.environ.get(_CERTIFY_ENV, "").strip().lower()
+        if env:
+            return CertifyLevel.validate(env)
+        return CertifyLevel.OFF
 
     def make_rng(self) -> random.Random:
         """A fresh RNG seeded from :attr:`rng_seed`."""

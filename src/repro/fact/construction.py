@@ -114,6 +114,9 @@ def construct(
     feasibility: FeasibilityReport | None = None,
     budget: Budget | None = None,
     pool=None,
+    attempt_index: int = 0,
+    ledger=None,
+    runtime_perf=None,
 ) -> ConstructionResult:
     """Build a feasible initial partition maximizing ``p``.
 
@@ -126,6 +129,13 @@ def construct(
     passes on when ``config.n_jobs > 1`` — the solver shares one pool
     across its construction attempts and the Tabu portfolio. Without
     one, a temporary pool is created (and torn down) here.
+
+    *ledger* is an optional
+    :class:`~repro.fact.checkpointing.SolveLedger`: completed passes
+    are recorded to it (keyed by *attempt_index* and pass index) and
+    previously recorded passes are replayed instead of recomputed —
+    the checkpoint/resume mechanism. *runtime_perf* collects the
+    worker-fault counters of the parallel path.
     """
     from .pool import SolverPool
 
@@ -151,10 +161,13 @@ def construct(
     try:
         if config.n_jobs > 1:
             results, status = _run_passes_parallel(
-                config, seeding, budget, pool
+                config, seeding, budget, pool, attempt_index, ledger,
+                runtime_perf,
             )
         else:
-            results, status = _run_passes_serial(config, seeding, budget, pool)
+            results, status = _run_passes_serial(
+                config, seeding, budget, pool, attempt_index, ledger
+            )
     finally:
         if owns_pool:
             pool.shutdown()
@@ -212,9 +225,15 @@ def _run_passes_serial(
     seeding: SeedingResult,
     budget: Budget,
     pool,
+    attempt_index: int = 0,
+    ledger=None,
 ) -> tuple[list[_PassResult], RunStatus | None]:
     """Run the passes in-process, sharing the parent budget (so a
-    cancellation is observed mid-pass, not only between passes)."""
+    cancellation is observed mid-pass, not only between passes).
+
+    Passes recorded on *ledger* are replayed instead of recomputed;
+    freshly completed ones are recorded as they finish.
+    """
     from .pool import construction_pass_task
 
     results: list[_PassResult] = []
@@ -225,14 +244,26 @@ def _run_passes_serial(
         except Interrupted as signal:
             status = signal.status
             break
-        result = pool.run_local(
-            construction_pass_task,
-            seeding,
-            config.derived_pass_seed(index),
-            config,
-            None,
-            budget,
+        result = (
+            ledger.lookup_pass(attempt_index, index)
+            if ledger is not None
+            else None
         )
+        if result is None:
+            result = pool.run_local(
+                construction_pass_task,
+                seeding,
+                config.derived_pass_seed(index),
+                config,
+                None,
+                budget,
+            )
+            if ledger is not None:
+                ledger.record_pass(attempt_index, index, result, budget)
+        try:
+            budget.checkpoint("pool.result")
+        except Interrupted:
+            pass  # observed at the next pass-start checkpoint
         results.append(result)
         pass_status = result[3]
         if pass_status is not None:
@@ -246,17 +277,21 @@ def _run_passes_parallel(
     seeding: SeedingResult,
     budget: Budget,
     pool,
+    attempt_index: int = 0,
+    ledger=None,
+    runtime_perf=None,
 ) -> tuple[list[_PassResult], RunStatus | None]:
     """Fan the passes out over the worker pool.
 
     Each pass gets the budget's remaining wall-clock time as its own
     local deadline (the parent's cancellation token is invisible
-    across processes). The parent polls its budget while waiting so a
-    cancellation is honored promptly: pending passes are cancelled,
-    completed ones are kept.
+    across processes). Collection is fault-tolerant
+    (:meth:`~repro.fact.pool.SolverPool.collect_resilient`): crashed
+    or poisoned passes retry on surviving workers or degrade to
+    in-process execution, and a budget interruption cancels pending
+    passes while keeping completed ones. Ledger-recorded passes are
+    replayed without being submitted at all.
     """
-    from concurrent.futures import wait
-
     from .pool import construction_pass_task
 
     try:
@@ -264,37 +299,50 @@ def _run_passes_parallel(
     except Interrupted as signal:
         return [], signal.status
 
-    deadline_remaining = budget.remaining()
-    status: RunStatus | None = None
-    outcome: dict = {}
-    futures = [
-        pool.submit(
-            construction_pass_task,
-            seeding,
-            config.derived_pass_seed(index),
-            config,
-            deadline_remaining,
+    replayed: dict[int, _PassResult] = {}
+    to_run: list[int] = []
+    for index in range(config.construction_iterations):
+        replay = (
+            ledger.lookup_pass(attempt_index, index)
+            if ledger is not None
+            else None
         )
-        for index in range(config.construction_iterations)
-    ]
-    pending = set(futures)
-    try:
-        while pending:
-            done, pending = wait(pending, timeout=_PARALLEL_POLL_SECONDS)
-            for future in done:
-                outcome[future] = future.result()
-            status = budget.status()
-            if status is not None:
-                for future in pending:
-                    future.cancel()
-                break
-    finally:
-        if pending:
-            for future in pending:
-                future.cancel()
+        if replay is not None:
+            replayed[index] = replay
+        else:
+            to_run.append(index)
 
-    # Submission order, like the serial path appends.
-    results = [outcome[future] for future in futures if future in outcome]
+    deadline_remaining = budget.remaining()
+    submit_args = [
+        (seeding, config.derived_pass_seed(index), config, deadline_remaining)
+        for index in to_run
+    ]
+    local_args = [
+        (seeding, config.derived_pass_seed(index), config, None, budget)
+        for index in to_run
+    ]
+
+    def _record(position: int, result: _PassResult) -> None:
+        if ledger is not None:
+            ledger.record_pass(attempt_index, to_run[position], result, budget)
+
+    collected, status = pool.collect_resilient(
+        construction_pass_task,
+        submit_args,
+        local_args,
+        budget=budget,
+        perf=runtime_perf,
+        retries=config.pool_task_retries,
+        task_deadline=config.worker_task_deadline_seconds,
+        on_result=_record,
+        poll_seconds=_PARALLEL_POLL_SECONDS,
+    )
+
+    outcome = dict(replayed)
+    for position, result in collected.items():
+        outcome[to_run[position]] = result
+    # Pass-index order == submission order, like the serial path appends.
+    results = [outcome[index] for index in sorted(outcome)]
     if status is None:
         # A worker may have tripped its local deadline even though the
         # parent loop never observed the budget as expired.

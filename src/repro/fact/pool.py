@@ -28,7 +28,9 @@ budget while waiting and cancels still-pending futures on interrupt.
 from __future__ import annotations
 
 import random
-from concurrent.futures import Future, ProcessPoolExecutor
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
 from ..core.area import AreaCollection
 from ..core.constraints import ConstraintSet
@@ -190,6 +192,148 @@ class SolverPool:
     def submit(self, task, *args) -> Future:
         """Submit one of this module's task functions to the pool."""
         return self._ensure_executor().submit(task, *args)
+
+    def restart(self) -> None:
+        """Tear down the (possibly broken) executor; the next
+        submission lazily builds a fresh one with the same payload.
+
+        This is the recovery move after ``BrokenProcessPool``: the
+        stdlib executor marks itself permanently broken once any
+        worker dies, so resubmission requires a new executor.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def collect_resilient(
+        self,
+        task,
+        submit_args: list[tuple],
+        local_args: list[tuple],
+        *,
+        budget: Budget | None = None,
+        perf: PerfCounters | None = None,
+        retries: int = 1,
+        task_deadline: float | None = None,
+        on_result=None,
+        poll_seconds: float = 0.05,
+    ) -> tuple[dict[int, object], RunStatus | None]:
+        """Fan *task* out over the pool and survive worker failure.
+
+        Submits ``task(*submit_args[i])`` for every index and gathers
+        results into ``{index: result}``, preserving determinism: a
+        result depends only on its arguments, so the caller's
+        index-ordered reduction is unaffected by *where* each task
+        eventually ran. The failure policy, in order of escalation:
+
+        - a task that raises (worker crash, unpicklable return value)
+          is resubmitted up to *retries* times, then **degraded**: the
+          same task function is re-run in-process via :meth:`run_local`
+          on ``local_args[i]``;
+        - ``BrokenProcessPool`` (a worker died hard, killing the whole
+          executor) triggers :meth:`restart` and resubmission of every
+          unfinished task — tasks whose retries are already exhausted
+          degrade instead;
+        - a task still unfinished after *task_deadline* seconds is
+          abandoned (the stdlib cannot kill a running future, so its
+          eventual result is simply ignored) and degraded;
+        - arguments that fail to pickle at submission degrade
+          immediately.
+
+        Every event lands in *perf* (``pool_task_failures``,
+        ``pool_task_retries``, ``pool_tasks_degraded``,
+        ``pool_broken_restarts``, ``pool_task_timeouts``). Each
+        collected result fires the ``pool.result`` fault checkpoint
+        and the optional ``on_result(index, result)`` callback (the
+        solve ledger records completed units there). When *budget*
+        expires or is cancelled, pending futures are cancelled and the
+        partial results are returned with the interruption status.
+        """
+        perf = perf if perf is not None else PerfCounters()
+        results: dict[int, object] = {}
+        attempts = [0] * len(submit_args)
+        future_index: dict[Future, int] = {}
+        submitted_at: dict[int, float] = {}
+
+        def _accept(index: int, result) -> None:
+            results[index] = result
+            if budget is not None:
+                try:
+                    budget.checkpoint("pool.result")
+                except Interrupted:
+                    pass  # observed at the loop's status check
+            if on_result is not None:
+                on_result(index, result)
+
+        def _degrade(index: int) -> None:
+            perf.pool_tasks_degraded += 1
+            _accept(index, self.run_local(task, *local_args[index]))
+
+        def _submit(index: int) -> None:
+            try:
+                future = self.submit(task, *submit_args[index])
+            except Exception:
+                perf.pool_task_failures += 1
+                _degrade(index)
+                return
+            future_index[future] = index
+            submitted_at[index] = time.monotonic()
+
+        for index in range(len(submit_args)):
+            _submit(index)
+
+        while future_index:
+            done, _ = wait(set(future_index), timeout=poll_seconds)
+            broken = False
+            for future in sorted(done, key=future_index.__getitem__):
+                index = future_index.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    future_index[future] = index  # handled below
+                except Exception:
+                    perf.pool_task_failures += 1
+                    if attempts[index] < retries:
+                        attempts[index] += 1
+                        perf.pool_task_retries += 1
+                        _submit(index)
+                    else:
+                        _degrade(index)
+                else:
+                    _accept(index, result)
+            if broken:
+                # Every in-flight future on a broken executor is lost.
+                perf.pool_broken_restarts += 1
+                unfinished = sorted(future_index.values())
+                future_index.clear()
+                self.restart()
+                for index in unfinished:
+                    if attempts[index] < retries:
+                        attempts[index] += 1
+                        perf.pool_task_retries += 1
+                        _submit(index)
+                    else:
+                        _degrade(index)
+            if task_deadline is not None:
+                now = time.monotonic()
+                overdue = [
+                    (future, index)
+                    for future, index in future_index.items()
+                    if now - submitted_at[index] > task_deadline
+                ]
+                for future, index in sorted(overdue, key=lambda p: p[1]):
+                    future.cancel()
+                    del future_index[future]
+                    perf.pool_task_timeouts += 1
+                    _degrade(index)
+            if budget is not None:
+                status = budget.status()
+                if status is not None:
+                    for future in future_index:
+                        future.cancel()
+                    return results, status
+        return results, None
 
     def run_local(self, task, *args):
         """Run a task function in-process against the same payload."""

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 
-from ..runtime import Budget, RunStatus
+from ..runtime import Budget, Interrupted, RunStatus
 from .config import FaCTConfig
 from .pool import portfolio_member_task
 from .state import SolutionState
@@ -50,6 +50,8 @@ def improve_portfolio(
     budget: Budget | None = None,
     pool=None,
     ranked_labels=None,
+    ledger=None,
+    runtime_perf=None,
 ) -> TabuResult:
     """Run a ``config.tabu_portfolio``-member Tabu portfolio.
 
@@ -69,6 +71,11 @@ def improve_portfolio(
     Per-member wall-clock lands in ``state.perf.timings`` under
     ``tabu.member<i>``, and each member's hot-path counters are merged
     into ``state.perf``.
+
+    *ledger* (a :class:`~repro.fact.checkpointing.SolveLedger`)
+    replays members recorded by an earlier killed run and records
+    freshly completed ones; *runtime_perf* collects the parallel
+    path's worker-fault counters.
     """
     members = config.tabu_portfolio
     if members <= 1:
@@ -90,9 +97,13 @@ def improve_portfolio(
     ]
 
     if pool is not None and config.n_jobs > 1:
-        outcomes, status = _run_members_parallel(specs, budget, pool)
+        outcomes, status = _run_members_parallel(
+            specs, budget, pool, config, ledger, runtime_perf
+        )
     else:
-        outcomes, status = _run_members_serial(specs, budget, pool, config, state)
+        outcomes, status = _run_members_serial(
+            specs, budget, pool, config, state, ledger
+        )
 
     perf = state.perf
     baseline_h = state.total_heterogeneity()
@@ -153,12 +164,13 @@ def _partition_from_labels(labels: dict[int, int]):
     return Partition.from_labels(labels)
 
 
-def _run_members_serial(specs, budget, pool, config, state):
+def _run_members_serial(specs, budget, pool, config, state, ledger=None):
     """Run the members one after another in-process.
 
     Uses the pool's ``run_local`` when a pool exists (so the exact
     same task function executes either way); without one, installs an
-    equivalent context from *state* directly.
+    equivalent context from *state* directly. Ledger-recorded members
+    are replayed; freshly completed ones are recorded.
     """
     from .pool import SolverPool
 
@@ -177,38 +189,67 @@ def _run_members_serial(specs, budget, pool, config, state):
             status = budget.status()
             if status is not None:
                 break
-        outcomes.append(
-            pool.run_local(portfolio_member_task, *spec, None, budget)
+        member_index = spec[1]
+        outcome = (
+            ledger.lookup_member(member_index) if ledger is not None else None
         )
+        if outcome is None:
+            outcome = pool.run_local(portfolio_member_task, *spec, None, budget)
+            if ledger is not None:
+                ledger.record_member(member_index, outcome, budget)
+        if budget is not None:
+            try:
+                budget.checkpoint("pool.result")
+            except Interrupted:
+                pass  # observed at the next member's status check
+        outcomes.append(outcome)
     return outcomes, status
 
 
-def _run_members_parallel(specs, budget, pool):
-    """Fan the members out over the worker pool, polling the parent
-    budget (workers enforce the remaining deadline locally)."""
-    from concurrent.futures import wait
+def _run_members_parallel(
+    specs, budget, pool, config, ledger=None, runtime_perf=None
+):
+    """Fan the members out over the worker pool.
+
+    Collection is fault-tolerant
+    (:meth:`~repro.fact.pool.SolverPool.collect_resilient`): a crashed
+    or poisoned member retries on surviving workers or degrades to
+    in-process execution; workers enforce the remaining deadline
+    locally. Ledger-recorded members are replayed without being
+    submitted.
+    """
+    replayed: dict[int, tuple] = {}
+    to_run: list[tuple] = []
+    for spec in specs:
+        outcome = ledger.lookup_member(spec[1]) if ledger is not None else None
+        if outcome is not None:
+            replayed[spec[1]] = outcome
+        else:
+            to_run.append(spec)
 
     deadline_remaining = budget.remaining() if budget is not None else None
-    futures = [
-        pool.submit(portfolio_member_task, *spec, deadline_remaining)
-        for spec in specs
-    ]
-    outcome_by_future = {}
-    pending = set(futures)
-    status = None
-    while pending:
-        done, pending = wait(pending, timeout=_POLL_SECONDS)
-        for future in done:
-            outcome_by_future[future] = future.result()
-        if budget is not None:
-            status = budget.status()
-            if status is not None:
-                for future in pending:
-                    future.cancel()
-                break
-    outcomes = [
-        outcome_by_future[future]
-        for future in futures
-        if future in outcome_by_future
-    ]
+    submit_args = [spec + (deadline_remaining,) for spec in to_run]
+    local_args = [spec + (None, budget) for spec in to_run]
+
+    def _record(position: int, outcome) -> None:
+        if ledger is not None:
+            ledger.record_member(to_run[position][1], outcome, budget)
+
+    collected, status = pool.collect_resilient(
+        portfolio_member_task,
+        submit_args,
+        local_args,
+        budget=budget,
+        perf=runtime_perf,
+        retries=config.pool_task_retries,
+        task_deadline=config.worker_task_deadline_seconds,
+        on_result=_record,
+        poll_seconds=_POLL_SECONDS,
+    )
+
+    outcome_by_member = dict(replayed)
+    for position, outcome in collected.items():
+        outcome_by_member[to_run[position][1]] = outcome
+    # Member-index order == submission order.
+    outcomes = [outcome_by_member[m] for m in sorted(outcome_by_member)]
     return outcomes, status

@@ -86,6 +86,33 @@ def format_solution_report(
             f"(frontier queries {perf.frontier_queries:,}, "
             f"adjacency queries {perf.adjacency_queries:,})"
         )
+        faults = (
+            perf.pool_task_failures
+            + perf.pool_task_timeouts
+            + perf.pool_broken_restarts
+        )
+        if faults:
+            lines.append(
+                f"  worker faults survived: {perf.pool_task_failures:,} "
+                f"task failure(s), {perf.pool_task_timeouts:,} deadline "
+                f"timeout(s), {perf.pool_broken_restarts:,} broken-pool "
+                f"restart(s) — {perf.pool_task_retries:,} retried, "
+                f"{perf.pool_tasks_degraded:,} degraded to in-process"
+            )
+        if perf.checkpoint_writes or perf.checkpoint_replays:
+            lines.append(
+                f"  checkpoints: {perf.checkpoint_writes:,} written, "
+                f"{perf.checkpoint_replays:,} unit(s) replayed on resume"
+            )
+    if solution.certificate is not None:
+        certificate = solution.certificate
+        lines.append(
+            f"  certificate ({certificate.label}): "
+            f"{'VALID' if certificate.valid else 'INVALID'} — "
+            f"{certificate.checked_regions} region(s), "
+            f"{certificate.checked_constraints} constraint check(s), "
+            f"{len(certificate.violations)} violation(s)"
+        )
     sizes = solution.partition.region_sizes()
     if sizes:
         lines.append(

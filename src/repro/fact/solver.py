@@ -38,13 +38,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
+from ..certify import Certificate, certify_partition
 from ..core.area import AreaCollection
 from ..core.constraints import Constraint, ConstraintSet
 from ..core.partition import Partition
 from ..core.perf import PerfCounters
 from ..exceptions import SolverInterrupted
-from ..runtime import Budget, RunStatus
-from .config import FaCTConfig
+from ..runtime import Budget, Interrupted, RunStatus
+from .checkpointing import SolveLedger
+from .config import CertifyLevel, FaCTConfig
 from .construction import ConstructionResult, construct
 from .feasibility import FeasibilityReport, check_feasibility
 from .pool import SolverPool
@@ -98,8 +100,16 @@ class EMPSolution:
         Hot-path counters of the winning construction pass and the
         Tabu search that refined it (contiguity-oracle hits/rebuilds,
         candidate evaluations, index traffic), with the per-phase
-        wall-clock recorded under ``perf.timings``. ``None`` only for
+        wall-clock recorded under ``perf.timings``, plus the solve's
+        resilience counters (worker-pool failures/retries/degrades,
+        checkpoint writes/replays, certifications). ``None`` only for
         hand-built solutions.
+    certificate:
+        The :class:`repro.certify.Certificate` of the final partition
+        when ``FaCTConfig.certify`` resolved to ``"final"`` or
+        ``"paranoid"`` — always a *valid* one, since an invalid
+        certification raises instead of returning. ``None`` with
+        certification off.
     """
 
     partition: Partition
@@ -110,6 +120,7 @@ class EMPSolution:
     feasibility_seconds: float = 0.0
     attempts: tuple[ConstructionAttempt, ...] = ()
     perf: PerfCounters | None = None
+    certificate: Certificate | None = None
 
     # -- the paper's three performance measures (Section VII-A) --------
     @property
@@ -186,6 +197,11 @@ class EMPSolution:
             "n_invalid_areas": self.feasibility.n_invalid,
             "warnings": list(self.feasibility.warnings),
             "perf": self.perf.as_dict() if self.perf is not None else None,
+            "certificate": (
+                self.certificate.as_dict()
+                if self.certificate is not None
+                else None
+            ),
         }
 
 
@@ -222,6 +238,7 @@ class FaCT:
         collection: AreaCollection,
         constraints: ConstraintSet | None = None,
         budget: Budget | None = None,
+        resume_from=None,
     ) -> EMPSolution:
         """Solve one EMP instance end to end.
 
@@ -235,15 +252,53 @@ class FaCT:
             checkpoint: the best-so-far solution is returned flagged
             with its :class:`~repro.runtime.RunStatus` — or, with
             ``config.strict_interrupt``, raised inside
-            :class:`repro.exceptions.SolverInterrupted`.
+            :class:`repro.exceptions.SolverInterrupted` (carrying the
+            partial solution, its labels and — when certification is
+            on — its certificate).
+        resume_from:
+            Path of a solve-checkpoint file written by an earlier
+            (killed or interrupted) run of the *same* problem
+            (``config.checkpoint_path``). Recorded construction passes
+            and portfolio members are replayed instead of recomputed,
+            and the run continues **bit-identically** to an
+            uninterrupted run with the same seed, at any ``n_jobs``.
+            Checkpointing continues into the same file, which is
+            deleted once the solve completes. Raises
+            :class:`repro.exceptions.CheckpointError` when the file is
+            missing, malformed or fingerprinted for a different
+            problem.
 
         Raises :class:`repro.exceptions.InfeasibleProblemError` when
-        Phase 1 proves the query infeasible on this dataset.
+        Phase 1 proves the query infeasible on this dataset, and
+        :class:`repro.exceptions.CertificationError` when independent
+        certification (``config.certify``) rejects an answer.
         """
         config = self.config
         constraints = _coerce_constraints(constraints)
-        budget = budget or Budget(deadline_seconds=config.deadline_seconds)
+
+        # Resilience bookkeeping for this solve: the checkpoint ledger
+        # (crash recovery) and the counters for pool faults and
+        # certifications, merged into the solution's perf at the end.
+        runtime_perf = PerfCounters()
+        ledger = None
+        if resume_from is not None:
+            ledger = SolveLedger.load(
+                resume_from, config, constraints, collection
+            )
+        elif config.checkpoint_path is not None:
+            ledger = SolveLedger.fresh(
+                config.checkpoint_path, config, constraints, collection
+            )
+
+        if budget is None:
+            deadline = config.deadline_seconds
+            if deadline is not None and ledger is not None:
+                # A resumed run only gets the time the original run
+                # had left on its deadline.
+                deadline = max(deadline - ledger.consumed_seconds, 1e-3)
+            budget = Budget(deadline_seconds=deadline)
         budget.start()
+        certify_level = config.certify_level()
 
         phase_started = time.perf_counter()
         feasibility = check_feasibility(
@@ -267,8 +322,19 @@ class FaCT:
             )
         try:
             construction, attempts = self._construct_with_retries(
-                collection, constraints, feasibility, budget, pool
+                collection, constraints, feasibility, budget, pool,
+                ledger, runtime_perf,
             )
+            if certify_level == CertifyLevel.PARANOID:
+                self._certify(
+                    construction.partition,
+                    collection,
+                    constraints,
+                    budget,
+                    claimed=construction.state.total_heterogeneity(),
+                    label="construction",
+                    runtime_perf=runtime_perf,
+                )
 
             tabu: TabuResult | None = None
             partition = construction.partition
@@ -284,14 +350,46 @@ class FaCT:
                     budget=budget,
                     pool=pool,
                     ranked_labels=construction.ranked_labels,
+                    ledger=ledger,
+                    runtime_perf=runtime_perf,
                 )
                 partition = tabu.partition
         finally:
             if pool is not None:
                 pool.shutdown()
 
+        certificate = None
+        if certify_level != CertifyLevel.OFF:
+            # Tabu's score is H(P) only under the default objective; a
+            # custom objective's score is not comparable to the fresh
+            # heterogeneity recomputation.
+            claimed = None
+            if self.objective is None:
+                claimed = (
+                    tabu.heterogeneity_after
+                    if tabu is not None
+                    else construction.state.total_heterogeneity()
+                )
+            label = "interrupted" if budget.status() is not None else "final"
+            certificate = self._certify(
+                partition,
+                collection,
+                constraints,
+                budget,
+                claimed=claimed,
+                label=label,
+                runtime_perf=runtime_perf,
+            )
+
+        # Status is computed after certification so a cancellation
+        # injected at the certify checkpoint still flags the solution.
         status = budget.status() or RunStatus.COMPLETE
+        if ledger is not None:
+            if status is RunStatus.COMPLETE:
+                ledger.delete()
+            runtime_perf.merge(ledger.counters)
         perf = construction.state.perf
+        perf.merge(runtime_perf)
         perf.record_seconds("feasibility", feasibility_seconds)
         perf.record_seconds("construction", construction.elapsed_seconds)
         if tabu is not None:
@@ -305,6 +403,7 @@ class FaCT:
             feasibility_seconds=feasibility_seconds,
             attempts=attempts,
             perf=perf,
+            certificate=certificate,
         )
         if solution.interrupted and config.strict_interrupt:
             raise SolverInterrupted(
@@ -312,8 +411,44 @@ class FaCT:
                 f"solution has p={solution.p}",
                 solution=solution,
                 status=status,
+                certificate=certificate,
+                best_labels=partition.labels(),
             )
         return solution
+
+    # ------------------------------------------------------------------
+    # certification
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _certify(
+        partition: Partition,
+        collection: AreaCollection,
+        constraints: ConstraintSet,
+        budget: Budget,
+        claimed: float | None,
+        label: str,
+        runtime_perf: PerfCounters,
+    ) -> Certificate:
+        """Run one independent certification pass; raises
+        :class:`repro.exceptions.CertificationError` on any violation.
+
+        The ``certify.solution`` fault point fires first. An
+        interruption signal there is swallowed — the certification
+        still runs (a budget-expired answer deserves verification just
+        as much) and the caller picks the status up afterwards.
+        """
+        try:
+            budget.checkpoint("certify.solution")
+        except Interrupted:
+            pass
+        runtime_perf.certifications += 1
+        return certify_partition(
+            partition,
+            collection,
+            constraints,
+            claimed_heterogeneity=claimed,
+            label=label,
+        ).raise_if_invalid()
 
     # ------------------------------------------------------------------
     # construction retry policy
@@ -325,6 +460,8 @@ class FaCT:
         feasibility: FeasibilityReport,
         budget: Budget,
         pool: SolverPool | None = None,
+        ledger: SolveLedger | None = None,
+        runtime_perf: PerfCounters | None = None,
     ) -> tuple[ConstructionResult, tuple[ConstructionAttempt, ...]]:
         """Run construction, retrying degenerate outcomes with derived
         seeds up to ``config.construction_retry_attempts`` times.
@@ -351,6 +488,9 @@ class FaCT:
                 feasibility=feasibility,
                 budget=budget,
                 pool=pool,
+                attempt_index=attempt_index,
+                ledger=ledger,
+                runtime_perf=runtime_perf,
             )
             degenerate = _is_degenerate(construction, n_valid, config)
             attempts.append(
@@ -402,8 +542,11 @@ def _coerce_constraints(
 def solve_emp(
     collection: AreaCollection,
     constraints=None,
+    resume_from=None,
     **config_options,
 ) -> EMPSolution:
     """One-call convenience wrapper: ``solve_emp(collection,
     [min_constraint(...), ...], rng_seed=7, deadline_seconds=2.0)``."""
-    return FaCT(FaCTConfig(**config_options)).solve(collection, constraints)
+    return FaCT(FaCTConfig(**config_options)).solve(
+        collection, constraints, resume_from=resume_from
+    )

@@ -22,6 +22,7 @@ from typing import Mapping
 
 from .core.partition import Partition
 from .exceptions import DatasetError
+from .runtime.atomic import atomic_write_text
 
 __all__ = ["save_partition", "load_partition", "partition_to_dict",
            "partition_from_dict"]
@@ -72,10 +73,10 @@ def save_partition(
     path: str | Path,
     metadata: Mapping | None = None,
 ) -> None:
-    """Write a partition to a JSON file."""
+    """Write a partition to a JSON file (atomically — a kill mid-write
+    leaves any previous file intact)."""
     document = partition_to_dict(partition, metadata)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=1)
+    atomic_write_text(path, json.dumps(document, indent=1))
 
 
 def load_partition(path: str | Path) -> tuple[Partition, dict]:

@@ -12,9 +12,12 @@ under wall-clock limits and caller aborts:
   exhausted checkpoint and converted by each phase into a flagged
   best-so-far result;
 - :mod:`repro.runtime.faults` — deterministic delay/crash/cancel
-  injection at the named checkpoints, for chaos testing.
+  injection at the named checkpoints, for chaos testing;
+- :func:`atomic_write_text` — crash-safe file replacement (temp file +
+  ``os.replace``) behind the solve checkpoints and the bench journal.
 """
 
+from .atomic import atomic_write_text
 from .budget import Budget, CancellationToken, Interrupted, RunStatus
 from .faults import (
     CHECKPOINTS,
@@ -33,5 +36,6 @@ __all__ = [
     "Interrupted",
     "RunStatus",
     "active_injector",
+    "atomic_write_text",
     "inject",
 ]

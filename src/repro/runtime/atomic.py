@@ -1,0 +1,50 @@
+"""Crash-safe file writes: temp file + ``os.replace``.
+
+Several durability features — the solver checkpoint files, the bench
+journal, ``BENCH_*.json`` results — are written by processes that can
+die at any instant (SIGALRM watchdogs, per-cell deadlines, injected
+faults, plain OOM kills). A plain ``open(path, "w")`` that dies
+mid-write leaves a truncated file, which is worse than no file at all:
+the resume machinery would load half a snapshot.
+
+:func:`atomic_write_text` guarantees all-or-nothing visibility: the
+payload is written to a temporary file in the *same directory* (so the
+final rename never crosses a filesystem boundary), fsynced, and moved
+into place with :func:`os.replace` — atomic on POSIX and Windows. A
+reader therefore sees either the complete previous version or the
+complete new one, never a torn write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace *path*'s contents with *text*.
+
+    The write happens to a uniquely named sibling temp file which is
+    fsynced and then renamed over *path* with ``os.replace``. On any
+    failure the temp file is removed and the original file (if any) is
+    left untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise

@@ -55,6 +55,9 @@ CHECKPOINTS: tuple[str, ...] = (
     "construction.grow.enclave",
     "construction.adjust.phase",
     "tabu.iteration",
+    "pool.result",
+    "checkpoint.write",
+    "certify.solution",
 )
 """Registry of every named checkpoint inside the solver.
 
@@ -67,6 +70,14 @@ CHECKPOINTS: tuple[str, ...] = (
 - ``construction.adjust.phase`` — entry and each phase boundary of
   Step 3 (absorb/swap/merge/trim/dissolve).
 - ``tabu.iteration`` — top of every Tabu iteration.
+- ``pool.result`` — parent-side reduction of one completed pass or
+  portfolio-member result (serial and worker execution alike).
+- ``checkpoint.write`` — immediately before each atomic solve-
+  checkpoint snapshot (``FaCTConfig.checkpoint_path``); a ``fail``
+  fault here simulates a crash at the snapshot boundary, the
+  kill-resume property tests' favourite spot.
+- ``certify.solution`` — before each certification pass
+  (``FaCTConfig.certify`` = ``final``/``paranoid``).
 """
 
 

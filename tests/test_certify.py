@@ -1,0 +1,218 @@
+"""Tests for the independent, cache-free certifier (repro.certify).
+
+The certifier is the ground truth against which the incremental solver
+machinery is audited, so these tests feed it hand-built partitions with
+*known* defects and assert it reports exactly those — and nothing for
+genuinely valid answers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.certify import Certificate, certify_partition, certify_solution
+from repro.core import ConstraintSet, Partition
+from repro.core.constraints import (
+    avg_constraint,
+    count_constraint,
+    min_constraint,
+    sum_constraint,
+)
+from repro.core.heterogeneity import pairwise_absolute_deviation
+from repro.data.schema import default_constraints
+from repro.exceptions import CertificationError
+from repro.fact import FaCT, FaCTConfig
+
+
+def _partition(regions, unassigned=()):
+    return Partition(
+        tuple(frozenset(r) for r in regions), frozenset(unassigned)
+    )
+
+
+class TestValidPartitions:
+    def test_valid_partition_certifies_cleanly(self, grid3):
+        # 3x3 rook grid, rows are contiguous; everything covered.
+        partition = _partition([{1, 2, 3}, {4, 5, 6}, {7, 8, 9}])
+        certificate = certify_partition(
+            partition, grid3, ConstraintSet([count_constraint(lower=2)])
+        )
+        assert certificate.valid
+        assert certificate.violations == ()
+        assert certificate.p == 3
+        assert certificate.n_unassigned == 0
+        assert certificate.checked_regions == 3
+        assert certificate.checked_constraints == 3
+        certificate.raise_if_invalid()  # must not raise
+
+    def test_fresh_heterogeneity_matches_manual_computation(self, grid3):
+        partition = _partition([{1, 2, 3}, {4, 5, 6}], unassigned={7, 8, 9})
+        certificate = certify_partition(partition, grid3)
+        expected = sum(
+            pairwise_absolute_deviation([float(i) for i in region])
+            for region in ([1, 2, 3], [4, 5, 6])
+        )
+        assert math.isclose(certificate.heterogeneity, expected)
+
+    def test_correct_claimed_heterogeneity_accepted(self, grid3):
+        partition = _partition([{1, 2, 3}], unassigned=set(range(4, 10)))
+        fresh = certify_partition(partition, grid3).heterogeneity
+        certificate = certify_partition(
+            partition, grid3, claimed_heterogeneity=fresh
+        )
+        assert certificate.valid
+        assert certificate.claimed_heterogeneity == fresh
+
+    def test_allow_uncovered_permits_partial_snapshots(self, grid3):
+        # Interrupted best-so-far snapshots may not have reached every
+        # area; allow_uncovered whitelists exactly those.
+        partition = _partition([{1, 2}])
+        certificate = certify_partition(
+            partition,
+            grid3,
+            allow_uncovered=frozenset(range(3, 10)),
+        )
+        assert certificate.valid
+
+
+class TestViolations:
+    def test_disconnected_region_reported(self, grid3):
+        # 1 and 9 are opposite corners — not connected on their own.
+        partition = _partition([{1, 9}], unassigned={2, 3, 4, 5, 6, 7, 8})
+        certificate = certify_partition(partition, grid3)
+        assert not certificate.valid
+        kinds = [v.kind for v in certificate.violations]
+        assert kinds == ["contiguity"]
+        assert certificate.violations[0].region == 0
+
+    def test_missing_areas_reported_as_coverage(self, grid3):
+        partition = _partition([{1, 2, 3}])  # areas 4..9 unaccounted for
+        certificate = certify_partition(partition, grid3)
+        assert not certificate.valid
+        assert certificate.violations[0].kind == "coverage"
+        assert "neither assigned nor in U_0" in certificate.violations[0].detail
+
+    def test_unknown_areas_reported_and_contiguity_skipped(self, grid3):
+        # Region contains id 99, unknown to the collection: coverage
+        # violation, and the region is excluded from the BFS check
+        # (there is no adjacency to walk).
+        partition = _partition(
+            [{1, 2, 99}], unassigned={3, 4, 5, 6, 7, 8, 9}
+        )
+        certificate = certify_partition(partition, grid3)
+        kinds = {v.kind for v in certificate.violations}
+        assert kinds == {"coverage"}
+
+    def test_constraint_violation_carries_fresh_value(self, grid3):
+        constraints = ConstraintSet([sum_constraint("s", lower=100.0)])
+        partition = _partition([{1, 2, 3}], unassigned=set(range(4, 10)))
+        certificate = certify_partition(partition, grid3, constraints)
+        assert not certificate.valid
+        violation = certificate.violations[0]
+        assert violation.kind == "constraint"
+        assert violation.region == 0
+        assert violation.value == 6.0  # fresh SUM(s) over {1,2,3}
+        assert "SUM" in violation.constraint
+
+    def test_every_enriched_aggregate_is_recomputed(self, grid3):
+        # One violated constraint per aggregate family on one region.
+        constraints = ConstraintSet(
+            [
+                min_constraint("s", lower=5.0),  # min is 1
+                avg_constraint("s", upper=1.5),  # avg is 2
+                count_constraint(lower=10),  # count is 3
+            ]
+        )
+        partition = _partition([{1, 2, 3}], unassigned=set(range(4, 10)))
+        certificate = certify_partition(partition, grid3, constraints)
+        assert len(certificate.violations) == 3
+        assert certificate.checked_constraints == 3
+
+    def test_wrong_claimed_heterogeneity_is_an_objective_violation(
+        self, grid3
+    ):
+        partition = _partition([{1, 2, 3}], unassigned=set(range(4, 10)))
+        certificate = certify_partition(
+            partition, grid3, claimed_heterogeneity=12345.0
+        )
+        assert not certificate.valid
+        assert certificate.violations[0].kind == "objective"
+
+    def test_tiny_float_drift_in_claim_is_tolerated(self, grid3):
+        partition = _partition([{1, 2, 3}], unassigned=set(range(4, 10)))
+        fresh = certify_partition(partition, grid3).heterogeneity
+        certificate = certify_partition(
+            partition, grid3, claimed_heterogeneity=fresh * (1 + 1e-9)
+        )
+        assert certificate.valid
+
+    def test_raise_if_invalid_carries_the_certificate(self, grid3):
+        partition = _partition([{1, 9}], unassigned={2, 3, 4, 5, 6, 7, 8})
+        certificate = certify_partition(partition, grid3)
+        with pytest.raises(CertificationError) as excinfo:
+            certificate.raise_if_invalid()
+        assert excinfo.value.certificate is certificate
+
+
+class TestSerialization:
+    def test_as_dict_is_versioned_and_json_shaped(self, grid3):
+        partition = _partition([{1, 9}], unassigned={2, 3, 4, 5, 6, 7, 8})
+        payload = certify_partition(partition, grid3, label="final").as_dict()
+        assert payload["format"] == "repro-certificate/1"
+        assert payload["label"] == "final"
+        assert payload["valid"] is False
+        assert payload["violations"][0]["kind"] == "contiguity"
+        import json
+
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+
+class TestSolverIntegration:
+    def test_certify_solution_validates_a_real_solve(self, tiny_census):
+        constraints = ConstraintSet(default_constraints())
+        solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+            tiny_census, constraints
+        )
+        certificate = certify_solution(
+            solution, tiny_census, constraints
+        )
+        assert certificate.valid
+        assert certificate.p == solution.p
+        assert certificate.claimed_heterogeneity == solution.heterogeneity
+
+    def test_solver_attaches_certificate_at_final_level(self, tiny_census):
+        constraints = ConstraintSet(default_constraints())
+        solution = FaCT(FaCTConfig(rng_seed=3, certify="final")).solve(
+            tiny_census, constraints
+        )
+        assert isinstance(solution.certificate, Certificate)
+        assert solution.certificate.valid
+        assert solution.certificate.label == "final"
+        assert solution.perf.certifications == 1
+
+    def test_paranoid_level_certifies_phase_boundaries_too(self, tiny_census):
+        constraints = ConstraintSet(default_constraints())
+        solution = FaCT(FaCTConfig(rng_seed=3, certify="paranoid")).solve(
+            tiny_census, constraints
+        )
+        assert solution.certificate.valid
+        assert solution.perf.certifications == 2  # construction + final
+
+    def test_certify_env_var_is_the_default(self, tiny_census, monkeypatch):
+        monkeypatch.setenv("REPRO_CERTIFY", "final")
+        constraints = ConstraintSet(default_constraints())
+        solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+            tiny_census, constraints
+        )
+        assert solution.certificate is not None
+        assert solution.certificate.valid
+
+    def test_explicit_level_beats_env_var(self, tiny_census, monkeypatch):
+        monkeypatch.setenv("REPRO_CERTIFY", "paranoid")
+        constraints = ConstraintSet(default_constraints())
+        solution = FaCT(FaCTConfig(rng_seed=3, certify="off")).solve(
+            tiny_census, constraints
+        )
+        assert solution.certificate is None

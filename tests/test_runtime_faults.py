@@ -34,16 +34,29 @@ def constraints() -> ConstraintSet:
     return ConstraintSet(default_constraints())
 
 
+def _resilient_config(tmp_path, **overrides) -> FaCTConfig:
+    """A config exercising every registered checkpoint: ``pool.result``
+    fires per collected work unit, ``checkpoint.write`` needs a
+    checkpoint path and ``certify.solution`` needs certification on."""
+    options = dict(
+        rng_seed=3,
+        certify="final",
+        checkpoint_path=str(tmp_path / "solve.ckpt.json"),
+    )
+    options.update(overrides)
+    return FaCTConfig(**options)
+
+
 class TestCheckpointRegistry:
     def test_every_registered_checkpoint_is_reachable(
-        self, small_census, constraints
+        self, small_census, constraints, tmp_path
     ):
         # Drives the full three-phase solve under a fault-free injector
         # and demands a visit to every name in CHECKPOINTS — the guard
         # against checkpoint names drifting away from the code.
         injector = FaultInjector()
         with inject(injector):
-            solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+            solution = FaCT(_resilient_config(tmp_path)).solve(
                 small_census, constraints
             )
         assert solution.status is RunStatus.COMPLETE
@@ -71,11 +84,11 @@ class TestCheckpointRegistry:
 class TestInterruptionInvariants:
     @pytest.mark.parametrize("checkpoint", CHECKPOINTS)
     def test_cancel_at_any_checkpoint_leaves_valid_partition(
-        self, small_census, constraints, checkpoint
+        self, small_census, constraints, checkpoint, tmp_path
     ):
         injector = FaultInjector().cancel(checkpoint)
         with inject(injector):
-            solution = FaCT(FaCTConfig(rng_seed=3)).solve(
+            solution = FaCT(_resilient_config(tmp_path)).solve(
                 small_census, constraints
             )
         assert solution.status is RunStatus.CANCELLED
