@@ -11,6 +11,13 @@ Commands
     List the built-in dataset registry (Table I of the paper).
 ``report``
     Alias for ``python -m repro.bench.report``.
+``obs``
+    Inspect a solve's telemetry event log (written via
+    ``solve --trace-output``): ``obs report`` renders the span tree,
+    ``obs chrome`` exports Chrome ``trace_event`` JSON for
+    ``chrome://tracing``, ``obs prom`` prints the final metrics in
+    Prometheus text exposition, ``obs validate`` checks the log for
+    unclosed spans / malformed records.
 
 Constraints are given as compact strings, one ``--constraint`` per
 constraint: ``AGG:ATTR:LOWER:UPPER`` with ``-`` for an open bound,
@@ -92,6 +99,54 @@ def _constraints(args) -> ConstraintSet:
     return ConstraintSet(default_constraints())
 
 
+def _run_obs(args) -> int:
+    """The ``obs`` subcommand: exporters over a telemetry JSONL file."""
+    from .obs import (
+        chrome_trace,
+        final_metrics_snapshot,
+        prometheus_text,
+        read_events,
+        render_report,
+        validate_events,
+    )
+
+    try:
+        events = read_events(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.obs_command == "validate":
+        problems = validate_events(events)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"ok: {len(events)} events, no unclosed spans")
+        return 0
+    if args.obs_command == "report":
+        print(render_report(events))
+        return 0
+    if args.obs_command == "chrome":
+        payload = json.dumps(chrome_trace(events), sort_keys=True)
+        if args.output:
+            atomic_write_text(args.output, payload + "\n")
+            print(
+                f"chrome trace written to {args.output} "
+                "(load via chrome://tracing or https://ui.perfetto.dev)"
+            )
+        else:
+            print(payload)
+        return 0
+    # prom
+    snapshot = final_metrics_snapshot(events)
+    if snapshot is None:
+        print("error: no metrics snapshot in event log", file=sys.stderr)
+        return 1
+    print(prometheus_text(snapshot), end="")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -156,6 +211,37 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     solve.add_argument("--geojson-output", help="write regions as GeoJSON")
     solve.add_argument("--svg-output", help="write a region map as SVG")
+    solve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (results are identical at any count)",
+    )
+    solve.add_argument(
+        "--portfolio",
+        type=int,
+        default=1,
+        metavar="N",
+        help="Tabu portfolio members (best of N independent searches)",
+    )
+    solve.add_argument(
+        "--trace-output",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record solve telemetry (spans, events, metric snapshots) "
+            "as JSONL; inspect with 'python -m repro obs report PATH'"
+        ),
+    )
+    solve.add_argument(
+        "--metrics-output",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the final metrics snapshot (.prom/.txt: Prometheus "
+            "text exposition, otherwise JSON)"
+        ),
+    )
 
     check = commands.add_parser("check", help="feasibility phase only")
     _add_common(check)
@@ -169,6 +255,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     report.add_argument("--quick", action="store_true")
     report.add_argument("--output", default="EXPERIMENTS.generated.md")
 
+    obs = commands.add_parser(
+        "obs", help="inspect solve telemetry (--trace-output files)"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    for name, help_text in (
+        ("report", "render the span tree and per-phase timing"),
+        ("chrome", "export Chrome trace_event JSON (chrome://tracing)"),
+        ("prom", "print final metrics in Prometheus text exposition"),
+        ("validate", "check the event log (unclosed spans, bad JSONL)"),
+    ):
+        sub = obs_commands.add_parser(name, help=help_text)
+        sub.add_argument("trace", help="telemetry JSONL file")
+        if name == "chrome":
+            sub.add_argument(
+                "--output", "-o", default=None,
+                help="write JSON here instead of stdout",
+            )
+
     args = parser.parse_args(argv)
 
     try:
@@ -181,6 +285,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"{spec.patches:>10} | {spec.description}"
                 )
             return 0
+
+        if args.command == "obs":
+            return _run_obs(args)
 
         if args.command == "report":
             from .bench.report import main as report_main
@@ -210,6 +317,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 strict_interrupt=args.strict_timeout,
                 certify=certify,
                 checkpoint_path=args.checkpoint,
+                n_jobs=args.jobs,
+                tabu_portfolio=args.portfolio,
+                trace_path=args.trace_output,
+                metrics_path=args.metrics_output,
             )
         )
         try:
@@ -224,6 +335,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return 2
         print(format_solution_report(solution, collection))
+        if args.trace_output:
+            print(
+                f"telemetry written to {args.trace_output} "
+                f"(inspect: python -m repro obs report {args.trace_output})"
+            )
+        if args.metrics_output:
+            print(f"metrics written to {args.metrics_output}")
         if args.certificate_output and solution.certificate is not None:
             atomic_write_text(
                 args.certificate_output,

@@ -26,6 +26,13 @@ journal a later ``--journal`` resume depends on — a reader always
 sees a complete previous or complete new snapshot. Torn lines from
 journals written by older (append-mode) versions are still detected
 and dropped on load.
+
+Records carry a ``schema_version``
+(:data:`repro.bench.runner.BENCH_SCHEMA_VERSION`, currently 2 — the
+version that added the ``telemetry`` summary block). The reader
+accepts older records: missing version-2 fields fall back to their
+defaults (``schema_version=1``, empty telemetry), so journals written
+before the telemetry PR keep replaying unchanged.
 """
 
 from __future__ import annotations
@@ -133,6 +140,11 @@ class RunJournal:
             for name in ExperimentRow.__dataclass_fields__
             if name in entry
         }
+        # Version-1 records predate these fields; mark them as such
+        # instead of letting the current-version defaults claim they
+        # carry (empty) telemetry from a v2 run.
+        fields.setdefault("schema_version", 1)
+        fields.setdefault("telemetry", {})
         try:
             row = ExperimentRow(**fields)
         except TypeError:

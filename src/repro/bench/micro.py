@@ -50,13 +50,52 @@ from ..core.perf import set_hotpath_caches
 from ..data.datasets import load_dataset
 from ..fact.solver import FaCT
 from ..fact.state import SolutionState
+from ..obs.telemetry import SolveTelemetry
 from ..runtime.atomic import atomic_write_text
-from .runner import bench_config
+from .runner import BENCH_SCHEMA_VERSION, bench_config
 from .workloads import combo_constraints
 
-__all__ = ["run_micro", "run_objective", "main"]
+__all__ = ["read_bench_record", "run_micro", "run_objective", "main"]
 
 _SMOKE_SCALE = 0.08
+
+
+def read_bench_record(path: str) -> dict | None:
+    """Load a ``BENCH_*.json`` record, accepting records of any schema
+    version.
+
+    Version-1 records (written before the telemetry PR) gain
+    ``schema_version=1`` and an empty ``telemetry`` block so consumers
+    can treat every record uniformly. Returns ``None`` when the file is
+    missing or unparseable.
+    """
+    import os
+
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    payload.setdefault("schema_version", 1)
+    payload.setdefault("telemetry", {})
+    return payload
+
+
+def _telemetry_block(telemetry: SolveTelemetry) -> dict:
+    """Span count + per-phase wall-clock summary for a JSON payload."""
+    summary = telemetry.summary()
+    return {
+        "total_spans": summary["total_spans"],
+        "total_events": summary["total_events"],
+        "phase_seconds": {
+            phase: round(seconds, 4)
+            for phase, seconds in sorted(summary["phase_seconds"].items())
+        },
+    }
 
 
 def _solve_once(
@@ -65,12 +104,20 @@ def _solve_once(
     rng_seed: int,
     cached: bool,
 ) -> dict:
-    """One full FaCT solve with the cache gate forced to *cached*."""
+    """One full FaCT solve with the cache gate forced to *cached*.
+
+    Both modes run with (in-memory) telemetry on, so the wall-clock
+    comparison stays apples-to-apples and the record carries the span
+    summary.
+    """
     config = bench_config(len(collection), rng_seed=rng_seed, enable_tabu=True)
+    telemetry = SolveTelemetry()
     previous = set_hotpath_caches(cached)
     try:
         started = time.perf_counter()
-        solution = FaCT(config).solve(collection, constraints)
+        solution = FaCT(config).solve(
+            collection, constraints, telemetry=telemetry
+        )
         wall = time.perf_counter() - started
     finally:
         set_hotpath_caches(previous)
@@ -81,6 +128,7 @@ def _solve_once(
         "n_unassigned": solution.n_unassigned,
         "heterogeneity": solution.heterogeneity,
         "perf": solution.perf.as_dict() if solution.perf is not None else {},
+        "telemetry": _telemetry_block(telemetry),
     }
 
 
@@ -195,6 +243,8 @@ def run_micro(
 
     result = {
         "benchmark": "hotpaths",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "telemetry": cached["telemetry"],
         "dataset": dataset,
         "scale": scale,
         "n_areas": len(collection),
@@ -262,10 +312,13 @@ def _solve_objective_once(
         n_jobs=n_jobs,
         tabu_portfolio=tabu_portfolio,
     )
+    telemetry = SolveTelemetry()
     previous = set_hotpath_caches(cached)
     try:
         started = time.perf_counter()
-        solution = FaCT(config).solve(collection, constraints)
+        solution = FaCT(config).solve(
+            collection, constraints, telemetry=telemetry
+        )
         wall = time.perf_counter() - started
     finally:
         set_hotpath_caches(previous)
@@ -278,21 +331,22 @@ def _solve_objective_once(
         "heterogeneity": solution.heterogeneity,
         "tabu_seconds": perf.get("timings", {}).get("tabu", 0.0),
         "perf": perf,
+        "telemetry": _telemetry_block(telemetry),
     }
 
 
 def _baseline_tabu_seconds(path: str) -> float | None:
     """Tabu-phase seconds of the checked-in hot-path baseline, if the
-    file exists and carries them (PR2's ``BENCH_hotpaths.json``)."""
-    import os
+    file exists and carries them (PR2's ``BENCH_hotpaths.json``).
 
-    if not os.path.exists(path):
+    Goes through :func:`read_bench_record`, so baselines of any schema
+    version are accepted."""
+    payload = read_bench_record(path)
+    if payload is None:
         return None
     try:
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
         value = payload["cached"]["perf"]["timings"]["tabu"]
-    except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+    except (KeyError, TypeError):
         return None
     return float(value)
 
@@ -358,6 +412,8 @@ def run_objective(
     tabu_cached = cached["tabu_seconds"]
     return {
         "benchmark": "objective",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "telemetry": cached["telemetry"],
         "dataset": dataset,
         "scale": scale,
         "n_areas": len(collection),

@@ -27,6 +27,7 @@ from ..core.area import AreaCollection
 from ..data.datasets import load_dataset
 from ..fact.config import FaCTConfig
 from ..fact.solver import FaCT
+from ..obs.telemetry import SolveTelemetry
 from ..baselines.maxp import MaxPConfig, solve_maxp
 from ..data import schema
 from ..runtime import RunStatus
@@ -34,6 +35,7 @@ from .journal import RunJournal, journal_key
 from .workloads import Range, combo_constraints, format_range
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "ExperimentRow",
     "bench_scale",
     "bench_dataset",
@@ -48,6 +50,13 @@ __all__ = [
 _SCALE_ENV = "REPRO_BENCH_SCALE"
 _DEFAULT_BENCH_SCALE = 0.15
 _CELL_DEADLINE_ENV = "REPRO_BENCH_CELL_DEADLINE"
+
+# Version of the benchmark record layout (journal rows and the
+# BENCH_*.json payloads). Version 2 added ``schema_version`` itself and
+# the ``telemetry`` summary block; readers accept version-1 records
+# (the fields default) so existing journals and checked-in baselines
+# keep replaying.
+BENCH_SCHEMA_VERSION = 2
 
 
 def bench_scale() -> float:
@@ -138,6 +147,11 @@ class ExperimentRow:
     error: str = ""
     rng_seed: int = 7
     enable_tabu: bool = True
+    schema_version: int = BENCH_SCHEMA_VERSION
+    # Telemetry summary of the measured solve (total spans and
+    # per-phase wall-clock from the in-memory SolveTelemetry); empty
+    # for error rows, baseline (MP) rows and version-1 journal rows.
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -167,6 +181,8 @@ class ExperimentRow:
             "error": self.error,
             "rng_seed": self.rng_seed,
             "enable_tabu": self.enable_tabu,
+            "schema_version": self.schema_version,
+            "telemetry": dict(self.telemetry),
         }
 
 
@@ -276,7 +292,12 @@ def run_emp(
         config = bench_config(
             len(collection), rng_seed=rng_seed, enable_tabu=enable_tabu
         )
-        solution = FaCT(config).solve(collection, constraints)
+        # In-memory telemetry (no trace file): the row carries a
+        # summary of the solve's span tree and per-phase wall-clock.
+        telemetry = SolveTelemetry()
+        solution = FaCT(config).solve(
+            collection, constraints, telemetry=telemetry
+        )
         return ExperimentRow(
             solver="FaCT",
             combo=combo,
@@ -292,9 +313,23 @@ def run_emp(
             status=_row_status(solution.status),
             rng_seed=rng_seed,
             enable_tabu=enable_tabu,
+            telemetry=_telemetry_summary(telemetry),
         )
 
     return _finish_row(key, _measure)
+
+
+def _telemetry_summary(telemetry: SolveTelemetry) -> dict:
+    """The row's ``telemetry`` block: span count and per-phase seconds."""
+    summary = telemetry.summary()
+    return {
+        "total_spans": summary["total_spans"],
+        "total_events": summary["total_events"],
+        "phase_seconds": {
+            phase: round(seconds, 4)
+            for phase, seconds in sorted(summary["phase_seconds"].items())
+        },
+    }
 
 
 def run_maxp(

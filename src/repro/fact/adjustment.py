@@ -32,6 +32,7 @@ from typing import Sequence
 
 from ..core.constraints import Constraint
 from ..core.region import Region
+from ..obs.spans import NULL_TRACER
 from .config import FaCTConfig
 from .state import SolutionState
 
@@ -43,6 +44,7 @@ def adjust_counting(
     config: FaCTConfig,
     rng: random.Random,
     budget=None,
+    tracer=None,
 ) -> None:
     """Run Step 3 over *state* (call after :func:`grow_regions`).
 
@@ -50,24 +52,36 @@ def adjust_counting(
     every phase boundary (absorb → swap → merge → trim → dissolve); an
     exhausted budget raises :class:`repro.runtime.Interrupted` and the
     caller dissolves whatever regions the finished phases left invalid.
+
+    *tracer* is an optional :class:`repro.obs.Tracer`; the whole step
+    becomes one ``adjust`` span carrying the final state shape.
     """
 
     def _phase_boundary() -> None:
         if budget is not None:
             budget.checkpoint("construction.adjust.phase")
 
-    counting = state.constraints.counting
-    _phase_boundary()
-    if counting:
-        _absorb_unassigned(state, config, rng)
+    if tracer is None:
+        tracer = NULL_TRACER
+    with tracer.span("adjust") as span:
+        counting = state.constraints.counting
         _phase_boundary()
-        _swap_from_neighbors(state, rng)
-        _phase_boundary()
-        _merge_deficient(state)
-        _phase_boundary()
-        _trim_oversized(state, rng)
-        _phase_boundary()
-    dissolve_infeasible(state)
+        if counting:
+            _absorb_unassigned(state, config, rng)
+            _phase_boundary()
+            _swap_from_neighbors(state, rng)
+            _phase_boundary()
+            _merge_deficient(state)
+            _phase_boundary()
+            _trim_oversized(state, rng)
+            _phase_boundary()
+        dissolve_infeasible(state)
+        if span.recording:
+            span.set(
+                p=state.p,
+                n_unassigned=state.n_unassigned,
+                heterogeneity=state.total_heterogeneity(),
+            )
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,7 @@ import os
 
 from ..core.perf import PerfCounters
 from ..exceptions import CheckpointError
+from ..obs.telemetry import DISABLED
 from ..runtime import Budget, Interrupted, RunStatus
 from ..runtime.atomic import atomic_write_text
 
@@ -95,6 +96,9 @@ class SolveLedger:
         self.units: dict[str, object] = dict(units or {})
         self.consumed_seconds = float(consumed_seconds)
         self.counters = PerfCounters()
+        # The solver assigns its SolveTelemetry so snapshot writes are
+        # traced (``checkpoint.write`` spans); defaults to the no-op.
+        self.telemetry = DISABLED
 
     # ------------------------------------------------------------------
     # constructors
@@ -162,11 +166,11 @@ class SolveLedger:
         """Replay a recorded construction pass, or ``None``.
 
         Returns the pass-result tuple ``(score_key, labels,
-        (p, n_unassigned), None, PerfCounters())`` exactly as
+        (p, n_unassigned), None, PerfCounters(), [])`` exactly as
         :func:`repro.fact.pool.construction_pass_task` would. Replayed
-        units carry fresh (empty) perf counters — hot-path counters are
-        diagnostics, not part of the bit-identity contract, which
-        covers the partition.
+        units carry fresh (empty) perf counters and no spans —
+        hot-path counters and telemetry are diagnostics, not part of
+        the bit-identity contract, which covers the partition.
         """
         stored = self.units.get(self._pass_key(attempt, index))
         if stored is None:
@@ -179,6 +183,7 @@ class SolveLedger:
             tuple(scores),
             None,
             PerfCounters(),
+            [],
         )
 
     def record_pass(self, attempt: int, index: int, result,
@@ -186,7 +191,7 @@ class SolveLedger:
         """Record one *completed* construction pass and snapshot the
         file. Interrupted passes (``result[3] is not None``) are
         ignored — see the module docstring."""
-        score_key, labels, scores, status, _perf = result
+        score_key, labels, scores, status = result[:4]
         if status is not None:
             return
         self.units[self._pass_key(attempt, index)] = [
@@ -217,13 +222,14 @@ class SolveLedger:
             {int(area_id): label for area_id, label in labels.items()},
             stats,
             PerfCounters(),
+            [],
         )
 
     def record_member(self, member: int, outcome,
                       budget: Budget | None = None) -> None:
         """Record one *completed* portfolio member and snapshot the
         file (interrupted members are recomputed on resume)."""
-        score, labels, stats, _perf = outcome
+        score, labels, stats = outcome[:3]
         if stats.get("status") is not RunStatus.COMPLETE:
             return
         stored_stats = {
@@ -257,7 +263,10 @@ class SolveLedger:
             "consumed_seconds": consumed,
             "units": self.units,
         }
-        atomic_write_text(self.path, json.dumps(payload, sort_keys=True))
+        with self.telemetry.tracer.span(
+            "checkpoint.write", units=len(self.units)
+        ):
+            atomic_write_text(self.path, json.dumps(payload, sort_keys=True))
         self.consumed_seconds = consumed
         self.counters.checkpoint_writes += 1
 

@@ -183,6 +183,17 @@ class FaCTConfig:
         there; a killed solve can then continue bit-identically via
         ``FaCT.solve(resume_from=...)``. The file is deleted after a
         COMPLETE solve. ``None`` (default) disables checkpointing.
+    trace_path:
+        Path of the JSONL telemetry event log
+        (:class:`repro.obs.SolveTelemetry`). When set, the solve
+        records its span tree, event log and per-phase metric
+        snapshots there (inspect with ``python -m repro obs report``).
+        ``None`` (default) disables telemetry entirely — the solver
+        runs through no-op instruments.
+    metrics_path:
+        Path for the final metrics snapshot. ``.prom``/``.txt`` files
+        get Prometheus text exposition, anything else JSON. Implies
+        telemetry on (even without ``trace_path``).
     worker_task_deadline_seconds:
         Per-task wall-clock deadline on the worker pool. A pass or
         portfolio member still unfinished after this long is abandoned
@@ -213,6 +224,8 @@ class FaCTConfig:
     degenerate_unassigned_ratio: float = 0.95
     certify: str | None = None
     checkpoint_path: str | None = None
+    trace_path: str | None = None
+    metrics_path: str | None = None
     worker_task_deadline_seconds: float | None = None
     pool_task_retries: int = 1
 
@@ -279,6 +292,10 @@ class FaCTConfig:
             self.certify = CertifyLevel.validate(self.certify)
         if self.checkpoint_path is not None:
             self.checkpoint_path = os.fspath(self.checkpoint_path)
+        if self.trace_path is not None:
+            self.trace_path = os.fspath(self.trace_path)
+        if self.metrics_path is not None:
+            self.metrics_path = os.fspath(self.metrics_path)
         if self.worker_task_deadline_seconds is not None:
             value = self.worker_task_deadline_seconds
             if (

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from ..core.area import AreaCollection
 from ..core.constraints import ConstraintSet
 from ..core.partition import Partition
+from ..obs.telemetry import DISABLED
 from ..runtime import Budget, Interrupted, RunStatus
 from .config import FaCTConfig
 from .feasibility import FeasibilityReport, check_feasibility
@@ -48,8 +49,8 @@ __all__ = ["ConstructionResult", "construct"]
 # worker processes (workers also enforce their own deadlines).
 _PARALLEL_POLL_SECONDS = 0.05
 
-# (score_key, labels, (p, n_unassigned), status, perf) — what one
-# construction pass returns, see pool.construction_pass_task.
+# (score_key, labels, (p, n_unassigned), status, perf, spans) — what
+# one construction pass returns, see pool.construction_pass_task.
 _PassResult = tuple
 
 
@@ -117,6 +118,7 @@ def construct(
     attempt_index: int = 0,
     ledger=None,
     runtime_perf=None,
+    telemetry=None,
 ) -> ConstructionResult:
     """Build a feasible initial partition maximizing ``p``.
 
@@ -136,10 +138,17 @@ def construct(
     previously recorded passes are replayed instead of recomputed —
     the checkpoint/resume mechanism. *runtime_perf* collects the
     worker-fault counters of the parallel path.
+
+    *telemetry* is an optional :class:`repro.obs.SolveTelemetry`: each
+    pass becomes a ``pass`` span (with ``grow``/``enclave``/
+    ``extrema``/``adjust`` children) parented under the caller's
+    current span — worker-side spans included, stitched back through
+    the task results.
     """
     from .pool import SolverPool
 
     config = config or FaCTConfig()
+    telemetry = telemetry if telemetry is not None else DISABLED
     budget = (budget or Budget.unlimited()).start()
     started = time.perf_counter()
     if feasibility is None:
@@ -162,24 +171,26 @@ def construct(
         if config.n_jobs > 1:
             results, status = _run_passes_parallel(
                 config, seeding, budget, pool, attempt_index, ledger,
-                runtime_perf,
+                runtime_perf, telemetry,
             )
         else:
             results, status = _run_passes_serial(
-                config, seeding, budget, pool, attempt_index, ledger
+                config, seeding, budget, pool, attempt_index, ledger,
+                telemetry,
             )
     finally:
         if owns_pool:
             pool.shutdown()
 
-    pass_scores = [score for _key, _labels, score, _status, _perf in results]
+    pass_scores = [result[2] for result in results]
     ranked_labels: list[dict[int, int]] = []
     if results:
         # Submission order breaks ties, keeping the chosen pass (and
         # the portfolio's starting points) deterministic regardless of
         # completion order.
         order = sorted(range(len(results)), key=lambda i: (results[i][0], i))
-        best_key, best_labels, _score, _status, best_perf = results[order[0]]
+        best_key, best_labels = results[order[0]][0], results[order[0]][1]
+        best_perf = results[order[0]][4]
         # Only passes matching the winner's (p, n_unassigned) may seed
         # portfolio members: Tabu preserves both, and the portfolio
         # reduction compares members by objective score alone.
@@ -227,6 +238,7 @@ def _run_passes_serial(
     pool,
     attempt_index: int = 0,
     ledger=None,
+    telemetry=DISABLED,
 ) -> tuple[list[_PassResult], RunStatus | None]:
     """Run the passes in-process, sharing the parent budget (so a
     cancellation is observed mid-pass, not only between passes).
@@ -236,6 +248,7 @@ def _run_passes_serial(
     """
     from .pool import construction_pass_task
 
+    span_context = telemetry.span_context()
     results: list[_PassResult] = []
     status: RunStatus | None = None
     for index in range(config.construction_iterations):
@@ -257,9 +270,19 @@ def _run_passes_serial(
                 config,
                 None,
                 budget,
+                span_context,
+                index,
             )
             if ledger is not None:
                 ledger.record_pass(attempt_index, index, result, budget)
+        else:
+            telemetry.event(
+                "checkpoint.replay",
+                phase="construction",
+                attempt=attempt_index,
+                index=index,
+            )
+        telemetry.adopt_spans(result[5])
         try:
             budget.checkpoint("pool.result")
         except Interrupted:
@@ -280,6 +303,7 @@ def _run_passes_parallel(
     attempt_index: int = 0,
     ledger=None,
     runtime_perf=None,
+    telemetry=DISABLED,
 ) -> tuple[list[_PassResult], RunStatus | None]:
     """Fan the passes out over the worker pool.
 
@@ -309,16 +333,39 @@ def _run_passes_parallel(
         )
         if replay is not None:
             replayed[index] = replay
+            telemetry.event(
+                "checkpoint.replay",
+                phase="construction",
+                attempt=attempt_index,
+                index=index,
+            )
         else:
             to_run.append(index)
 
+    span_context = telemetry.span_context()
     deadline_remaining = budget.remaining()
     submit_args = [
-        (seeding, config.derived_pass_seed(index), config, deadline_remaining)
+        (
+            seeding,
+            config.derived_pass_seed(index),
+            config,
+            deadline_remaining,
+            None,
+            span_context,
+            index,
+        )
         for index in to_run
     ]
     local_args = [
-        (seeding, config.derived_pass_seed(index), config, None, budget)
+        (
+            seeding,
+            config.derived_pass_seed(index),
+            config,
+            None,
+            budget,
+            span_context,
+            index,
+        )
         for index in to_run
     ]
 
@@ -336,6 +383,7 @@ def _run_passes_parallel(
         task_deadline=config.worker_task_deadline_seconds,
         on_result=_record,
         poll_seconds=_PARALLEL_POLL_SECONDS,
+        telemetry=telemetry,
     )
 
     outcome = dict(replayed)
@@ -343,6 +391,10 @@ def _run_passes_parallel(
         outcome[to_run[position]] = result
     # Pass-index order == submission order, like the serial path appends.
     results = [outcome[index] for index in sorted(outcome)]
+    for result in results:
+        # Adoption in pass-index order keeps the event log deterministic
+        # regardless of worker completion order.
+        telemetry.adopt_spans(result[5])
     if status is None:
         # A worker may have tripped its local deadline even though the
         # parent loop never observed the budget as expired.

@@ -38,6 +38,7 @@ from typing import Sequence
 
 from ..core.constraints import Constraint, ConstraintSet
 from ..core.region import Region
+from ..obs.spans import NULL_TRACER
 from .config import FaCTConfig, PickupCriterion
 from .seeding import SeedingResult
 from .state import SolutionState
@@ -55,6 +56,7 @@ def grow_regions(
     config: FaCTConfig,
     rng: random.Random,
     budget=None,
+    tracer=None,
 ) -> None:
     """Run Step 2 over *state* (all areas initially unassigned).
 
@@ -63,11 +65,35 @@ def grow_regions(
     exhausted budget raises :class:`repro.runtime.Interrupted`, leaving
     the state to the caller, which dissolves any half-grown (invalid)
     regions before using it.
+
+    *tracer* is an optional :class:`repro.obs.Tracer`; each substep
+    becomes a span (``grow`` / ``enclave`` / ``extrema``) carrying the
+    state shape it left behind — the same numbers
+    :func:`repro.fact.trace.trace_solve` snapshots per step.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     avgs = state.constraints.avgs
-    _initialize_from_seeds(state, seeding, avgs, config, rng, budget)
-    _assign_enclaves(state, avgs, config, rng, budget)
-    _combine_for_extrema(state)
+    with tracer.span("grow") as span:
+        _initialize_from_seeds(state, seeding, avgs, config, rng, budget)
+        _set_state_attrs(span, state)
+    with tracer.span("enclave") as span:
+        _assign_enclaves(state, avgs, config, rng, budget)
+        _set_state_attrs(span, state)
+    with tracer.span("extrema") as span:
+        _combine_for_extrema(state)
+        _set_state_attrs(span, state)
+
+
+def _set_state_attrs(span, state: SolutionState) -> None:
+    """Attach the partition shape to a substep span (recording only —
+    ``total_heterogeneity`` is not free)."""
+    if span.recording:
+        span.set(
+            p=state.p,
+            n_unassigned=state.n_unassigned,
+            heterogeneity=state.total_heterogeneity(),
+        )
 
 
 # ----------------------------------------------------------------------

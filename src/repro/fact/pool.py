@@ -35,6 +35,8 @@ from concurrent.futures.process import BrokenProcessPool
 from ..core.area import AreaCollection
 from ..core.constraints import ConstraintSet
 from ..core.perf import PerfCounters
+from ..obs.spans import worker_tracer
+from ..obs.telemetry import DISABLED
 from ..runtime import Budget, Interrupted, RunStatus
 from .config import FaCTConfig
 from .state import SolutionState
@@ -73,16 +75,24 @@ def construction_pass_task(
     config_override: FaCTConfig | None = None,
     deadline_seconds: float | None = None,
     budget: Budget | None = None,
-) -> tuple[tuple, dict[int, int], tuple[int, int], RunStatus | None, PerfCounters]:
+    span_context=None,
+    pass_index: int | None = None,
+) -> tuple:
     """One construction pass against the installed worker context.
 
-    Returns ``(score_key, labels, (p, n_unassigned), status, perf)``.
-    Regions travel back as labels because live states are cheaper to
-    rebuild than to pickle. *config_override* carries a retry
-    attempt's config (same knobs, different base seed); the actual
-    randomness comes from *pass_seed* either way. In-process callers
-    pass their live *budget* (cancellation token included); worker
-    submissions pass *deadline_seconds* instead and get a local one.
+    Returns ``(score_key, labels, (p, n_unassigned), status, perf,
+    spans)``. Regions travel back as labels because live states are
+    cheaper to rebuild than to pickle. *config_override* carries a
+    retry attempt's config (same knobs, different base seed); the
+    actual randomness comes from *pass_seed* either way. In-process
+    callers pass their live *budget* (cancellation token included);
+    worker submissions pass *deadline_seconds* instead and get a local
+    one.
+
+    *span_context* (a :meth:`repro.obs.Tracer.context` value) roots
+    this pass's telemetry under the parent's current span; the
+    finished span dicts travel back in the result for the parent to
+    adopt. ``None`` — the default — records nothing.
     """
     from .adjustment import adjust_counting, dissolve_infeasible
     from .construction import _score_key
@@ -95,19 +105,35 @@ def construction_pass_task(
     rng = random.Random(pass_seed)
     if budget is None:
         budget = _local_budget(deadline_seconds)
+    tracer = worker_tracer(span_context)
     status: RunStatus | None = None
-    try:
-        grow_regions(state, seeding, config, rng, budget=budget)
-        adjust_counting(state, config, rng, budget=budget)
-    except Interrupted as signal:
-        status = signal.status
-        dissolve_infeasible(state)
+    with tracer.span("pass", index=pass_index, seed=pass_seed) as pass_span:
+        try:
+            grow_regions(state, seeding, config, rng, budget=budget,
+                         tracer=tracer)
+            adjust_counting(state, config, rng, budget=budget, tracer=tracer)
+        except Interrupted as signal:
+            status = signal.status
+            dissolve_infeasible(state)
+        if pass_span.recording:
+            pass_span.set(
+                p=state.p,
+                n_unassigned=state.n_unassigned,
+                status=None if status is None else status.value,
+            )
     labels = {
         area_id: region_id
         for area_id, region_id in state.assignment.items()
         if region_id is not None
     }
-    return _score_key(state), labels, (state.p, state.n_unassigned), status, state.perf
+    return (
+        _score_key(state),
+        labels,
+        (state.p, state.n_unassigned),
+        status,
+        state.perf,
+        list(tracer.finished),
+    )
 
 
 def portfolio_member_task(
@@ -118,14 +144,18 @@ def portfolio_member_task(
     objective=None,
     deadline_seconds: float | None = None,
     budget: Budget | None = None,
-) -> tuple[float, dict[int, int], dict, PerfCounters]:
+    span_context=None,
+) -> tuple:
     """One Tabu portfolio member against the installed worker context.
 
     Rebuilds the member's starting state canonically from *labels*,
     runs the full Tabu search (perturbed first when
     ``perturbation_moves > 0``) and returns ``(best_score,
-    best_labels, stats, perf)``. Deterministic in its arguments — the
-    serial portfolio path calls this very function in-process.
+    best_labels, stats, perf, spans)``. Deterministic in its arguments
+    — the serial portfolio path calls this very function in-process.
+
+    *span_context* roots the member's telemetry under the parent's
+    ``tabu`` span (see :func:`construction_pass_task`).
     """
     from .tabu import tabu_improve
 
@@ -133,14 +163,32 @@ def portfolio_member_task(
     state = SolutionState.from_labels(
         collection, constraints, labels, excluded=excluded
     )
-    result = tabu_improve(
-        state,
-        config,
-        objective=objective,
-        budget=budget if budget is not None else _local_budget(deadline_seconds),
-        rng=random.Random(tabu_seed),
+    tracer = worker_tracer(span_context)
+    with tracer.span(
+        "member",
+        index=member_index,
+        seed=tabu_seed,
         perturbation_moves=perturbation_moves,
-    )
+    ) as member_span:
+        result = tabu_improve(
+            state,
+            config,
+            objective=objective,
+            budget=(
+                budget
+                if budget is not None
+                else _local_budget(deadline_seconds)
+            ),
+            rng=random.Random(tabu_seed),
+            perturbation_moves=perturbation_moves,
+            tracer=tracer,
+        )
+        if member_span.recording:
+            member_span.set(
+                heterogeneity_after=result.heterogeneity_after,
+                iterations=result.iterations,
+                status=result.status.value,
+            )
     best_labels = result.partition.labels()
     stats = {
         "member": member_index,
@@ -151,7 +199,13 @@ def portfolio_member_task(
         "elapsed_seconds": result.elapsed_seconds,
         "status": result.status,
     }
-    return result.heterogeneity_after, best_labels, stats, state.perf
+    return (
+        result.heterogeneity_after,
+        best_labels,
+        stats,
+        state.perf,
+        list(tracer.finished),
+    )
 
 
 class SolverPool:
@@ -217,6 +271,7 @@ class SolverPool:
         task_deadline: float | None = None,
         on_result=None,
         poll_seconds: float = 0.05,
+        telemetry=None,
     ) -> tuple[dict[int, object], RunStatus | None]:
         """Fan *task* out over the pool and survive worker failure.
 
@@ -242,14 +297,17 @@ class SolverPool:
 
         Every event lands in *perf* (``pool_task_failures``,
         ``pool_task_retries``, ``pool_tasks_degraded``,
-        ``pool_broken_restarts``, ``pool_task_timeouts``). Each
-        collected result fires the ``pool.result`` fault checkpoint
-        and the optional ``on_result(index, result)`` callback (the
-        solve ledger records completed units there). When *budget*
-        expires or is cancelled, pending futures are cancelled and the
-        partial results are returned with the interruption status.
+        ``pool_broken_restarts``, ``pool_task_timeouts``) and — when a
+        :class:`repro.obs.SolveTelemetry` is passed as *telemetry* —
+        in the run event log as ``pool.*`` events. Each collected
+        result fires the ``pool.result`` fault checkpoint and the
+        optional ``on_result(index, result)`` callback (the solve
+        ledger records completed units there). When *budget* expires
+        or is cancelled, pending futures are cancelled and the partial
+        results are returned with the interruption status.
         """
         perf = perf if perf is not None else PerfCounters()
+        telemetry = telemetry if telemetry is not None else DISABLED
         results: dict[int, object] = {}
         attempts = [0] * len(submit_args)
         future_index: dict[Future, int] = {}
@@ -267,6 +325,7 @@ class SolverPool:
 
         def _degrade(index: int) -> None:
             perf.pool_tasks_degraded += 1
+            telemetry.event("pool.task_degraded", index=index)
             _accept(index, self.run_local(task, *local_args[index]))
 
         def _submit(index: int) -> None:
@@ -274,6 +333,8 @@ class SolverPool:
                 future = self.submit(task, *submit_args[index])
             except Exception:
                 perf.pool_task_failures += 1
+                telemetry.event("pool.task_failed", index=index,
+                                stage="submit")
                 _degrade(index)
                 return
             future_index[future] = index
@@ -294,9 +355,13 @@ class SolverPool:
                     future_index[future] = index  # handled below
                 except Exception:
                     perf.pool_task_failures += 1
+                    telemetry.event("pool.task_failed", index=index,
+                                    stage="result")
                     if attempts[index] < retries:
                         attempts[index] += 1
                         perf.pool_task_retries += 1
+                        telemetry.event("pool.task_retry", index=index,
+                                        attempt=attempts[index])
                         _submit(index)
                     else:
                         _degrade(index)
@@ -305,6 +370,10 @@ class SolverPool:
             if broken:
                 # Every in-flight future on a broken executor is lost.
                 perf.pool_broken_restarts += 1
+                telemetry.event(
+                    "pool.restarted",
+                    unfinished=sorted(future_index.values()),
+                )
                 unfinished = sorted(future_index.values())
                 future_index.clear()
                 self.restart()
@@ -312,6 +381,8 @@ class SolverPool:
                     if attempts[index] < retries:
                         attempts[index] += 1
                         perf.pool_task_retries += 1
+                        telemetry.event("pool.task_retry", index=index,
+                                        attempt=attempts[index])
                         _submit(index)
                     else:
                         _degrade(index)
@@ -326,6 +397,7 @@ class SolverPool:
                     future.cancel()
                     del future_index[future]
                     perf.pool_task_timeouts += 1
+                    telemetry.event("pool.task_timeout", index=index)
                     _degrade(index)
             if budget is not None:
                 status = budget.status()

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 
+from ..obs.telemetry import DISABLED
 from ..runtime import Budget, Interrupted, RunStatus
 from .config import FaCTConfig
 from .pool import portfolio_member_task
@@ -52,6 +53,7 @@ def improve_portfolio(
     ranked_labels=None,
     ledger=None,
     runtime_perf=None,
+    telemetry=None,
 ) -> TabuResult:
     """Run a ``config.tabu_portfolio``-member Tabu portfolio.
 
@@ -76,78 +78,101 @@ def improve_portfolio(
     replays members recorded by an earlier killed run and records
     freshly completed ones; *runtime_perf* collects the parallel
     path's worker-fault counters.
+
+    *telemetry* is an optional :class:`repro.obs.SolveTelemetry`: the
+    whole phase becomes one ``tabu`` span with a ``member`` span per
+    portfolio member (worker-side children stitched in).
     """
+    telemetry = telemetry if telemetry is not None else DISABLED
     members = config.tabu_portfolio
     if members <= 1:
-        return tabu_improve(state, config, objective=objective, budget=budget)
+        with telemetry.tracer.span("tabu", members=1):
+            return tabu_improve(
+                state,
+                config,
+                objective=objective,
+                budget=budget,
+                tracer=telemetry.tracer,
+            )
 
-    started = time.perf_counter()
-    base_labels = _labels_of(state)
-    starts = list(ranked_labels) if ranked_labels else [base_labels]
-    detached = objective.detached() if objective is not None else None
-    specs = [
-        (
-            starts[index % len(starts)],
-            index,
-            config.derived_tabu_seed(index),
-            0 if index == 0 else _PERTURBATION_KICKS,
-            detached,
-        )
-        for index in range(members)
-    ]
+    with telemetry.tracer.span("tabu", members=members) as tabu_span:
+        started = time.perf_counter()
+        base_labels = _labels_of(state)
+        starts = list(ranked_labels) if ranked_labels else [base_labels]
+        detached = objective.detached() if objective is not None else None
+        specs = [
+            (
+                starts[index % len(starts)],
+                index,
+                config.derived_tabu_seed(index),
+                0 if index == 0 else _PERTURBATION_KICKS,
+                detached,
+            )
+            for index in range(members)
+        ]
 
-    if pool is not None and config.n_jobs > 1:
-        outcomes, status = _run_members_parallel(
-            specs, budget, pool, config, ledger, runtime_perf
-        )
-    else:
-        outcomes, status = _run_members_serial(
-            specs, budget, pool, config, state, ledger
-        )
+        if pool is not None and config.n_jobs > 1:
+            outcomes, status = _run_members_parallel(
+                specs, budget, pool, config, ledger, runtime_perf, telemetry
+            )
+        else:
+            outcomes, status = _run_members_serial(
+                specs, budget, pool, config, state, ledger, telemetry
+            )
+        for outcome in outcomes:
+            # Member-index order, so the event log is deterministic
+            # regardless of worker completion order.
+            telemetry.adopt_spans(outcome[4])
 
-    perf = state.perf
-    baseline_h = state.total_heterogeneity()
-    if not outcomes:
-        # Interrupted before any member finished: the construction
-        # partition itself is the best available answer.
+        perf = state.perf
+        baseline_h = state.total_heterogeneity()
+        if not outcomes:
+            # Interrupted before any member finished: the construction
+            # partition itself is the best available answer.
+            return TabuResult(
+                partition=state.to_partition(),
+                heterogeneity_before=baseline_h,
+                heterogeneity_after=baseline_h,
+                elapsed_seconds=time.perf_counter() - started,
+                status=status or RunStatus.COMPLETE,
+            )
+
+        for outcome in outcomes:
+            stats, member_perf = outcome[2], outcome[3]
+            perf.merge(member_perf)
+            perf.record_seconds(
+                f"tabu.member{stats['member']}", stats["elapsed_seconds"]
+            )
+        best = min(outcomes, key=lambda item: (item[0], item[2]["member"]))
+        best_score, best_labels, best_stats = best[0], best[1], best[2]
+
+        before = next(
+            (
+                outcome[2]["heterogeneity_before"]
+                for outcome in outcomes
+                if outcome[2]["member"] == 0
+            ),
+            baseline_h,
+        )
+        if status is None:
+            member_status = best_stats["status"]
+            if member_status is not RunStatus.COMPLETE:
+                status = member_status
+        if tabu_span.recording:
+            tabu_span.set(
+                best_member=best_stats["member"],
+                heterogeneity_after=best_score,
+                iterations=best_stats["iterations"],
+            )
         return TabuResult(
-            partition=state.to_partition(),
-            heterogeneity_before=baseline_h,
-            heterogeneity_after=baseline_h,
+            partition=_partition_from_labels(best_labels),
+            heterogeneity_before=before,
+            heterogeneity_after=best_score,
+            iterations=best_stats["iterations"],
+            moves_applied=best_stats["moves_applied"],
             elapsed_seconds=time.perf_counter() - started,
             status=status or RunStatus.COMPLETE,
         )
-
-    for score, labels, stats, member_perf in outcomes:
-        perf.merge(member_perf)
-        perf.record_seconds(
-            f"tabu.member{stats['member']}", stats["elapsed_seconds"]
-        )
-    best_score, best_labels, best_stats, _perf = min(
-        outcomes, key=lambda item: (item[0], item[2]["member"])
-    )
-
-    before = next(
-        (
-            stats["heterogeneity_before"]
-            for _s, _l, stats, _p in outcomes
-            if stats["member"] == 0
-        ),
-        baseline_h,
-    )
-    if status is None:
-        member_status = best_stats["status"]
-        if member_status is not RunStatus.COMPLETE:
-            status = member_status
-    return TabuResult(
-        partition=_partition_from_labels(best_labels),
-        heterogeneity_before=before,
-        heterogeneity_after=best_score,
-        iterations=best_stats["iterations"],
-        moves_applied=best_stats["moves_applied"],
-        elapsed_seconds=time.perf_counter() - started,
-        status=status or RunStatus.COMPLETE,
-    )
 
 
 def _labels_of(state: SolutionState) -> dict[int, int]:
@@ -164,7 +189,9 @@ def _partition_from_labels(labels: dict[int, int]):
     return Partition.from_labels(labels)
 
 
-def _run_members_serial(specs, budget, pool, config, state, ledger=None):
+def _run_members_serial(
+    specs, budget, pool, config, state, ledger=None, telemetry=DISABLED
+):
     """Run the members one after another in-process.
 
     Uses the pool's ``run_local`` when a pool exists (so the exact
@@ -182,6 +209,7 @@ def _run_members_serial(specs, budget, pool, config, state, ledger=None):
             config,
             max_workers=1,
         )
+    span_context = telemetry.span_context()
     outcomes = []
     status = None
     for spec in specs:
@@ -194,9 +222,15 @@ def _run_members_serial(specs, budget, pool, config, state, ledger=None):
             ledger.lookup_member(member_index) if ledger is not None else None
         )
         if outcome is None:
-            outcome = pool.run_local(portfolio_member_task, *spec, None, budget)
+            outcome = pool.run_local(
+                portfolio_member_task, *spec, None, budget, span_context
+            )
             if ledger is not None:
                 ledger.record_member(member_index, outcome, budget)
+        else:
+            telemetry.event(
+                "checkpoint.replay", phase="tabu", member=member_index
+            )
         if budget is not None:
             try:
                 budget.checkpoint("pool.result")
@@ -207,7 +241,8 @@ def _run_members_serial(specs, budget, pool, config, state, ledger=None):
 
 
 def _run_members_parallel(
-    specs, budget, pool, config, ledger=None, runtime_perf=None
+    specs, budget, pool, config, ledger=None, runtime_perf=None,
+    telemetry=DISABLED,
 ):
     """Fan the members out over the worker pool.
 
@@ -224,12 +259,18 @@ def _run_members_parallel(
         outcome = ledger.lookup_member(spec[1]) if ledger is not None else None
         if outcome is not None:
             replayed[spec[1]] = outcome
+            telemetry.event(
+                "checkpoint.replay", phase="tabu", member=spec[1]
+            )
         else:
             to_run.append(spec)
 
+    span_context = telemetry.span_context()
     deadline_remaining = budget.remaining() if budget is not None else None
-    submit_args = [spec + (deadline_remaining,) for spec in to_run]
-    local_args = [spec + (None, budget) for spec in to_run]
+    submit_args = [
+        spec + (deadline_remaining, None, span_context) for spec in to_run
+    ]
+    local_args = [spec + (None, budget, span_context) for spec in to_run]
 
     def _record(position: int, outcome) -> None:
         if ledger is not None:
@@ -245,6 +286,7 @@ def _run_members_parallel(
         task_deadline=config.worker_task_deadline_seconds,
         on_result=_record,
         poll_seconds=_POLL_SECONDS,
+        telemetry=telemetry,
     )
 
     outcome_by_member = dict(replayed)

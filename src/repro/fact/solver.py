@@ -44,7 +44,9 @@ from ..core.constraints import Constraint, ConstraintSet
 from ..core.partition import Partition
 from ..core.perf import PerfCounters
 from ..exceptions import SolverInterrupted
+from ..obs.telemetry import DISABLED, resolve_telemetry
 from ..runtime import Budget, Interrupted, RunStatus
+from ..runtime.faults import set_fault_listener
 from .checkpointing import SolveLedger
 from .config import CertifyLevel, FaCTConfig
 from .construction import ConstructionResult, construct
@@ -239,6 +241,7 @@ class FaCT:
         constraints: ConstraintSet | None = None,
         budget: Budget | None = None,
         resume_from=None,
+        telemetry=None,
     ) -> EMPSolution:
         """Solve one EMP instance end to end.
 
@@ -267,12 +270,60 @@ class FaCT:
             :class:`repro.exceptions.CheckpointError` when the file is
             missing, malformed or fingerprinted for a different
             problem.
+        telemetry:
+            Optional :class:`repro.obs.SolveTelemetry` to record the
+            run into. When omitted, one is built from
+            ``config.trace_path`` / ``config.metrics_path`` — or the
+            no-op singleton when neither is set, costing (almost)
+            nothing. With telemetry on, the solve becomes one span tree
+            (``solve`` → per-phase spans → per-pass/per-member worker
+            spans), an append-only JSONL event log and a metrics
+            snapshot per phase; the partition itself is bit-identical
+            with telemetry on or off.
 
         Raises :class:`repro.exceptions.InfeasibleProblemError` when
         Phase 1 proves the query infeasible on this dataset, and
         :class:`repro.exceptions.CertificationError` when independent
         certification (``config.certify``) rejects an answer.
         """
+        config = self.config
+        telemetry = resolve_telemetry(
+            telemetry, config.trace_path, config.metrics_path
+        )
+        previous_listener = None
+        if telemetry.enabled:
+            # Mirror every injected fault into the event log (before it
+            # applies, so even a "fail" fault leaves a record).
+            def _on_fault(checkpoint, action, ordinal):
+                telemetry.event(
+                    "fault.injected",
+                    checkpoint=checkpoint,
+                    action=action,
+                    ordinal=ordinal,
+                )
+
+            previous_listener = set_fault_listener(_on_fault)
+        try:
+            return self._solve_traced(
+                collection, constraints, budget, resume_from, telemetry
+            )
+        except BaseException:
+            # Idempotent: a strict-interrupt exit has already closed
+            # the run with its real status.
+            telemetry.close(status="error")
+            raise
+        finally:
+            if telemetry.enabled:
+                set_fault_listener(previous_listener)
+
+    def _solve_traced(
+        self,
+        collection: AreaCollection,
+        constraints,
+        budget: Budget | None,
+        resume_from,
+        telemetry,
+    ) -> EMPSolution:
         config = self.config
         constraints = _coerce_constraints(constraints)
 
@@ -289,6 +340,8 @@ class FaCT:
             ledger = SolveLedger.fresh(
                 config.checkpoint_path, config, constraints, collection
             )
+        if ledger is not None:
+            ledger.telemetry = telemetry
 
         if budget is None:
             deadline = config.deadline_seconds
@@ -300,100 +353,142 @@ class FaCT:
         budget.start()
         certify_level = config.certify_level()
 
-        phase_started = time.perf_counter()
-        feasibility = check_feasibility(
-            collection, constraints, config, budget=budget
-        )
-        feasibility_seconds = time.perf_counter() - phase_started
-        feasibility.raise_if_infeasible()
+        tracer = telemetry.tracer
+        with tracer.span(
+            "solve",
+            seed=config.rng_seed,
+            n_jobs=config.n_jobs,
+            resumed=resume_from is not None,
+        ) as solve_span:
+            phase_started = time.perf_counter()
+            with tracer.span("feasibility") as span:
+                feasibility = check_feasibility(
+                    collection, constraints, config, budget=budget
+                )
+                if span.recording:
+                    span.set(
+                        n_invalid=feasibility.n_invalid,
+                        warnings=len(feasibility.warnings),
+                    )
+                feasibility.raise_if_infeasible()
+            feasibility_seconds = time.perf_counter() - phase_started
+            telemetry.snapshot_metrics("feasibility")
 
-        # One worker pool serves every parallel stage of this solve —
-        # all construction passes of all retry attempts, then the Tabu
-        # portfolio members. The dataset ships to each worker process
-        # once, at pool initialization.
-        pool = None
-        if config.n_jobs > 1:
-            pool = SolverPool(
-                collection,
-                constraints,
-                feasibility.invalid_areas,
-                config,
-                max_workers=config.n_jobs,
-            )
-        try:
-            construction, attempts = self._construct_with_retries(
-                collection, constraints, feasibility, budget, pool,
-                ledger, runtime_perf,
-            )
-            if certify_level == CertifyLevel.PARANOID:
-                self._certify(
-                    construction.partition,
+            # One worker pool serves every parallel stage of this solve
+            # — all construction passes of all retry attempts, then the
+            # Tabu portfolio members. The dataset ships to each worker
+            # process once, at pool initialization.
+            pool = None
+            if config.n_jobs > 1:
+                pool = SolverPool(
+                    collection,
+                    constraints,
+                    feasibility.invalid_areas,
+                    config,
+                    max_workers=config.n_jobs,
+                )
+            try:
+                construction, attempts = self._construct_with_retries(
+                    collection, constraints, feasibility, budget, pool,
+                    ledger, runtime_perf, telemetry,
+                )
+                if certify_level == CertifyLevel.PARANOID:
+                    self._certify(
+                        construction.partition,
+                        collection,
+                        constraints,
+                        budget,
+                        claimed=construction.state.total_heterogeneity(),
+                        label="construction",
+                        runtime_perf=runtime_perf,
+                        telemetry=telemetry,
+                    )
+                if telemetry.enabled:
+                    telemetry.metrics.absorb_perf(
+                        _merged_perf(construction.state.perf, runtime_perf)
+                    )
+                telemetry.snapshot_metrics("construction")
+
+                tabu: TabuResult | None = None
+                partition = construction.partition
+                if (
+                    config.enable_tabu
+                    and construction.state.p > 0
+                    and budget.status() is None
+                ):
+                    tabu = improve_portfolio(
+                        construction.state,
+                        config,
+                        objective=self.objective,
+                        budget=budget,
+                        pool=pool,
+                        ranked_labels=construction.ranked_labels,
+                        ledger=ledger,
+                        runtime_perf=runtime_perf,
+                        telemetry=telemetry,
+                    )
+                    partition = tabu.partition
+            finally:
+                if pool is not None:
+                    pool.shutdown()
+
+            if telemetry.enabled:
+                telemetry.metrics.absorb_perf(
+                    _merged_perf(construction.state.perf, runtime_perf)
+                )
+            telemetry.snapshot_metrics("tabu")
+
+            certificate = None
+            if certify_level != CertifyLevel.OFF:
+                # Tabu's score is H(P) only under the default objective;
+                # a custom objective's score is not comparable to the
+                # fresh heterogeneity recomputation.
+                claimed = None
+                if self.objective is None:
+                    claimed = (
+                        tabu.heterogeneity_after
+                        if tabu is not None
+                        else construction.state.total_heterogeneity()
+                    )
+                label = (
+                    "interrupted" if budget.status() is not None else "final"
+                )
+                certificate = self._certify(
+                    partition,
                     collection,
                     constraints,
                     budget,
-                    claimed=construction.state.total_heterogeneity(),
-                    label="construction",
+                    claimed=claimed,
+                    label=label,
                     runtime_perf=runtime_perf,
+                    telemetry=telemetry,
                 )
 
-            tabu: TabuResult | None = None
-            partition = construction.partition
-            if (
-                config.enable_tabu
-                and construction.state.p > 0
-                and budget.status() is None
-            ):
-                tabu = improve_portfolio(
-                    construction.state,
-                    config,
-                    objective=self.objective,
-                    budget=budget,
-                    pool=pool,
-                    ranked_labels=construction.ranked_labels,
-                    ledger=ledger,
-                    runtime_perf=runtime_perf,
+            # Status is computed after certification so a cancellation
+            # injected at the certify checkpoint still flags the
+            # solution.
+            status = budget.status() or RunStatus.COMPLETE
+            if status is not RunStatus.COMPLETE:
+                telemetry.event("run.interrupted", status=status.value)
+            if ledger is not None:
+                if status is RunStatus.COMPLETE:
+                    ledger.delete()
+                runtime_perf.merge(ledger.counters)
+            perf = construction.state.perf
+            perf.merge(runtime_perf)
+            perf.record_seconds("feasibility", feasibility_seconds)
+            perf.record_seconds("construction", construction.elapsed_seconds)
+            if tabu is not None:
+                perf.record_seconds("tabu", tabu.elapsed_seconds)
+            if solve_span.recording:
+                solve_span.set(
+                    p=partition.p,
+                    n_unassigned=len(partition.unassigned),
+                    status=status.value,
                 )
-                partition = tabu.partition
-        finally:
-            if pool is not None:
-                pool.shutdown()
-
-        certificate = None
-        if certify_level != CertifyLevel.OFF:
-            # Tabu's score is H(P) only under the default objective; a
-            # custom objective's score is not comparable to the fresh
-            # heterogeneity recomputation.
-            claimed = None
-            if self.objective is None:
-                claimed = (
-                    tabu.heterogeneity_after
-                    if tabu is not None
-                    else construction.state.total_heterogeneity()
-                )
-            label = "interrupted" if budget.status() is not None else "final"
-            certificate = self._certify(
-                partition,
-                collection,
-                constraints,
-                budget,
-                claimed=claimed,
-                label=label,
-                runtime_perf=runtime_perf,
-            )
-
-        # Status is computed after certification so a cancellation
-        # injected at the certify checkpoint still flags the solution.
-        status = budget.status() or RunStatus.COMPLETE
-        if ledger is not None:
-            if status is RunStatus.COMPLETE:
-                ledger.delete()
-            runtime_perf.merge(ledger.counters)
-        perf = construction.state.perf
-        perf.merge(runtime_perf)
-        perf.record_seconds("feasibility", feasibility_seconds)
-        perf.record_seconds("construction", construction.elapsed_seconds)
-        if tabu is not None:
-            perf.record_seconds("tabu", tabu.elapsed_seconds)
+        if telemetry.enabled:
+            telemetry.metrics.absorb_perf(perf)
+        telemetry.close(status=status.value)
         solution = EMPSolution(
             partition=partition,
             feasibility=feasibility,
@@ -428,6 +523,7 @@ class FaCT:
         claimed: float | None,
         label: str,
         runtime_perf: PerfCounters,
+        telemetry=DISABLED,
     ) -> Certificate:
         """Run one independent certification pass; raises
         :class:`repro.exceptions.CertificationError` on any violation.
@@ -442,13 +538,18 @@ class FaCT:
         except Interrupted:
             pass
         runtime_perf.certifications += 1
-        return certify_partition(
-            partition,
-            collection,
-            constraints,
-            claimed_heterogeneity=claimed,
-            label=label,
-        ).raise_if_invalid()
+        with telemetry.tracer.span("certify", label=label):
+            certificate = certify_partition(
+                partition,
+                collection,
+                constraints,
+                claimed_heterogeneity=claimed,
+                label=label,
+            ).raise_if_invalid()
+        telemetry.event(
+            "certify.solution", label=label, p=partition.p, valid=True
+        )
+        return certificate
 
     # ------------------------------------------------------------------
     # construction retry policy
@@ -462,6 +563,7 @@ class FaCT:
         pool: SolverPool | None = None,
         ledger: SolveLedger | None = None,
         runtime_perf: PerfCounters | None = None,
+        telemetry=DISABLED,
     ) -> tuple[ConstructionResult, tuple[ConstructionAttempt, ...]]:
         """Run construction, retrying degenerate outcomes with derived
         seeds up to ``config.construction_retry_attempts`` times.
@@ -474,42 +576,70 @@ class FaCT:
         attempts: list[ConstructionAttempt] = []
         best: ConstructionResult | None = None
         best_key: tuple | None = None
-        for attempt_index in range(config.construction_retry_attempts + 1):
-            attempt_config = (
-                config
-                if attempt_index == 0
-                else replace(config, rng_seed=config.derived_seed(attempt_index))
-            )
-            attempt_started = time.perf_counter()
-            construction = construct(
-                collection,
-                constraints,
-                attempt_config,
-                feasibility=feasibility,
-                budget=budget,
-                pool=pool,
-                attempt_index=attempt_index,
-                ledger=ledger,
-                runtime_perf=runtime_perf,
-            )
-            degenerate = _is_degenerate(construction, n_valid, config)
-            attempts.append(
-                ConstructionAttempt(
-                    seed=attempt_config.rng_seed,
-                    p=construction.p,
-                    n_unassigned=construction.state.n_unassigned,
-                    degenerate=degenerate,
-                    elapsed_seconds=time.perf_counter() - attempt_started,
+        with telemetry.tracer.span("construction") as phase_span:
+            for attempt_index in range(
+                config.construction_retry_attempts + 1
+            ):
+                attempt_config = (
+                    config
+                    if attempt_index == 0
+                    else replace(
+                        config, rng_seed=config.derived_seed(attempt_index)
+                    )
                 )
-            )
-            key = (-construction.p, construction.state.n_unassigned)
-            if best_key is None or key < best_key:
-                best_key = key
-                best = construction
-            if not degenerate or construction.interrupted or n_valid == 0:
-                break
+                attempt_started = time.perf_counter()
+                with telemetry.tracer.span(
+                    "attempt",
+                    index=attempt_index,
+                    seed=attempt_config.rng_seed,
+                ) as attempt_span:
+                    construction = construct(
+                        collection,
+                        constraints,
+                        attempt_config,
+                        feasibility=feasibility,
+                        budget=budget,
+                        pool=pool,
+                        attempt_index=attempt_index,
+                        ledger=ledger,
+                        runtime_perf=runtime_perf,
+                        telemetry=telemetry,
+                    )
+                    degenerate = _is_degenerate(construction, n_valid, config)
+                    if attempt_span.recording:
+                        attempt_span.set(
+                            p=construction.p,
+                            n_unassigned=construction.state.n_unassigned,
+                            degenerate=degenerate,
+                        )
+                attempts.append(
+                    ConstructionAttempt(
+                        seed=attempt_config.rng_seed,
+                        p=construction.p,
+                        n_unassigned=construction.state.n_unassigned,
+                        degenerate=degenerate,
+                        elapsed_seconds=time.perf_counter() - attempt_started,
+                    )
+                )
+                key = (-construction.p, construction.state.n_unassigned)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = construction
+                if not degenerate or construction.interrupted or n_valid == 0:
+                    break
+            if phase_span.recording:
+                phase_span.set(attempts=len(attempts))
         assert best is not None  # at least one attempt always runs
         return best, tuple(attempts)
+
+
+def _merged_perf(*counters: PerfCounters) -> PerfCounters:
+    """A fresh PerfCounters holding the sum of *counters* (the inputs
+    are left untouched — they keep accumulating across phases)."""
+    merged = PerfCounters()
+    for item in counters:
+        merged.merge(item)
+    return merged
 
 
 def _is_degenerate(

@@ -46,6 +46,7 @@ from heapq import heappop, heappush
 from random import Random
 
 from ..core.partition import Partition
+from ..obs.spans import NULL_TRACER
 from ..core.perf import hotpath_caches_enabled
 from ..core.region import Region
 from ..runtime import Interrupted, RunStatus
@@ -100,6 +101,7 @@ def tabu_improve(
     budget=None,
     rng: Random | None = None,
     perturbation_moves: int = 0,
+    tracer=None,
 ) -> TabuResult:
     """Run Tabu search on *state* in place and return the best result.
 
@@ -120,88 +122,103 @@ def tabu_improve(
         deterministic search starts. The best-seen snapshot is taken
         before the kicks, so the result is never worse than the input
         partition. ``perturbation_moves > 0`` requires an *rng*.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; the search becomes one
+        ``search`` span carrying iteration/score attributes.
     """
     import time
 
     from .objectives import HeterogeneityObjective
 
-    started = time.perf_counter()
-    n = len(state.collection)
-    patience = config.resolved_tabu_patience(n)
-    iteration_cap = config.resolved_tabu_cap(n)
+    if tracer is None:
+        tracer = NULL_TRACER
+    with tracer.span("search") as search_span:
+        started = time.perf_counter()
+        n = len(state.collection)
+        patience = config.resolved_tabu_patience(n)
+        iteration_cap = config.resolved_tabu_cap(n)
 
-    if objective is None:
-        objective = HeterogeneityObjective()
-    objective.attach(state)
-    current_h = objective.total()
-    initial_h = current_h
-    best_h = current_h
+        if objective is None:
+            objective = HeterogeneityObjective()
+        objective.attach(state)
+        current_h = objective.total()
+        initial_h = current_h
+        best_h = current_h
 
-    # Labels are maintained incrementally (O(1) per move) so a new-best
-    # snapshot is one C-level dict copy instead of a Python pass over
-    # the whole collection.
-    labels = _initial_labels(state)
-    best_labels = dict(labels)
+        # Labels are maintained incrementally (O(1) per move) so a new-best
+        # snapshot is one C-level dict copy instead of a Python pass over
+        # the whole collection.
+        labels = _initial_labels(state)
+        best_labels = dict(labels)
 
-    pool = _MovePool(state, objective)
-    tabu_until: dict[_MoveKey, int] = {}
-    iterations = 0
-    moves_applied = 0
-    no_improve = 0
-    status = RunStatus.COMPLETE
+        pool = _MovePool(state, objective)
+        tabu_until: dict[_MoveKey, int] = {}
+        iterations = 0
+        moves_applied = 0
+        no_improve = 0
+        status = RunStatus.COMPLETE
 
-    for _ in range(perturbation_moves):
-        kick = pool.random_admissible(rng)
-        if kick is None:
-            break
-        delta, area_id, donor_id, receiver_id = kick
-        state.move(area_id, state.regions[receiver_id])
-        labels[area_id] = receiver_id
-        current_h += delta
-        moves_applied += 1
-        # The undo of a kick is tabu through the first `tenure`
-        # iterations of the main loop (which counts from 1).
-        tabu_until[(area_id, donor_id)] = config.tabu_tenure
-        objective.apply_move(donor_id, receiver_id, area_id)
-        pool.after_move(area_id, donor_id, receiver_id)
-
-    while iterations < iteration_cap and no_improve < patience:
-        if budget is not None:
-            try:
-                budget.checkpoint("tabu.iteration")
-            except Interrupted as signal:
-                status = signal.status
+        for _ in range(perturbation_moves):
+            kick = pool.random_admissible(rng)
+            if kick is None:
                 break
-        iterations += 1
-        chosen = pool.best_admissible(iterations, tabu_until, current_h, best_h)
-        if chosen is None:
-            break
-        delta, area_id, donor_id, receiver_id = chosen
-        receiver = state.regions[receiver_id]
-        state.move(area_id, receiver)
-        labels[area_id] = receiver_id
-        current_h += delta
-        moves_applied += 1
-        # Forbid the reverse move for `tenure` iterations.
-        tabu_until[(area_id, donor_id)] = iterations + config.tabu_tenure
-        objective.apply_move(donor_id, receiver_id, area_id)
-        pool.after_move(area_id, donor_id, receiver_id)
-        if current_h < best_h - 1e-9:
-            best_h = current_h
-            best_labels = dict(labels)
-            no_improve = 0
-        else:
-            no_improve += 1
+            delta, area_id, donor_id, receiver_id = kick
+            state.move(area_id, state.regions[receiver_id])
+            labels[area_id] = receiver_id
+            current_h += delta
+            moves_applied += 1
+            # The undo of a kick is tabu through the first `tenure`
+            # iterations of the main loop (which counts from 1).
+            tabu_until[(area_id, donor_id)] = config.tabu_tenure
+            objective.apply_move(donor_id, receiver_id, area_id)
+            pool.after_move(area_id, donor_id, receiver_id)
 
-    return TabuResult(
-        partition=Partition.from_labels(best_labels),
-        heterogeneity_before=initial_h,
-        heterogeneity_after=best_h,
-        iterations=iterations,
-        moves_applied=moves_applied,
-        elapsed_seconds=time.perf_counter() - started,
-        status=status,
-    )
+        while iterations < iteration_cap and no_improve < patience:
+            if budget is not None:
+                try:
+                    budget.checkpoint("tabu.iteration")
+                except Interrupted as signal:
+                    status = signal.status
+                    break
+            iterations += 1
+            chosen = pool.best_admissible(iterations, tabu_until, current_h, best_h)
+            if chosen is None:
+                break
+            delta, area_id, donor_id, receiver_id = chosen
+            receiver = state.regions[receiver_id]
+            state.move(area_id, receiver)
+            labels[area_id] = receiver_id
+            current_h += delta
+            moves_applied += 1
+            # Forbid the reverse move for `tenure` iterations.
+            tabu_until[(area_id, donor_id)] = iterations + config.tabu_tenure
+            objective.apply_move(donor_id, receiver_id, area_id)
+            pool.after_move(area_id, donor_id, receiver_id)
+            if current_h < best_h - 1e-9:
+                best_h = current_h
+                best_labels = dict(labels)
+                no_improve = 0
+            else:
+                no_improve += 1
+
+        result = TabuResult(
+            partition=Partition.from_labels(best_labels),
+            heterogeneity_before=initial_h,
+            heterogeneity_after=best_h,
+            iterations=iterations,
+            moves_applied=moves_applied,
+            elapsed_seconds=time.perf_counter() - started,
+            status=status,
+        )
+        if search_span.recording:
+            search_span.set(
+                iterations=iterations,
+                moves_applied=moves_applied,
+                heterogeneity_before=initial_h,
+                heterogeneity_after=best_h,
+                status=status.value,
+            )
+        return result
 
 
 def _initial_labels(state: SolutionState) -> dict[int, int]:

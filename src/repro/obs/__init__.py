@@ -1,0 +1,66 @@
+"""``repro.obs`` — unified solve telemetry (zero-dependency).
+
+Four pieces, designed to cost nothing when off:
+
+- **structured spans** (:mod:`~repro.obs.spans`): nested, timed,
+  attributed units of work — ``solve → construction → attempt →
+  pass → grow/enclave/extrema/adjust``, ``tabu → member → search``,
+  ``certify``, ``checkpoint.write`` — stitched across worker
+  processes via serializable span contexts;
+- **metrics registry** (:mod:`~repro.obs.metrics`):
+  counters/gauges/histograms with labels, per-phase snapshots and
+  deltas; absorbs (and backs) the legacy ``PerfCounters`` signals;
+- **run event log** (:mod:`~repro.obs.events`): an append-only JSONL
+  record of spans, metric snapshots, budget/cancellation,
+  fault-injection, pool retry/degradation and certification events,
+  written atomically;
+- **exporters + profiling** (:mod:`~repro.obs.exporters`,
+  :mod:`~repro.obs.profiling`): timeline report, Chrome
+  ``trace_event`` JSON, Prometheus text exposition, and per-span
+  ``cProfile``/``tracemalloc`` hooks gated by ``REPRO_PROFILE``.
+
+Entry point: build a :class:`SolveTelemetry` (or set
+``FaCTConfig.trace_path`` / ``--trace-output``) and pass it to
+:meth:`repro.fact.solver.FaCT.solve`. The default is
+:data:`DISABLED` — no-op singletons all the way down.
+"""
+
+from .events import SCHEMA_VERSION, EventLog
+from .exporters import (
+    chrome_trace,
+    final_metrics_snapshot,
+    prometheus_text,
+    read_events,
+    render_report,
+    span_records,
+    validate_events,
+)
+from .metrics import NULL_METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .spans import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer, worker_tracer
+from .telemetry import DISABLED, SolveTelemetry, resolve_telemetry
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEMA_VERSION",
+    "SolveTelemetry",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "final_metrics_snapshot",
+    "prometheus_text",
+    "read_events",
+    "render_report",
+    "resolve_telemetry",
+    "span_records",
+    "validate_events",
+    "worker_tracer",
+]

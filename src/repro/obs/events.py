@@ -1,0 +1,100 @@
+"""The run event log: an append-only JSONL record of one solve.
+
+Every record is one JSON object per line carrying at minimum::
+
+    {"schema": 1, "kind": "...", "ts": <wall clock>, "mono": <monotonic>}
+
+``ts`` (``time.time()``) places events on the cross-process timeline
+the spans use; ``mono`` (``time.monotonic()``) gives a clock that
+cannot step backwards for intra-process ordering. ``schema`` versions
+the record layout so future readers can accept old logs.
+
+Kinds emitted by :class:`repro.obs.SolveTelemetry`:
+
+- ``run.start`` / ``run.end`` — trace identity, final status, open
+  (leaked) spans, total span count;
+- ``span.start`` / ``span`` — a span opening and its finished form;
+- ``metrics.snapshot`` — per-phase registry snapshot plus the delta
+  against the previous snapshot;
+- ``fault.injected`` — a chaos fault applied at a checkpoint;
+- ``checkpoint.replay`` / ``checkpoint.write`` — ledger activity;
+- ``pool.task_failed`` / ``pool.task_retry`` / ``pool.task_degraded``
+  / ``pool.restarted`` / ``pool.task_timeout`` — worker-pool fault
+  handling;
+- ``run.interrupted`` — budget expiry or cancellation;
+- ``certify.start`` / ``certify.done`` — certification passes.
+
+Durability follows the repo's checkpoint discipline: the sink buffers
+records and periodically rewrites the whole file through
+:func:`repro.runtime.atomic.atomic_write_text` (sibling temp file +
+``os.replace``), so a reader — including a crash-time reader — always
+sees complete lines, never a torn tail. One solve's log is small
+(hundreds of records), so whole-file rewrites stay cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..runtime.atomic import atomic_write_text
+
+__all__ = ["EventLog", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+# Buffered records between automatic flushes of a file-backed log.
+_FLUSH_EVERY = 32
+
+
+class EventLog:
+    """Ordered event sink, optionally persisted as JSONL.
+
+    Parameters
+    ----------
+    path:
+        Target JSONL file; ``None`` keeps the log in memory only
+        (used by the bench harness for telemetry summaries).
+    """
+
+    def __init__(self, path: str | None = None):
+        self.path = str(path) if path is not None else None
+        self.records: list[dict] = []
+        self._pending = 0
+        self._closed = False
+
+    def emit(self, kind: str, **payload) -> dict:
+        """Append one record; flushes to disk periodically."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "kind": str(kind),
+            "ts": time.time(),
+            "mono": time.monotonic(),
+        }
+        record.update(payload)
+        self.records.append(record)
+        self._pending += 1
+        if self.path is not None and self._pending >= _FLUSH_EVERY:
+            self.flush()
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def flush(self) -> None:
+        """Atomically rewrite the backing file with every record so
+        far (no-op for in-memory logs)."""
+        if self.path is None or not self._pending:
+            return
+        lines = [
+            json.dumps(record, sort_keys=True, default=str)
+            for record in self.records
+        ]
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+        self._pending = 0
+
+    def close(self) -> None:
+        """Final flush; further emits are still accepted (idempotent
+        close keeps shutdown paths simple) but need another flush."""
+        self.flush()
+        self._closed = True

@@ -1,0 +1,128 @@
+"""Opt-in per-span profiling hooks, gated by ``REPRO_PROFILE``.
+
+Disabled (the default, whenever the variable is unset or empty) this
+module costs one cached dict lookup per span. Enable with::
+
+    REPRO_PROFILE=cprofile            # deterministic profiler
+    REPRO_PROFILE=tracemalloc         # allocation tracking
+    REPRO_PROFILE=cprofile:solve,tracemalloc:tabu
+
+The value is a comma-separated list of modes, each optionally
+restricted to span names with ``mode:name1+name2``. An unrestricted
+mode applies to every span — note that :mod:`cProfile` cannot nest, so
+with unrestricted ``cprofile`` only the outermost span of each process
+actually profiles (inner requests are skipped, not queued).
+
+Results land as span attributes:
+
+- ``cprofile_top`` — the top functions by cumulative time, as
+  ``"cumtime function"`` strings;
+- ``tracemalloc_kb`` / ``tracemalloc_peak_kb`` — net allocated and
+  peak traced memory over the span, in KiB.
+
+The hook is wired inside :meth:`repro.obs.spans.Span.__enter__` /
+``__exit__``, so it follows spans across worker processes too (the
+environment variable is inherited by pool workers).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["begin", "finish"]
+
+_ENV = "REPRO_PROFILE"
+
+# Parsed spec cache, keyed by the raw environment value so tests can
+# flip the variable mid-process.
+_spec_cache: tuple[str, list] | None = None
+
+# cProfile is process-global and cannot nest; only the outermost
+# profiled span per process runs it.
+_cprofile_active = False
+
+
+def _spec() -> list[tuple[str, frozenset | None]]:
+    """Parsed ``REPRO_PROFILE``: ``[(mode, span-name filter or None)]``."""
+    global _spec_cache
+    raw = os.environ.get(_ENV, "")
+    if _spec_cache is not None and _spec_cache[0] == raw:
+        return _spec_cache[1]
+    parsed: list[tuple[str, frozenset | None]] = []
+    for entry in raw.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        mode, _, names = entry.partition(":")
+        mode = mode.strip().lower()
+        if mode not in ("cprofile", "tracemalloc"):
+            continue  # unknown modes are ignored, not fatal
+        span_filter = (
+            frozenset(n.strip() for n in names.split("+") if n.strip())
+            if names
+            else None
+        )
+        parsed.append((mode, span_filter))
+    _spec_cache = (raw, parsed)
+    return parsed
+
+
+def begin(span_name: str):
+    """Start profiling for a span; returns an opaque handle (or
+    ``None`` when nothing applies — the overwhelmingly common case)."""
+    spec = _spec()
+    if not spec:
+        return None
+    handle = []
+    for mode, span_filter in spec:
+        if span_filter is not None and span_name not in span_filter:
+            continue
+        if mode == "cprofile":
+            global _cprofile_active
+            if _cprofile_active:
+                continue
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            _cprofile_active = True
+            handle.append(("cprofile", profiler))
+        elif mode == "tracemalloc":
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+            current, _peak = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            handle.append(("tracemalloc", current))
+    return handle or None
+
+
+def finish(handle) -> dict:
+    """Stop profiling started by :func:`begin`; returns span attrs."""
+    attrs: dict[str, object] = {}
+    for mode, payload in handle:
+        if mode == "cprofile":
+            global _cprofile_active
+            payload.disable()
+            _cprofile_active = False
+            attrs["cprofile_top"] = _top_functions(payload)
+        elif mode == "tracemalloc":
+            import tracemalloc
+
+            current, peak = tracemalloc.get_traced_memory()
+            attrs["tracemalloc_kb"] = round((current - payload) / 1024, 1)
+            attrs["tracemalloc_peak_kb"] = round(peak / 1024, 1)
+    return attrs
+
+
+def _top_functions(profiler, limit: int = 5) -> list[str]:
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    entries = []
+    for func, (_cc, _nc, _tt, cumtime, _callers) in stats.stats.items():
+        filename, lineno, name = func
+        entries.append((cumtime, f"{cumtime:.4f}s {name} ({filename}:{lineno})"))
+    entries.sort(key=lambda item: -item[0])
+    return [text for _cum, text in entries[:limit]]

@@ -1,0 +1,201 @@
+"""The per-solve telemetry bundle: tracer + metrics + event log.
+
+:class:`SolveTelemetry` is what the solver stack actually passes
+around — one object owning the run's :class:`~repro.obs.spans.Tracer`,
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.events.EventLog`, wired so every span lands in the
+event log automatically.
+
+The disabled counterpart is :data:`DISABLED`, a shared singleton whose
+tracer is :data:`~repro.obs.spans.NULL_TRACER` and whose methods are
+empty — the default everywhere, keeping the telemetry-off solve free
+of clock reads and allocations (<2% overhead by construction: the
+hot loops only ever touch no-op singletons).
+
+Telemetry never influences solver decisions: spans and metrics are
+written, not read, so a solve produces bit-identical partitions with
+telemetry on or off (CI asserts this).
+"""
+
+from __future__ import annotations
+
+from .events import EventLog
+from .metrics import NULL_METRICS, MetricsRegistry
+from .spans import NULL_TRACER, Tracer
+
+__all__ = ["DISABLED", "SolveTelemetry", "resolve_telemetry"]
+
+
+class SolveTelemetry:
+    """Live telemetry for one :meth:`repro.fact.solver.FaCT.solve`.
+
+    Parameters
+    ----------
+    trace_path:
+        JSONL event-log file (``--trace-output``); ``None`` keeps
+        events in memory (still inspectable via ``events.records``).
+    metrics_path:
+        Final metrics dump (``--metrics-output``): Prometheus text
+        exposition for ``.prom``/``.txt`` paths, JSON otherwise.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace_path: str | None = None,
+        metrics_path: str | None = None,
+    ):
+        self.events = EventLog(trace_path)
+        self.metrics = MetricsRegistry()
+        self.metrics_path = str(metrics_path) if metrics_path else None
+        self.tracer = Tracer(
+            on_start=self._span_started, on_finish=self._span_finished
+        )
+        self._last_snapshot: dict | None = None
+        self._closed = False
+        self.events.emit("run.start", trace_id=self.tracer.trace_id)
+
+    # -- span plumbing -------------------------------------------------
+    def _span_started(self, span) -> None:
+        self.events.emit(
+            "span.start",
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            start=span.start,
+            pid=span.pid,
+        )
+
+    def _span_finished(self, record: dict) -> None:
+        self.events.emit("span", **record)
+
+    def adopt_spans(self, span_dicts) -> None:
+        """Stitch a worker task's finished spans into this trace: they
+        join the tracer's record and the event log (as paired
+        ``span.start``/``span`` events, so unclosed-span accounting
+        stays uniform)."""
+        for record in span_dicts:
+            self.events.emit(
+                "span.start",
+                span_id=record["span_id"],
+                parent_id=record["parent_id"],
+                name=record["name"],
+                start=record["start"],
+                pid=record.get("pid"),
+            )
+            self.events.emit("span", **record)
+        self.tracer.adopt(span_dicts)
+
+    def span_context(self):
+        """Serializable context parenting worker spans under the
+        currently open span (see :meth:`repro.obs.spans.Tracer.context`)."""
+        return self.tracer.context()
+
+    # -- events and metrics -------------------------------------------
+    def event(self, kind: str, **payload) -> None:
+        """Emit one run event."""
+        self.events.emit(kind, **payload)
+
+    def snapshot_metrics(self, phase: str) -> dict:
+        """Record a ``metrics.snapshot`` event for *phase*: the full
+        registry view plus the delta since the previous snapshot."""
+        snapshot = self.metrics.snapshot()
+        delta = self.metrics.delta(self._last_snapshot)
+        self._last_snapshot = snapshot
+        self.events.emit(
+            "metrics.snapshot", phase=phase, snapshot=snapshot, delta=delta
+        )
+        return snapshot
+
+    def summary(self) -> dict:
+        """Compact roll-up for bench records: total spans and the
+        per-phase wall-clock the registry knows about."""
+        return {
+            "trace_id": self.tracer.trace_id,
+            "total_spans": len(self.tracer.finished),
+            "total_events": len(self.events.records),
+            "phase_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(
+                    self.metrics.label_values("phase_seconds", "phase").items()
+                )
+            },
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self, status: str = "ok") -> None:
+        """Finalize: last metrics snapshot, ``run.end`` record (listing
+        any leaked open spans), flush, optional metrics dump."""
+        if self._closed:
+            return
+        self._closed = True
+        self.snapshot_metrics("final")
+        self.events.emit(
+            "run.end",
+            status=str(status),
+            open_spans=self.tracer.open_span_names(),
+            total_spans=len(self.tracer.finished),
+        )
+        self.events.close()
+        if self.metrics_path is not None:
+            self._dump_metrics()
+
+    def _dump_metrics(self) -> None:
+        import json
+
+        from ..runtime.atomic import atomic_write_text
+        from .exporters import prometheus_text
+
+        snapshot = self.metrics.snapshot()
+        if self.metrics_path.endswith((".prom", ".txt")):
+            text = prometheus_text(snapshot)
+        else:
+            text = json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
+        atomic_write_text(self.metrics_path, text)
+
+
+class _DisabledTelemetry:
+    """Shared no-op bundle — the default `telemetry` value everywhere."""
+
+    enabled = False
+    tracer = NULL_TRACER
+    metrics = NULL_METRICS
+    events = None
+    metrics_path = None
+
+    def adopt_spans(self, span_dicts) -> None:
+        pass
+
+    def span_context(self) -> None:
+        return None
+
+    def event(self, kind: str, **payload) -> None:
+        pass
+
+    def snapshot_metrics(self, phase: str) -> dict:
+        return {}
+
+    def summary(self) -> None:
+        return None
+
+    def close(self, status: str = "ok") -> None:
+        pass
+
+
+DISABLED = _DisabledTelemetry()
+
+
+def resolve_telemetry(
+    telemetry,
+    trace_path: str | None = None,
+    metrics_path: str | None = None,
+):
+    """The telemetry a solve should use: an explicit bundle wins, else
+    one is built when the config asks for output files, else
+    :data:`DISABLED`."""
+    if telemetry is not None:
+        return telemetry
+    if trace_path or metrics_path:
+        return SolveTelemetry(trace_path=trace_path, metrics_path=metrics_path)
+    return DISABLED

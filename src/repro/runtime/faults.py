@@ -45,6 +45,7 @@ __all__ = [
     "InjectedFault",
     "active_injector",
     "inject",
+    "set_fault_listener",
 ]
 
 
@@ -178,7 +179,10 @@ class FaultInjector:
                 for fault in self._faults.get(checkpoint, ())
                 if fault.on_visit == ordinal
             ]
+        listener = _listener
         for fault in due:
+            if listener is not None:
+                listener(checkpoint, fault.action, ordinal)
             if fault.action == "delay":
                 time.sleep(fault.seconds)
             elif fault.action == "cancel":
@@ -204,6 +208,23 @@ class FaultInjector:
 # ----------------------------------------------------------------------
 
 _active: FaultInjector | None = None
+
+# Process-wide observer of *applied* faults: a callable
+# (checkpoint, action, visit_ordinal) -> None. Installed by the
+# telemetry layer so injected chaos lands in the run event log without
+# this module importing repro.obs.
+_listener = None
+
+
+def set_fault_listener(listener):
+    """Install a callable observing every applied fault; returns the
+    previous listener (restore it when done). The listener fires
+    *before* the fault takes effect, so a ``fail`` fault is recorded
+    even though it raises."""
+    global _listener
+    previous = _listener
+    _listener = listener
+    return previous
 
 
 def active_injector() -> FaultInjector | None:

@@ -118,6 +118,84 @@ class TestRunner:
         assert row.setting == "SUM[20k,inf)"
 
 
+class TestBenchSchema:
+    def test_fresh_rows_carry_current_schema(self, bench_census):
+        from repro.bench.runner import BENCH_SCHEMA_VERSION
+
+        row = run_emp(
+            bench_census, "M", dataset="t", enable_tabu=False, rng_seed=1
+        )
+        assert BENCH_SCHEMA_VERSION == 2
+        assert row.schema_version == BENCH_SCHEMA_VERSION
+        assert row.telemetry["total_spans"] > 0
+        assert row.telemetry["total_events"] > 0
+        assert "construction" in row.telemetry["phase_seconds"]
+        payload = row.as_dict()
+        assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+        assert payload["telemetry"]["total_spans"] == (
+            row.telemetry["total_spans"]
+        )
+
+    def test_v1_journal_records_still_replay(self, bench_census, tmp_path):
+        import json
+
+        from repro.bench import RunJournal, use_journal
+
+        path = tmp_path / "journal.jsonl"
+        with use_journal(RunJournal(str(path))):
+            run_emp(
+                bench_census, "M", dataset="t", enable_tabu=False, rng_seed=1
+            )
+        # Rewrite the journal as a pre-telemetry (version 1) run would
+        # have written it: no schema_version, no telemetry block.
+        stripped = []
+        for line in path.read_text().splitlines():
+            entry = json.loads(line)
+            entry.pop("schema_version", None)
+            entry.pop("telemetry", None)
+            stripped.append(json.dumps(entry, sort_keys=True))
+        path.write_text("\n".join(stripped) + "\n")
+
+        journal = RunJournal(str(path))
+        with use_journal(journal):
+            replayed = run_emp(
+                bench_census, "M", dataset="t", enable_tabu=False, rng_seed=1
+            )
+        assert journal.replayed == 1
+        assert replayed.schema_version == 1  # marked old, not re-defaulted
+        assert replayed.telemetry == {}
+        assert replayed.p > 0
+
+    def test_read_bench_record_accepts_old_records(self, tmp_path):
+        import json
+
+        from repro.bench.micro import read_bench_record
+
+        path = tmp_path / "BENCH_tabu.json"
+        path.write_text(json.dumps({"mean_seconds": 1.0, "n_areas": 300}))
+        record = read_bench_record(str(path))
+        assert record["mean_seconds"] == 1.0
+        assert record["schema_version"] == 1
+        assert record["telemetry"] == {}
+
+    def test_read_bench_record_missing_or_garbage(self, tmp_path):
+        from repro.bench.micro import read_bench_record
+
+        assert read_bench_record(str(tmp_path / "absent.json")) is None
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{ not json")
+        assert read_bench_record(str(garbage)) is None
+
+    def test_micro_payload_carries_schema_and_telemetry(self):
+        from repro.bench.micro import run_micro
+        from repro.bench.runner import BENCH_SCHEMA_VERSION
+
+        result = run_micro(scale=0.02, micro_ops=False)
+        assert result["schema_version"] == BENCH_SCHEMA_VERSION
+        assert result["telemetry"]["total_spans"] > 0
+        assert result["identical"]  # caches left solver behaviour alone
+
+
 class TestTables:
     def test_table3_rows_cover_grid(self, bench_census):
         ranges = workloads.TABLE3_OPEN_LOWER_RANGES[:1]

@@ -101,6 +101,57 @@ class TestTraceSolve:
             trace.step("step2.2 enclaves").p
         )
 
+    def test_span_attrs_match_trace_snapshots(self, census):
+        """Drift regression: the per-step numbers ``trace_solve``
+        snapshots must equal the live telemetry span attributes of a
+        construction pass run with the same seed.
+
+        Both paths share one RNG contract — ``trace_solve`` seeds
+        ``random.Random(config.rng_seed)`` and hands it to the very
+        step functions :func:`construction_pass_task` drives with
+        ``pass_seed`` — so grow/enclave/extrema/adjust must land on
+        identical partitions. If a refactor ever forks the two
+        pipelines, these exact-equality checks catch it.
+        """
+        from repro.fact.feasibility import check_feasibility
+        from repro.fact.pool import SolverPool, construction_pass_task
+        from repro.fact.seeding import select_seeds
+        from repro.obs import Tracer
+
+        constraints = ConstraintSet(default_constraints())
+        config = FaCTConfig(rng_seed=5, enable_tabu=False)
+        trace = trace_solve(census, constraints, config)
+
+        report = check_feasibility(census, constraints, config)
+        seeding = select_seeds(census, constraints, report)
+        pool = SolverPool(
+            census, constraints, report.invalid_areas, config, max_workers=1
+        )
+        tracer = Tracer()
+        with tracer.span("solve"):
+            result = pool.run_local(
+                construction_pass_task,
+                seeding,
+                config.rng_seed,
+                config,
+                None,
+                None,
+                tracer.context(),
+                0,
+            )
+        spans = {record["name"]: record for record in result[5]}
+        for span_name, step_name in (
+            ("grow", "step2.1 seeding"),
+            ("enclave", "step2.2 enclaves"),
+            ("extrema", "step2.3 extrema"),
+            ("adjust", "step3 adjustments"),
+        ):
+            snapshot = trace.step(step_name)
+            attrs = spans[span_name]["attrs"]
+            assert attrs["p"] == snapshot.p, span_name
+            assert attrs["n_unassigned"] == snapshot.n_unassigned, span_name
+            assert attrs["heterogeneity"] == snapshot.heterogeneity, span_name
+
     def test_paper_default_narrative(self, census):
         """On the default query the trace shows the canonical arc:
         seeds → everything assigned by 2.2 → p collapses in step 3
