@@ -18,6 +18,11 @@ Commands
     ``chrome://tracing``, ``obs prom`` prints the final metrics in
     Prometheus text exposition, ``obs validate`` checks the log for
     unclosed spans / malformed records.
+``serve``
+    Start the durable solve service (HTTP API + worker fleet); alias
+    for ``python -m repro.service serve``. The other service commands
+    (``worker``, ``submit``, ``status``, ``cancel``, ``reap``) are
+    reachable as ``python -m repro service <command>``.
 
 Constraints are given as compact strings, one ``--constraint`` per
 constraint: ``AGG:ATTR:LOWER:UPPER`` with ``-`` for an open bound,
@@ -148,6 +153,15 @@ def _run_obs(args) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # The service has its own argument surface; hand over before
+    # parsing. ``repro serve …`` == ``repro.service serve …``,
+    # ``repro service <cmd> …`` == ``repro.service <cmd> …``.
+    if argv and argv[0] in ("serve", "service"):
+        from .service.cli import main as service_main
+
+        return service_main(argv if argv[0] == "serve" else argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="EMP regionalization with the FaCT solver",
@@ -201,6 +215,31 @@ def main(argv: Sequence[str] | None = None) -> int:
             "resume a previous run from its checkpoint file; completed "
             "work units replay and the result is bit-identical to an "
             "uninterrupted run with the same seed"
+        ),
+    )
+    solve.add_argument(
+        "--keep-checkpoint",
+        action="store_true",
+        help=(
+            "retain the checkpoint file after a completed solve "
+            "(default: deleted on success)"
+        ),
+    )
+    solve.add_argument(
+        "--pool-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retries per crashed worker-pool task (default 1)",
+    )
+    solve.add_argument(
+        "--pool-retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "backoff before each worker-pool task retry "
+            "(exponential, deterministic jitter; default 0)"
         ),
     )
     solve.add_argument(
@@ -317,6 +356,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 strict_interrupt=args.strict_timeout,
                 certify=certify,
                 checkpoint_path=args.checkpoint,
+                checkpoint_keep_on_complete=args.keep_checkpoint,
+                pool_task_retries=args.pool_retries,
+                pool_retry_backoff_seconds=args.pool_retry_backoff,
                 n_jobs=args.jobs,
                 tabu_portfolio=args.portfolio,
                 trace_path=args.trace_output,

@@ -115,6 +115,19 @@ class CheckpointError(ReproError, ValueError):
     """
 
 
+class JobError(ReproError, RuntimeError):
+    """A solve-service job operation is invalid.
+
+    Raised by :mod:`repro.service` for illegal state transitions (e.g.
+    completing a job that is not RUNNING), lease violations (a worker
+    renewing or finishing a job whose lease it no longer holds) and
+    lookups of unknown job ids. Lease violations are the important
+    case: after a lease expires and the job is re-queued, the *old*
+    worker may still be alive and must not be allowed to publish a
+    result over the new owner's work.
+    """
+
+
 class ContiguityError(ReproError, ValueError):
     """A region operation would break (or assumes) spatial contiguity."""
 

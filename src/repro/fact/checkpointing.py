@@ -90,11 +90,17 @@ class SolveLedger:
     """
 
     def __init__(self, path, fingerprint: dict, units: dict | None = None,
-                 consumed_seconds: float = 0.0):
+                 consumed_seconds: float = 0.0,
+                 keep_on_complete: bool = False):
         self.path = os.fspath(path)
         self.fingerprint = fingerprint
         self.units: dict[str, object] = dict(units or {})
         self.consumed_seconds = float(consumed_seconds)
+        # Retention: with keep_on_complete the file survives a COMPLETE
+        # solve (the service archives job checkpoints for audit); the
+        # default deletes it so a finished run cannot be resumed into a
+        # stale answer.
+        self.keep_on_complete = bool(keep_on_complete)
         self.counters = PerfCounters()
         # The solver assigns its SolveTelemetry so snapshot writes are
         # traced (``checkpoint.write`` spans); defaults to the no-op.
@@ -104,13 +110,19 @@ class SolveLedger:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
-    def fresh(cls, path, config, constraints, collection) -> "SolveLedger":
+    def fresh(cls, path, config, constraints, collection,
+              keep_on_complete: bool = False) -> "SolveLedger":
         """Start a new ledger for this solve (any stale file at *path*
         is superseded by the first write)."""
-        return cls(path, _fingerprint(config, constraints, collection))
+        return cls(
+            path,
+            _fingerprint(config, constraints, collection),
+            keep_on_complete=keep_on_complete,
+        )
 
     @classmethod
-    def load(cls, path, config, constraints, collection) -> "SolveLedger":
+    def load(cls, path, config, constraints, collection,
+             keep_on_complete: bool = False) -> "SolveLedger":
         """Load a ledger to resume from; validates format and
         fingerprint.
 
@@ -139,20 +151,26 @@ class SolveLedger:
         expected = _fingerprint(config, constraints, collection)
         found = payload.get("fingerprint")
         if found != expected:
-            mismatched = sorted(
-                key
-                for key in set(expected) | set(found or {})
+            # Name both sides of every mismatched key: "the file says
+            # rng_seed=5, this solve says rng_seed=6" is actionable,
+            # a bare list of key names is not.
+            mismatched = ", ".join(
+                f"{key}: checkpoint has "
+                f"{(found or {}).get(key, '<missing>')!r}, resuming solve "
+                f"expects {expected.get(key, '<missing>')!r}"
+                for key in sorted(set(expected) | set(found or {}))
                 if (found or {}).get(key) != expected.get(key)
             )
             raise CheckpointError(
                 f"checkpoint file {path!r} was written for a different "
-                f"problem (mismatched: {mismatched})"
+                f"problem ({mismatched})"
             )
         return cls(
             path,
             expected,
             units=payload.get("units", {}),
             consumed_seconds=float(payload.get("consumed_seconds", 0.0)),
+            keep_on_complete=keep_on_complete,
         )
 
     # ------------------------------------------------------------------

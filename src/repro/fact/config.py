@@ -205,6 +205,30 @@ class FaCTConfig:
         result, broken pool) is resubmitted before being degraded to
         in-process execution. Degradation preserves determinism: the
         same task function runs on the same arguments either way.
+        Together with ``pool_retry_backoff_seconds`` this defines the
+        pool's :class:`repro.runtime.RetryPolicy` (see
+        :meth:`pool_retry_policy`).
+    pool_retry_backoff_seconds:
+        Base delay before a failed worker task's first resubmission;
+        further resubmissions back off exponentially with
+        deterministic jitter. ``0`` (default) retries immediately —
+        the historical behaviour, right for in-process pools where the
+        run budget is already ticking.
+    checkpoint_keep_on_complete:
+        Keep the solve-checkpoint file after a COMPLETE solve instead
+        of deleting it. Off by default (a finished run must not be
+        resumable into a stale answer); the solve service turns it on
+        to archive each job's final checkpoint for audit.
+    lease_seconds:
+        When this solve runs as a service job: how long one worker's
+        lease on the job lasts before the service may re-queue it.
+        ``None`` (default) defers to the service's own default. The
+        solver itself never reads it — it rides on the config so one
+        object fully describes a job's execution contract.
+    heartbeat_seconds:
+        Lease-renewal interval of the service worker executing this
+        solve; must be positive and smaller than ``lease_seconds``
+        when both are set. ``None`` (default) defers to the service.
     """
 
     rng_seed: int = 0
@@ -228,6 +252,10 @@ class FaCTConfig:
     metrics_path: str | None = None
     worker_task_deadline_seconds: float | None = None
     pool_task_retries: int = 1
+    pool_retry_backoff_seconds: float = 0.0
+    checkpoint_keep_on_complete: bool = False
+    lease_seconds: float | None = None
+    heartbeat_seconds: float | None = None
 
     def __post_init__(self) -> None:
         self.pickup = PickupCriterion.validate(self.pickup)
@@ -312,6 +340,52 @@ class FaCTConfig:
         _require_integer("pool_task_retries", self.pool_task_retries)
         if self.pool_task_retries < 0:
             raise BudgetError("pool_task_retries must be >= 0")
+        backoff = self.pool_retry_backoff_seconds
+        if (
+            isinstance(backoff, bool)
+            or not isinstance(backoff, numbers.Real)
+            or not math.isfinite(float(backoff))
+            or float(backoff) < 0
+        ):
+            raise BudgetError(
+                "pool_retry_backoff_seconds must be finite and >= 0, got "
+                f"{backoff!r}"
+            )
+        self.pool_retry_backoff_seconds = float(backoff)
+        if not isinstance(self.checkpoint_keep_on_complete, bool):
+            raise InvalidConstraintError(
+                "checkpoint_keep_on_complete must be a bool, got "
+                f"{self.checkpoint_keep_on_complete!r}"
+            )
+        # Service-execution knobs: leases and heartbeats make no sense
+        # at zero or below — a zero-length lease expires the instant it
+        # is granted and a non-positive heartbeat spins.
+        for name in ("lease_seconds", "heartbeat_seconds"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, numbers.Real)
+                or not math.isfinite(float(value))
+                or float(value) <= 0
+            ):
+                raise BudgetError(
+                    f"{name} must be positive and finite or None, got "
+                    f"{value!r}"
+                )
+            setattr(self, name, float(value))
+        if (
+            self.lease_seconds is not None
+            and self.heartbeat_seconds is not None
+            and self.heartbeat_seconds >= self.lease_seconds
+        ):
+            raise BudgetError(
+                "heartbeat_seconds must be smaller than lease_seconds "
+                f"(got heartbeat={self.heartbeat_seconds!r}, "
+                f"lease={self.lease_seconds!r}); a heartbeat that cannot "
+                "outrun its own lease guarantees spurious lease expiry"
+            )
 
     def certify_level(self) -> str:
         """The effective certification level: the explicit
@@ -323,6 +397,17 @@ class FaCTConfig:
         if env:
             return CertifyLevel.validate(env)
         return CertifyLevel.OFF
+
+    def pool_retry_policy(self):
+        """The worker pool's :class:`repro.runtime.RetryPolicy`:
+        ``pool_task_retries`` resubmissions after the first attempt,
+        backing off from ``pool_retry_backoff_seconds``."""
+        from ..runtime.retry import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.pool_task_retries + 1,
+            base_delay_seconds=self.pool_retry_backoff_seconds,
+        )
 
     def make_rng(self) -> random.Random:
         """A fresh RNG seeded from :attr:`rng_seed`."""

@@ -379,7 +379,7 @@ def _run_passes_parallel(
         local_args,
         budget=budget,
         perf=runtime_perf,
-        retries=config.pool_task_retries,
+        retry_policy=config.pool_retry_policy(),
         task_deadline=config.worker_task_deadline_seconds,
         on_result=_record,
         poll_seconds=_PARALLEL_POLL_SECONDS,

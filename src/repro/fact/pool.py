@@ -37,7 +37,7 @@ from ..core.constraints import ConstraintSet
 from ..core.perf import PerfCounters
 from ..obs.spans import worker_tracer
 from ..obs.telemetry import DISABLED
-from ..runtime import Budget, Interrupted, RunStatus
+from ..runtime import Budget, Interrupted, RetryPolicy, RunStatus
 from .config import FaCTConfig
 from .state import SolutionState
 
@@ -268,6 +268,7 @@ class SolverPool:
         budget: Budget | None = None,
         perf: PerfCounters | None = None,
         retries: int = 1,
+        retry_policy: RetryPolicy | None = None,
         task_deadline: float | None = None,
         on_result=None,
         poll_seconds: float = 0.05,
@@ -279,15 +280,21 @@ class SolverPool:
         results into ``{index: result}``, preserving determinism: a
         result depends only on its arguments, so the caller's
         index-ordered reduction is unaffected by *where* each task
-        eventually ran. The failure policy, in order of escalation:
+        eventually ran. Re-dispatch follows *retry_policy* (a
+        :class:`repro.runtime.RetryPolicy`; when omitted, one is built
+        from *retries* with immediate resubmission — the historical
+        behaviour). A policy with a non-zero base delay defers
+        resubmission by its deterministically jittered backoff instead
+        of hammering a struggling pool. The failure escalation:
 
         - a task that raises (worker crash, unpicklable return value)
-          is resubmitted up to *retries* times, then **degraded**: the
-          same task function is re-run in-process via :meth:`run_local`
-          on ``local_args[i]``;
+          is resubmitted while the policy allows another attempt, then
+          **degraded** — the pool's dead-letter: the same task
+          function is re-run in-process via :meth:`run_local` on
+          ``local_args[i]``;
         - ``BrokenProcessPool`` (a worker died hard, killing the whole
           executor) triggers :meth:`restart` and resubmission of every
-          unfinished task — tasks whose retries are already exhausted
+          unfinished task — tasks whose attempts are already exhausted
           degrade instead;
         - a task still unfinished after *task_deadline* seconds is
           abandoned (the stdlib cannot kill a running future, so its
@@ -308,10 +315,15 @@ class SolverPool:
         """
         perf = perf if perf is not None else PerfCounters()
         telemetry = telemetry if telemetry is not None else DISABLED
+        if retry_policy is None:
+            retry_policy = RetryPolicy(max_attempts=retries + 1)
         results: dict[int, object] = {}
+        # attempts[i] counts *failed* attempts of task i so far.
         attempts = [0] * len(submit_args)
         future_index: dict[Future, int] = {}
         submitted_at: dict[int, float] = {}
+        # (ready_at, index) pairs waiting out a backoff delay.
+        deferred: list[tuple[float, int]] = []
 
         def _accept(index: int, result) -> None:
             results[index] = result
@@ -340,10 +352,53 @@ class SolverPool:
             future_index[future] = index
             submitted_at[index] = time.monotonic()
 
+        def _retry_or_degrade(index: int) -> None:
+            """One failed attempt is on the books; re-dispatch per the
+            retry policy or dead-letter to in-process degradation."""
+            attempts[index] += 1
+            if not retry_policy.allows(attempts[index]):
+                _degrade(index)
+                return
+            perf.pool_task_retries += 1
+            telemetry.event("pool.task_retry", index=index,
+                            attempt=attempts[index])
+            delay = retry_policy.delay_seconds(attempts[index],
+                                               key=str(index))
+            if delay <= 0.0:
+                _submit(index)
+            else:
+                deferred.append((time.monotonic() + delay, index))
+
         for index in range(len(submit_args)):
             _submit(index)
 
-        while future_index:
+        while future_index or deferred:
+            if deferred:
+                now = time.monotonic()
+                ready = sorted(
+                    item for item in deferred if item[0] <= now
+                )
+                for item in ready:
+                    deferred.remove(item)
+                    _submit(item[1])
+            if not future_index:
+                # Everything unfinished is waiting out a backoff delay.
+                if deferred:
+                    time.sleep(
+                        max(
+                            0.0,
+                            min(
+                                poll_seconds,
+                                min(t for t, _ in deferred)
+                                - time.monotonic(),
+                            ),
+                        )
+                    )
+                if budget is not None:
+                    status = budget.status()
+                    if status is not None:
+                        return results, status
+                continue
             done, _ = wait(set(future_index), timeout=poll_seconds)
             broken = False
             for future in sorted(done, key=future_index.__getitem__):
@@ -357,14 +412,7 @@ class SolverPool:
                     perf.pool_task_failures += 1
                     telemetry.event("pool.task_failed", index=index,
                                     stage="result")
-                    if attempts[index] < retries:
-                        attempts[index] += 1
-                        perf.pool_task_retries += 1
-                        telemetry.event("pool.task_retry", index=index,
-                                        attempt=attempts[index])
-                        _submit(index)
-                    else:
-                        _degrade(index)
+                    _retry_or_degrade(index)
                 else:
                     _accept(index, result)
             if broken:
@@ -378,14 +426,7 @@ class SolverPool:
                 future_index.clear()
                 self.restart()
                 for index in unfinished:
-                    if attempts[index] < retries:
-                        attempts[index] += 1
-                        perf.pool_task_retries += 1
-                        telemetry.event("pool.task_retry", index=index,
-                                        attempt=attempts[index])
-                        _submit(index)
-                    else:
-                        _degrade(index)
+                    _retry_or_degrade(index)
             if task_deadline is not None:
                 now = time.monotonic()
                 overdue = [

@@ -334,11 +334,13 @@ class FaCT:
         ledger = None
         if resume_from is not None:
             ledger = SolveLedger.load(
-                resume_from, config, constraints, collection
+                resume_from, config, constraints, collection,
+                keep_on_complete=config.checkpoint_keep_on_complete,
             )
         elif config.checkpoint_path is not None:
             ledger = SolveLedger.fresh(
-                config.checkpoint_path, config, constraints, collection
+                config.checkpoint_path, config, constraints, collection,
+                keep_on_complete=config.checkpoint_keep_on_complete,
             )
         if ledger is not None:
             ledger.telemetry = telemetry
@@ -471,7 +473,7 @@ class FaCT:
             if status is not RunStatus.COMPLETE:
                 telemetry.event("run.interrupted", status=status.value)
             if ledger is not None:
-                if status is RunStatus.COMPLETE:
+                if status is RunStatus.COMPLETE and not ledger.keep_on_complete:
                     ledger.delete()
                 runtime_perf.merge(ledger.counters)
             perf = construction.state.perf

@@ -12,20 +12,29 @@ under wall-clock limits and caller aborts:
   exhausted checkpoint and converted by each phase into a flagged
   best-so-far result;
 - :mod:`repro.runtime.faults` — deterministic delay/crash/cancel
-  injection at the named checkpoints, for chaos testing;
-- :func:`atomic_write_text` — crash-safe file replacement (temp file +
-  ``os.replace``) behind the solve checkpoints and the bench journal.
+  injection at the named checkpoints, for chaos testing (higher layers
+  register their own sites via :func:`register_checkpoints`);
+- :class:`RetryPolicy` — the unified retry/backoff/dead-letter policy
+  shared by the worker pool and the solve service;
+- :func:`atomic_write_text` / :func:`append_line` /
+  :func:`fsync_directory` — crash-safe file replacement and durable
+  journal appends (temp file + ``os.replace`` + directory fsync)
+  behind the solve checkpoints, the bench journal and the service job
+  store.
 """
 
-from .atomic import atomic_write_text
+from .atomic import append_line, atomic_write_text, fsync_directory
 from .budget import Budget, CancellationToken, Interrupted, RunStatus
 from .faults import (
     CHECKPOINTS,
     FaultInjector,
     InjectedFault,
     active_injector,
+    fire_checkpoint,
     inject,
+    register_checkpoints,
 )
+from .retry import RetryPolicy
 
 __all__ = [
     "Budget",
@@ -34,8 +43,13 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "Interrupted",
+    "RetryPolicy",
     "RunStatus",
     "active_injector",
+    "append_line",
     "atomic_write_text",
+    "fire_checkpoint",
+    "fsync_directory",
     "inject",
+    "register_checkpoints",
 ]

@@ -44,7 +44,9 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "active_injector",
+    "fire_checkpoint",
     "inject",
+    "register_checkpoints",
     "set_fault_listener",
 ]
 
@@ -82,6 +84,37 @@ CHECKPOINTS: tuple[str, ...] = (
 """
 
 
+# Checkpoint names registered by higher layers (the solve service adds
+# its journal/lease/result checkpoints at import time). Kept separate
+# from CHECKPOINTS so the solver drift guard — "a plain solve visits
+# every name in CHECKPOINTS" — stays true.
+_EXTRA_CHECKPOINTS: set[str] = set()
+
+
+def register_checkpoints(*names: str) -> tuple[str, ...]:
+    """Register additional checkpoint names (idempotent).
+
+    Layers above the solver (the solve service) declare their own
+    fault-injection sites here so chaos plans against them pass the
+    same unknown-name validation the solver checkpoints get.
+    """
+    for name in names:
+        _EXTRA_CHECKPOINTS.add(str(name))
+    return tuple(names)
+
+
+def fire_checkpoint(name: str, budget=None) -> None:
+    """Fire the process-wide injector (if any) at *name*.
+
+    The direct-call counterpart of :meth:`repro.runtime.Budget.checkpoint`
+    for code that has no budget in hand — the service's store and
+    worker paths use it so chaos tests can crash them at exact points.
+    """
+    injector = _active
+    if injector is not None:
+        injector.fire(name, budget)
+
+
 class InjectedFault(RuntimeError):
     """Default exception raised by a ``fail`` fault.
 
@@ -100,10 +133,10 @@ class _Fault:
 
 
 def _validate_checkpoint(name: str) -> str:
-    if name not in CHECKPOINTS:
+    if name not in CHECKPOINTS and name not in _EXTRA_CHECKPOINTS:
         raise BudgetError(
             f"unknown checkpoint {name!r}; registered checkpoints are "
-            f"{list(CHECKPOINTS)}"
+            f"{list(CHECKPOINTS) + sorted(_EXTRA_CHECKPOINTS)}"
         )
     return name
 

@@ -1,0 +1,192 @@
+"""The unified retry/backoff policy for every re-dispatch decision.
+
+Before this module, each layer invented its own retry loop: the worker
+pool counted raw resubmissions (``pool_task_retries``), the bench
+harness retried cells ad hoc, and the solve service needed yet another
+scheme for re-leasing crashed jobs. :class:`RetryPolicy` is the single
+vocabulary they all share now:
+
+- **max attempts** — how many times a unit of work may be *started*
+  (first attempt included) before it is declared dead. ``allows(n)``
+  answers "may attempt ``n+1`` begin after ``n`` completed attempts?".
+- **exponential backoff** — the delay before attempt ``n+1`` grows as
+  ``base * factor**(n-1)``, clamped to a maximum.
+- **deterministic jitter** — real systems jitter retry delays so a
+  thundering herd of failures does not resynchronize; this repo also
+  demands reproducibility, so the jitter is *derived*, not random: a
+  SHA-256 hash of ``(key, attempt)`` spreads delays within
+  ``±jitter_ratio`` while keeping every run of the same workload
+  bit-identical.
+- **dead-letter** — :meth:`decide` collapses the whole policy into one
+  verdict per failure: ``("retry", delay_seconds)`` or ``("dead",
+  0.0)``. The job store maps ``"dead"`` to its ``DEAD`` state; the
+  worker pool maps it to in-process degradation.
+
+The policy is a frozen dataclass with a JSON round-trip
+(:meth:`as_dict` / :meth:`from_dict`) so a job's retry contract
+travels inside its persisted spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import numbers
+from dataclasses import dataclass
+
+from ..exceptions import BudgetError
+
+__all__ = ["RetryPolicy"]
+
+
+def _require_number(name: str, value, minimum: float = 0.0) -> float:
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise BudgetError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value) or value < minimum:
+        raise BudgetError(
+            f"{name} must be finite and >= {minimum}, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed work is re-dispatched: attempts, backoff, jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total times a unit may be started (>= 1). ``1`` means "never
+        retry": the first failure is final.
+    base_delay_seconds:
+        Delay before the first retry (attempt 2). ``0`` retries
+        immediately — the worker-pool default, where a failed task is
+        cheap to resubmit and the run-level budget is already ticking.
+    backoff_factor:
+        Multiplier applied per further retry (>= 1).
+    max_delay_seconds:
+        Clamp on the computed delay.
+    jitter_ratio:
+        Spread of the deterministic jitter in ``[0, 1)``: the delay for
+        ``(key, attempt)`` lands in ``delay * (1 ± jitter_ratio)``,
+        derived from a hash so identical inputs always yield identical
+        delays.
+    """
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    max_delay_seconds: float = 60.0
+    jitter_ratio: float = 0.1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.max_attempts, bool) or not isinstance(
+            self.max_attempts, numbers.Integral
+        ):
+            raise BudgetError(
+                f"max_attempts must be an integer, got {self.max_attempts!r}"
+            )
+        object.__setattr__(self, "max_attempts", int(self.max_attempts))
+        if self.max_attempts < 1:
+            raise BudgetError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        object.__setattr__(
+            self,
+            "base_delay_seconds",
+            _require_number("base_delay_seconds", self.base_delay_seconds),
+        )
+        object.__setattr__(
+            self,
+            "backoff_factor",
+            _require_number("backoff_factor", self.backoff_factor, minimum=1.0),
+        )
+        object.__setattr__(
+            self,
+            "max_delay_seconds",
+            _require_number("max_delay_seconds", self.max_delay_seconds),
+        )
+        jitter = _require_number("jitter_ratio", self.jitter_ratio)
+        if jitter >= 1.0:
+            raise BudgetError(
+                f"jitter_ratio must be in [0, 1), got {jitter!r}"
+            )
+        object.__setattr__(self, "jitter_ratio", jitter)
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def allows(self, completed_attempts: int) -> bool:
+        """May another attempt start after *completed_attempts*?"""
+        return completed_attempts < self.max_attempts
+
+    def delay_seconds(self, completed_attempts: int, key: str = "") -> float:
+        """Backoff before the attempt following *completed_attempts*.
+
+        Exponential in the retry ordinal, clamped, with deterministic
+        jitter derived from ``(key, completed_attempts)`` — the same
+        inputs always produce the same delay.
+        """
+        if completed_attempts < 1:
+            return 0.0
+        delay = self.base_delay_seconds * (
+            self.backoff_factor ** (completed_attempts - 1)
+        )
+        delay = min(delay, self.max_delay_seconds)
+        if delay <= 0.0 or self.jitter_ratio == 0.0:
+            return delay
+        digest = hashlib.sha256(
+            f"{key}\x00{completed_attempts}".encode("utf-8")
+        ).digest()
+        # 8 bytes of hash → a fraction in [0, 1) → a factor in
+        # [1 - jitter, 1 + jitter).
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return delay * (1.0 + self.jitter_ratio * (2.0 * fraction - 1.0))
+
+    def decide(
+        self, completed_attempts: int, key: str = ""
+    ) -> tuple[str, float]:
+        """The dead-letter verdict after a failed attempt:
+        ``("retry", delay_seconds)`` while attempts remain, else
+        ``("dead", 0.0)``."""
+        if self.allows(completed_attempts):
+            return "retry", self.delay_seconds(completed_attempts, key)
+        return "dead", 0.0
+
+    # ------------------------------------------------------------------
+    # serialization (job specs persist their retry contract)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_seconds": self.base_delay_seconds,
+            "backoff_factor": self.backoff_factor,
+            "max_delay_seconds": self.max_delay_seconds,
+            "jitter_ratio": self.jitter_ratio,
+        }
+
+    _FIELDS = (
+        "max_attempts",
+        "base_delay_seconds",
+        "backoff_factor",
+        "max_delay_seconds",
+        "jitter_ratio",
+    )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RetryPolicy":
+        if not isinstance(payload, dict):
+            raise BudgetError(
+                f"retry policy must be an object, got {payload!r}"
+            )
+        unknown = sorted(set(payload) - set(cls._FIELDS))
+        if unknown:
+            # A durable spec with a typo'd knob must bounce at submit,
+            # not silently fall back to defaults.
+            raise BudgetError(
+                f"unknown retry policy fields {unknown}; known fields are "
+                f"{list(cls._FIELDS)}"
+            )
+        return cls(**{name: payload[name] for name in cls._FIELDS
+                      if name in payload})

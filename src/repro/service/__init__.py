@@ -1,0 +1,63 @@
+"""A durable, crash-recoverable solve service over :mod:`repro.fact`.
+
+Submitted jobs survive anything: every state transition is an
+append-only journal record (:mod:`repro.service.store`), workers hold
+time-limited leases renewed by heartbeats (:mod:`repro.service.lease`),
+and solves checkpoint through :class:`repro.fact.checkpointing.
+SolveLedger` — so a SIGKILLed worker's job is re-leased and resumed
+**bit-identically** from its last checkpoint by the next worker.
+Re-dispatch follows the unified :class:`repro.runtime.RetryPolicy`
+(exponential backoff, deterministic jitter, dead-letter after
+``max_attempts``). A zero-dependency :mod:`http.server` API
+(:mod:`repro.service.api`) exposes submit/status/result/cancel/list,
+live progress from the solve's :mod:`repro.obs` event log, and
+Prometheus metrics.
+
+Liveness contract (the chaos invariant): every submitted job
+terminates in COMPLETED, FAILED, CANCELLED or DEAD, no matter which
+process dies at which instant.
+
+Entry points: ``python -m repro serve`` / ``python -m repro.service``
+(see :mod:`repro.service.cli`).
+"""
+
+from __future__ import annotations
+
+from ..runtime.faults import register_checkpoints
+from .jobs import Job, JobSpec, JobState
+from .lease import LeaseKeeper
+from .queue import select_next
+from .store import JobStore
+from .worker import ServiceWorker
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "LeaseKeeper",
+    "SERVICE_CHECKPOINTS",
+    "ServiceWorker",
+    "select_next",
+]
+
+SERVICE_CHECKPOINTS = (
+    "service.journal.append",
+    "service.lease.claim",
+    "service.lease.renew",
+    "service.lease.reap",
+    "service.result.write",
+    "service.job.finalize",
+)
+"""Fault-injection checkpoints of the service layer.
+
+Registered with :func:`repro.runtime.faults.register_checkpoints`
+(not added to the solver's ``CHECKPOINTS`` tuple — those must all be
+reachable from a plain solve, which the service ones are not). A
+:class:`repro.runtime.FaultInjector` armed at any of these can kill,
+delay or fail the service at the exact instants the durability
+guarantees must hold: right before a journal append, around lease
+claims/renewals/reaps, before a result write and before finalization.
+"""
+
+register_checkpoints(*SERVICE_CHECKPOINTS)

@@ -1,0 +1,342 @@
+"""Zero-dependency HTTP API over the durable job store.
+
+Built on :mod:`http.server` (``ThreadingHTTPServer``) so the service
+runs anywhere the library does. Every response is JSON except
+``/metrics`` (Prometheus text exposition, reusing
+:func:`repro.obs.exporters.prometheus_text`).
+
+Endpoints
+---------
+===========================================  =================================
+``POST /jobs``                               submit a job (JSON body =
+                                             :class:`~repro.service.jobs.JobSpec`)
+``GET /jobs``                                list jobs (``?state=queued`` …)
+``GET /jobs/<id>``                           job status (state machine view)
+``POST /jobs/<id>/cancel``                   request cancellation
+``GET /jobs/<id>/result``                    final result (404 until done)
+``GET /jobs/<id>/certificate``               the solution certificate
+``GET /jobs/<id>/events``                    live progress from the solve's
+                                             event log (``?offset=N`` for
+                                             incremental polls)
+``GET /healthz``                             liveness + per-state job counts
+``GET /metrics``                             Prometheus text exposition
+===========================================  =================================
+
+The server owns a background *reaper* thread: expired leases are
+re-queued on a fixed cadence even when every worker is dead — the
+store's liveness guarantee must not depend on worker processes.
+
+An optional FastAPI adapter (:func:`create_fastapi_app`) exposes the
+same routes for deployments that already run uvicorn; it is gated
+behind the import so the stdlib path never needs the dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..exceptions import JobError, ReproError
+from .jobs import JobSpec
+from .store import JobStore
+
+__all__ = ["ServiceAPI", "create_fastapi_app", "serve"]
+
+_JOB_ROUTE = re.compile(
+    r"^/jobs/(?P<job_id>[A-Za-z0-9_.-]+)"
+    r"(?:/(?P<action>cancel|result|certificate|events))?$"
+)
+
+
+class ServiceAPI:
+    """Transport-independent request handling over a :class:`JobStore`.
+
+    Each public method maps to one endpoint and returns
+    ``(http_status, payload)`` with a JSON-plain payload, so the
+    stdlib handler, the FastAPI adapter and the tests all share one
+    implementation.
+    """
+
+    def __init__(self, store: JobStore):
+        self.store = store
+
+    # -- submit / query -------------------------------------------------
+    def submit(self, payload: dict) -> tuple[int, dict]:
+        try:
+            spec = JobSpec.from_dict(payload)
+            job = self.store.submit(spec)
+        except (JobError, ReproError, TypeError, ValueError) as error:
+            return 400, {"error": str(error)}
+        return 201, job.as_dict()
+
+    def list_jobs(self, state: str | None = None) -> tuple[int, dict]:
+        try:
+            jobs = self.store.jobs(state=state)
+        except JobError as error:
+            return 400, {"error": str(error)}
+        return 200, {
+            "jobs": [job.as_dict() for job in jobs],
+            "counts": self.store.counts(),
+        }
+
+    def status(self, job_id: str) -> tuple[int, dict]:
+        try:
+            return 200, self.store.get(job_id).as_dict()
+        except JobError as error:
+            return 404, {"error": str(error)}
+
+    def cancel(self, job_id: str) -> tuple[int, dict]:
+        try:
+            return 200, self.store.cancel(job_id).as_dict()
+        except JobError as error:
+            return 404, {"error": str(error)}
+
+    def result(self, job_id: str) -> tuple[int, dict]:
+        status, payload = self.status(job_id)
+        if status != 200:
+            return status, payload
+        result = self.store.read_result(job_id)
+        if result is None:
+            return 404, {
+                "error": f"job {job_id!r} has no result yet",
+                "state": payload["state"],
+            }
+        return 200, result
+
+    def certificate(self, job_id: str) -> tuple[int, dict]:
+        status, payload = self.status(job_id)
+        if status != 200:
+            return status, payload
+        certificate = self.store.read_certificate(job_id)
+        if certificate is None:
+            return 404, {
+                "error": f"job {job_id!r} has no certificate",
+                "state": payload["state"],
+            }
+        return 200, certificate
+
+    def events(self, job_id: str, offset: int = 0) -> tuple[int, dict]:
+        """Live progress: the job's solve events from *offset* on."""
+        status, payload = self.status(job_id)
+        if status != 200:
+            return status, payload
+        events = self.store.read_events(job_id)
+        offset = max(0, min(int(offset), len(events)))
+        return 200, {
+            "job_id": job_id,
+            "state": payload["state"],
+            "events": events[offset:],
+            "next_offset": len(events),
+        }
+
+    # -- operational ----------------------------------------------------
+    def healthz(self) -> tuple[int, dict]:
+        return 200, {"ok": True, "counts": self.store.counts()}
+
+    def metrics_text(self) -> str:
+        """Service gauges in Prometheus text exposition."""
+        from ..obs.exporters import prometheus_text
+
+        counts = self.store.counts()
+        gauges = {
+            f'service_jobs{{state="{state}"}}': float(count)
+            for state, count in sorted(counts.items())
+        }
+        return prometheus_text({"counters": {}, "gauges": gauges})
+
+    # -- dispatch (shared by stdlib handler and tests) ------------------
+    def dispatch(
+        self, method: str, path: str, query: dict, body: dict | None
+    ) -> tuple[int, dict] | tuple[int, str, str]:
+        """Route one request; returns ``(status, json_payload)`` or
+        ``(status, text, content_type)`` for non-JSON endpoints."""
+        if method == "GET" and path == "/healthz":
+            return self.healthz()
+        if method == "GET" and path == "/metrics":
+            return 200, self.metrics_text(), "text/plain; version=0.0.4"
+        if path == "/jobs":
+            if method == "POST":
+                return self.submit(body or {})
+            if method == "GET":
+                return self.list_jobs(state=query.get("state"))
+            return 405, {"error": f"{method} not allowed on {path}"}
+        match = _JOB_ROUTE.match(path)
+        if match is None:
+            return 404, {"error": f"no route for {path!r}"}
+        job_id, action = match.group("job_id"), match.group("action")
+        if action == "cancel":
+            if method != "POST":
+                return 405, {"error": "cancel requires POST"}
+            return self.cancel(job_id)
+        if method != "GET":
+            return 405, {"error": f"{method} not allowed on {path}"}
+        if action is None:
+            return self.status(job_id)
+        if action == "result":
+            return self.result(job_id)
+        if action == "certificate":
+            return self.certificate(job_id)
+        offset = query.get("offset", "0")
+        try:
+            offset = int(offset)
+        except ValueError:
+            return 400, {"error": f"offset must be an integer, got {offset!r}"}
+        return self.events(job_id, offset=offset)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """stdlib glue: parse → :meth:`ServiceAPI.dispatch` → JSON."""
+
+    api: ServiceAPI  # set by serve()
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default; the CLI decides what to log.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _respond(self) -> None:
+        path, _, query_text = self.path.partition("?")
+        query = {}
+        for pair in query_text.split("&"):
+            if "=" in pair:
+                key, _, value = pair.partition("=")
+                query[key] = value
+        body = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            try:
+                body = json.loads(self.rfile.read(length).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self._send(400, {"error": f"request body is not JSON: {error}"})
+                return
+        try:
+            outcome = self.api.dispatch(self.command, path, query, body)
+        except Exception as error:  # noqa: BLE001 - server must survive
+            self._send(500, {"error": str(error)})
+            return
+        if len(outcome) == 3:
+            status, text, content_type = outcome
+            self._send_raw(status, text.encode("utf-8"), content_type)
+        else:
+            status, payload = outcome
+            self._send(status, payload)
+
+    def _send(self, status: int, payload: dict) -> None:
+        self._send_raw(
+            status,
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+            "application/json",
+        )
+
+    def _send_raw(self, status: int, data: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    do_GET = _respond
+    do_POST = _respond
+
+
+class _Reaper(threading.Thread):
+    """Re-queues expired leases on a fixed cadence."""
+
+    def __init__(self, store: JobStore, interval_seconds: float):
+        super().__init__(name="lease-reaper", daemon=True)
+        self.store = store
+        self.interval_seconds = interval_seconds
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.store.reap_expired()
+            except Exception:  # noqa: BLE001 - reaper must survive
+                pass
+
+
+def serve(
+    store: JobStore,
+    host: str = "127.0.0.1",
+    port: int = 8008,
+    reap_seconds: float = 1.0,
+) -> tuple[ThreadingHTTPServer, _Reaper]:
+    """Build the HTTP server + reaper (not yet serving).
+
+    The caller drives ``server.serve_forever()`` (the CLI does, with
+    SIGTERM wired to ``shutdown`` for graceful drain) and is
+    responsible for ``reaper.stop()`` on the way out.
+    """
+    api = ServiceAPI(store)
+    handler = type("Handler", (_Handler,), {"api": api})
+    server = ThreadingHTTPServer((host, port), handler)
+    reaper = _Reaper(store, reap_seconds)
+    reaper.start()
+    return server, reaper
+
+
+def create_fastapi_app(store: JobStore):
+    """The same API as a FastAPI app, for uvicorn deployments.
+
+    Requires the optional ``fastapi`` extra; raises a clear error when
+    it is not installed (the stdlib server needs nothing).
+    """
+    try:
+        from fastapi import FastAPI, Request
+        from fastapi.responses import PlainTextResponse, JSONResponse
+    except ImportError as error:  # pragma: no cover - optional extra
+        raise ReproError(
+            "FastAPI is not installed; use the stdlib server "
+            "(python -m repro serve) or install the 'service' extra"
+        ) from error
+
+    api = ServiceAPI(store)
+    app = FastAPI(title="repro solve service")
+
+    def _json(outcome) -> JSONResponse:
+        status, payload = outcome
+        return JSONResponse(payload, status_code=status)
+
+    @app.get("/healthz")
+    def healthz():
+        return _json(api.healthz())
+
+    @app.get("/metrics", response_class=PlainTextResponse)
+    def metrics():
+        return api.metrics_text()
+
+    @app.post("/jobs")
+    async def submit(request: Request):
+        return _json(api.submit(await request.json()))
+
+    @app.get("/jobs")
+    def list_jobs(state: str | None = None):
+        return _json(api.list_jobs(state=state))
+
+    @app.get("/jobs/{job_id}")
+    def status(job_id: str):
+        return _json(api.status(job_id))
+
+    @app.post("/jobs/{job_id}/cancel")
+    def cancel(job_id: str):
+        return _json(api.cancel(job_id))
+
+    @app.get("/jobs/{job_id}/result")
+    def result(job_id: str):
+        return _json(api.result(job_id))
+
+    @app.get("/jobs/{job_id}/certificate")
+    def certificate(job_id: str):
+        return _json(api.certificate(job_id))
+
+    @app.get("/jobs/{job_id}/events")
+    def events(job_id: str, offset: int = 0):
+        return _json(api.events(job_id, offset=offset))
+
+    return app

@@ -1,0 +1,317 @@
+"""Job model of the durable solve service: specs, states, transitions.
+
+A *job* is one requested solve travelling through the state machine::
+
+    QUEUED ──▶ LEASED ──▶ RUNNING ──▶ COMPLETED
+      ▲          │           │   └──▶ FAILED      (permanent error)
+      │          │           │
+      └──────────┴───────────┘──▶ CANCELLED      (operator request)
+      (lease expiry / transient     └─ or ─▶ DEAD (attempts exhausted)
+       failure, via RetryPolicy)
+
+Every arrow is validated against :data:`ALLOWED_TRANSITIONS`; the
+store refuses anything else, so a replayed journal can never fold into
+a state the machine cannot reach. Four states are terminal
+(:data:`TERMINAL_STATES`) — the chaos invariant of the service is that
+*every* submitted job ends in one of them, no matter which process
+died when.
+
+:class:`JobSpec` is the durable description of what to solve — dataset
+coordinates, constraint strings, :class:`repro.fact.FaCTConfig`
+overrides, priority, per-job deadline, optional retry override. It is
+plain JSON-serializable data: the spec travels in the journal's submit
+record, so journal replay alone reconstructs every job without
+consulting secondary files.
+
+:class:`Job` is the folded runtime view: current state, lease, attempt
+count, timestamps. It is what the store hands to workers and the API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import JobError
+from ..runtime.retry import RetryPolicy
+
+__all__ = [
+    "ALLOWED_TRANSITIONS",
+    "ACTIVE_STATES",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "TERMINAL_STATES",
+]
+
+
+class JobState:
+    """The job lifecycle states (plain strings — they live in JSON)."""
+
+    QUEUED = "queued"
+    LEASED = "leased"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    DEAD = "dead"
+
+    ALL = (QUEUED, LEASED, RUNNING, COMPLETED, FAILED, CANCELLED, DEAD)
+
+    @classmethod
+    def validate(cls, value: str) -> str:
+        value = str(value).lower()
+        if value not in cls.ALL:
+            raise JobError(
+                f"unknown job state {value!r}; expected one of {cls.ALL}"
+            )
+        return value
+
+
+TERMINAL_STATES = frozenset(
+    (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED, JobState.DEAD)
+)
+"""States a job never leaves. The service's liveness contract: every
+job reaches one of these."""
+
+ACTIVE_STATES = frozenset(
+    (JobState.QUEUED, JobState.LEASED, JobState.RUNNING)
+)
+"""States still owed work."""
+
+ALLOWED_TRANSITIONS: dict[str, frozenset[str]] = {
+    JobState.QUEUED: frozenset((JobState.LEASED, JobState.CANCELLED)),
+    JobState.LEASED: frozenset(
+        (
+            JobState.RUNNING,
+            JobState.QUEUED,  # lease expired / drained before starting
+            JobState.CANCELLED,
+            JobState.FAILED,
+            JobState.DEAD,
+        )
+    ),
+    JobState.RUNNING: frozenset(
+        (
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.QUEUED,  # lease expired / transient failure / drain
+            JobState.CANCELLED,
+            JobState.DEAD,
+        )
+    ),
+    JobState.COMPLETED: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+    JobState.DEAD: frozenset(),
+}
+
+
+def check_transition(job_id: str, current: str, target: str) -> None:
+    """Raise :class:`repro.exceptions.JobError` unless ``current →
+    target`` is a legal arrow of the state machine."""
+    if target not in ALLOWED_TRANSITIONS.get(current, frozenset()):
+        raise JobError(
+            f"job {job_id!r}: illegal transition {current!r} -> {target!r}"
+        )
+
+
+@dataclass
+class JobSpec:
+    """What to solve, durably. Everything here is JSON-plain.
+
+    Parameters
+    ----------
+    dataset / scale / dataset_seed:
+        Coordinates into :func:`repro.data.load_dataset`.
+    constraints:
+        Compact constraint strings (``AGG:ATTR:LOWER:UPPER``, ``-`` for
+        an open bound — the CLI grammar). Empty means the schema's
+        default constraint set.
+    config:
+        :class:`repro.fact.FaCTConfig` overrides (``rng_seed``,
+        ``n_jobs``, ``tabu_portfolio``, ``lease_seconds``, …). Validated
+        at submit time so a bad config is rejected before it is queued.
+    priority:
+        Higher runs first; ties go to submission order.
+    deadline_seconds:
+        Per-job wall-clock :class:`repro.runtime.Budget`. A resumed
+        attempt only gets the time earlier attempts left unconsumed
+        (the checkpoint carries the spent seconds).
+    retry:
+        Optional :class:`repro.runtime.RetryPolicy` override as a dict;
+        ``None`` uses the service's policy.
+    label:
+        Free-form operator note.
+    """
+
+    dataset: str = "2k"
+    scale: float = 1.0
+    dataset_seed: int | None = None
+    constraints: list[str] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+    priority: int = 0
+    deadline_seconds: float | None = None
+    retry: dict | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.dataset = str(self.dataset)
+        self.scale = float(self.scale)
+        if self.scale <= 0:
+            raise JobError(f"scale must be positive, got {self.scale!r}")
+        self.constraints = [str(c) for c in self.constraints]
+        if not isinstance(self.config, dict):
+            raise JobError(
+                f"config must be a dict of FaCTConfig overrides, got "
+                f"{self.config!r}"
+            )
+        self.priority = int(self.priority)
+        if self.deadline_seconds is not None:
+            self.deadline_seconds = float(self.deadline_seconds)
+            if self.deadline_seconds <= 0:
+                raise JobError(
+                    "deadline_seconds must be positive or None, got "
+                    f"{self.deadline_seconds!r}"
+                )
+        # Fail fast on impossible specs: a malformed config or retry
+        # override must bounce at submit, not after a worker leased it.
+        self.build_config()
+        self.retry_policy()
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def build_config(self, **overrides):
+        """A validated :class:`repro.fact.FaCTConfig` for this job.
+
+        *overrides* (checkpoint/trace paths, certification level) win
+        over the spec's own ``config`` entries; the per-job deadline
+        rides in unless the spec's config pins its own.
+        """
+        from ..fact.config import FaCTConfig
+
+        options = dict(self.config)
+        if self.deadline_seconds is not None:
+            options.setdefault("deadline_seconds", self.deadline_seconds)
+        options.update(overrides)
+        try:
+            return FaCTConfig(**options)
+        except TypeError as error:
+            raise JobError(f"invalid job config: {error}") from error
+
+    def retry_policy(self, default: RetryPolicy | None = None) -> RetryPolicy | None:
+        """The job's retry override, or *default*."""
+        if self.retry is None:
+            return default
+        return RetryPolicy.from_dict(self.retry)
+
+    def build_collection(self):
+        """Load the job's area collection from the dataset registry."""
+        from ..data.datasets import load_dataset
+
+        return load_dataset(
+            self.dataset, scale=self.scale, seed=self.dataset_seed
+        )
+
+    def build_constraints(self):
+        """Parse the constraint strings (empty = schema defaults)."""
+        from ..core.constraints import ConstraintSet
+
+        if not self.constraints:
+            from ..data.schema import default_constraints
+
+            return ConstraintSet(default_constraints())
+        from ..__main__ import parse_constraint
+
+        return ConstraintSet(
+            [parse_constraint(text) for text in self.constraints]
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "dataset_seed": self.dataset_seed,
+            "constraints": list(self.constraints),
+            "config": dict(self.config),
+            "priority": self.priority,
+            "deadline_seconds": self.deadline_seconds,
+            "retry": dict(self.retry) if self.retry is not None else None,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise JobError(f"job spec must be an object, got {payload!r}")
+        known = {
+            name: payload[name]
+            for name in (
+                "dataset",
+                "scale",
+                "dataset_seed",
+                "constraints",
+                "config",
+                "priority",
+                "deadline_seconds",
+                "retry",
+                "label",
+            )
+            if name in payload and payload[name] is not None
+        }
+        # Empty-list / empty-dict defaults still apply when the payload
+        # carried explicit nulls.
+        return cls(**known)
+
+
+@dataclass
+class Job:
+    """The folded runtime view of one job (journal replay output)."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = JobState.QUEUED
+    attempts: int = 0
+    worker_id: str | None = None
+    lease_expires_at: float | None = None
+    not_before: float = 0.0
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    created_seq: int = 0
+    cancel_requested: bool = False
+    error: str | None = None
+    detail: str | None = None
+    result_status: str | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def lease_expired(self, now: float) -> bool:
+        return (
+            self.state in (JobState.LEASED, JobState.RUNNING)
+            and self.lease_expires_at is not None
+            and now > self.lease_expires_at
+        )
+
+    def as_dict(self) -> dict:
+        """The API/CLI view of this job."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "attempts": self.attempts,
+            "worker_id": self.worker_id,
+            "lease_expires_at": self.lease_expires_at,
+            "not_before": self.not_before,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "cancel_requested": self.cancel_requested,
+            "error": self.error,
+            "detail": self.detail,
+            "result_status": self.result_status,
+            "priority": self.spec.priority,
+            "label": self.spec.label,
+            "spec": self.spec.as_dict(),
+        }

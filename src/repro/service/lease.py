@@ -1,0 +1,109 @@
+"""Lease heartbeating for service workers.
+
+A worker that leased a job runs the solve on its main thread; a
+:class:`LeaseKeeper` daemon thread beats alongside it, renewing the
+lease against the :class:`~repro.service.store.JobStore` every
+``heartbeat_seconds``. The heartbeat interval must be comfortably
+shorter than the lease (FaCTConfig validates ``heartbeat_seconds <
+lease_seconds``), so a healthy worker never lets its lease lapse,
+while a SIGKILLed or wedged one stops beating and loses the lease
+within one lease window — at which point the reaper re-queues the job
+for another worker to resume.
+
+The keeper is also the worker's cancellation nerve: it observes the
+store on every beat, and when the job has a pending cancel request —
+or the lease was lost to another owner — it cancels the solve's
+:class:`repro.runtime.CancellationToken`. The budgeted solver notices
+at its next checkpoint, snapshots best-so-far, and unwinds; the worker
+then finalizes (or, on a lost lease, quietly discards its work, since
+the new owner's result is the one that counts).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..exceptions import JobError
+
+__all__ = ["LeaseKeeper"]
+
+
+class LeaseKeeper:
+    """Background heartbeat for one leased job.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`~repro.service.store.JobStore`.
+    job_id / worker_id:
+        The lease to keep alive.
+    heartbeat_seconds:
+        Beat interval; must be positive.
+    token:
+        The running solve's :class:`repro.runtime.CancellationToken`;
+        cancelled when the store says stop (cancel request or lost
+        lease).
+
+    Use as a context manager around the solve::
+
+        with LeaseKeeper(store, job.job_id, worker_id, 1.0, token) as keeper:
+            result = fact.solve(...)
+        if keeper.lease_lost: ...      # discard result
+        if keeper.cancel_observed: ... # finalize CANCELLED
+    """
+
+    def __init__(self, store, job_id, worker_id, heartbeat_seconds, token):
+        if heartbeat_seconds <= 0:
+            raise JobError(
+                f"heartbeat_seconds must be positive, got {heartbeat_seconds!r}"
+            )
+        self.store = store
+        self.job_id = job_id
+        self.worker_id = worker_id
+        self.heartbeat_seconds = float(heartbeat_seconds)
+        self.token = token
+        self.lease_lost = False
+        self.cancel_observed = False
+        self.beats = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-{job_id}", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    def start(self) -> "LeaseKeeper":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self.heartbeat_seconds * 4 + 1.0)
+
+    def __enter__(self) -> "LeaseKeeper":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def beat_once(self) -> bool:
+        """One heartbeat: renew, observe cancellation. False = stop."""
+        try:
+            job = self.store.renew(self.job_id, self.worker_id)
+        except JobError:
+            # Reaped, re-leased to someone else, or finalized behind
+            # our back. Our result must not be published.
+            self.lease_lost = True
+            self.token.cancel()
+            return False
+        self.beats += 1
+        if job.cancel_requested:
+            self.cancel_observed = True
+            self.token.cancel()
+            return False
+        return True
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.heartbeat_seconds):
+            if not self.beat_once():
+                return

@@ -1,0 +1,44 @@
+"""Priority selection over queued jobs.
+
+Kept separate from the store so the dispatch order is trivially
+testable: :func:`select_next` is a pure function from a set of queued
+jobs and a wall-clock instant to the job a worker should lease next.
+
+Ordering contract
+-----------------
+1. Jobs inside a retry backoff window (``now < not_before``) are not
+   runnable yet and are skipped entirely.
+2. Higher ``priority`` wins.
+3. Ties break by submission order (``created_seq``), i.e. FIFO within
+   a priority class — so equal-priority jobs cannot starve each other.
+
+The deadline in a job's spec does **not** reorder the queue; it bounds
+the solve itself once leased. (Earliest-deadline-first would let a
+late flood of tight-deadline jobs starve patient ones; operators who
+want urgency express it through ``priority``.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .jobs import Job, JobState
+
+__all__ = ["runnable", "select_next"]
+
+
+def runnable(jobs: Iterable[Job], now: float) -> list[Job]:
+    """The queued jobs eligible to lease at *now*, in dispatch order."""
+    eligible = [
+        job
+        for job in jobs
+        if job.state == JobState.QUEUED and now >= job.not_before
+    ]
+    eligible.sort(key=lambda job: (-job.spec.priority, job.created_seq))
+    return eligible
+
+
+def select_next(jobs: Iterable[Job], now: float) -> Job | None:
+    """The single job a worker should lease next, or ``None``."""
+    ordered = runnable(jobs, now)
+    return ordered[0] if ordered else None

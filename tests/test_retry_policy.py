@@ -1,0 +1,111 @@
+"""The unified retry/backoff policy: validation, schedule, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BudgetError
+from repro.runtime import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+
+    @pytest.mark.parametrize("attempts", [0, -1, 2.5, "three"])
+    def test_rejects_bad_max_attempts(self, attempts):
+        with pytest.raises(BudgetError, match="max_attempts"):
+            RetryPolicy(max_attempts=attempts)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("base_delay_seconds", -0.1),
+            ("base_delay_seconds", float("nan")),
+            ("backoff_factor", 0.5),
+            ("backoff_factor", float("inf")),
+            ("max_delay_seconds", -1.0),
+        ],
+    )
+    def test_rejects_bad_numbers(self, field, value):
+        with pytest.raises(BudgetError, match=field):
+            RetryPolicy(**{field: value})
+
+    @pytest.mark.parametrize("jitter", [-0.1, 1.0, 1.5])
+    def test_rejects_jitter_outside_unit_interval(self, jitter):
+        with pytest.raises(BudgetError, match="jitter_ratio"):
+            RetryPolicy(jitter_ratio=jitter)
+
+
+class TestSchedule:
+    def test_allows_counts_completed_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(0)
+        assert policy.allows(2)
+        assert not policy.allows(3)
+        assert not policy.allows(7)
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay_seconds=1.0, backoff_factor=2.0,
+            max_delay_seconds=100.0, jitter_ratio=0.0, max_attempts=10,
+        )
+        delays = [policy.delay_seconds(n) for n in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 8.0]
+
+    def test_delay_clamped_to_maximum(self):
+        policy = RetryPolicy(
+            base_delay_seconds=10.0, backoff_factor=10.0,
+            max_delay_seconds=25.0, jitter_ratio=0.0, max_attempts=10,
+        )
+        assert policy.delay_seconds(5) == 25.0
+
+    def test_zero_base_delay_stays_zero(self):
+        policy = RetryPolicy(base_delay_seconds=0.0)
+        assert policy.delay_seconds(1) == 0.0
+        assert policy.delay_seconds(2) == 0.0
+
+    def test_jitter_is_deterministic_per_key(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, jitter_ratio=0.5)
+        first = policy.delay_seconds(1, key="job-a")
+        assert policy.delay_seconds(1, key="job-a") == first
+
+    def test_jitter_varies_across_keys_and_attempts(self):
+        policy = RetryPolicy(
+            base_delay_seconds=1.0, backoff_factor=1.0, jitter_ratio=0.5,
+            max_attempts=10,
+        )
+        delays = {policy.delay_seconds(1, key=f"job-{i}") for i in range(16)}
+        assert len(delays) > 1  # different keys spread out
+
+    def test_jitter_stays_within_ratio(self):
+        policy = RetryPolicy(
+            base_delay_seconds=1.0, backoff_factor=1.0, jitter_ratio=0.1,
+            max_attempts=100,
+        )
+        for attempt in range(1, 50):
+            delay = policy.delay_seconds(attempt, key="k")
+            assert 0.9 <= delay <= 1.1
+
+
+class TestDecide:
+    def test_retry_then_dead(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_seconds=0.0)
+        verdict, delay = policy.decide(1, key="j")
+        assert verdict == "retry" and delay == 0.0
+        verdict, delay = policy.decide(2, key="j")
+        assert verdict == "dead" and delay == 0.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_seconds=0.25,
+            backoff_factor=3.0, max_delay_seconds=12.0, jitter_ratio=0.2,
+        )
+        assert RetryPolicy.from_dict(policy.as_dict()) == policy
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(BudgetError):
+            RetryPolicy.from_dict({"max_attempts": 2, "bogus": 1})

@@ -1,0 +1,206 @@
+"""The service HTTP API: routing, payloads, live progress, metrics."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import JobState, JobStore, ServiceWorker
+from repro.service.api import ServiceAPI, serve
+
+
+@pytest.fixture
+def store(tmp_path) -> JobStore:
+    return JobStore(tmp_path / "store")
+
+
+@pytest.fixture
+def api(store) -> ServiceAPI:
+    return ServiceAPI(store)
+
+
+SPEC = {"dataset": "2k", "scale": 0.05, "config": {"rng_seed": 7}}
+
+
+class TestDispatch:
+    """Transport-free routing through ServiceAPI.dispatch."""
+
+    def test_submit_and_status_round_trip(self, api):
+        status, payload = api.dispatch("POST", "/jobs", {}, dict(SPEC))
+        assert status == 201
+        job_id = payload["job_id"]
+        status, payload = api.dispatch("GET", f"/jobs/{job_id}", {}, None)
+        assert status == 200
+        assert payload["state"] == JobState.QUEUED
+        assert payload["spec"]["dataset"] == "2k"
+
+    def test_submit_rejects_bad_specs(self, api):
+        status, payload = api.dispatch(
+            "POST", "/jobs", {}, {"dataset": "2k", "scale": -1}
+        )
+        assert status == 400 and "scale" in payload["error"]
+        status, payload = api.dispatch(
+            "POST", "/jobs", {}, {"config": {"bogus_knob": 1}}
+        )
+        assert status == 400 and "invalid job config" in payload["error"]
+        status, payload = api.dispatch(
+            "POST", "/jobs", {}, {"retry": {"max_attemps": 2}}
+        )
+        assert status == 400 and "max_attemps" in payload["error"]
+
+    def test_list_filters_by_state(self, api):
+        api.dispatch("POST", "/jobs", {}, dict(SPEC))
+        status, payload = api.dispatch(
+            "GET", "/jobs", {"state": "queued"}, None
+        )
+        assert status == 200 and len(payload["jobs"]) == 1
+        status, payload = api.dispatch(
+            "GET", "/jobs", {"state": "completed"}, None
+        )
+        assert status == 200 and payload["jobs"] == []
+        status, payload = api.dispatch(
+            "GET", "/jobs", {"state": "no-such"}, None
+        )
+        assert status == 400
+
+    def test_cancel_via_api(self, api, store):
+        _, payload = api.dispatch("POST", "/jobs", {}, dict(SPEC))
+        status, payload = api.dispatch(
+            "POST", f"/jobs/{payload['job_id']}/cancel", {}, None
+        )
+        assert status == 200
+        assert payload["state"] == JobState.CANCELLED
+
+    def test_result_is_404_until_solved(self, api, store):
+        _, payload = api.dispatch("POST", "/jobs", {}, dict(SPEC))
+        job_id = payload["job_id"]
+        status, payload = api.dispatch(
+            "GET", f"/jobs/{job_id}/result", {}, None
+        )
+        assert status == 404 and payload["state"] == JobState.QUEUED
+        ServiceWorker(store, worker_id="w-api").run_once()
+        status, payload = api.dispatch(
+            "GET", f"/jobs/{job_id}/result", {}, None
+        )
+        assert status == 200 and payload["labels"]
+        status, payload = api.dispatch(
+            "GET", f"/jobs/{job_id}/certificate", {}, None
+        )
+        assert status == 200 and payload["valid"] is True
+
+    def test_events_support_incremental_polling(self, api, store):
+        _, payload = api.dispatch("POST", "/jobs", {}, dict(SPEC))
+        job_id = payload["job_id"]
+        status, payload = api.dispatch(
+            "GET", f"/jobs/{job_id}/events", {}, None
+        )
+        assert status == 200 and payload["events"] == []
+        ServiceWorker(store, worker_id="w-ev").run_once()
+        status, payload = api.dispatch(
+            "GET", f"/jobs/{job_id}/events", {}, None
+        )
+        assert payload["events"] and payload["next_offset"] > 0
+        offset = payload["next_offset"]
+        status, payload = api.dispatch(
+            "GET", f"/jobs/{job_id}/events", {"offset": str(offset)}, None
+        )
+        assert payload["events"] == []  # nothing new after completion
+        status, _ = api.dispatch(
+            "GET", f"/jobs/{job_id}/events", {"offset": "nope"}, None
+        )
+        assert status == 400
+
+    def test_unknown_routes_and_methods(self, api):
+        assert api.dispatch("GET", "/jobs/j-missing", {}, None)[0] == 404
+        assert api.dispatch("GET", "/nope", {}, None)[0] == 404
+        assert api.dispatch("DELETE", "/jobs", {}, None)[0] == 405
+        assert api.dispatch("GET", "/jobs/j-x/cancel", {}, None)[0] == 405
+
+    def test_healthz_and_metrics(self, api):
+        api.dispatch("POST", "/jobs", {}, dict(SPEC))
+        status, payload = api.dispatch("GET", "/healthz", {}, None)
+        assert status == 200 and payload["ok"]
+        assert payload["counts"][JobState.QUEUED] == 1
+        status, text, content_type = api.dispatch(
+            "GET", "/metrics", {}, None
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert 'repro_service_jobs{state="queued"} 1.0' in text
+
+
+class TestHTTPServer:
+    """The stdlib server, over a real socket."""
+
+    @pytest.fixture
+    def http(self, store):
+        server, reaper = serve(store, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.server_address[1]
+
+        def call(method, path, body=None):
+            data = json.dumps(body).encode() if body is not None else None
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}{path}",
+                method=method,
+                data=data,
+                headers={"Content-Type": "application/json"} if data else {},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    return response.status, response.read().decode()
+            except urllib.error.HTTPError as error:
+                return error.code, error.read().decode()
+
+        yield call
+        server.shutdown()
+        reaper.stop()
+        server.server_close()
+
+    def test_full_job_lifecycle_over_http(self, http, store):
+        status, text = http("POST", "/jobs", SPEC)
+        assert status == 201
+        job_id = json.loads(text)["job_id"]
+
+        status, _ = http("GET", f"/jobs/{job_id}")
+        assert status == 200
+        assert http("GET", f"/jobs/{job_id}/result")[0] == 404
+
+        ServiceWorker(store, worker_id="w-http").run_once()
+
+        status, text = http("GET", f"/jobs/{job_id}/result")
+        assert status == 200 and json.loads(text)["labels"]
+        status, text = http("GET", f"/jobs/{job_id}/events?offset=0")
+        assert status == 200 and json.loads(text)["next_offset"] > 0
+        status, text = http("GET", "/metrics")
+        assert 'state="completed"' in text
+
+    def test_empty_body_submits_a_default_job(self, http):
+        status, text = http("POST", "/jobs", None)
+        assert status == 201
+        assert json.loads(text)["state"] == JobState.QUEUED
+
+    def test_bad_json_body_is_400(self, store):
+        server, reaper = serve(store, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/jobs",
+            method="POST",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 400
+        finally:
+            server.shutdown()
+            reaper.stop()
+            server.server_close()

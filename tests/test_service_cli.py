@@ -1,0 +1,81 @@
+"""The service CLI: submit/status/worker/cancel/reap round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cli import main
+
+
+@pytest.fixture
+def store_dir(tmp_path) -> str:
+    return str(tmp_path / "store")
+
+
+def run(capsys, *argv) -> tuple[int, str]:
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestCLI:
+    def test_submit_status_worker_round_trip(self, capsys, store_dir):
+        code, out = run(
+            capsys, "submit", "--store", store_dir,
+            "--dataset", "2k", "--scale", "0.05",
+            "--config", '{"rng_seed": 5}', "--label", "via-cli",
+        )
+        assert code == 0
+        job = json.loads(out)
+        assert job["state"] == "queued" and job["label"] == "via-cli"
+
+        code, out = run(
+            capsys, "worker", "--store", store_dir, "--max-jobs", "1"
+        )
+        assert code == 0 and "1 job(s) processed" in out
+
+        code, out = run(capsys, "status", "--store", store_dir,
+                        job["job_id"])
+        assert code == 0
+        assert json.loads(out)["state"] == "completed"
+
+        code, out = run(capsys, "status", "--store", store_dir)
+        assert json.loads(out)["counts"]["completed"] == 1
+
+    def test_cancel_and_reap(self, capsys, store_dir):
+        code, out = run(
+            capsys, "submit", "--store", store_dir, "--scale", "0.05"
+        )
+        job_id = json.loads(out)["job_id"]
+        code, out = run(capsys, "cancel", "--store", store_dir, job_id)
+        assert code == 0 and "cancelled" in out
+        code, out = run(capsys, "reap", "--store", store_dir)
+        assert code == 0 and "0 lease(s) reaped" in out
+
+    def test_submit_surfaces_retry_policy_flags(self, capsys, store_dir):
+        code, out = run(
+            capsys, "submit", "--store", store_dir, "--scale", "0.05",
+            "--job-retry-max-attempts", "5",
+            "--retry-base-delay", "0.1",
+        )
+        assert code == 0
+        job = json.loads(out)
+        assert job["spec"]["retry"]["max_attempts"] == 5
+        assert job["spec"]["retry"]["base_delay_seconds"] == 0.1
+
+    def test_bad_spec_is_a_clean_error(self, capsys, store_dir):
+        code = main(
+            ["submit", "--store", store_dir, "--scale", "-2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+
+    def test_repro_serve_alias_routes_to_service(self, capsys):
+        from repro.__main__ import main as repro_main
+
+        with pytest.raises(SystemExit):
+            repro_main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--workers" in out

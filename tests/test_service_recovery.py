@@ -1,0 +1,153 @@
+"""End-to-end crash recovery: SIGKILL a real worker process mid-solve.
+
+The scenario the whole service exists for:
+
+1. a job is submitted to a store with a short lease;
+2. a *real* worker subprocess leases it and starts solving, held
+   mid-flight (after construction checkpointed, inside Tabu) by an
+   injected delay;
+3. the subprocess is SIGKILLed — no cleanup, no goodbye, heartbeats
+   simply stop;
+4. the lease expires, the reaper re-queues the job;
+5. a second worker leases it, resumes from the checkpoint, and
+   finishes with a partition **bit-identical** to an uninterrupted
+   solve — with a valid certificate and a clean event log.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fact import FaCT
+from repro.obs import validate_events
+from repro.runtime import RetryPolicy
+from repro.service import JobSpec, JobState, JobStore, ServiceWorker
+
+pytestmark = pytest.mark.chaos
+
+_LEASE_SECONDS = 2.0
+
+# The victim worker, as its own interpreter: arms a process-wide delay
+# at the first Tabu iteration (by then the construction passes are in
+# the checkpoint file) and runs one job. SIGKILL lands mid-delay.
+_VICTIM = """\
+import sys
+from repro.runtime import FaultInjector, inject
+from repro.service import JobStore, ServiceWorker
+
+store = JobStore(sys.argv[1], lease_seconds={lease})
+injector = FaultInjector()
+injector.delay("tabu.iteration", seconds=3600.0, on_visit=1)
+with inject(injector):
+    ServiceWorker(
+        store, worker_id="victim", heartbeat_seconds=0.2
+    ).run_once()
+"""
+
+
+def _wait_for(predicate, timeout: float, message: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def test_sigkilled_worker_job_is_resumed_bit_identically(tmp_path):
+    store = JobStore(
+        tmp_path / "store",
+        retry_policy=RetryPolicy(
+            max_attempts=3, base_delay_seconds=0.0, jitter_ratio=0.0
+        ),
+        lease_seconds=_LEASE_SECONDS,
+    )
+    spec = JobSpec(
+        dataset="2k",
+        scale=0.05,
+        config={"rng_seed": 23, "construction_iterations": 2},
+        label="kill-me",
+    )
+    job = store.submit(spec)
+
+    script = tmp_path / "victim.py"
+    script.write_text(_VICTIM.format(lease=_LEASE_SECONDS))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src"),
+         env.get("PYTHONPATH", "")]
+    )
+    victim = subprocess.Popen(
+        [sys.executable, str(script), str(store.root)], env=env
+    )
+    try:
+        # The worker must be mid-solve with construction checkpointed
+        # before we pull the trigger.
+        _wait_for(
+            lambda: store.get(job.job_id).state == JobState.RUNNING,
+            timeout=60.0,
+            message="victim to lease and start the job",
+        )
+        _wait_for(
+            lambda: os.path.exists(store.checkpoint_path(job.job_id)),
+            timeout=60.0,
+            message="the solve checkpoint to appear",
+        )
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30.0)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait()
+
+    # Heartbeats stopped with the process; the lease must lapse and the
+    # reaper must hand the job back, attempt intact in the journal.
+    _wait_for(
+        lambda: bool(store.reap_expired())
+        or store.get(job.job_id).state == JobState.QUEUED,
+        timeout=_LEASE_SECONDS * 5,
+        message="the dead worker's lease to expire",
+    )
+    requeued = store.get(job.job_id)
+    assert requeued.state == JobState.QUEUED
+    assert requeued.attempts == 1
+    assert "lease expired" in requeued.detail
+
+    # A fresh worker resumes from the checkpoint and finishes.
+    ServiceWorker(store, worker_id="rescuer").run_once()
+    final = store.get(job.job_id)
+    assert final.state == JobState.COMPLETED
+    assert final.attempts == 2
+    assert final.worker_id == "rescuer"
+
+    # Bit-identity against an uninterrupted solve of the same spec.
+    reference = FaCT(spec.build_config()).solve(
+        spec.build_collection(), spec.build_constraints()
+    )
+    expected = {
+        str(area): int(region)
+        for area, region in reference.partition.labels().items()
+    }
+    result = store.read_result(job.job_id)
+    assert result["labels"] == expected
+    assert result["summary"]["status"] == "complete"
+
+    # The recovered attempt replayed checkpointed construction passes,
+    # its certificate validates, and its event log is structurally
+    # sound (the acceptance criterion's `obs validate`).
+    events = store.read_events(job.job_id)
+    assert any(e.get("kind") == "checkpoint.replay" for e in events)
+    assert validate_events(events) == []
+    assert store.read_certificate(job.job_id)["valid"] is True
+
+    # Liveness bookkeeping: nothing is leased, running or lost.
+    counts = store.counts()
+    assert counts[JobState.COMPLETED] == 1
+    assert counts[JobState.LEASED] == 0
+    assert counts[JobState.RUNNING] == 0

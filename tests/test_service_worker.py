@@ -1,0 +1,225 @@
+"""The service worker end to end: solve, retry, cancel, drain, resume.
+
+Everything here runs the real FaCT solver on a small registry dataset
+through the real store — only the failure modes are injected.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.fact import FaCT, FaCTConfig
+from repro.obs import validate_events
+from repro.runtime import FaultInjector, RetryPolicy, inject
+from repro.service import JobSpec, JobState, JobStore, ServiceWorker
+
+pytestmark = pytest.mark.chaos
+
+_CONFIG = {"rng_seed": 11, "construction_iterations": 2}
+
+
+def make_store(tmp_path, **overrides) -> JobStore:
+    options = dict(
+        retry_policy=RetryPolicy(
+            max_attempts=2, base_delay_seconds=0.0, jitter_ratio=0.0
+        ),
+        lease_seconds=30.0,
+    )
+    options.update(overrides)
+    return JobStore(tmp_path / "store", **options)
+
+
+def make_spec(**overrides) -> JobSpec:
+    options = dict(dataset="2k", scale=0.05, config=dict(_CONFIG))
+    options.update(overrides)
+    return JobSpec(**options)
+
+
+def reference_labels(spec: JobSpec) -> dict[str, int]:
+    """Labels of an uninterrupted plain solve of the same spec."""
+    solution = FaCT(spec.build_config()).solve(
+        spec.build_collection(), spec.build_constraints()
+    )
+    return {
+        str(area): int(region)
+        for area, region in solution.partition.labels().items()
+    }
+
+
+class TestHappyPath:
+    def test_worker_completes_job_with_artifacts(self, tmp_path):
+        store = make_store(tmp_path)
+        job = store.submit(make_spec(label="happy"))
+        worker = ServiceWorker(store, worker_id="w-happy")
+
+        assert worker.run_once()
+        final = store.get(job.job_id)
+        assert final.state == JobState.COMPLETED
+        assert final.result_status == "complete"
+        assert final.attempts == 1
+
+        result = store.read_result(job.job_id)
+        assert result["labels"]
+        assert result["summary"]["status"] == "complete"
+        assert result["labels"] == reference_labels(job.spec)
+
+        certificate = store.read_certificate(job.job_id)
+        assert certificate["valid"] is True
+
+        events = store.read_events(job.job_id)
+        assert validate_events(events) == []
+
+        # The ledger is retained for audit (keep_on_complete).
+        assert os.path.exists(store.checkpoint_path(job.job_id))
+
+    def test_idle_worker_reports_no_work(self, tmp_path):
+        store = make_store(tmp_path)
+        assert not ServiceWorker(store).run_once()
+
+
+class TestFailureRouting:
+    def test_crashing_solve_retries_then_dead_letters(self, tmp_path):
+        store = make_store(tmp_path)
+        job = store.submit(make_spec())
+        worker = ServiceWorker(store, worker_id="w-crash")
+
+        injector = FaultInjector()
+        injector.fail("construction.pass.start", on_visit=1)
+        injector.fail("construction.pass.start", on_visit=2)
+        with inject(injector):
+            worker.run_once()  # attempt 1 crashes -> re-queued
+            assert store.get(job.job_id).state == JobState.QUEUED
+            assert "injected fault" in store.get(job.job_id).error
+            worker.run_once()  # attempt 2 crashes -> attempts exhausted
+        final = store.get(job.job_id)
+        assert final.state == JobState.DEAD
+        assert final.attempts == 2
+
+    def test_infeasible_job_fails_permanently(self, tmp_path):
+        store = make_store(tmp_path)
+        # No region of <= 117 areas can ever hold 50000 of them.
+        job = store.submit(make_spec(constraints=["COUNT::50000:-"]))
+        ServiceWorker(store, worker_id="w-inf").run_once()
+        final = store.get(job.job_id)
+        assert final.state == JobState.FAILED
+        assert final.attempts == 1  # deterministic rejection: no retry
+
+    def test_deadline_expiry_completes_with_flagged_result(self, tmp_path):
+        store = make_store(tmp_path)
+        job = store.submit(make_spec(deadline_seconds=0.5))
+        injector = FaultInjector()
+        injector.delay("feasibility.checked", seconds=0.8)
+        with inject(injector):
+            ServiceWorker(store, worker_id="w-late").run_once()
+        final = store.get(job.job_id)
+        assert final.state == JobState.COMPLETED
+        assert final.result_status == "deadline_exceeded"
+        assert store.read_result(job.job_id)["summary"]["status"] == (
+            "deadline_exceeded"
+        )
+
+
+class TestCancel:
+    def test_cancel_mid_solve_finalizes_cancelled(self, tmp_path):
+        store = make_store(tmp_path)
+        job = store.submit(make_spec())
+        worker = ServiceWorker(
+            store, worker_id="w-cxl", heartbeat_seconds=0.1
+        )
+
+        injector = FaultInjector()
+        # Hold the solve at its first construction pass long enough for
+        # the operator cancel below to land deterministically.
+        injector.delay("construction.pass.start", seconds=2.0)
+        with inject(injector):
+            thread = threading.Thread(target=worker.run_once)
+            thread.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if store.get(job.job_id).state == JobState.RUNNING:
+                    break
+                time.sleep(0.02)
+            store.cancel(job.job_id)
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        final = store.get(job.job_id)
+        assert final.state == JobState.CANCELLED
+        # Best-so-far result is still persisted for inspection.
+        assert store.read_result(job.job_id) is not None
+
+
+class TestDrainAndResume:
+    def test_interrupted_solve_requeues_and_resumes_bit_identical(
+        self, tmp_path
+    ):
+        """A drain-style interruption mid-solve costs no attempt and the
+        resumed solve is bit-identical to an uninterrupted one."""
+        store = make_store(tmp_path)
+        job = store.submit(make_spec())
+
+        injector = FaultInjector()
+        # Cancels the budget token at the first Tabu iteration —
+        # exactly what SIGTERM-drain does, after construction already
+        # checkpointed.
+        injector.cancel("tabu.iteration", on_visit=1)
+        with inject(injector):
+            ServiceWorker(store, worker_id="w-drained").run_once()
+
+        requeued = store.get(job.job_id)
+        assert requeued.state == JobState.QUEUED
+        assert requeued.attempts == 0  # drain does not burn an attempt
+        assert os.path.exists(store.checkpoint_path(job.job_id))
+
+        ServiceWorker(store, worker_id="w-resumer").run_once()
+        final = store.get(job.job_id)
+        assert final.state == JobState.COMPLETED
+        result = store.read_result(job.job_id)
+        assert result["labels"] == reference_labels(job.spec)
+        # The resumed attempt replayed recorded construction passes.
+        events = store.read_events(job.job_id)
+        assert any(e.get("kind") == "checkpoint.replay" for e in events)
+        assert validate_events(events) == []
+
+    def test_draining_worker_processes_nothing(self, tmp_path):
+        store = make_store(tmp_path)
+        store.submit(make_spec())
+        worker = ServiceWorker(store, worker_id="w-idle")
+        worker.drain()
+        assert worker.run_forever() == 0
+
+
+class TestServiceConfigKnobs:
+    """FaCTConfig carries the service execution contract; bad values
+    must bounce at construction (satellite: config validation)."""
+
+    @pytest.mark.parametrize("field", ["lease_seconds", "heartbeat_seconds"])
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("inf")])
+    def test_rejects_non_positive_lease_and_heartbeat(self, field, value):
+        from repro.exceptions import BudgetError
+
+        with pytest.raises(BudgetError, match=field):
+            FaCTConfig(**{field: value})
+
+    def test_rejects_heartbeat_not_shorter_than_lease(self):
+        from repro.exceptions import BudgetError
+
+        with pytest.raises(BudgetError, match="heartbeat"):
+            FaCTConfig(lease_seconds=5.0, heartbeat_seconds=5.0)
+
+    def test_rejects_non_bool_keep_on_complete(self):
+        from repro.exceptions import InvalidConstraintError
+
+        with pytest.raises(InvalidConstraintError):
+            FaCTConfig(checkpoint_keep_on_complete="yes")
+
+    def test_pool_retry_policy_derives_from_config(self):
+        config = FaCTConfig(
+            pool_task_retries=2, pool_retry_backoff_seconds=0.25
+        )
+        policy = config.pool_retry_policy()
+        assert policy.max_attempts == 3
+        assert policy.base_delay_seconds == 0.25
