@@ -29,9 +29,16 @@ Two further modes share the dataset/seed options:
 - ``--objective`` (:func:`run_objective`) targets the incremental
   objective engine: it verifies the cached delta path against the
   recompute-everything reference path, verifies that the Tabu
-  portfolio returns bit-identical partitions at every worker count,
-  and reports the delta fast-path rate plus the tabu-phase speedup —
-  the full-scale run produces the checked-in ``BENCH_objective.json``;
+  portfolio returns bit-identical partitions at every worker count
+  *and under both hot-path backends* (``numpy`` vs ``python`` — see
+  :mod:`repro.core.arrays`), and reports the delta fast-path rate
+  plus the tabu-phase speedup — the full-scale run produces the
+  checked-in ``BENCH_objective.json``;
+- ``--scaling`` (:func:`run_scaling`) sweeps the dataset registry
+  (2k/10k/25k by default) once per backend, diffs the two backends'
+  partitions dataset by dataset (exit 2 on any divergence) and
+  reports the numpy-vs-python tabu-phase speedup — the full-scale
+  run produces the checked-in ``BENCH_scaling.json``;
 - ``--profile`` wraps one cached solve in :mod:`cProfile` and prints
   the top cumulative-time entries — the optimization worklist.
 """
@@ -44,6 +51,7 @@ import sys
 import time
 from typing import Sequence
 
+from ..core import arrays as arrays_mod
 from ..core.area import AreaCollection
 from ..core.constraints import ConstraintSet
 from ..core.perf import set_hotpath_caches
@@ -53,9 +61,15 @@ from ..fact.state import SolutionState
 from ..obs.telemetry import SolveTelemetry
 from ..runtime.atomic import atomic_write_text
 from .runner import BENCH_SCHEMA_VERSION, bench_config
-from .workloads import combo_constraints
+from .workloads import combo_constraints, enriched_constraints
 
-__all__ = ["read_bench_record", "run_micro", "run_objective", "main"]
+__all__ = [
+    "read_bench_record",
+    "run_micro",
+    "run_objective",
+    "run_scaling",
+    "main",
+]
 
 _SMOKE_SCALE = 0.08
 
@@ -302,15 +316,21 @@ def _solve_objective_once(
     cached: bool,
     n_jobs: int = 1,
     tabu_portfolio: int = 1,
+    backend: str | None = None,
 ) -> dict:
     """One FaCT solve with explicit parallelism knobs, for the
-    objective-identity benchmark."""
+    objective-identity benchmark.
+
+    *backend* pins the hot-path backend explicitly (``"numpy"`` /
+    ``"python"``); ``None`` keeps the config default (``"auto"``).
+    """
     from dataclasses import replace
 
     config = replace(
         bench_config(len(collection), rng_seed=rng_seed, enable_tabu=True),
         n_jobs=n_jobs,
         tabu_portfolio=tabu_portfolio,
+        **({} if backend is None else {"backend": backend}),
     )
     telemetry = SolveTelemetry()
     previous = set_hotpath_caches(cached)
@@ -329,6 +349,8 @@ def _solve_objective_once(
         "p": solution.p,
         "n_unassigned": solution.n_unassigned,
         "heterogeneity": solution.heterogeneity,
+        "backend": solution.backend,
+        "status": solution.status.value,
         "tabu_seconds": perf.get("timings", {}).get("tabu", 0.0),
         "perf": perf,
         "telemetry": _telemetry_block(telemetry),
@@ -372,11 +394,16 @@ def run_objective(
       (``delta_fastpath_rate`` from
       :class:`~repro.core.perf.PerfCounters`);
     - **worker invariance** — with the Tabu portfolio on, partitions
-      must be bit-identical at every ``n_jobs`` in *n_jobs_grid*.
+      must be bit-identical at every ``n_jobs`` in *n_jobs_grid*;
+    - **backend parity** — when numpy is importable, every ``n_jobs``
+      in the grid is re-run under the *other* resolved backend
+      (``numpy`` vs ``python`` — see :mod:`repro.core.arrays`) and the
+      partitions must match the portfolio runs bit-for-bit.
 
-    ``result["identical"]`` and ``result["n_jobs_invariant"]`` are the
-    failure gates; tabu-phase wall-clock is reported against both the
-    in-run uncached solve and the checked-in PR2 baseline file.
+    ``result["identical"]``, ``result["n_jobs_invariant"]`` and
+    ``result["backend_parity"]["identical"]`` are the failure gates;
+    tabu-phase wall-clock is reported against both the in-run uncached
+    solve and the checked-in PR2 baseline file.
     """
     collection = load_dataset(dataset, scale=scale)
     constraints = combo_constraints(combo)
@@ -408,6 +435,39 @@ def run_objective(
         for run in portfolio_runs.values()
     )
 
+    # Backend parity: re-run the portfolio grid under the backend the
+    # runs above did NOT use and require bit-identical partitions.
+    default_backend = reference["backend"]
+    backend_parity: dict[str, object] = {
+        "default_backend": default_backend,
+        "other_backend": None,
+        "identical": True,
+        "n_jobs_identical": {},
+    }
+    if arrays_mod.numpy_available():
+        other = "python" if default_backend == "numpy" else "numpy"
+        backend_parity["other_backend"] = other
+        for n_jobs in n_jobs_grid:
+            run = _solve_objective_once(
+                collection,
+                constraints,
+                rng_seed,
+                cached=True,
+                n_jobs=n_jobs,
+                tabu_portfolio=tabu_portfolio,
+                backend=other,
+            )
+            same = (
+                run["labels"] == portfolio_runs[n_jobs]["labels"]
+                and run["heterogeneity"]
+                == portfolio_runs[n_jobs]["heterogeneity"]
+                and run["p"] == portfolio_runs[n_jobs]["p"]
+            )
+            backend_parity["n_jobs_identical"][str(n_jobs)] = same
+        backend_parity["identical"] = all(
+            backend_parity["n_jobs_identical"].values()
+        )
+
     baseline_tabu = _baseline_tabu_seconds(baseline_path)
     tabu_cached = cached["tabu_seconds"]
     return {
@@ -421,6 +481,8 @@ def run_objective(
         "rng_seed": rng_seed,
         "identical": identical,
         "n_jobs_invariant": n_jobs_invariant,
+        "backend": cached["backend"],
+        "backend_parity": backend_parity,
         "p": cached["p"],
         "n_unassigned": cached["n_unassigned"],
         "heterogeneity": cached["heterogeneity"],
@@ -463,6 +525,159 @@ def run_objective(
         },
         "cached_perf": cached["perf"],
         "uncached_perf": uncached["perf"],
+    }
+
+
+def _solve_scaling_once(
+    collection: AreaCollection,
+    constraints: ConstraintSet,
+    rng_seed: int,
+    backend: str,
+) -> dict:
+    """One cached solve under an explicitly pinned backend."""
+    from dataclasses import replace
+
+    config = replace(
+        bench_config(len(collection), rng_seed=rng_seed, enable_tabu=True),
+        backend=backend,
+    )
+    telemetry = SolveTelemetry()
+    started = time.perf_counter()
+    solution = FaCT(config).solve(collection, constraints, telemetry=telemetry)
+    wall = time.perf_counter() - started
+    perf = solution.perf.as_dict() if solution.perf is not None else {}
+    return {
+        "wall_seconds": wall,
+        "labels": solution.partition.labels(),
+        "p": solution.p,
+        "n_unassigned": solution.n_unassigned,
+        "heterogeneity": solution.heterogeneity,
+        "backend": solution.backend,
+        "status": solution.status.value,
+        "construction_seconds": solution.construction_seconds,
+        "tabu_seconds": perf.get("timings", {}).get("tabu", 0.0),
+        "perf": perf,
+        "telemetry": _telemetry_block(telemetry),
+    }
+
+
+def run_scaling(
+    datasets: Sequence[str] = ("2k", "10k", "25k"),
+    scale: float = 1.0,
+    rng_seed: int = 7,
+    workload: str = "enriched",
+) -> dict:
+    """The backend-scaling benchmark: numpy vs python across sizes.
+
+    The default *workload* is the six-constraint *enriched* set
+    (:func:`repro.bench.workloads.enriched_constraints`) — the paper's
+    headline setting, and the regime the array backend targets: large
+    regions (the SUM threshold) and a constraint count where
+    per-candidate feasibility checking dominates the scalar Tabu
+    phase. Any ``MAS``-subset combo code is accepted instead for
+    narrower sweeps.
+
+    Sweeps *datasets* (registry names) once per resolved backend with
+    the backend pinned explicitly through ``FaCTConfig.backend`` — so
+    one process measures both code paths — and, per dataset,
+
+    - diffs the two backends' partitions (labels, ``p``, unassigned
+      count, heterogeneity) — ``result["identical"]`` is the failure
+      gate: the numpy backend must be a *pure* acceleration;
+    - reports per-backend construction/tabu/total wall-clock and the
+      numpy-vs-python tabu-phase speedup (the headline the PR's
+      acceptance criteria gate on at 10k);
+    - records the run status so an interrupted cell (bench deadline)
+      is visible in the checked-in artifact rather than silently
+      truncated.
+
+    Without numpy the sweep degrades to a python-only measurement
+    (``identical`` stays True; there is nothing to diff against).
+    """
+    backends = (
+        ("python", "numpy") if arrays_mod.numpy_available() else ("python",)
+    )
+    dataset_blocks: dict[str, dict] = {}
+    all_identical = True
+    all_complete = True
+    telemetry_block: dict = {}
+    constraints = (
+        enriched_constraints()
+        if workload == "enriched"
+        else combo_constraints(workload)
+    )
+    for name in datasets:
+        collection = load_dataset(name, scale=scale)
+        runs = {
+            backend: _solve_scaling_once(
+                collection, constraints, rng_seed, backend
+            )
+            for backend in backends
+        }
+        reference = runs[backends[0]]
+        identical = all(
+            run["labels"] == reference["labels"]
+            and run["p"] == reference["p"]
+            and run["n_unassigned"] == reference["n_unassigned"]
+            and run["heterogeneity"] == reference["heterogeneity"]
+            for run in runs.values()
+        )
+        all_identical = all_identical and identical
+        all_complete = all_complete and all(
+            run["status"] == "complete" for run in runs.values()
+        )
+        block: dict[str, object] = {
+            "n_areas": len(collection),
+            "identical": identical,
+            "p": reference["p"],
+            "n_unassigned": reference["n_unassigned"],
+            "heterogeneity": reference["heterogeneity"],
+            "backends": {
+                backend: {
+                    "wall_seconds": round(run["wall_seconds"], 4),
+                    "construction_seconds": round(
+                        run["construction_seconds"], 4
+                    ),
+                    "tabu_seconds": round(run["tabu_seconds"], 4),
+                    "status": run["status"],
+                    "candidate_evaluations": run["perf"].get(
+                        "candidate_evaluations", 0
+                    ),
+                    "vector_derives": run["perf"].get("vector_derives", 0),
+                }
+                for backend, run in runs.items()
+            },
+        }
+        if len(backends) > 1:
+            numpy_run = runs["numpy"]
+            python_run = runs["python"]
+            block["tabu_speedup"] = round(
+                python_run["tabu_seconds"]
+                / max(1e-9, numpy_run["tabu_seconds"]),
+                3,
+            )
+            block["wall_speedup"] = round(
+                python_run["wall_seconds"]
+                / max(1e-9, numpy_run["wall_seconds"]),
+                3,
+            )
+            telemetry_block = numpy_run["telemetry"]
+        else:
+            telemetry_block = reference["telemetry"]
+        dataset_blocks[name] = block
+    return {
+        "benchmark": "scaling",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "telemetry": telemetry_block,
+        "backends": list(backends),
+        "numpy_version": arrays_mod.numpy_version(),
+        "scale": scale,
+        "workload": workload,
+        "constraints": [str(c) for c in constraints],
+        "rng_seed": rng_seed,
+        "identical": all_identical,
+        "all_complete": all_complete,
+        "datasets": dataset_blocks,
     }
 
 
@@ -534,6 +749,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tabu-phase speedup (emits BENCH_objective.json with --output)",
     )
     parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="scaling mode: sweep --datasets once per backend (numpy "
+        "and python), diff the partitions per dataset and report the "
+        "numpy-vs-python tabu speedup (emits BENCH_scaling.json with "
+        "--output)",
+    )
+    parser.add_argument(
+        "--datasets",
+        default="2k,10k,25k",
+        help="scaling mode: comma-separated registry dataset names to "
+        "sweep (default 2k,10k,25k)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="enriched",
+        help="scaling mode: 'enriched' (six-constraint workload, the "
+        "default) or a MAS-subset combo code",
+    )
+    parser.add_argument(
         "--jobs",
         default="1,2,4",
         help="objective mode: comma-separated n_jobs grid for the "
@@ -566,7 +801,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         _profile_solve(args.dataset, scale, args.seed, args.combo)
         return 0
 
-    if args.objective:
+    if args.scaling:
+        result = run_scaling(
+            datasets=tuple(
+                part.strip()
+                for part in args.datasets.split(",")
+                if part.strip()
+            ),
+            scale=scale,
+            rng_seed=args.seed,
+            workload=args.workload,
+        )
+    elif args.objective:
         n_jobs_grid = tuple(
             int(part) for part in args.jobs.split(",") if part.strip()
         )
@@ -595,6 +841,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         atomic_write_text(args.output, payload + "\n")
     print(payload)
 
+    if args.scaling:
+        if not result["identical"]:
+            print(
+                "FAIL: numpy and python backends diverged — the array "
+                "backend changed solver behaviour",
+                file=sys.stderr,
+            )
+            return 2
+        speedups = ", ".join(
+            f"{name}: {block.get('tabu_speedup', 'n/a')}x tabu"
+            for name, block in result["datasets"].items()
+        )
+        print(
+            "OK: backends bit-identical on every dataset "
+            f"({'/'.join(result['backends'])}); {speedups}",
+            file=sys.stderr,
+        )
+        return 0
+
     if not result["identical"]:
         print(
             "FAIL: cached and uncached runs diverged — the hot-path "
@@ -607,6 +872,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(
                 "FAIL: portfolio results differ across n_jobs — worker "
                 "execution changed solver behaviour",
+                file=sys.stderr,
+            )
+            return 2
+        if not result["backend_parity"]["identical"]:
+            print(
+                "FAIL: numpy and python backends diverged on the "
+                "portfolio grid — the array backend changed solver "
+                "behaviour",
                 file=sys.stderr,
             )
             return 2

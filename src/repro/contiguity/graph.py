@@ -23,9 +23,56 @@ __all__ = [
     "articulation_points",
     "bfs_order",
     "removable_set",
+    "csr_adjacency",
+    "neighbors_from_csr",
 ]
 
 NeighborFn = Callable[[int], Iterable[int]]
+
+
+def csr_adjacency(
+    nodes: Iterable[int], neighbors: NeighborFn
+) -> tuple[list[int], list[int]]:
+    """CSR ``(indptr, indices)`` of the subgraph induced by *nodes*.
+
+    Rows follow the order of *nodes*; entries are *dense positions*
+    (indexes into the node order, not raw ids), each row sorted
+    ascending. Neighbors outside the node set are dropped, so the CSR
+    is exactly the dict-of-sets graph restricted to *nodes*. Plain
+    Python lists — the array backend converts them once; callers that
+    need ids back use :func:`neighbors_from_csr`.
+    """
+    node_order = list(nodes)
+    position = {node: i for i, node in enumerate(node_order)}
+    indptr = [0]
+    indices: list[int] = []
+    for node in node_order:
+        row = sorted(
+            position[neighbor]
+            for neighbor in neighbors(node)
+            if neighbor in position
+        )
+        indices.extend(row)
+        indptr.append(len(indices))
+    return indptr, indices
+
+
+def neighbors_from_csr(
+    nodes: Iterable[int],
+    indptr: "Iterable[int]",
+    indices: "Iterable[int]",
+) -> dict[int, frozenset[int]]:
+    """Inverse of :func:`csr_adjacency`: dense CSR back to an
+    id → neighbor-id-set mapping (for round-trip verification)."""
+    node_order = list(nodes)
+    indptr = list(indptr)
+    indices = list(indices)
+    return {
+        node: frozenset(
+            node_order[j] for j in indices[indptr[i] : indptr[i + 1]]
+        )
+        for i, node in enumerate(node_order)
+    }
 
 
 def bfs_order(start: int, nodes: frozenset[int] | set[int],
@@ -84,8 +131,23 @@ def articulation_points(
     return _components_and_articulation(set(nodes), neighbors)[1]
 
 
+# Epoch-stamped scratch for the combined components/articulation DFS:
+# discovery/low are indexed by node id, a cell is valid only when its
+# stamp equals the current epoch, so no per-call clearing — the oracle
+# rebuilds this DFS twice per accepted Tabu move and the dict
+# bookkeeping it replaces was the single hottest line of a solve.
+# Node ids above the cap (sparse id spaces) use the dict variant.
+_SCRATCH_NODE_CAP = 1 << 21
+_scratch_epoch = 0
+_scratch_stamp: list[int] = []
+_scratch_disc: list[int] = []
+_scratch_low: list[int] = []
+
+
 def _components_and_articulation(
-    node_set: set[int], neighbors: NeighborFn
+    node_set: set[int],
+    neighbors: NeighborFn,
+    adjacency: dict[int, list[int]] | None = None,
 ) -> tuple[list[frozenset[int]], frozenset[int]]:
     """Connected components *and* articulation points in one DFS pass.
 
@@ -93,59 +155,135 @@ def _components_and_articulation(
     falls out of the same Hopcroft–Tarjan traversal for free — this is
     what lets :func:`removable_set` answer with a single pass over the
     induced subgraph instead of one pass per question.
+
+    When *adjacency* is given it must already be the induced adjacency
+    (node → in-set neighbor list for exactly the nodes of *node_set*);
+    the DFS then skips all membership filtering. Callers that maintain
+    the induced rows incrementally (:class:`repro.core.region.Region`)
+    turn every oracle rebuild from O(Σ full-degree) set probes into a
+    bare traversal of the precomputed rows.
     """
+    rows = adjacency
+    if rows is None:
+        rows = {
+            node: [n for n in neighbors(node) if n in node_set]
+            for node in node_set
+        }
+    max_node = max(node_set)
+    if max_node > _SCRATCH_NODE_CAP:
+        # Sparse id spaces (raw census GEOIDs) would blow the dense
+        # scratch up; dict bookkeeping handles them at reference speed.
+        return _dfs_sparse(node_set, rows)
+
+    global _scratch_epoch
+    stamp = _scratch_stamp
+    if max_node >= len(stamp):
+        grow = max_node + 1 - len(stamp)
+        stamp.extend([0] * grow)
+        _scratch_disc.extend([0] * grow)
+        _scratch_low.extend([0] * grow)
+    _scratch_epoch += 1
+    epoch = _scratch_epoch
+    disc = _scratch_disc
+    low = _scratch_low
+
+    components: list[frozenset[int]] = []
+    articulation: set[int] = set()
+    counter = 0
+
+    for root in node_set:
+        if stamp[root] == epoch:
+            continue
+        component = [root]
+        root_children = 0
+        # stack entries: (node, parent, iterator over its in-set rows)
+        stack = [(root, None, iter(rows[root]))]
+        stamp[root] = epoch
+        disc[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, parent_node, iterator = stack[-1]
+            low_node = low[node]
+            advanced = False
+            for neighbor in iterator:
+                if stamp[neighbor] != epoch:
+                    if node == root:
+                        root_children += 1
+                    stamp[neighbor] = epoch
+                    disc[neighbor] = low[neighbor] = counter
+                    counter += 1
+                    component.append(neighbor)
+                    stack.append((neighbor, node, iter(rows[neighbor])))
+                    advanced = True
+                    break
+                if neighbor != parent_node:
+                    d = disc[neighbor]
+                    if d < low_node:
+                        low_node = d
+            low[node] = low_node
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                pnode = stack[-1][0]
+                if low_node < low[pnode]:
+                    low[pnode] = low_node
+                if pnode != root and low_node >= disc[pnode]:
+                    articulation.add(pnode)
+        if root_children > 1:
+            articulation.add(root)
+        components.append(frozenset(component))
+    return components, frozenset(articulation)
+
+
+def _dfs_sparse(
+    node_set: set[int], rows: dict[int, list[int]]
+) -> tuple[list[frozenset[int]], frozenset[int]]:
+    """Dict-bookkeeping variant of the DFS above for node ids too
+    large to index the dense scratch arrays. Identical traversal,
+    identical results — only the discovery/low storage differs."""
     components: list[frozenset[int]] = []
     discovery: dict[int, int] = {}
     low: dict[int, int] = {}
-    parent: dict[int, int | None] = {}
     articulation: set[int] = set()
+    discovery_get = discovery.get
     counter = 0
 
     for root in node_set:
         if root in discovery:
             continue
         component = [root]
-        parent[root] = None
         root_children = 0
-        # stack entries: (node, iterator over its in-set neighbors)
-        stack = [(root, iter([n for n in neighbors(root) if n in node_set]))]
+        stack = [(root, None, iter(rows[root]))]
         discovery[root] = low[root] = counter
         counter += 1
         while stack:
-            node, iterator = stack[-1]
+            node, parent_node, iterator = stack[-1]
+            low_node = low[node]
             advanced = False
             for neighbor in iterator:
-                if neighbor not in discovery:
-                    parent[neighbor] = node
+                d = discovery_get(neighbor)
+                if d is None:
                     if node == root:
                         root_children += 1
                     discovery[neighbor] = low[neighbor] = counter
                     counter += 1
                     component.append(neighbor)
-                    stack.append(
-                        (
-                            neighbor,
-                            iter(
-                                [
-                                    n
-                                    for n in neighbors(neighbor)
-                                    if n in node_set
-                                ]
-                            ),
-                        )
-                    )
+                    stack.append((neighbor, node, iter(rows[neighbor])))
                     advanced = True
                     break
-                if neighbor != parent[node]:
-                    low[node] = min(low[node], discovery[neighbor])
+                if neighbor != parent_node and d < low_node:
+                    low_node = d
+            low[node] = low_node
             if advanced:
                 continue
             stack.pop()
             if stack:
-                parent_node = stack[-1][0]
-                low[parent_node] = min(low[parent_node], low[node])
-                if parent_node != root and low[node] >= discovery[parent_node]:
-                    articulation.add(parent_node)
+                pnode = stack[-1][0]
+                if low_node < low[pnode]:
+                    low[pnode] = low_node
+                if pnode != root and low_node >= discovery[pnode]:
+                    articulation.add(pnode)
         if root_children > 1:
             articulation.add(root)
         components.append(frozenset(component))
@@ -153,7 +291,9 @@ def _components_and_articulation(
 
 
 def removable_set(
-    nodes: Iterable[int], neighbors: NeighborFn
+    nodes: Iterable[int],
+    neighbors: NeighborFn,
+    adjacency: dict[int, list[int]] | None = None,
 ) -> tuple[bool, frozenset[int]]:
     """``(connected, removable)`` for the induced subgraph of *nodes*.
 
@@ -170,7 +310,10 @@ def removable_set(
 
     This is the batch primitive behind the per-region contiguity
     oracle (:meth:`repro.core.region.Region.removable_areas`); it
-    costs exactly one DFS traversal of the induced subgraph.
+    costs exactly one DFS traversal of the induced subgraph. Passing a
+    precomputed induced *adjacency* (see
+    :func:`_components_and_articulation`) skips the per-node membership
+    filtering inside that traversal.
     """
     node_set = set(nodes)
     if not node_set:
@@ -178,7 +321,7 @@ def removable_set(
     if len(node_set) == 1:
         return True, frozenset()
     components, articulation = _components_and_articulation(
-        node_set, neighbors
+        node_set, neighbors, adjacency
     )
     if len(components) == 1:
         return True, frozenset(node_set) - articulation

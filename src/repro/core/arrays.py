@@ -1,0 +1,405 @@
+"""Array-native solver core: the accelerated ``numpy`` backend state.
+
+The object-graph hot paths (:class:`~repro.core.region.Region`,
+:class:`~repro.fact.state.SolutionState`) are exact but pure Python —
+fast enough at 2k areas, not at the 25k–50k registry datasets. This
+module holds the flat-array mirror of that state which the vectorized
+Tabu candidate scoring (:mod:`repro.fact.tabu`) batch-evaluates with
+numpy:
+
+- :class:`CollectionArrays` — the **static** per-collection arrays,
+  built once and cached weakly: CSR rook adjacency (``indptr`` /
+  ``indices`` over dense positions, from
+  :func:`repro.contiguity.graph.csr_adjacency`), the dissimilarity
+  vector, one float64 vector per attribute, and optional centroid
+  coordinates.
+- :class:`ArrayState` — the **mutable** per-solution arrays: a flat
+  int64 label vector (``-1`` unassigned, ``-2`` excluded) plus
+  per-region aggregate vectors (attribute sums, member counts,
+  coordinate sums), maintained by the same
+  ``Region.add_area``/``remove_area`` calls that update the scalar
+  :class:`~repro.core.aggregates.AggregateState` — one hook site, so
+  every float accumulates in the identical order and the mirror stays
+  **bit-identical** to the object graph.
+
+Backend selection mirrors the hot-path cache gate in
+:mod:`repro.core.perf`: a process-wide override installed by
+:func:`set_active_backend` (shipped to worker processes in the pool
+payload), else the ``REPRO_BACKEND`` environment variable, else
+auto-detection (numpy when importable). The pure-Python path remains
+the reference oracle — both backends must produce bit-identical
+partitions, certificates and objective values, which
+``python -m repro.bench micro`` and the backend-parity CI job assert.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import TYPE_CHECKING, Iterable
+
+from ..contiguity.graph import csr_adjacency
+from ..exceptions import InvalidConstraintError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .area import AreaCollection
+
+try:  # numpy is optional: without it the backend resolves to python.
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _numpy = None
+
+__all__ = [
+    "BACKENDS",
+    "RESOLVED_BACKENDS",
+    "UNASSIGNED",
+    "EXCLUDED",
+    "numpy_available",
+    "numpy_version",
+    "validate_backend",
+    "backend_from_env",
+    "resolve_backend",
+    "set_active_backend",
+    "active_backend",
+    "CollectionArrays",
+    "collection_arrays",
+    "ArrayState",
+]
+
+# Environment knob consulted when the config leaves backend = "auto";
+# lets a whole test/CI run pin a backend without touching code.
+_BACKEND_ENV = "REPRO_BACKEND"
+
+# "auto" is a config-level request; it always resolves to one of
+# RESOLVED_BACKENDS before any state is built.
+BACKENDS = ("auto", "numpy", "python")
+RESOLVED_BACKENDS = ("numpy", "python")
+
+# Label-vector sentinels. Distinct so the flat vector alone encodes the
+# full partition including the feasibility-phase exclusions.
+UNASSIGNED = -1
+EXCLUDED = -2
+
+# None = defer to REPRO_BACKEND / auto-detection; otherwise a resolved
+# backend name installed process-wide by set_active_backend() (the
+# solver installs it for the duration of a solve, and the worker-pool
+# initializer replays it inside every worker process).
+_override: str | None = None
+
+
+def numpy_available() -> bool:
+    """True when numpy imported successfully in this process."""
+    return _numpy is not None
+
+
+def numpy_version() -> str | None:
+    """The imported numpy's version string, or ``None`` without numpy."""
+    return None if _numpy is None else str(_numpy.__version__)
+
+
+def validate_backend(value: str, *, resolved: bool = False) -> str:
+    """Return the canonical backend name or raise naming the options.
+
+    With ``resolved=True`` only ``"numpy"``/``"python"`` are accepted
+    (``"auto"`` must already have been resolved away).
+    """
+    allowed = RESOLVED_BACKENDS if resolved else BACKENDS
+    name = str(value).lower()
+    if name not in allowed:
+        raise InvalidConstraintError(
+            f"unknown backend {value!r}; expected one of "
+            + ", ".join(repr(option) for option in allowed)
+        )
+    return name
+
+
+def backend_from_env() -> str | None:
+    """The ``REPRO_BACKEND`` request, validated; ``None`` when unset.
+
+    An unknown value raises immediately with the allowed names — a
+    typo'd environment must not silently fall back to auto-detection.
+    """
+    raw = os.environ.get(_BACKEND_ENV, "").strip()
+    if not raw:
+        return None
+    return validate_backend(raw)
+
+
+def resolve_backend(requested: str = "auto") -> str:
+    """Resolve a config-level request to ``"numpy"`` or ``"python"``.
+
+    Precedence: an explicit config value beats ``REPRO_BACKEND``,
+    which beats auto-detection — the env var pins *unconfigured* runs
+    (the parity CI job, test sweeps) while an explicit
+    ``FaCTConfig(backend=...)`` stays authoritative, letting one
+    process compare both backends (the scaling benchmark does).
+    Requesting numpy without numpy importable is an error, not a
+    silent downgrade.
+    """
+    requested = validate_backend(requested)
+    if requested == "auto":
+        env = backend_from_env()
+        requested = env if env is not None and env != "auto" else "auto"
+    if requested == "auto":
+        return "numpy" if numpy_available() else "python"
+    if requested == "numpy" and not numpy_available():
+        raise InvalidConstraintError(
+            "backend 'numpy' requested but numpy is not importable; "
+            "use backend='python' or install numpy"
+        )
+    return requested
+
+
+def set_active_backend(backend: str | None) -> str | None:
+    """Install a process-wide resolved-backend override.
+
+    Returns the previous override so callers can restore it::
+
+        previous = set_active_backend(resolve_backend(config.backend))
+        try:
+            ...  # solve
+        finally:
+            set_active_backend(previous)
+
+    Pass ``None`` to fall back to env/auto resolution.
+    """
+    global _override
+    previous = _override
+    _override = (
+        None if backend is None else validate_backend(backend, resolved=True)
+    )
+    return previous
+
+
+def active_backend() -> str:
+    """The backend new solver states are built for, resolved.
+
+    The installed override when one is active (inside a solve, or in a
+    worker process initialized from the pool payload), else the
+    env/auto resolution.
+    """
+    if _override is not None:
+        return _override
+    return resolve_backend("auto")
+
+
+# ----------------------------------------------------------------------
+# static per-collection arrays
+# ----------------------------------------------------------------------
+class CollectionArrays:
+    """Immutable flat-array view of one :class:`AreaCollection`.
+
+    Everything here is a pure function of the collection, so one
+    instance is built per collection (see :func:`collection_arrays`)
+    and shared by every solve over it. Areas are addressed by **dense
+    position** — their index in ``collection.ids`` insertion order —
+    with ``index`` mapping raw area ids to positions.
+    """
+
+    __slots__ = (
+        "np",
+        "ids",
+        "index",
+        "_dense_ids",
+        "indptr",
+        "indices",
+        "dissimilarity",
+        "attributes",
+        "coord_x",
+        "coord_y",
+    )
+
+    def __init__(self, collection: "AreaCollection"):
+        if _numpy is None:  # pragma: no cover - numpy is bundled in CI
+            raise InvalidConstraintError(
+                "CollectionArrays requires numpy (backend 'numpy')"
+            )
+        np = self.np = _numpy
+        ids = list(collection.ids)
+        self.ids = np.asarray(ids, dtype=np.int64)
+        self.index = {area_id: i for i, area_id in enumerate(ids)}
+        # Synthetic collections number areas 0..n-1 in insertion order;
+        # when that holds, ids ARE positions and lookups vectorize.
+        self._dense_ids = ids == list(range(len(ids)))
+        indptr, indices = csr_adjacency(ids, collection.neighbors)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.dissimilarity = np.asarray(
+            [collection.dissimilarity(area_id) for area_id in ids],
+            dtype=np.float64,
+        )
+        self.attributes = {
+            name: np.asarray(
+                [collection.attribute(area_id, name) for area_id in ids],
+                dtype=np.float64,
+            )
+            for name in sorted(collection.attribute_names)
+        }
+        # Centroid coordinates exist only when every area carries a
+        # polygon (the compactness objective's requirement); synthetic
+        # census collections have none, so these stay None there.
+        coords: list[tuple[float, float]] = []
+        for area_id in ids:
+            polygon = collection.area(area_id).polygon
+            if polygon is None:
+                coords = []
+                break
+            centroid = polygon.centroid
+            coords.append((centroid.x, centroid.y))
+        if coords:
+            self.coord_x = np.asarray(
+                [xy[0] for xy in coords], dtype=np.float64
+            )
+            self.coord_y = np.asarray(
+                [xy[1] for xy in coords], dtype=np.float64
+            )
+        else:
+            self.coord_x = None
+            self.coord_y = None
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def positions(self, area_ids: Iterable[int]):
+        """Dense positions of *area_ids* as an int64 array."""
+        if self._dense_ids:
+            return self.np.asarray(list(area_ids), dtype=self.np.int64)
+        index = self.index
+        return self.np.asarray(
+            [index[area_id] for area_id in area_ids], dtype=self.np.int64
+        )
+
+
+_COLLECTION_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def collection_arrays(collection: "AreaCollection") -> CollectionArrays:
+    """The (weakly cached) :class:`CollectionArrays` of *collection*."""
+    arrays = _COLLECTION_CACHE.get(collection)
+    if arrays is None:
+        arrays = CollectionArrays(collection)
+        _COLLECTION_CACHE[collection] = arrays
+    return arrays
+
+
+# ----------------------------------------------------------------------
+# mutable per-solution arrays
+# ----------------------------------------------------------------------
+class ArrayState:
+    """Flat-array mirror of one :class:`SolutionState`'s assignment.
+
+    ``labels[pos]`` is the region id of the area at dense position
+    *pos* (:data:`UNASSIGNED` / :data:`EXCLUDED` otherwise).
+    ``region_count[rid]`` and ``region_sums[attr][rid]`` mirror each
+    region's member count and per-attribute sum; rows are indexed by
+    raw region id (capacity grows geometrically — solver region ids
+    increase monotonically) and zeroed when a region empties, exactly
+    like :class:`AggregateState`'s drift reset.
+
+    The mirror is written from a single hook site —
+    ``Region.add_area``/``remove_area`` call :meth:`on_add` /
+    :meth:`on_remove` right where the scalar aggregates update — so
+    every float accumulation happens in the identical order and the
+    vectors stay bit-identical to the object graph under any mutation
+    sequence (assign, move, merge, dissolve).
+    """
+
+    __slots__ = (
+        "arrays",
+        "tracked",
+        "labels",
+        "region_count",
+        "region_sums",
+        "region_coord_x",
+        "region_coord_y",
+    )
+
+    def __init__(
+        self,
+        arrays: CollectionArrays,
+        tracked: Iterable[str] = (),
+        excluded: Iterable[int] = (),
+    ):
+        np = arrays.np
+        self.arrays = arrays
+        self.tracked = tuple(tracked)
+        self.labels = np.full(len(arrays), UNASSIGNED, dtype=np.int64)
+        for area_id in excluded:
+            self.labels[arrays.index[area_id]] = EXCLUDED
+        capacity = 16
+        self.region_count = np.zeros(capacity, dtype=np.int64)
+        self.region_sums = {
+            name: np.zeros(capacity, dtype=np.float64)
+            for name in self.tracked
+        }
+        if arrays.coord_x is not None:
+            self.region_coord_x = np.zeros(capacity, dtype=np.float64)
+            self.region_coord_y = np.zeros(capacity, dtype=np.float64)
+        else:
+            self.region_coord_x = None
+            self.region_coord_y = None
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return len(self.region_count)
+
+    def _ensure_capacity(self, region_id: int) -> None:
+        capacity = len(self.region_count)
+        if region_id < capacity:
+            return
+        np = self.arrays.np
+        while capacity <= region_id:
+            capacity *= 2
+        grown = np.zeros(capacity, dtype=np.int64)
+        grown[: len(self.region_count)] = self.region_count
+        self.region_count = grown
+        for name, sums in self.region_sums.items():
+            grown = np.zeros(capacity, dtype=np.float64)
+            grown[: len(sums)] = sums
+            self.region_sums[name] = grown
+        if self.region_coord_x is not None:
+            for attr in ("region_coord_x", "region_coord_y"):
+                sums = getattr(self, attr)
+                grown = np.zeros(capacity, dtype=np.float64)
+                grown[: len(sums)] = sums
+                setattr(self, attr, grown)
+
+    # ------------------------------------------------------------------
+    # the Region mutation sink
+    # ------------------------------------------------------------------
+    def on_add(self, region_id: int, area_id: int) -> None:
+        """Mirror one ``Region.add_area`` membership insertion."""
+        arrays = self.arrays
+        position = arrays.index[area_id]
+        self.labels[position] = region_id
+        self._ensure_capacity(region_id)
+        self.region_count[region_id] += 1
+        for name in self.tracked:
+            self.region_sums[name][region_id] += arrays.attributes[name][
+                position
+            ]
+        if self.region_coord_x is not None:
+            self.region_coord_x[region_id] += arrays.coord_x[position]
+            self.region_coord_y[region_id] += arrays.coord_y[position]
+
+    def on_remove(self, region_id: int, area_id: int) -> None:
+        """Mirror one ``Region.remove_area`` membership deletion."""
+        arrays = self.arrays
+        position = arrays.index[area_id]
+        self.labels[position] = UNASSIGNED
+        self.region_count[region_id] -= 1
+        emptied = self.region_count[region_id] == 0
+        for name in self.tracked:
+            sums = self.region_sums[name]
+            if emptied:
+                sums[region_id] = 0.0  # cancel drift, like AggregateState
+            else:
+                sums[region_id] -= arrays.attributes[name][position]
+        if self.region_coord_x is not None:
+            if emptied:
+                self.region_coord_x[region_id] = 0.0
+                self.region_coord_y[region_id] = 0.0
+            else:
+                self.region_coord_x[region_id] -= arrays.coord_x[position]
+                self.region_coord_y[region_id] -= arrays.coord_y[position]

@@ -123,6 +123,10 @@ class PerfCounters:
         Incremental maintenance operations on the objective structures
         (one sorted-list insertion/deletion or coordinate-sum update
         per region mutation).
+    vector_derives:
+        Tabu move-pool derivations answered by the numpy backend's
+        batch scorer (:mod:`repro.core.arrays`) instead of the scalar
+        per-candidate loop. Zero under the python backend.
     pool_task_failures:
         Worker-pool tasks that raised, returned an unpicklable result,
         or died with their worker (each failure is retried or degraded
@@ -176,6 +180,7 @@ class PerfCounters:
         "delta_fastpath",
         "delta_recompute",
         "objective_struct_updates",
+        "vector_derives",
         "pool_task_failures",
         "pool_task_retries",
         "pool_tasks_degraded",
@@ -200,6 +205,7 @@ class PerfCounters:
         "delta_fastpath",
         "delta_recompute",
         "objective_struct_updates",
+        "vector_derives",
         "pool_task_failures",
         "pool_task_retries",
         "pool_tasks_degraded",

@@ -84,7 +84,10 @@ class Region:
         "_heterogeneity",
         "_sorted_d",
         "_prefix_d",
+        "_struct_np",
+        "_induced_adj",
         "_contig_cache",
+        "_array_state",
         "perf",
     )
 
@@ -95,6 +98,7 @@ class Region:
         tracked_attributes: Iterable[str] = (),
         areas: Iterable[int] = (),
         perf: PerfCounters | None = None,
+        array_state=None,
     ):
         self.region_id = region_id
         self._collection = collection
@@ -111,9 +115,21 @@ class Region:
         # invalidating the whole structure.
         self._sorted_d: list[float] | None = None
         self._prefix_d: list[float] | None = None
+        # ndarray copies of the structure above, cached for the
+        # vectorized Tabu scorer and invalidated on every mutation.
+        self._struct_np: tuple | None = None
+        # Induced adjacency of the member set (member → in-region
+        # neighbor list), maintained in O(degree) per mutation so each
+        # oracle rebuild is a bare DFS over precomputed rows instead of
+        # refiltering every member's full neighbor set.
+        self._induced_adj: dict[int, list[int]] = {}
         # Contiguity oracle: (is_contiguous, removable member set),
         # rebuilt lazily and invalidated on every membership mutation.
         self._contig_cache: tuple[bool, frozenset[int]] | None = None
+        # Optional ArrayState sink (numpy backend): mirrored from the
+        # same call sites that update the scalar aggregates, so the
+        # flat label/aggregate vectors accumulate in identical order.
+        self._array_state = array_state
         self.perf = perf
         for area_id in areas:
             self.add_area(area_id)
@@ -166,7 +182,17 @@ class Region:
         self._dissimilarities[area_id] = d
         self._areas.add(area_id)
         self._struct_insert(d)
+        adj = self._induced_adj
+        mine: list[int] = []
+        for neighbor in self._collection.neighbors(area_id):
+            row = adj.get(neighbor)
+            if row is not None:
+                row.append(area_id)
+                mine.append(neighbor)
+        adj[area_id] = mine
         self._contig_cache = None  # invalidate the contiguity oracle
+        if self._array_state is not None:
+            self._array_state.on_add(self.region_id, area_id)
 
     def remove_area(self, area_id: int) -> None:
         """Remove one area, updating aggregates, heterogeneity and the
@@ -184,7 +210,12 @@ class Region:
         self._struct_remove(d)
         self._heterogeneity -= self._abs_deviation_sum(d)
         self._areas.remove(area_id)
+        adj = self._induced_adj
+        for neighbor in adj.pop(area_id):
+            adj[neighbor].remove(area_id)
         self._contig_cache = None  # invalidate the contiguity oracle
+        if self._array_state is not None:
+            self._array_state.on_remove(self.region_id, area_id)
         if not self._areas:
             self._heterogeneity = 0.0  # cancel any float drift
 
@@ -305,7 +336,9 @@ class Region:
         perf = self.perf
         if self._contig_cache is None:
             self._contig_cache = removable_set(
-                self._areas, self._collection.neighbors
+                self._areas,
+                self._collection.neighbors,
+                adjacency=self._induced_adj,
             )
             if perf is not None:
                 perf.oracle_rebuilds += 1
@@ -406,6 +439,7 @@ class Region:
         rebuild. With the cache gate off the structure is dropped and
         every query recomputes from scratch.
         """
+        self._struct_np = None
         if not hotpath_caches_enabled():
             self._sorted_d = None
             self._prefix_d = None
@@ -418,6 +452,7 @@ class Region:
 
     def _struct_remove(self, d: float) -> None:
         """Remove one occurrence of *d* from the sorted structure."""
+        self._struct_np = None
         if not hotpath_caches_enabled():
             self._sorted_d = None
             self._prefix_d = None
@@ -477,6 +512,43 @@ class Region:
         below_sum = prefix[k]
         above_sum = prefix[-1] - below_sum
         return (d * k - below_sum) + (above_sum - d * (len(values) - k))
+
+    def _struct_views(self) -> tuple[list[float], list[float]]:
+        """The maintained ``(sorted values, prefix sums)`` lists,
+        building them lazily — the batch counterpart of the cached
+        branch of :meth:`_abs_deviation_sum`, used by the vectorized
+        Tabu scorer to price many deltas against one region at once.
+        Only meaningful with the hot-path cache gate on (the vector
+        path checks the gate before calling)."""
+        perf = self.perf
+        values = self._sorted_d
+        if values is None:
+            values = self._sorted_d = sorted(self._dissimilarities.values())
+            self._prefix_d = None
+            if perf is not None:
+                perf.delta_recompute += 1
+        prefix = self._prefix_d
+        if prefix is None:
+            prefix = self._prefix_d = list(accumulate(values, initial=0.0))
+        return values, prefix
+
+    def _struct_arrays(self, np):
+        """:meth:`_struct_views` as cached float64 ndarrays.
+
+        The conversion is the expensive part of pricing a batch against
+        this region, so the arrays persist until the next membership
+        mutation (any :meth:`_struct_insert`/:meth:`_struct_remove`
+        drops them). *np* is passed in so this module keeps zero numpy
+        imports — only the vectorized Tabu scorer calls this.
+        """
+        cached = self._struct_np
+        if cached is None:
+            values, prefix = self._struct_views()
+            cached = self._struct_np = (
+                np.asarray(values, dtype=np.float64),
+                np.asarray(prefix, dtype=np.float64),
+            )
+        return cached
 
     def sorted_dissimilarities(self) -> list[float]:
         """The member dissimilarities in non-decreasing order (a copy).

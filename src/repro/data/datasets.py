@@ -1,7 +1,8 @@
 """Named evaluation datasets — the paper's nine-dataset registry.
 
 Section VII-A evaluates on nine census-tract datasets. The registry
-below mirrors their names, exact sizes and component structure; the
+below mirrors their names, exact sizes and component structure (plus
+one synthetic ``25k`` midpoint used by the scaling benchmark); the
 synthetic generator (see :mod:`repro.data.synthetic`) supplies the
 geometry and attributes. A global ``scale`` multiplier lets benchmark
 runs shrink every dataset proportionally (pure-Python reproduction of
@@ -16,6 +17,8 @@ name         areas   paper description
 ``8k``        8 049  State of California
 ``10k``      10 255  CA, NV, AZ
 ``20k``      20 570  + 12 more western states
+``25k``      25 000  scaling benchmark midpoint (synthetic, not
+                     from the paper's registry)
 ``30k``      29 887  + TX, LA, AR, MO, IA
 ``40k``      40 214  + MN, MS, AL, TN, KY, IL, WI
 ``50k``      49 943  + GA, IN, MI, OH, WV
@@ -58,6 +61,9 @@ DATASETS: dict[str, DatasetSpec] = {
         DatasetSpec("8k", 8049, "State of California"),
         DatasetSpec("10k", 10255, "CA, NV, AZ", patches=2),
         DatasetSpec("20k", 20570, "10k + 12 western states", patches=3),
+        DatasetSpec(
+            "25k", 25000, "scaling benchmark midpoint (synthetic)", patches=3
+        ),
         DatasetSpec("30k", 29887, "20k + TX, LA, AR, MO, IA", patches=4),
         DatasetSpec("40k", 40214, "30k + MN, MS, AL, TN, KY, IL, WI", patches=5),
         DatasetSpec("50k", 49943, "40k + GA, IN, MI, OH, WV", patches=6),

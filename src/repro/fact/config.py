@@ -14,6 +14,7 @@ import os
 import random
 from dataclasses import dataclass, field
 
+from ..core.arrays import resolve_backend, validate_backend
 from ..exceptions import BudgetError, InvalidConstraintError
 
 __all__ = ["CertifyLevel", "FaCTConfig", "PickupCriterion"]
@@ -229,6 +230,17 @@ class FaCTConfig:
         Lease-renewal interval of the service worker executing this
         solve; must be positive and smaller than ``lease_seconds``
         when both are set. ``None`` (default) defers to the service.
+    backend:
+        Solver-core backend: ``"numpy"`` (flat-array state + batch
+        Tabu candidate scoring — see :mod:`repro.core.arrays`),
+        ``"python"`` (the pure-Python reference oracle), or ``"auto"``
+        (default: the ``REPRO_BACKEND`` environment variable when set,
+        else numpy when importable). Both backends produce
+        bit-identical partitions, objective values and certificates at
+        any ``n_jobs``; the choice only affects wall-clock. Unknown
+        values are rejected here at construction; the *resolved*
+        backend surfaces on ``EMPSolution.backend``, the solve report,
+        and the solve span's telemetry attributes.
     """
 
     rng_seed: int = 0
@@ -256,9 +268,12 @@ class FaCTConfig:
     checkpoint_keep_on_complete: bool = False
     lease_seconds: float | None = None
     heartbeat_seconds: float | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         self.pickup = PickupCriterion.validate(self.pickup)
+        # Reject unknown backends at construction, not deep in a solve.
+        self.backend = validate_backend(self.backend)
         for name in (
             "rng_seed",
             "construction_iterations",
@@ -386,6 +401,15 @@ class FaCTConfig:
                 f"lease={self.lease_seconds!r}); a heartbeat that cannot "
                 "outrun its own lease guarantees spurious lease expiry"
             )
+
+    def resolved_backend(self) -> str:
+        """The effective solver-core backend: ``"numpy"``/``"python"``.
+
+        Resolution order: an explicit :attr:`backend` value, else the
+        ``REPRO_BACKEND`` environment variable, else numpy when
+        importable (see :func:`repro.core.arrays.resolve_backend`).
+        """
+        return resolve_backend(self.backend)
 
     def certify_level(self) -> str:
         """The effective certification level: the explicit

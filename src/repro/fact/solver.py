@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field, replace
 
 from ..certify import Certificate, certify_partition
+from ..core import arrays as arrays_mod
 from ..core.area import AreaCollection
 from ..core.constraints import Constraint, ConstraintSet
 from ..core.partition import Partition
@@ -112,6 +113,12 @@ class EMPSolution:
         ``"paranoid"`` — always a *valid* one, since an invalid
         certification raises instead of returning. ``None`` with
         certification off.
+    backend:
+        The resolved hot-path backend the run executed under —
+        ``"numpy"`` (vectorized array state) or ``"python"`` (scalar
+        reference path). Both produce bit-identical partitions; the
+        name is recorded so reports and bench artifacts can attribute
+        timings. Defaults to ``"python"`` for hand-built solutions.
     """
 
     partition: Partition
@@ -123,6 +130,7 @@ class EMPSolution:
     attempts: tuple[ConstructionAttempt, ...] = ()
     perf: PerfCounters | None = None
     certificate: Certificate | None = None
+    backend: str = "python"
 
     # -- the paper's three performance measures (Section VII-A) --------
     @property
@@ -190,6 +198,7 @@ class EMPSolution:
             "p": self.p,
             "n_unassigned": self.n_unassigned,
             "status": self.status.value,
+            "backend": self.backend,
             "heterogeneity_before": round(self.heterogeneity_before, 3),
             "heterogeneity_after": round(self.heterogeneity, 3),
             "improvement": round(self.improvement, 4),
@@ -303,6 +312,12 @@ class FaCT:
                 )
 
             previous_listener = set_fault_listener(_on_fault)
+        # Install the resolved backend for the whole solve — every
+        # SolutionState built below (serial phases, pool payload for
+        # worker processes, portfolio members) sees the same one.
+        previous_backend = arrays_mod.set_active_backend(
+            config.resolved_backend()
+        )
         try:
             return self._solve_traced(
                 collection, constraints, budget, resume_from, telemetry
@@ -313,6 +328,7 @@ class FaCT:
             telemetry.close(status="error")
             raise
         finally:
+            arrays_mod.set_active_backend(previous_backend)
             if telemetry.enabled:
                 set_fault_listener(previous_listener)
 
@@ -326,6 +342,7 @@ class FaCT:
     ) -> EMPSolution:
         config = self.config
         constraints = _coerce_constraints(constraints)
+        backend = arrays_mod.active_backend()
 
         # Resilience bookkeeping for this solve: the checkpoint ledger
         # (crash recovery) and the counters for pool faults and
@@ -360,6 +377,7 @@ class FaCT:
             "solve",
             seed=config.rng_seed,
             n_jobs=config.n_jobs,
+            backend=backend,
             resumed=resume_from is not None,
         ) as solve_span:
             phase_started = time.perf_counter()
@@ -501,6 +519,7 @@ class FaCT:
             attempts=attempts,
             perf=perf,
             certificate=certificate,
+            backend=backend,
         )
         if solution.interrupted and config.strict_interrupt:
             raise SolverInterrupted(

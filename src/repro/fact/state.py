@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from ..core import arrays as arrays_mod
 from ..core.area import AreaCollection
 from ..core.constraints import ConstraintSet
 from ..core.partition import Partition
@@ -93,6 +94,19 @@ class SolutionState:
         # Captured once per state: flipping the gate mid-life would
         # desynchronize incrementally maintained structures.
         self._use_indexes = hotpath_caches_enabled()
+        # Backend, also captured once: under "numpy" every region this
+        # state creates mirrors its mutations into the flat-array state
+        # the vectorized Tabu scorer batch-reads. The mirror is written
+        # from the same Region call sites that update the scalar
+        # aggregates, so both views accumulate bit-identically.
+        self.backend = arrays_mod.active_backend()
+        self._array_state: arrays_mod.ArrayState | None = None
+        if self.backend == "numpy":
+            self._array_state = arrays_mod.ArrayState(
+                arrays_mod.collection_arrays(collection),
+                self.tracked,
+                excluded=self.excluded,
+            )
         # region id -> {adjacent non-member area -> #member neighbors}
         self._border: dict[int, dict[int, int]] = {}
         # region id -> {adjacent region id -> #shared boundary edges}
@@ -115,6 +129,11 @@ class SolutionState:
     def p(self) -> int:
         """Current number of regions."""
         return len(self.regions)
+
+    @property
+    def array_state(self) -> "arrays_mod.ArrayState | None":
+        """The flat-array mirror (numpy backend), else ``None``."""
+        return self._array_state
 
     def region_of(self, area_id: int) -> Region | None:
         """The region an area belongs to, or ``None``."""
@@ -265,11 +284,16 @@ class SolutionState:
             adjacency.pop(key, None)
 
     def check_indexes(self) -> None:
-        """Assert both indexes match a from-scratch rederivation.
+        """Assert the indexes and the array mirror match rederivations.
 
         O(n · degree) — a test/debug aid, never called on hot paths.
-        Raises ``AssertionError`` on any divergence.
+        Raises ``AssertionError`` on any divergence. Under the numpy
+        backend this also validates the flat-array state (labels
+        vector vs region membership, aggregate vectors vs recomputed
+        sums), so backend drift is caught at the first divergent
+        mutation instead of at certification.
         """
+        self._check_array_state()
         if not self._use_indexes:
             return
         neighbors = self.collection.neighbors
@@ -305,6 +329,66 @@ class SolutionState:
             "adjacency index tracks dead regions: "
             f"{set(self._region_adj) ^ set(self.regions)}"
         )
+
+    def _check_array_state(self) -> None:
+        """Assert the array mirror matches the object graph exactly."""
+        astate = self._array_state
+        if astate is None:
+            return
+        import math
+
+        arrays = astate.arrays
+        for area_id, position in arrays.index.items():
+            label = int(astate.labels[position])
+            if area_id in self.excluded:
+                expected = arrays_mod.EXCLUDED
+            else:
+                assigned = self.assignment.get(area_id)
+                expected = (
+                    arrays_mod.UNASSIGNED if assigned is None else assigned
+                )
+            assert label == expected, (
+                f"label vector diverged for area {area_id}: "
+                f"{label} != {expected}"
+            )
+        live = set(self.regions)
+        for region_id in range(len(astate.region_count)):
+            if region_id in live:
+                continue
+            assert int(astate.region_count[region_id]) == 0, (
+                f"count vector tracks dead region {region_id}: "
+                f"{int(astate.region_count[region_id])}"
+            )
+            for name in astate.tracked:
+                assert float(astate.region_sums[name][region_id]) == 0.0, (
+                    f"sum vector {name!r} tracks dead region {region_id}"
+                )
+        for region_id, region in self.regions.items():
+            count = int(astate.region_count[region_id])
+            assert count == len(region), (
+                f"count vector diverged for region {region_id}: "
+                f"{count} != {len(region)}"
+            )
+            for name in astate.tracked:
+                mirrored = float(astate.region_sums[name][region_id])
+                maintained = region.aggregate("SUM", name)
+                # Same call sites, same accumulation order: the mirror
+                # must equal the scalar aggregate bit for bit.
+                assert mirrored == maintained, (
+                    f"sum vector {name!r} diverged for region "
+                    f"{region_id}: {mirrored!r} != {maintained!r}"
+                )
+                recomputed = sum(
+                    self.collection.attribute(area_id, name)
+                    for area_id in sorted(region.area_ids)
+                )
+                assert math.isclose(
+                    mirrored, recomputed, rel_tol=1e-9, abs_tol=1e-6
+                ), (
+                    f"sum vector {name!r} drifted from recomputed sum "
+                    f"for region {region_id}: {mirrored!r} vs "
+                    f"{recomputed!r}"
+                )
 
     # ------------------------------------------------------------------
     # construction from snapshots
@@ -353,7 +437,11 @@ class SolutionState:
         region_id = self._next_region_id
         self._next_region_id += 1
         region = Region(
-            region_id, self.collection, self.tracked, perf=self.perf
+            region_id,
+            self.collection,
+            self.tracked,
+            perf=self.perf,
+            array_state=self._array_state,
         )
         self.regions[region_id] = region
         self._index_new_region(region_id)

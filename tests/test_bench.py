@@ -195,6 +195,46 @@ class TestBenchSchema:
         assert result["telemetry"]["total_spans"] > 0
         assert result["identical"]  # caches left solver behaviour alone
 
+    def test_enriched_workload_covers_all_five_families(self):
+        from repro.bench.workloads import enriched_constraints
+
+        cs = enriched_constraints()
+        assert {c.aggregate for c in cs} == {
+            "MIN",
+            "MAX",
+            "AVG",
+            "SUM",
+            "COUNT",
+        }
+
+    def test_scaling_payload_diffs_backends(self):
+        from repro.bench.micro import run_scaling
+        from repro.bench.runner import BENCH_SCHEMA_VERSION
+        from repro.core import arrays
+
+        # Small but not tiny: the workload's SUM(TOTALPOP) >= 800k
+        # lower bound needs enough areas for a non-degenerate p > 1
+        # partition (p = 1 would make the backend diff vacuous).
+        result = run_scaling(datasets=("2k",), scale=0.3)
+        assert result["schema_version"] == BENCH_SCHEMA_VERSION
+        assert result["workload"] == "enriched"
+        assert result["identical"]  # backends must be bit-identical
+        assert result["all_complete"]
+        block = result["datasets"]["2k"]
+        assert block["p"] > 1  # degenerate single-region runs diff nothing
+        expected = (
+            {"python", "numpy"}
+            if arrays.numpy_available()
+            else {"python"}
+        )
+        assert set(block["backends"]) == expected
+        for backend, run in block["backends"].items():
+            assert run["status"] == "complete"
+            assert run["wall_seconds"] >= run["tabu_seconds"] >= 0.0
+        if arrays.numpy_available():
+            assert "tabu_speedup" in block
+            assert result["numpy_version"]
+
 
 class TestTables:
     def test_table3_rows_cover_grid(self, bench_census):

@@ -150,10 +150,13 @@ class TestSyntheticCensus:
 
 
 class TestDatasetRegistry:
-    def test_nine_datasets(self):
-        assert len(DATASETS) == 9
+    def test_nine_paper_datasets_plus_scaling_midpoint(self):
+        # The paper's nine registry entries plus the synthetic "25k"
+        # midpoint used by the scaling benchmark sweep.
+        assert len(DATASETS) == 10
         assert dataset_names()[0] == "1k"
         assert dataset_names()[-1] == "50k"
+        assert DATASETS["25k"].n_areas == 25000
 
     def test_paper_sizes(self):
         assert DATASETS["1k"].n_areas == 1012
