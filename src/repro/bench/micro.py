@@ -35,10 +35,13 @@ Two further modes share the dataset/seed options:
   plus the tabu-phase speedup — the full-scale run produces the
   checked-in ``BENCH_objective.json``;
 - ``--scaling`` (:func:`run_scaling`) sweeps the dataset registry
-  (2k/10k/25k by default) once per backend, diffs the two backends'
-  partitions dataset by dataset (exit 2 on any divergence) and
-  reports the numpy-vs-python tabu-phase speedup — the full-scale
-  run produces the checked-in ``BENCH_scaling.json``;
+  (2k/10k/25k/50k by default) once per backend, diffs the two
+  backends' partitions dataset by dataset (exit 2 on any divergence)
+  and reports the numpy-vs-python tabu-phase speedup — the full-scale
+  run produces the checked-in ``BENCH_scaling.json``. With
+  ``--perf-baseline`` the run's oracle-rebuild and candidate-
+  evaluation rates are additionally graded WIN / NEUTRAL /
+  REGRESSION against a checked-in record (exit 3 on REGRESSION);
 - ``--profile`` wraps one cached solve in :mod:`cProfile` and prints
   the top cumulative-time entries — the optimization worklist.
 """
@@ -64,6 +67,7 @@ from .runner import BENCH_SCHEMA_VERSION, bench_config
 from .workloads import combo_constraints, enriched_constraints
 
 __all__ = [
+    "compare_perf_to_baseline",
     "read_bench_record",
     "run_micro",
     "run_objective",
@@ -72,6 +76,31 @@ __all__ = [
 ]
 
 _SMOKE_SCALE = 0.08
+
+# Perf-gate verdict thresholds. Both gated metrics are lower-is-better
+# *rates* (scale-invariant by construction, unlike the raw counters),
+# but a smoke-scale run still shifts them — tiny regions mean tinier
+# denominators — so a verdict needs BOTH a relative factor and an
+# absolute gap before it leaves NEUTRAL. The gate is a tripwire for
+# structural breakage (e.g. the incremental oracle silently falling
+# back to full rebuilds pushes ``oracle_rebuild_share`` from ~0 to
+# ~1), not a percent-level performance assertion.
+_PERF_GATE_REL = 2.0
+_PERF_GATE_ABS = {
+    "oracle_rebuild_share": 0.05,
+    "candidate_evals_per_derive": 50.0,
+}
+# A comparison needs this many denominator events in the *current* run
+# before its rate means anything — a sub-minimum run (e.g. the 0.08
+# identity smoke, whose tabu phase barely moves) reports the
+# comparison as NEUTRAL with ``insufficient_volume`` set instead of
+# flapping. The CI perf-gate step runs at scale 0.3, which clears the
+# minimums while keeping region granularity (and therefore the rates)
+# comparable to the full-scale baseline.
+_PERF_MIN_VOLUME = {
+    "oracle_rebuild_share": 200,
+    "candidate_evals_per_derive": 50,
+}
 
 
 def read_bench_record(path: str) -> dict | None:
@@ -562,7 +591,7 @@ def _solve_scaling_once(
 
 
 def run_scaling(
-    datasets: Sequence[str] = ("2k", "10k", "25k"),
+    datasets: Sequence[str] = ("2k", "10k", "25k", "50k"),
     scale: float = 1.0,
     rng_seed: int = 7,
     workload: str = "enriched",
@@ -644,6 +673,19 @@ def run_scaling(
                         "candidate_evaluations", 0
                     ),
                     "vector_derives": run["perf"].get("vector_derives", 0),
+                    "donor_cache_hits": run["perf"].get(
+                        "donor_cache_hits", 0
+                    ),
+                    "oracle_rebuilds": run["perf"].get("oracle_rebuilds", 0),
+                    "oracle_incremental": run["perf"].get(
+                        "oracle_incremental", 0
+                    ),
+                    "oracle_fallbacks": run["perf"].get(
+                        "oracle_fallbacks", 0
+                    ),
+                    "oracle_incremental_rate": run["perf"].get(
+                        "oracle_incremental_rate", 0.0
+                    ),
                 }
                 for backend, run in runs.items()
             },
@@ -678,6 +720,112 @@ def run_scaling(
         "identical": all_identical,
         "all_complete": all_complete,
         "datasets": dataset_blocks,
+    }
+
+
+def _perf_rates(backend_row: dict) -> dict:
+    """The gated scale-invariant rates of one scaling backend row, as
+    ``{metric: (rate, denominator_volume)}``.
+
+    ``oracle_rebuild_share`` — full Hopcroft–Tarjan rebuilds as a share
+    of all oracle refreshes (lower is better; the incremental
+    block-cut oracle drives it toward 0, and structural breakage
+    drives it back toward 1). ``candidate_evals_per_derive`` — mean
+    (candidate, receiver) pairs priced per vector derive (a boundary-
+    size proxy; a blowup means move derivation lost its dedup or
+    feasibility pruning). The rate is ``None`` when the row predates
+    the counter or the denominator is empty (python rows have no
+    vector derives).
+    """
+    rebuilds = backend_row.get("oracle_rebuilds")
+    incremental = backend_row.get("oracle_incremental")
+    refreshes = (rebuilds or 0) + (incremental or 0)
+    evals = backend_row.get("candidate_evaluations")
+    derives = backend_row.get("vector_derives")
+    return {
+        "oracle_rebuild_share": (
+            (rebuilds / refreshes, refreshes)
+            if rebuilds is not None and incremental is not None and refreshes
+            else (None, refreshes)
+        ),
+        "candidate_evals_per_derive": (
+            (evals / derives, derives)
+            if evals is not None and derives
+            else (None, derives or 0)
+        ),
+    }
+
+
+def _perf_verdict(metric: str, current: float, baseline: float) -> str:
+    """WIN / NEUTRAL / REGRESSION for one lower-is-better rate.
+
+    Leaving NEUTRAL requires both the relative factor
+    (``_PERF_GATE_REL``) and the metric's absolute gap
+    (``_PERF_GATE_ABS``) — smoke-scale runs legitimately shift the
+    rates by small absolute amounts, and near-zero baselines make any
+    relative factor trivially exceedable.
+    """
+    gap = current - baseline
+    abs_slack = _PERF_GATE_ABS[metric]
+    if current > baseline * _PERF_GATE_REL and gap > abs_slack:
+        return "REGRESSION"
+    if baseline > current * _PERF_GATE_REL and -gap > abs_slack:
+        return "WIN"
+    return "NEUTRAL"
+
+
+def compare_perf_to_baseline(result: dict, baseline: dict | None) -> dict:
+    """Grade a scaling run's perf counters against a checked-in
+    ``BENCH_scaling.json``.
+
+    One comparison per (dataset, backend, metric) present in both
+    records; the ``overall`` verdict is REGRESSION if any comparison
+    regressed, else WIN if any won, else NEUTRAL. A missing baseline
+    (or one predating the gated counters) yields zero comparisons and
+    an overall NEUTRAL — the gate only bites once a post-oracle
+    baseline is checked in.
+    """
+    comparisons: list[dict] = []
+    base_datasets = (baseline or {}).get("datasets", {})
+    for name, block in result.get("datasets", {}).items():
+        base_block = base_datasets.get(name, {})
+        for backend, row in block.get("backends", {}).items():
+            base_row = base_block.get("backends", {}).get(backend)
+            if not isinstance(base_row, dict):
+                continue
+            current_rates = _perf_rates(row)
+            base_rates = _perf_rates(base_row)
+            for metric, (current, volume) in current_rates.items():
+                base_value, _ = base_rates[metric]
+                if current is None or base_value is None:
+                    continue
+                entry = {
+                    "dataset": name,
+                    "backend": backend,
+                    "metric": metric,
+                    "current": round(current, 6),
+                    "baseline": round(base_value, 6),
+                    "volume": volume,
+                }
+                if volume < _PERF_MIN_VOLUME[metric]:
+                    entry["verdict"] = "NEUTRAL"
+                    entry["insufficient_volume"] = True
+                else:
+                    entry["verdict"] = _perf_verdict(
+                        metric, current, base_value
+                    )
+                comparisons.append(entry)
+    verdicts = {entry["verdict"] for entry in comparisons}
+    if "REGRESSION" in verdicts:
+        overall = "REGRESSION"
+    elif "WIN" in verdicts:
+        overall = "WIN"
+    else:
+        overall = "NEUTRAL"
+    return {
+        "overall": overall,
+        "comparisons": comparisons,
+        "baseline_found": bool(base_datasets),
     }
 
 
@@ -758,9 +906,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--datasets",
-        default="2k,10k,25k",
+        default="2k,10k,25k,50k",
         help="scaling mode: comma-separated registry dataset names to "
-        "sweep (default 2k,10k,25k)",
+        "sweep (default 2k,10k,25k,50k). Full-scale runtime grows "
+        "steeply with size — expect roughly 1 min (2k), 5 min (10k), "
+        "8 min (25k) and 30-45 min (50k) per sweep, dominated by the "
+        "python-backend tabu phase; use --smoke (or trim --datasets) "
+        "for CI-sized runs",
+    )
+    parser.add_argument(
+        "--perf-baseline",
+        default=None,
+        help="scaling mode: checked-in BENCH_scaling.json to grade "
+        "this run's perf counters against (oracle rebuild share, "
+        "candidate evaluations per derive). Each (dataset, backend, "
+        "metric) pair present in both records gets a WIN / NEUTRAL / "
+        "REGRESSION verdict; any REGRESSION fails the run (exit 3). "
+        "Thresholds are deliberately coarse so a --smoke run can be "
+        "graded against a full-scale baseline",
     )
     parser.add_argument(
         "--workload",
@@ -812,6 +975,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             rng_seed=args.seed,
             workload=args.workload,
         )
+        if args.perf_baseline:
+            result["perf_gate"] = compare_perf_to_baseline(
+                result, read_bench_record(args.perf_baseline)
+            )
     elif args.objective:
         n_jobs_grid = tuple(
             int(part) for part in args.jobs.split(",") if part.strip()
@@ -858,6 +1025,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"({'/'.join(result['backends'])}); {speedups}",
             file=sys.stderr,
         )
+        gate = result.get("perf_gate")
+        if gate is not None:
+            for entry in gate["comparisons"]:
+                print(
+                    f"perf-gate {entry['verdict']}: "
+                    f"{entry['dataset']}/{entry['backend']} "
+                    f"{entry['metric']} {entry['current']} "
+                    f"(baseline {entry['baseline']})",
+                    file=sys.stderr,
+                )
+            if not gate["baseline_found"]:
+                print(
+                    "perf-gate NEUTRAL: no usable baseline at "
+                    f"{args.perf_baseline}",
+                    file=sys.stderr,
+                )
+            if gate["overall"] == "REGRESSION":
+                print(
+                    "FAIL: perf gate regressed against "
+                    f"{args.perf_baseline}",
+                    file=sys.stderr,
+                )
+                return 3
+            print(f"perf-gate overall: {gate['overall']}", file=sys.stderr)
         return 0
 
     if not result["identical"]:

@@ -43,20 +43,28 @@ _FALSEY = ("", "0", "false", "no", "off")
 # process-wide override installed by set_hotpath_caches().
 _override: bool | None = None
 
+# The environment default is read once at import: the gate sits on
+# paths hot enough (every region mutation and cached query) that the
+# repeated os.environ lookup was measurable. In-process flips go
+# through set_hotpath_caches(), which still takes effect immediately;
+# the env var is process-launch configuration (workers inherit it and
+# re-read it at their own import).
+_env_enabled = os.environ.get(_CACHES_ENV, "").strip().lower() in _FALSEY
+
 
 def hotpath_caches_enabled() -> bool:
     """True when the incremental oracle and state indexes are active.
 
     Defaults to True; disabled by ``REPRO_DISABLE_HOTPATH_CACHES`` (any
-    value other than 0/false/no/off) or a :func:`set_hotpath_caches`
-    override. Structures consult this at *query* time, so results stay
-    correct even when the gate is flipped mid-run — a disabled query
-    simply recomputes from scratch, and a re-enabled one rebuilds its
-    (invalidated-on-write) cache.
+    value other than 0/false/no/off, sampled at process start) or a
+    :func:`set_hotpath_caches` override. Structures consult this at
+    *query* time, so results stay correct even when the gate is
+    flipped mid-run — a disabled query simply recomputes from scratch,
+    and a re-enabled one rebuilds its (invalidated-on-write) cache.
     """
     if _override is not None:
         return _override
-    return os.environ.get(_CACHES_ENV, "").strip().lower() in _FALSEY
+    return _env_enabled
 
 
 def set_hotpath_caches(enabled: bool | None) -> bool | None:
@@ -89,9 +97,21 @@ class PerfCounters:
         Contiguity answers served from a region's cached
         articulation/removable set — O(1) each.
     oracle_rebuilds:
-        Lazy rebuilds of that cache (one Tarjan/component pass over the
-        region per rebuild, amortized over every query between two
+        Lazy rebuilds of that cache that ran a **full** Tarjan/component
+        pass over the region — the first query of a fresh region, plus
+        every fallback (amortized over every query between two
         mutations of the same region).
+    oracle_incremental:
+        Oracle rebuilds answered by replaying the region's pending
+        membership mutations into its maintained block-cut structure
+        (:class:`repro.contiguity.graph.BlockCutIndex`) instead of a
+        full DFS — additions are pure block-cut-tree surgery, removals
+        re-split only the affected biconnected block.
+    oracle_fallbacks:
+        Oracle rebuilds where a block-cut structure existed but could
+        not absorb the pending mutations (articulation-point removal,
+        disconnection, overlong mutation log) and a full DFS ran
+        instead. Always ≤ ``oracle_rebuilds``.
     graph_traversals:
         Full passes over a region's induced subgraph (BFS connectivity
         checks, component scans, articulation passes) — the quantity
@@ -127,6 +147,12 @@ class PerfCounters:
         Tabu move-pool derivations answered by the numpy backend's
         batch scorer (:mod:`repro.core.arrays`) instead of the scalar
         per-candidate loop. Zero under the python backend.
+    donor_cache_hits:
+        Vector derives whose donor-side payload (candidate order, CSR
+        gather geometry, donor feasibility, removal deltas) was reused
+        from the membership-version-keyed cache — the donor was
+        re-derived because a *neighboring* region changed, not its own
+        membership. Zero under the python backend.
     pool_task_failures:
         Worker-pool tasks that raised, returned an unpicklable result,
         or died with their worker (each failure is retried or degraded
@@ -171,6 +197,8 @@ class PerfCounters:
         "contiguity_checks",
         "oracle_hits",
         "oracle_rebuilds",
+        "oracle_incremental",
+        "oracle_fallbacks",
         "graph_traversals",
         "full_bfs_checks",
         "candidate_evaluations",
@@ -181,6 +209,7 @@ class PerfCounters:
         "delta_recompute",
         "objective_struct_updates",
         "vector_derives",
+        "donor_cache_hits",
         "pool_task_failures",
         "pool_task_retries",
         "pool_tasks_degraded",
@@ -196,6 +225,8 @@ class PerfCounters:
         "contiguity_checks",
         "oracle_hits",
         "oracle_rebuilds",
+        "oracle_incremental",
+        "oracle_fallbacks",
         "graph_traversals",
         "full_bfs_checks",
         "candidate_evaluations",
@@ -206,6 +237,7 @@ class PerfCounters:
         "delta_recompute",
         "objective_struct_updates",
         "vector_derives",
+        "donor_cache_hits",
         "pool_task_failures",
         "pool_task_retries",
         "pool_tasks_degraded",
@@ -242,6 +274,15 @@ class PerfCounters:
         if total == 0:
             return 0.0
         return self.oracle_hits / total
+
+    @property
+    def oracle_incremental_rate(self) -> float:
+        """Fraction of oracle rebuilds served by block-cut replay
+        instead of a full Hopcroft–Tarjan pass."""
+        total = self.oracle_incremental + self.oracle_rebuilds
+        if total == 0:
+            return 0.0
+        return self.oracle_incremental / total
 
     @property
     def delta_fastpath_rate(self) -> float:
@@ -287,6 +328,9 @@ class PerfCounters:
             name: getattr(self, name) for name in self._COUNTER_FIELDS
         }
         payload["oracle_hit_rate"] = round(self.oracle_hit_rate, 4)
+        payload["oracle_incremental_rate"] = round(
+            self.oracle_incremental_rate, 4
+        )
         payload["delta_fastpath_rate"] = round(self.delta_fastpath_rate, 4)
         payload["timings"] = {
             name: round(seconds, 6) for name, seconds in sorted(self.timings.items())

@@ -47,7 +47,7 @@ from bisect import bisect_left, insort
 from itertools import accumulate
 from typing import Iterable, Iterator
 
-from ..contiguity.graph import removable_set
+from ..contiguity.graph import BlockCutIndex, block_cut_state, removable_set
 from ..exceptions import ContiguityError, InvalidAreaError
 from .aggregates import Aggregate, AggregateState
 from .area import AreaCollection
@@ -55,6 +55,11 @@ from .constraints import Constraint, ConstraintSet
 from .perf import PerfCounters, hotpath_caches_enabled
 
 __all__ = ["Region"]
+
+# Pending block-cut mutations beyond this many trigger a full oracle
+# rebuild instead of a replay: a long log usually means a bulk merge,
+# where one DFS beats dozens of tree-surgery steps.
+_BC_LOG_CAP = 128
 
 
 class Region:
@@ -87,6 +92,9 @@ class Region:
         "_struct_np",
         "_induced_adj",
         "_contig_cache",
+        "_bc_index",
+        "_bc_log",
+        "_version",
         "_array_state",
         "perf",
     )
@@ -126,6 +134,17 @@ class Region:
         # Contiguity oracle: (is_contiguous, removable member set),
         # rebuilt lazily and invalidated on every membership mutation.
         self._contig_cache: tuple[bool, frozenset[int]] | None = None
+        # Incremental block-cut structure + pending mutation log. Each
+        # log entry carries the mutation's own in-region neighbor
+        # snapshot (the induced adjacency reflects *final* state, not
+        # state at mutation time), so a lazy replay at the next oracle
+        # query sees exactly what each mutation saw.
+        self._bc_index: BlockCutIndex | None = None
+        self._bc_log: list[tuple[bool, int, tuple[int, ...]]] = []
+        # Monotonic membership version: bumped by every add/remove, so
+        # derived caches keyed by (region id, version) — the Tabu
+        # donor-side derive cache — survive neighbor-only dirtiness.
+        self._version = 0
         # Optional ArrayState sink (numpy backend): mirrored from the
         # same call sites that update the scalar aggregates, so the
         # flat label/aggregate vectors accumulate in identical order.
@@ -191,6 +210,14 @@ class Region:
                 mine.append(neighbor)
         adj[area_id] = mine
         self._contig_cache = None  # invalidate the contiguity oracle
+        self._version += 1
+        if self._bc_index is not None:
+            log = self._bc_log
+            if len(log) >= _BC_LOG_CAP:
+                self._bc_index = None
+                log.clear()
+            else:
+                log.append((True, area_id, tuple(mine)))
         if self._array_state is not None:
             self._array_state.on_add(self.region_id, area_id)
 
@@ -211,9 +238,18 @@ class Region:
         self._heterogeneity -= self._abs_deviation_sum(d)
         self._areas.remove(area_id)
         adj = self._induced_adj
-        for neighbor in adj.pop(area_id):
+        row = adj.pop(area_id)
+        for neighbor in row:
             adj[neighbor].remove(area_id)
         self._contig_cache = None  # invalidate the contiguity oracle
+        self._version += 1
+        if self._bc_index is not None:
+            log = self._bc_log
+            if len(log) >= _BC_LOG_CAP:
+                self._bc_index = None
+                log.clear()
+            else:
+                log.append((False, area_id, ()))
         if self._array_state is not None:
             self._array_state.on_remove(self.region_id, area_id)
         if not self._areas:
@@ -329,23 +365,89 @@ class Region:
     def _oracle(self) -> tuple[bool, frozenset[int]]:
         """``(is_contiguous, removable members)``, cached.
 
-        One Hopcroft–Tarjan pass per rebuild (components and
-        articulation points fall out of the same DFS); every query
-        between two membership mutations is then an O(1) lookup.
+        A stale cache is refreshed **incrementally** whenever the
+        region carries a live block-cut structure: the pending
+        mutation log replays into it (tree surgery for additions, a
+        single-block re-split for removals — see
+        :class:`repro.contiguity.graph.BlockCutIndex`), and the answer
+        falls out of the maintained articulation set. Only when no
+        structure exists, or the replay hits a case it cannot absorb
+        (articulation removal, disconnection, overlong log), does a
+        full Hopcroft–Tarjan pass run — and that pass re-seeds the
+        structure for subsequent queries. Every query between two
+        membership mutations is an O(1) lookup either way.
         """
         perf = self.perf
-        if self._contig_cache is None:
-            self._contig_cache = removable_set(
-                self._areas,
-                self._collection.neighbors,
-                adjacency=self._induced_adj,
-            )
+        cache = self._contig_cache
+        if cache is not None:
             if perf is not None:
-                perf.oracle_rebuilds += 1
-                perf.graph_traversals += 1
-        elif perf is not None:
-            perf.oracle_hits += 1
-        return self._contig_cache
+                perf.oracle_hits += 1
+            return cache
+        index = self._bc_index
+        fellback = False
+        if index is not None:
+            log = self._bc_log
+            applied = True
+            neighbors = self._collection.neighbors
+            for is_add, area_id, snapshot in log:
+                if is_add:
+                    applied = index.add_vertex(area_id, snapshot)
+                else:
+                    applied = index.remove_vertex(area_id, neighbors)
+                if not applied:
+                    break
+            log.clear()
+            if applied and len(index) == len(self._areas):
+                areas = self._areas
+                if len(areas) <= 1:
+                    answer = (bool(areas), frozenset())
+                else:
+                    answer = (True, frozenset(areas) - index.articulation)
+                if perf is not None:
+                    perf.oracle_incremental += 1
+                self._contig_cache = answer
+                return answer
+            self._bc_index = None
+            fellback = True
+        answer = self._rebuild_block_structure()
+        if perf is not None:
+            perf.oracle_rebuilds += 1
+            perf.graph_traversals += 1
+            if fellback:
+                perf.oracle_fallbacks += 1
+        self._contig_cache = answer
+        return answer
+
+    def _rebuild_block_structure(self) -> tuple[bool, frozenset[int]]:
+        """Full-DFS oracle rebuild that re-seeds the incremental
+        block-cut structure (connected regions only — a fragmented
+        region keeps none and every query re-scans until it heals).
+        Mirrors :func:`repro.contiguity.graph.removable_set` verdict
+        semantics exactly."""
+        areas = self._areas
+        self._bc_log.clear()
+        if not areas:
+            self._bc_index = None
+            return (False, frozenset())
+        components, articulation, blocks = block_cut_state(
+            areas, self._collection.neighbors, adjacency=self._induced_adj
+        )
+        if len(components) == 1:
+            index = BlockCutIndex()
+            index.load(blocks, articulation)
+            self._bc_index = index
+            if len(areas) == 1:
+                return (True, frozenset())
+            return (True, frozenset(areas) - articulation)
+        self._bc_index = None
+        if len(components) == 2:
+            return (False, frozenset(
+                node
+                for component in components
+                if len(component) == 1
+                for node in component
+            ))
+        return (False, frozenset())
 
     def is_contiguous(self) -> bool:
         """True when the member areas form one connected component."""

@@ -37,6 +37,7 @@ import random
 from typing import Sequence
 
 from ..core.constraints import Constraint, ConstraintSet
+from ..core.perf import hotpath_caches_enabled
 from ..core.region import Region
 from ..obs.spans import NULL_TRACER
 from .config import FaCTConfig, PickupCriterion
@@ -48,6 +49,12 @@ __all__ = ["grow_regions"]
 _CLASS_AVG = "avg"
 _CLASS_LOW = "low"
 _CLASS_HIGH = "high"
+_CLASS_BY_CODE = (_CLASS_AVG, _CLASS_LOW, _CLASS_HIGH)
+
+# Below this many candidates the numpy gather's fixed overhead beats
+# the scalar loop it replaces (same calibration story as
+# ``repro.fact.tabu._VECTOR_MIN_DONOR``).
+_VECTOR_MIN_BATCH = 16
 
 
 def grow_regions(
@@ -74,11 +81,12 @@ def grow_regions(
     if tracer is None:
         tracer = NULL_TRACER
     avgs = state.constraints.avgs
+    classes = _AvgClasses(state, avgs)
     with tracer.span("grow") as span:
-        _initialize_from_seeds(state, seeding, avgs, config, rng, budget)
+        _initialize_from_seeds(state, seeding, classes, config, rng, budget)
         _set_state_attrs(span, state)
     with tracer.span("enclave") as span:
-        _assign_enclaves(state, avgs, config, rng, budget)
+        _assign_enclaves(state, classes, config, rng, budget)
         _set_state_attrs(span, state)
     with tracer.span("extrema") as span:
         _combine_for_extrema(state)
@@ -86,14 +94,17 @@ def grow_regions(
 
 
 def _set_state_attrs(span, state: SolutionState) -> None:
-    """Attach the partition shape to a substep span (recording only —
-    ``total_heterogeneity`` is not free)."""
+    """Attach the partition shape to a substep span (recording only).
+
+    ``total_heterogeneity`` walks every region, so it is additionally
+    gated on the span's verbosity: the default *detailed* tracer
+    (verbosity 2) records it, a *shape-only* tracer (verbosity 1, e.g.
+    ``REPRO_TRACE_VERBOSITY=1``) keeps the cheap partition counts and
+    skips the objective sweep."""
     if span.recording:
-        span.set(
-            p=state.p,
-            n_unassigned=state.n_unassigned,
-            heterogeneity=state.total_heterogeneity(),
-        )
+        span.set(p=state.p, n_unassigned=state.n_unassigned)
+        if span.verbosity >= 2:
+            span.set(heterogeneity=state.total_heterogeneity())
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +130,76 @@ def _classify_area(
     return _CLASS_AVG
 
 
+def _batch_arrays(state: SolutionState):
+    """The flat-array mirror when batch construction is allowed.
+
+    Mirrors the Tabu move pool's dispatch: the numpy backend must be
+    resolved (``FaCTConfig.backend`` through ``state.backend``), the
+    mirror built, and the hot-path cache gate on — the uncached
+    reference path stays the scalar loop. Returns ``None`` otherwise.
+    """
+    astate = state.array_state
+    if (
+        astate is None
+        or state.backend != "numpy"
+        or not hotpath_caches_enabled()
+    ):
+        return None
+    return astate.arrays
+
+
+class _AvgClasses:
+    """Area → AVG-range class, batch-precomputed on the numpy backend.
+
+    An area's class depends only on its own attributes and the
+    constraint bounds — never on solver state — so the vector path
+    classifies the whole collection once up front: one comparison
+    sweep per AVG constraint over the attribute columns, with an
+    *undecided* mask replicating the scalar loop's
+    first-violated-constraint ordering (a later constraint never
+    overrides an earlier verdict). Lookups are then O(1). The scalar
+    path defers to :func:`_classify_area` per query; both paths
+    compare the same float64 values, so every verdict is identical.
+    """
+
+    __slots__ = ("_state", "_avgs", "_codes", "_index")
+
+    def __init__(self, state: SolutionState, avgs: Sequence[Constraint]):
+        self._state = state
+        self._avgs = avgs
+        self._codes = None
+        self._index = None
+        arrays = _batch_arrays(state)
+        if arrays is None or not avgs:
+            return
+        np = arrays.np
+        n = len(arrays.index)
+        codes = np.zeros(n, dtype=np.int8)
+        undecided = np.ones(n, dtype=bool)
+        for c in avgs:
+            column = arrays.attributes[c.attribute]
+            low = undecided & (column < c.lower)
+            # ``& ~low`` mirrors the scalar elif: below-range wins when
+            # a degenerate bound pair admits both verdicts.
+            high = undecided & (column > c.upper) & ~low
+            codes[low] = 1
+            codes[high] = 2
+            undecided &= ~(low | high)
+            if not undecided.any():
+                break
+        self._codes = codes
+        self._index = arrays.index
+
+    @property
+    def avgs(self) -> Sequence[Constraint]:
+        return self._avgs
+
+    def classify(self, area_id: int) -> str:
+        if self._codes is None:
+            return _classify_area(self._state, area_id, self._avgs)
+        return _CLASS_BY_CODE[self._codes[self._index[area_id]]]
+
+
 def _pick(
     candidates: list, config: FaCTConfig, rng: random.Random, key=None
 ):
@@ -137,7 +218,7 @@ def _pick(
 def _initialize_from_seeds(
     state: SolutionState,
     seeding: SeedingResult,
-    avgs: Sequence[Constraint],
+    classes: _AvgClasses,
     config: FaCTConfig,
     rng: random.Random,
     budget=None,
@@ -152,12 +233,12 @@ def _initialize_from_seeds(
     for area_id in seeds:
         if budget is not None:
             budget.checkpoint("construction.grow.seed")
-        if _classify_area(state, area_id, avgs) == _CLASS_AVG:
+        if classes.classify(area_id) == _CLASS_AVG:
             # In-range seeds each become their own region, maximizing p.
             state.new_region([area_id])
         else:
             off_range.append(area_id)
-    _merge_off_range_seeds(state, off_range, avgs, config, rng, budget)
+    _merge_off_range_seeds(state, off_range, classes.avgs, config, rng, budget)
 
 
 def _merge_off_range_seeds(
@@ -170,6 +251,7 @@ def _merge_off_range_seeds(
 ) -> None:
     """Algorithm 1 — grow each off-range seed into a valid region by
     absorbing unassigned opposite-extreme neighbors."""
+    arrays = _batch_arrays(state)
     for seed_id in off_range:
         if budget is not None:
             budget.checkpoint("construction.grow.seed")
@@ -180,17 +262,51 @@ def _merge_off_range_seeds(
             violated = _first_violated_avg(region, avgs)
             if violated is None:
                 break  # region satisfies every AVG constraint — commit
-            candidates = _opposite_extreme_neighbors(state, region, violated)
+            candidates = _opposite_extreme_neighbors(
+                state, region, violated, arrays
+            )
             if not candidates:
                 state.dissolve_region(region)
                 break
-            choice = _pick(
-                candidates,
-                config,
-                rng,
-                key=lambda a: region.heterogeneity_delta_add(a),
-            )
+            choice = _pick_growth_area(region, candidates, config, rng, arrays)
             state.assign(choice, region)
+
+
+def _pick_growth_area(
+    region: Region,
+    candidates: list[int],
+    config: FaCTConfig,
+    rng: random.Random,
+    arrays,
+):
+    """:func:`_pick` for area candidates priced against one region.
+
+    Under BEST pickup the numpy path prices the whole candidate batch
+    in one ``searchsorted`` sweep off the region's maintained
+    sorted/prefix structure — the same closed form (and the same
+    float64 operation order) as the scalar
+    ``Region.heterogeneity_delta_add``, so the argmin picks the same
+    area ``min`` would (both take the first minimum). RANDOM pickup
+    consumes ``rng.choice`` on the identical candidate list either
+    way.
+    """
+    if len(candidates) == 1:
+        return candidates[0]
+    if config.pickup == PickupCriterion.RANDOM:
+        return rng.choice(candidates)
+    if arrays is not None and len(candidates) >= _VECTOR_MIN_BATCH:
+        np = arrays.np
+        d = arrays.dissimilarity[arrays.positions(candidates)]
+        values, prefix = region._struct_arrays(np)
+        k = values.searchsorted(d, side="left")
+        below_sum = prefix[k]
+        above_sum = prefix[-1] - below_sum
+        deltas = (d * k - below_sum) + (above_sum - d * (len(values) - k))
+        perf = region.perf
+        if perf is not None:
+            perf.delta_fastpath += len(candidates)
+        return candidates[int(deltas.argmin())]
+    return min(candidates, key=lambda a: region.heterogeneity_delta_add(a))
 
 
 def _first_violated_avg(
@@ -203,14 +319,31 @@ def _first_violated_avg(
 
 
 def _opposite_extreme_neighbors(
-    state: SolutionState, region: Region, violated: Constraint
+    state: SolutionState,
+    region: Region,
+    violated: Constraint,
+    arrays=None,
 ) -> list[int]:
     """Unassigned neighbors whose value lies beyond the *opposite*
-    bound of the violated AVG constraint (Algorithm 1, line 18)."""
+    bound of the violated AVG constraint (Algorithm 1, line 18).
+
+    The numpy path masks one attribute gather over the (sorted)
+    frontier instead of looping; filtering preserves the frontier
+    order, and both paths compare the same float64 values, so the
+    candidate list — and with it RNG consumption — is identical.
+    """
     running_average = region.constraint_value(violated)
     below = running_average < violated.lower
+    frontier = state.unassigned_neighbors(region)
+    if arrays is not None and len(frontier) >= _VECTOR_MIN_BATCH:
+        np = arrays.np
+        values = arrays.attributes[violated.attribute][
+            arrays.positions(frontier)
+        ]
+        mask = values > violated.upper if below else values < violated.lower
+        return [frontier[i] for i in np.nonzero(mask)[0].tolist()]
     result = []
-    for area_id in state.unassigned_neighbors(region):
+    for area_id in frontier:
         value = state.collection.attribute(area_id, violated.attribute)
         if below and value > violated.upper:
             result.append(area_id)
@@ -225,13 +358,14 @@ def _opposite_extreme_neighbors(
 
 def _assign_enclaves(
     state: SolutionState,
-    avgs: Sequence[Constraint],
+    classes: _AvgClasses,
     config: FaCTConfig,
     rng: random.Random,
     budget=None,
 ) -> None:
+    avgs = classes.avgs
     while True:
-        _assignment_round(state, avgs, config, rng, budget)
+        _assignment_round(state, classes, config, rng, budget)
         if not avgs:
             return  # round 2 exists only to rescue AVG-blocked areas
         if not _merging_round(state, avgs, config, rng):
@@ -240,13 +374,14 @@ def _assign_enclaves(
 
 def _assignment_round(
     state: SolutionState,
-    avgs: Sequence[Constraint],
+    classes: _AvgClasses,
     config: FaCTConfig,
     rng: random.Random,
     budget=None,
 ) -> None:
     """Round 1: sweep unassigned areas into adjacent regions until no
     pass makes an update."""
+    avgs = classes.avgs
     changed = True
     while changed:
         if budget is not None:
@@ -260,7 +395,7 @@ def _assignment_round(
             neighbor_regions = state.neighbor_regions(area_id)
             if not neighbor_regions:
                 continue
-            if _classify_area(state, area_id, avgs) == _CLASS_AVG:
+            if classes.classify(area_id) == _CLASS_AVG:
                 candidates = neighbor_regions
             else:
                 candidates = [

@@ -297,6 +297,15 @@ class _MovePool:
         )
         self._heap: list[tuple[float, int, int, int, int]] = []
         self._stamp: dict[int, int] = {}
+        # Donor-side derive cache, keyed by the donor's membership
+        # version: after a move, regions adjacent to the moved area are
+        # re-derived even though their *own* membership is unchanged
+        # (only their neighborhood changed), so everything that depends
+        # solely on donor membership — candidate order, CSR gather
+        # geometry, donor-side feasibility and removal deltas —
+        # survives verbatim. Region ids are never reused, so the
+        # (id → version) key cannot alias across dissolve/new cycles.
+        self._donor_cache: dict[int, tuple[int, tuple | None]] = {}
 
     def mark_dirty(self, region_id: int) -> None:
         """Schedule one region's donated moves for re-derivation."""
@@ -319,6 +328,7 @@ class _MovePool:
             region = self._state.regions.get(region_id)
             if region is None:
                 self._moves_by_donor.pop(region_id, None)
+                self._donor_cache.pop(region_id, None)
                 continue
             moves = self._derive_moves(region)
             self._moves_by_donor[region_id] = moves
@@ -400,35 +410,29 @@ class _MovePool:
         moves: dict[_MoveKey, float] = {}
         if len(donor) <= 1:
             return moves
-        candidates = donor.removable_areas()
-        if not candidates:
-            return moves
         astate = state.array_state
         arrays = astate.arrays
         np = arrays.np
         perf = state.perf
         perf.vector_derives += 1
         donor_id = donor.region_id
-        # Candidates in ascending area-id order — the scalar loop's
-        # iteration order, which fixes the move-dict insertion order.
-        cand_ids = sorted(candidates)
-        cand_idx = arrays.positions(cand_ids)
-
-        # Receiver discovery: one gather over the candidates' CSR rows.
-        indptr = arrays.indptr
-        starts = indptr[cand_idx]
-        counts = indptr[cand_idx + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        # Everything that depends only on the donor's own membership is
+        # cached across derives and reused verbatim while the donor's
+        # membership version stands still (neighbor-only dirtiness).
+        cached = self._donor_cache.get(donor_id)
+        if cached is not None and cached[0] == donor._version:
+            payload = cached[1]
+            perf.donor_cache_hits += 1
+        else:
+            payload = self._donor_payload(donor, arrays, np)
+            self._donor_cache[donor_id] = (donor._version, payload)
+        if payload is None:
             return moves
-        offsets = np.repeat(np.cumsum(counts) - counts, counts)
-        flat = (
-            np.arange(total, dtype=np.int64)
-            - offsets
-            + np.repeat(starts, counts)
-        )
-        neighbor_labels = astate.labels[arrays.indices[flat]]
-        owner = np.repeat(np.arange(len(cand_ids), dtype=np.int64), counts)
+        cand_ids, cand_idx, nbr_cols, owner, donor_ok, remove_delta = payload
+
+        # Receiver discovery: one label gather over the candidates'
+        # precomputed CSR columns.
+        neighbor_labels = astate.labels[nbr_cols]
         edge = (neighbor_labels >= 0) & (neighbor_labels != donor_id)
         if not edge.any():
             return moves
@@ -442,7 +446,6 @@ class _MovePool:
         recv = codes & _PAIR_MASK
 
         # Donor-side feasibility, vectorized over the candidates.
-        donor_ok = self._donor_feasible_vector(donor, cand_idx, np)
         pair_keep = donor_ok[own]
         if not pair_keep.all():
             own = own[pair_keep]
@@ -451,19 +454,6 @@ class _MovePool:
                 return moves
         perf.candidate_evaluations += len(own)
         pair_idx = cand_idx[own]
-
-        # Donor-side delta: -(sum_j |d - d_j|) off the maintained
-        # sorted/prefix structure — the batch form of
-        # Region.heterogeneity_delta_remove.
-        values_arr, prefix_arr = donor._struct_arrays(np)
-        d_cand = arrays.dissimilarity[cand_idx]
-        rank = values_arr.searchsorted(d_cand, side="left")
-        below = prefix_arr[rank]
-        above = prefix_arr[-1] - below
-        remove_delta = -(
-            (d_cand * rank - below)
-            + (above - d_cand * (len(values_arr) - rank))
-        )
 
         # Receiver-side feasibility over every pair at once (off the
         # flat per-region aggregate vectors), then pricing in one small
@@ -511,6 +501,61 @@ class _MovePool:
         ):
             moves[(cand_ids[o], r)] = delta
         return moves
+
+    def _donor_payload(self, donor: Region, arrays, np):
+        """Donor-membership-only intermediates of the vector derive.
+
+        Returns ``(cand_ids, cand_idx, nbr_cols, owner, donor_ok,
+        remove_delta)`` or ``None`` when the donor yields no candidate
+        moves at all. Every array here is a pure function of the
+        donor's member set plus static problem data (CSR topology,
+        constraint bounds, dissimilarity), so the tuple stays valid —
+        and is reused verbatim — until the donor's own membership
+        changes (tracked by ``Region._version``).
+        """
+        candidates = donor.removable_areas()
+        if not candidates:
+            return None
+        # Candidates in ascending area-id order — the scalar loop's
+        # iteration order, which fixes the move-dict insertion order.
+        cand_ids = sorted(candidates)
+        cand_idx = arrays.positions(cand_ids)
+
+        # CSR gather geometry: the concatenated neighbor columns of
+        # every candidate row, plus each column's owning candidate.
+        indptr = arrays.indptr
+        starts = indptr[cand_idx]
+        counts = indptr[cand_idx + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return None
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - offsets
+            + np.repeat(starts, counts)
+        )
+        nbr_cols = arrays.indices[flat]
+        owner = np.repeat(
+            np.arange(len(cand_ids), dtype=np.int64), counts
+        )
+
+        # Donor-side feasibility, vectorized over the candidates.
+        donor_ok = self._donor_feasible_vector(donor, cand_idx, np)
+
+        # Donor-side delta: -(sum_j |d - d_j|) off the maintained
+        # sorted/prefix structure — the batch form of
+        # Region.heterogeneity_delta_remove.
+        values_arr, prefix_arr = donor._struct_arrays(np)
+        d_cand = arrays.dissimilarity[cand_idx]
+        rank = values_arr.searchsorted(d_cand, side="left")
+        below = prefix_arr[rank]
+        above = prefix_arr[-1] - below
+        remove_delta = -(
+            (d_cand * rank - below)
+            + (above - d_cand * (len(values_arr) - rank))
+        )
+        return (cand_ids, cand_idx, nbr_cols, owner, donor_ok, remove_delta)
 
     def _donor_feasible_vector(self, donor: Region, cand_idx, np):
         """Elementwise ``satisfies_after_remove`` over the candidates.

@@ -29,6 +29,7 @@ from .config import FaCTConfig
 from .feasibility import check_feasibility
 from .growing import (
     _assign_enclaves,
+    _AvgClasses,
     _combine_for_extrema,
     _initialize_from_seeds,
 )
@@ -138,14 +139,14 @@ def trace_solve(
         state,
     )
 
-    avgs = constraints.avgs
-    _initialize_from_seeds(state, seeding, avgs, config, rng)
+    classes = _AvgClasses(state, constraints.avgs)
+    _initialize_from_seeds(state, seeding, classes, config, rng)
     trace.record(
         "step2.1 seeding",
         "in-range seeds to singletons; Algorithm 1 on off-range seeds",
         state,
     )
-    _assign_enclaves(state, avgs, config, rng)
+    _assign_enclaves(state, classes, config, rng)
     trace.record(
         "step2.2 enclaves",
         "round-1 sweeps + round-2 merges "

@@ -78,6 +78,7 @@ class Span:
         "attrs",
         "status",
         "pid",
+        "verbosity",
         "_tracer",
         "_profile",
     )
@@ -87,6 +88,7 @@ class Span:
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
         self._tracer = tracer
         self.name = name
+        self.verbosity = tracer.verbosity
         self.attrs = dict(attrs)
         self.span_id = ""
         self.parent_id = None
@@ -165,6 +167,14 @@ class Tracer:
     on_start / on_finish:
         Optional callbacks receiving each span (start) or its dict
         form (finish) — the event log's hook.
+    verbosity:
+        Attribute detail level inherited by every span this tracer
+        produces: ``2`` (the default) records everything, ``1`` tells
+        call sites to skip *expensive* attributes (anything that walks
+        the whole partition — see ``repro.fact.growing
+        ._set_state_attrs``), ``0`` is the null span's level. Shipped
+        through :meth:`context` so worker spans keep the parent's
+        level.
     """
 
     enabled = True
@@ -175,7 +185,9 @@ class Tracer:
         root_parent: str | None = None,
         on_start=None,
         on_finish=None,
+        verbosity: int = 2,
     ):
+        self.verbosity = verbosity
         self.trace_id = trace_id or os.urandom(6).hex()
         self._root_parent = root_parent
         # Unique-without-coordination span ids: random per-tracer
@@ -212,10 +224,11 @@ class Tracer:
             self._on_finish(record)
 
     # -- cross-process stitching --------------------------------------
-    def context(self) -> tuple[str, str | None]:
-        """Serializable ``(trace_id, current_span_id)`` pair to ship
-        to a worker; feed it to :func:`worker_tracer` there."""
-        return (self.trace_id, self._current_id())
+    def context(self) -> tuple[str, str | None, int]:
+        """Serializable ``(trace_id, current_span_id, verbosity)``
+        triple to ship to a worker; feed it to :func:`worker_tracer`
+        there."""
+        return (self.trace_id, self._current_id(), self.verbosity)
 
     def adopt(self, span_dicts) -> None:
         """Fold finished span dicts from a worker tracer into this
@@ -234,6 +247,7 @@ class _NullSpan:
 
     __slots__ = ()
     recording = False
+    verbosity = 0
     name = ""
     attrs: dict = {}
 
@@ -254,6 +268,7 @@ class NullTracer:
     """No-op tracer: the disabled-telemetry default everywhere."""
 
     enabled = False
+    verbosity = 0
     trace_id = None
     finished: tuple = ()
 
@@ -275,8 +290,16 @@ NULL_TRACER = NullTracer()
 
 def worker_tracer(span_context) -> Tracer | NullTracer:
     """The tracer a worker task should use for *span_context* (a
-    :meth:`Tracer.context` value, or ``None`` for disabled telemetry)."""
+    :meth:`Tracer.context` value, or ``None`` for disabled telemetry).
+
+    Accepts the legacy two-field ``(trace_id, parent_id)`` context
+    (e.g. from a journaled job written before verbosity existed); the
+    worker then runs at full detail, matching the old behavior.
+    """
     if span_context is None:
         return NULL_TRACER
-    trace_id, parent_id = span_context
-    return Tracer(trace_id=trace_id, root_parent=parent_id)
+    trace_id, parent_id = span_context[0], span_context[1]
+    verbosity = span_context[2] if len(span_context) > 2 else 2
+    return Tracer(
+        trace_id=trace_id, root_parent=parent_id, verbosity=verbosity
+    )

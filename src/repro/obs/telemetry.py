@@ -25,6 +25,22 @@ from .spans import NULL_TRACER, Tracer
 
 __all__ = ["DISABLED", "SolveTelemetry", "resolve_telemetry"]
 
+_VERBOSITY_ENV = "REPRO_TRACE_VERBOSITY"
+
+
+def _env_verbosity() -> int:
+    """``REPRO_TRACE_VERBOSITY`` as an int, defaulting to 2 (full
+    detail); garbage values fall back to the default too."""
+    import os
+
+    raw = os.environ.get(_VERBOSITY_ENV, "").strip()
+    if not raw:
+        return 2
+    try:
+        return int(raw)
+    except ValueError:
+        return 2
+
 
 class SolveTelemetry:
     """Live telemetry for one :meth:`repro.fact.solver.FaCT.solve`.
@@ -37,6 +53,12 @@ class SolveTelemetry:
     metrics_path:
         Final metrics dump (``--metrics-output``): Prometheus text
         exposition for ``.prom``/``.txt`` paths, JSON otherwise.
+    verbosity:
+        Span attribute detail (see :class:`~repro.obs.spans.Tracer`):
+        ``2`` records everything, ``1`` skips expensive attributes
+        (whole-partition sweeps like the substep heterogeneity).
+        ``None`` (the default) reads ``REPRO_TRACE_VERBOSITY``,
+        falling back to ``2``.
     """
 
     enabled = True
@@ -45,12 +67,17 @@ class SolveTelemetry:
         self,
         trace_path: str | None = None,
         metrics_path: str | None = None,
+        verbosity: int | None = None,
     ):
+        if verbosity is None:
+            verbosity = _env_verbosity()
         self.events = EventLog(trace_path)
         self.metrics = MetricsRegistry()
         self.metrics_path = str(metrics_path) if metrics_path else None
         self.tracer = Tracer(
-            on_start=self._span_started, on_finish=self._span_finished
+            on_start=self._span_started,
+            on_finish=self._span_finished,
+            verbosity=verbosity,
         )
         self._last_snapshot: dict | None = None
         self._closed = False

@@ -236,6 +236,110 @@ class TestBenchSchema:
             assert result["numpy_version"]
 
 
+class TestPerfGate:
+    """The scaling perf-regression gate (compare_perf_to_baseline)."""
+
+    @staticmethod
+    def _record(rebuilds, incremental, evals, derives):
+        return {
+            "datasets": {
+                "2k": {
+                    "backends": {
+                        "numpy": {
+                            "oracle_rebuilds": rebuilds,
+                            "oracle_incremental": incremental,
+                            "candidate_evaluations": evals,
+                            "vector_derives": derives,
+                        }
+                    }
+                }
+            }
+        }
+
+    def test_rates_shape_and_values(self):
+        from repro.bench.micro import _perf_rates
+
+        row = self._record(10, 990, 30_000, 200)
+        rates = _perf_rates(row["datasets"]["2k"]["backends"]["numpy"])
+        assert rates["oracle_rebuild_share"] == (0.01, 1000)
+        assert rates["candidate_evals_per_derive"] == (150.0, 200)
+
+    def test_rates_none_when_counters_missing_or_empty(self):
+        from repro.bench.micro import _perf_rates
+
+        # A pre-oracle baseline row (only the old counter subset).
+        old = {"candidate_evaluations": 5000, "vector_derives": 0}
+        rates = _perf_rates(old)
+        assert rates["oracle_rebuild_share"] == (None, 0)
+        assert rates["candidate_evals_per_derive"] == (None, 0)
+
+    def test_verdict_needs_relative_and_absolute_gap(self):
+        from repro.bench.micro import _perf_verdict
+
+        # 3x relative blowup with a large absolute gap: regression.
+        assert _perf_verdict(
+            "candidate_evals_per_derive", 450.0, 150.0
+        ) == "REGRESSION"
+        # 3x relative on a near-zero baseline: absolute slack absorbs it.
+        assert _perf_verdict(
+            "oracle_rebuild_share", 0.003, 0.001
+        ) == "NEUTRAL"
+        # Large improvement in both senses: win.
+        assert _perf_verdict(
+            "candidate_evals_per_derive", 50.0, 300.0
+        ) == "WIN"
+        # Within 2x either way: neutral.
+        assert _perf_verdict(
+            "candidate_evals_per_derive", 200.0, 150.0
+        ) == "NEUTRAL"
+
+    def test_compare_flags_regression(self):
+        from repro.bench.micro import compare_perf_to_baseline
+
+        baseline = self._record(10, 9990, 150_000, 1000)
+        # Oracle silently falling back to full rebuilds: share 0.001→1.
+        current = self._record(10_000, 0, 150_000, 1000)
+        gate = compare_perf_to_baseline(current, baseline)
+        assert gate["overall"] == "REGRESSION"
+        by_metric = {c["metric"]: c for c in gate["comparisons"]}
+        assert by_metric["oracle_rebuild_share"]["verdict"] == "REGRESSION"
+        assert (
+            by_metric["candidate_evals_per_derive"]["verdict"] == "NEUTRAL"
+        )
+
+    def test_compare_insufficient_volume_is_neutral(self):
+        from repro.bench.micro import compare_perf_to_baseline
+
+        baseline = self._record(10, 9990, 150_000, 1000)
+        # A smoke-scale run: 1 rebuild, 0 incremental, 3 derives — the
+        # rates are garbage (share = 1.0) but there is no volume.
+        current = self._record(1, 0, 1200, 3)
+        gate = compare_perf_to_baseline(current, baseline)
+        assert gate["overall"] == "NEUTRAL"
+        for entry in gate["comparisons"]:
+            assert entry["verdict"] == "NEUTRAL"
+            assert entry["insufficient_volume"] is True
+
+    def test_compare_without_baseline_is_neutral(self):
+        from repro.bench.micro import compare_perf_to_baseline
+
+        current = self._record(10, 9990, 150_000, 1000)
+        for baseline in (None, {}, {"datasets": {}}):
+            gate = compare_perf_to_baseline(current, baseline)
+            assert gate["overall"] == "NEUTRAL"
+            assert gate["comparisons"] == []
+            assert gate["baseline_found"] is False
+
+    def test_compare_reports_win(self):
+        from repro.bench.micro import compare_perf_to_baseline
+
+        # The pre-incremental world: every refresh was a full rebuild.
+        baseline = self._record(10_000, 0, 150_000, 1000)
+        current = self._record(10, 9990, 150_000, 1000)
+        gate = compare_perf_to_baseline(current, baseline)
+        assert gate["overall"] == "WIN"
+
+
 class TestTables:
     def test_table3_rows_cover_grid(self, bench_census):
         ranges = workloads.TABLE3_OPEN_LOWER_RANGES[:1]

@@ -1,0 +1,271 @@
+"""Property suite for the incremental block-cut oracle.
+
+:class:`repro.contiguity.graph.BlockCutIndex` maintains one connected
+induced subgraph's biconnected blocks and articulation set under
+single-vertex adds and removes. The properties checked here:
+
+- after every successful incremental mutation the structure equals a
+  fresh full Hopcroft–Tarjan rebuild (``BlockCutIndex.check`` compares
+  blocks, articulation set, and both derived mirrors), and its
+  articulation set equals :func:`articulation_points` recomputed from
+  scratch;
+- a mutation that returns ``False`` (articulation-point removal,
+  disconnecting add, desynchronized snapshot) is always recoverable by
+  discarding the structure and rebuilding — the documented contract;
+- both DFS variants agree: the dense epoch-stamped scratch (default)
+  and the dict fallback for sparse id spaces (forced by shrinking
+  ``_SCRATCH_NODE_CAP``).
+
+The random walks mirror how the per-region oracle drives the index —
+grow from a seed along the frontier, shed boundary vertices, never let
+the set disconnect.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.contiguity import graph
+from repro.contiguity.graph import (
+    BlockCutIndex,
+    articulation_points,
+    block_cut_state,
+)
+
+
+def grid_adjacency(width: int, height: int, chords=()) -> dict[int, list[int]]:
+    """Rook-contiguity grid (vertex = y * width + x) plus optional
+    extra chord edges for richer biconnectivity."""
+    adj: dict[int, set[int]] = {
+        y * width + x: set() for y in range(height) for x in range(width)
+    }
+    for y in range(height):
+        for x in range(width):
+            node = y * width + x
+            if x + 1 < width:
+                adj[node].add(node + 1)
+                adj[node + 1].add(node)
+            if y + 1 < height:
+                adj[node].add(node + width)
+                adj[node + width].add(node)
+    for v, u in chords:
+        adj[v].add(u)
+        adj[u].add(v)
+    return {node: sorted(nbrs) for node, nbrs in adj.items()}
+
+
+def random_chords(width: int, height: int, count: int, rng) -> list[tuple]:
+    """Random non-grid edges between nearby vertices (keeps the graph
+    planar-ish so articulation structure stays varied)."""
+    chords = []
+    for _ in range(count):
+        x = rng.randrange(width - 1)
+        y = rng.randrange(height - 1)
+        chords.append((y * width + x, (y + 1) * width + (x + 1)))
+    return chords
+
+
+def assert_matches_reference(index, members, neighbors) -> None:
+    """The full invariant: check() (blocks + mirrors vs a fresh
+    rebuild) plus articulation equality against the standalone
+    Hopcroft–Tarjan entry point."""
+    index.check(members, neighbors)
+    assert set(index.articulation) == set(
+        articulation_points(members, neighbors)
+    )
+
+
+def run_mutation_walk(adjacency, rng, steps, *, seed_vertex=0) -> dict:
+    """Drive a BlockCutIndex through *steps* random connected add/
+    remove mutations, validating against a fresh recompute after every
+    one. Returns counts of the paths exercised."""
+    neighbors = lambda v: adjacency[v]  # noqa: E731
+    members = {seed_vertex}
+    index = BlockCutIndex()
+    assert index.rebuild(members, neighbors)
+    stats = {"adds": 0, "removes": 0, "rejected": 0, "rebuilds": 0}
+    for _ in range(steps):
+        frontier = sorted(
+            {
+                nbr
+                for v in members
+                for nbr in adjacency[v]
+                if nbr not in members
+            }
+        )
+        grow = not frontier or len(members) <= 2 or rng.random() < 0.55
+        if grow and frontier:
+            vertex = rng.choice(frontier)
+            member_nbrs = [u for u in adjacency[vertex] if u in members]
+            # An in-frontier vertex always touches the set: adds are
+            # pure tree surgery and must succeed.
+            assert index.add_vertex(vertex, member_nbrs)
+            members.add(vertex)
+            stats["adds"] += 1
+        else:
+            vertex = rng.choice(sorted(members))
+            was_articulation = vertex in index.articulation
+            if index.remove_vertex(vertex, neighbors):
+                # Only non-articulation vertices may be removed
+                # incrementally, and their removal keeps the set
+                # connected by definition.
+                assert not was_articulation
+                members.discard(vertex)
+                stats["removes"] += 1
+            else:
+                # The documented contract: a False return means
+                # discard and rebuild. Removing an articulation point
+                # is the one legal in-walk trigger.
+                assert was_articulation
+                stats["rejected"] += 1
+                index = BlockCutIndex()
+                assert index.rebuild(members, neighbors)
+                stats["rebuilds"] += 1
+        assert_matches_reference(index, members, neighbors)
+    return stats
+
+
+class TestRandomWalks:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_grid_walk_matches_fresh_recompute(self, seed):
+        rng = random.Random(seed)
+        adjacency = grid_adjacency(6, 6)
+        stats = run_mutation_walk(adjacency, rng, steps=160, seed_vertex=0)
+        # The walk must actually exercise both mutation kinds.
+        assert stats["adds"] > 0
+        assert stats["removes"] > 0
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_chorded_graph_walk(self, seed):
+        rng = random.Random(seed)
+        chords = random_chords(7, 5, count=8, rng=rng)
+        adjacency = grid_adjacency(7, 5, chords)
+        run_mutation_walk(adjacency, rng, steps=160, seed_vertex=3)
+
+    def test_path_graph_walk_is_all_articulation(self):
+        # A 1×n grid: every interior vertex is an articulation point,
+        # so removals constantly hit the rejection/rebuild path.
+        rng = random.Random(5)
+        adjacency = grid_adjacency(12, 1)
+        stats = run_mutation_walk(adjacency, rng, steps=120, seed_vertex=0)
+        assert stats["rejected"] > 0
+        assert stats["rebuilds"] == stats["rejected"]
+
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_dict_fallback_walk(self, seed, monkeypatch):
+        # Force block_cut_state (used by rebuild and by the localized
+        # remove re-split) onto the sparse dict DFS variant.
+        monkeypatch.setattr(graph, "_SCRATCH_NODE_CAP", -1)
+        rng = random.Random(seed)
+        adjacency = grid_adjacency(6, 6)
+        stats = run_mutation_walk(adjacency, rng, steps=120, seed_vertex=7)
+        assert stats["adds"] > 0 and stats["removes"] > 0
+
+    def test_dense_and_sparse_state_agree(self, monkeypatch):
+        # Same node set, both DFS variants: identical blocks and
+        # articulation sets.
+        adjacency = grid_adjacency(5, 4, [(0, 6), (7, 13)])
+        neighbors = lambda v: adjacency[v]  # noqa: E731
+        members = set(adjacency)
+        dense = block_cut_state(members, neighbors)
+        monkeypatch.setattr(graph, "_SCRATCH_NODE_CAP", -1)
+        sparse = block_cut_state(members, neighbors)
+        assert sorted(map(sorted, dense[0])) == sorted(map(sorted, sparse[0]))
+        assert set(dense[1]) == set(sparse[1])
+        assert sorted(map(sorted, dense[2])) == sorted(map(sorted, sparse[2]))
+
+
+class TestEdgeCases:
+    def test_singleton_lifecycle(self):
+        index = BlockCutIndex()
+        assert index.add_vertex(4, [])
+        assert len(index) == 1
+        assert not index.articulation
+        assert index.remove_vertex(4, lambda v: [])
+        assert len(index) == 0
+
+    def test_two_vertex_grow_and_shrink(self):
+        adjacency = grid_adjacency(2, 1)
+        neighbors = lambda v: adjacency[v]  # noqa: E731
+        index = BlockCutIndex()
+        assert index.add_vertex(0, [])
+        assert index.add_vertex(1, [0])
+        assert_matches_reference(index, {0, 1}, neighbors)
+        assert index.remove_vertex(1, neighbors)
+        assert_matches_reference(index, {0}, neighbors)
+
+    def test_closing_a_cycle_merges_path_blocks(self):
+        # Grow a 4-cycle one vertex at a time: three cut edges first,
+        # then the closing vertex's second edge collapses the whole
+        # block-cut tree path into a single biconnected block.
+        adjacency = grid_adjacency(2, 2)
+        neighbors = lambda v: adjacency[v]  # noqa: E731
+        index = BlockCutIndex()
+        assert index.add_vertex(0, [])
+        assert index.add_vertex(1, [0])
+        assert index.add_vertex(3, [1])
+        assert index.articulation == {1}
+        assert index.add_vertex(2, [0, 3])
+        assert len(index.blocks) == 1
+        assert not index.articulation
+        assert_matches_reference(index, {0, 1, 2, 3}, neighbors)
+
+    def test_duplicate_add_rejected(self):
+        index = BlockCutIndex()
+        assert index.add_vertex(0, [])
+        assert not index.add_vertex(0, [])
+
+    def test_disconnected_add_rejected(self):
+        index = BlockCutIndex()
+        assert index.add_vertex(0, [])
+        # No in-set neighbors on a non-empty structure: would start a
+        # second component.
+        assert not index.add_vertex(5, [])
+
+    def test_desynchronized_snapshot_rejected(self):
+        index = BlockCutIndex()
+        assert index.add_vertex(0, [])
+        # Claims adjacency to a vertex the structure has never seen.
+        assert not index.add_vertex(1, [0, 99])
+
+    def test_articulation_removal_rejected(self):
+        adjacency = grid_adjacency(3, 1)
+        neighbors = lambda v: adjacency[v]  # noqa: E731
+        index = BlockCutIndex()
+        assert index.rebuild({0, 1, 2}, neighbors)
+        assert index.articulation == {1}
+        assert not index.remove_vertex(1, neighbors)
+
+    def test_rebuild_rejects_disconnected_set(self):
+        adjacency = grid_adjacency(4, 1)
+        neighbors = lambda v: adjacency[v]  # noqa: E731
+        index = BlockCutIndex()
+        assert not index.rebuild({0, 3}, neighbors)
+        assert len(index) == 0
+
+    def test_remove_resplits_only_one_block(self):
+        # Two triangles sharing articulation vertex 2 — removing a
+        # vertex of one triangle localizes the DFS to that block and
+        # never touches the other.
+        adjacency = {
+            0: [1, 2],
+            1: [0, 2],
+            2: [0, 1, 3, 4],
+            3: [2, 4],
+            4: [2, 3],
+        }
+        neighbors = lambda v: adjacency[v]  # noqa: E731
+        members = {0, 1, 2, 3, 4}
+        index = BlockCutIndex()
+        assert index.rebuild(members, neighbors)
+        assert len(index.blocks) == 2
+        untouched = next(
+            bid for bid, m in index.blocks.items() if m == {2, 3, 4}
+        )
+        assert index.remove_vertex(0, neighbors)
+        members.discard(0)
+        assert untouched in index.blocks
+        assert index.blocks[untouched] == {2, 3, 4}
+        assert_matches_reference(index, members, neighbors)

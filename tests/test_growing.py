@@ -204,3 +204,43 @@ class TestGrowingInvariants:
             assert not (assigned & region.area_ids)
             assigned |= region.area_ids
         assert assigned | state.unassigned | state.excluded == set(grid3.ids)
+
+
+class TestSpanVerbosity:
+    """Substep spans record the partition shape always, but the
+    whole-partition heterogeneity sweep only at full detail."""
+
+    @staticmethod
+    def _traced_growing(verbosity):
+        from repro.obs.spans import Tracer
+
+        collection = make_grid_collection(
+            4,
+            4,
+            values={i: (i * 7919) % 10 + 1 for i in range(1, 17)},
+        )
+        constraints = ConstraintSet([avg_constraint("s", 4, 7)])
+        config = FaCTConfig(rng_seed=0)
+        report = check_feasibility(collection, constraints, config)
+        seeding = select_seeds(collection, constraints, report)
+        state = SolutionState(
+            collection, constraints, excluded=report.invalid_areas
+        )
+        tracer = Tracer(verbosity=verbosity)
+        grow_regions(
+            state, seeding, config, random.Random(0), tracer=tracer
+        )
+        return {span["name"]: span["attrs"] for span in tracer.finished}
+
+    def test_default_detail_records_heterogeneity(self):
+        spans = self._traced_growing(verbosity=2)
+        for name in ("grow", "enclave", "extrema"):
+            assert "p" in spans[name]
+            assert "heterogeneity" in spans[name]
+
+    def test_shape_only_skips_heterogeneity(self):
+        spans = self._traced_growing(verbosity=1)
+        for name in ("grow", "enclave", "extrema"):
+            assert "p" in spans[name]
+            assert "n_unassigned" in spans[name]
+            assert "heterogeneity" not in spans[name]

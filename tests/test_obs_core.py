@@ -97,9 +97,22 @@ class TestCrossProcessStitching:
 
     def test_context_outside_any_span_is_rootless(self):
         tracer = Tracer()
-        trace_id, parent_id = tracer.context()
+        trace_id, parent_id, verbosity = tracer.context()
         assert trace_id == tracer.trace_id
         assert parent_id is None
+        assert verbosity == 2
+
+    def test_worker_tracer_accepts_legacy_two_field_context(self):
+        worker = worker_tracer(("abc123", None))
+        assert worker.trace_id == "abc123"
+        assert worker.verbosity == 2
+
+    def test_worker_tracer_inherits_parent_verbosity(self):
+        parent = Tracer(verbosity=1)
+        worker = worker_tracer(parent.context())
+        assert worker.verbosity == 1
+        with worker.span("pass") as span:
+            assert span.verbosity == 1
 
 
 class TestMetricsRegistry:
@@ -291,6 +304,20 @@ class TestSolveTelemetry:
         assert kinds.count("span.start") == 2
         assert kinds.count("span") == 2
         assert len(telemetry.tracer.finished) == 2
+
+    def test_verbosity_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_VERBOSITY", "1")
+        assert SolveTelemetry().tracer.verbosity == 1
+
+    def test_verbosity_defaults_and_garbage(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_VERBOSITY", raising=False)
+        assert SolveTelemetry().tracer.verbosity == 2
+        monkeypatch.setenv("REPRO_TRACE_VERBOSITY", "chatty")
+        assert SolveTelemetry().tracer.verbosity == 2
+
+    def test_explicit_verbosity_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_VERBOSITY", "1")
+        assert SolveTelemetry(verbosity=2).tracer.verbosity == 2
 
     def test_snapshot_metrics_records_delta(self):
         telemetry = SolveTelemetry()
