@@ -31,6 +31,8 @@ Subpackages
   and the fault-injection harness behind the chaos tests;
 - :mod:`repro.certify` — independent, cache-free certification of
   solver answers;
+- :mod:`repro.preflight` — pre-solve dataset lint, connected-component
+  scan and provable infeasibility diagnosis (run by every entry point);
 - :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
 """
 
@@ -74,6 +76,7 @@ from .fact import (
     check_feasibility,
     solve_emp,
 )
+from .preflight import Finding, PreflightReport, lint_rows, run_preflight
 from .runtime import Budget, CancellationToken, RunStatus
 
 __version__ = "1.0.0"
@@ -98,11 +101,13 @@ __all__ = [
     "FaCT",
     "FaCTConfig",
     "FeasibilityReport",
+    "Finding",
     "GeometryError",
     "InfeasibleProblemError",
     "InvalidAreaError",
     "InvalidConstraintError",
     "Partition",
+    "PreflightReport",
     "Region",
     "ReproError",
     "RunStatus",
@@ -113,10 +118,12 @@ __all__ = [
     "certify_solution",
     "check_feasibility",
     "count_constraint",
+    "lint_rows",
     "load_dataset",
     "load_geojson",
     "max_constraint",
     "min_constraint",
+    "run_preflight",
     "solve_emp",
     "sum_constraint",
     "synthetic_census",

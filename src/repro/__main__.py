@@ -6,7 +6,10 @@ Commands
     Solve an EMP query on a registry dataset or a GeoJSON file and
     print the solution report; optionally write GeoJSON/SVG output.
 ``check``
-    Run only the feasibility phase and print its report.
+    Run the preflight gate (dataset lint, component scan, per-
+    constraint relaxation bounds) plus the feasibility phase and print
+    both reports; ``--preflight-output`` writes the machine-readable
+    JSON report. Exits 1 when preflight rejects the instance.
 ``datasets``
     List the built-in dataset registry (Table I of the paper).
 ``report``
@@ -42,8 +45,13 @@ from .data.datasets import DATASETS, load_dataset
 from .data.geojson import dump_geojson, load_geojson
 from .exceptions import ReproError, SolverInterrupted
 from .fact.config import CertifyLevel, FaCTConfig
-from .fact.reporting import format_feasibility_report, format_solution_report
+from .fact.reporting import (
+    format_feasibility_report,
+    format_preflight_report,
+    format_solution_report,
+)
 from .fact.solver import FaCT
+from .preflight import run_preflight
 from .runtime.atomic import atomic_write_text
 
 __all__ = ["main", "parse_constraint"]
@@ -174,6 +182,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     solve.add_argument("--no-tabu", action="store_true")
     solve.add_argument("--restarts", type=int, default=3)
     solve.add_argument(
+        "--decompose",
+        action="store_true",
+        help=(
+            "solve a disconnected geography per connected component and "
+            "merge (per-component provenance lands in the report and "
+            "certificate)"
+        ),
+    )
+    solve.add_argument(
+        "--no-preflight",
+        action="store_true",
+        help=(
+            "skip the preflight gate (component scan + relaxation "
+            "bounds) and go straight to the feasibility phase"
+        ),
+    )
+    solve.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -282,8 +307,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
 
-    check = commands.add_parser("check", help="feasibility phase only")
+    check = commands.add_parser(
+        "check", help="preflight gate + feasibility phase, no solve"
+    )
     _add_common(check)
+    check.add_argument(
+        "--preflight-output",
+        metavar="PATH",
+        default=None,
+        help="write the preflight report as JSON (CI artifact format)",
+    )
 
     commands.add_parser("datasets", help="list the dataset registry")
 
@@ -340,9 +373,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         constraints = _constraints(args)
 
         if args.command == "check":
-            solver = FaCT()
-            print(format_feasibility_report(solver.check(collection, constraints)))
-            return 0
+            report = run_preflight(collection, constraints)
+            print(format_preflight_report(report))
+            print(format_feasibility_report(report.feasibility))
+            if args.preflight_output:
+                atomic_write_text(
+                    args.preflight_output,
+                    json.dumps(report.as_dict(), indent=1, sort_keys=True)
+                    + "\n",
+                )
+                print(f"preflight report written to {args.preflight_output}")
+            return 0 if report.ok else 1
 
         certify = args.certify
         if args.certificate_output and certify is None:
@@ -363,6 +404,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 tabu_portfolio=args.portfolio,
                 trace_path=args.trace_output,
                 metrics_path=args.metrics_output,
+                preflight=not args.no_preflight,
+                decompose_components=args.decompose,
             )
         )
         try:

@@ -104,7 +104,11 @@ class Certificate:
     ``valid`` is True iff no violation was found. The certificate also
     restates what was checked (regions, constraints) and the freshly
     recomputed objective, so it can be persisted as evidence alongside
-    the answer it vouches for.
+    the answer it vouches for. For decomposed (per-connected-component)
+    solves, ``provenance`` records which component produced which
+    regions — plain dicts shaped like
+    :meth:`repro.fact.solver.ComponentProvenance.as_dict`; empty for
+    ordinary solves.
     """
 
     valid: bool
@@ -116,10 +120,11 @@ class Certificate:
     checked_constraints: int
     violations: tuple[Violation, ...] = ()
     label: str = "final"
+    provenance: tuple[dict, ...] = ()
 
     def as_dict(self) -> dict[str, object]:
         """JSON-serializable view (the CI chaos job archives these)."""
-        return {
+        payload = {
             "format": "repro-certificate/1",
             "label": self.label,
             "valid": self.valid,
@@ -131,6 +136,9 @@ class Certificate:
             "checked_constraints": self.checked_constraints,
             "violations": [v.as_dict() for v in self.violations],
         }
+        if self.provenance:
+            payload["provenance"] = [dict(p) for p in self.provenance]
+        return payload
 
     def raise_if_invalid(self) -> "Certificate":
         """Raise :class:`~repro.exceptions.CertificationError` unless
@@ -208,6 +216,7 @@ def certify_partition(
     claimed_heterogeneity: float | None = None,
     label: str = "final",
     allow_uncovered: frozenset[int] | None = None,
+    provenance: tuple = (),
 ) -> Certificate:
     """Certify *partition* against *collection* from first principles.
 
@@ -225,6 +234,10 @@ def certify_partition(
         the feasibility phase's filtered invalid areas live in ``U_0``,
         but a *partial* best-so-far snapshot (interrupted run) may not
         have reached every area yet.
+    provenance:
+        Per-component provenance dicts of a decomposed solve, recorded
+        verbatim on the certificate (the certifier itself re-validates
+        every region the same way regardless of origin).
 
     Returns a :class:`Certificate`; never raises for an invalid
     partition (call :meth:`Certificate.raise_if_invalid` to escalate).
@@ -330,6 +343,7 @@ def certify_partition(
         checked_constraints=checked_constraints,
         violations=tuple(violations),
         label=label,
+        provenance=tuple(provenance),
     )
 
 

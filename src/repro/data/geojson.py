@@ -13,11 +13,17 @@ through GeoJSON ``FeatureCollection`` documents:
 Only simple ``Polygon`` geometry is supported; the exterior ring is
 used and holes are ignored (holes do not affect rook adjacency between
 tracts in practice).
+
+Loading fails loudly on bad attribute values — missing, non-numeric or
+non-finite (NaN/±inf) properties raise :class:`~repro.exceptions.
+DatasetError` naming the matching :mod:`repro.preflight` lint code, so
+a NaN can never propagate silently into aggregate comparisons.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Iterable, Mapping
 
@@ -85,12 +91,33 @@ def load_geojson(
             raise DatasetError(f"feature {position}: empty Polygon coordinates")
         polygon = Polygon(Point(x, y) for x, y in rings[0])
         properties = feature.get("properties") or {}
-        try:
-            attributes = {name: float(properties[name]) for name in names}
-        except KeyError as missing:
-            raise DatasetError(
-                f"feature {position}: missing property {missing}"
-            ) from None
+        attributes = {}
+        for name in names:
+            try:
+                raw = properties[name]
+            except KeyError:
+                raise DatasetError(
+                    f"feature {position}: missing property {name!r} "
+                    "(preflight lint code 'missing-attribute')"
+                ) from None
+            try:
+                value = float(raw)
+            except (TypeError, ValueError):
+                raise DatasetError(
+                    f"feature {position}: property {name!r} is not numeric "
+                    f"(got {raw!r}; preflight lint code "
+                    "'non-numeric-attribute')"
+                ) from None
+            if not math.isfinite(value):
+                # Reject NaN/±inf here, loudly: a NaN that slips into an
+                # attribute would otherwise poison every downstream
+                # aggregate comparison silently (NaN compares false).
+                raise DatasetError(
+                    f"feature {position}: property {name!r} is not finite "
+                    f"(got {raw!r}; preflight lint code "
+                    "'non-finite-attribute')"
+                )
+            attributes[name] = value
         area_id = (
             int(properties[id_property]) if id_property else position
         )

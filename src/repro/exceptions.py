@@ -6,6 +6,12 @@ catch one base class. Specific subclasses distinguish bad user input
 :class:`DatasetError`, :class:`BudgetError`, :class:`CheckpointError`)
 from algorithmic outcomes (:class:`InfeasibleProblemError`,
 :class:`SolverInterrupted`, :class:`CertificationError`).
+
+Every class carries a stable, machine-readable ``code`` (kebab-case,
+class-level, inherited by instances) so error payloads that cross a
+process boundary — the service API's JSON bodies, journal records,
+preflight reports — can be matched without parsing prose. Codes are
+part of the public contract: never reuse or rename one.
 """
 
 from __future__ import annotations
@@ -13,6 +19,9 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
+
+    code: str = "repro-error"
+    """Stable machine-readable identifier for this error class."""
 
 
 class InvalidConstraintError(ReproError, ValueError):
@@ -23,28 +32,40 @@ class InvalidConstraintError(ReproError, ValueError):
     when the aggregate function is unknown.
     """
 
+    code = "invalid-constraint"
+
 
 class InvalidAreaError(ReproError, ValueError):
     """An area definition is malformed (duplicate id, missing attribute,
     non-finite attribute value, or asymmetric adjacency)."""
+
+    code = "invalid-area"
 
 
 class DatasetError(ReproError, ValueError):
     """A dataset could not be built or loaded (unknown registry name,
     malformed GeoJSON, inconsistent attribute table)."""
 
+    code = "dataset-error"
+
 
 class InfeasibleProblemError(ReproError, RuntimeError):
     """The feasibility phase proved that no solution exists.
 
     Carries the :class:`repro.fact.feasibility.FeasibilityReport` that
-    documents which constraint failed and why, so users can tune either
-    the data or the query, as described in Section V-A of the paper.
+    documents which constraint failed and why (``report``), so users
+    can tune either the data or the query, as described in Section V-A
+    of the paper — and, when the verdict came through the preflight
+    gate, the :class:`repro.preflight.PreflightReport` with the
+    per-constraint slack/deficit numbers (``preflight``).
     """
 
-    def __init__(self, message: str, report=None):
+    code = "infeasible-problem"
+
+    def __init__(self, message: str, report=None, preflight=None):
         super().__init__(message)
         self.report = report
+        self.preflight = preflight
 
 
 class BudgetError(ReproError, ValueError):
@@ -55,6 +76,8 @@ class BudgetError(ReproError, ValueError):
     registered for a checkpoint name missing from
     :data:`repro.runtime.faults.CHECKPOINTS`.
     """
+
+    code = "budget-error"
 
 
 class SolverInterrupted(ReproError, RuntimeError):
@@ -74,6 +97,8 @@ class SolverInterrupted(ReproError, RuntimeError):
     (non-strict) mode the solver returns the flagged solution instead
     of raising.
     """
+
+    code = "solver-interrupted"
 
     def __init__(
         self,
@@ -101,6 +126,8 @@ class CertificationError(ReproError, RuntimeError):
     (``certificate``) with the per-region violation details.
     """
 
+    code = "certification-error"
+
     def __init__(self, message: str, certificate=None):
         super().__init__(message)
         self.certificate = certificate
@@ -113,6 +140,8 @@ class CheckpointError(ReproError, ValueError):
     was written for a different problem (its fingerprint — seed,
     constraint set, dataset shape — does not match the resuming solve).
     """
+
+    code = "checkpoint-error"
 
 
 class JobError(ReproError, RuntimeError):
@@ -127,11 +156,17 @@ class JobError(ReproError, RuntimeError):
     result over the new owner's work.
     """
 
+    code = "job-error"
+
 
 class ContiguityError(ReproError, ValueError):
     """A region operation would break (or assumes) spatial contiguity."""
+
+    code = "contiguity-error"
 
 
 class GeometryError(ReproError, ValueError):
     """A geometric primitive is degenerate or an operation is undefined
     (e.g. a polygon with fewer than three vertices)."""
+
+    code = "geometry-error"

@@ -241,6 +241,27 @@ class FaCTConfig:
         values are rejected here at construction; the *resolved*
         backend surfaces on ``EMPSolution.backend``, the solve report,
         and the solve span's telemetry attributes.
+    preflight:
+        Run the :mod:`repro.preflight` gate (structure scan +
+        per-constraint relaxation diagnosis) before construction. On
+        by default: a provably-infeasible instance is rejected with a
+        structured :class:`repro.preflight.PreflightReport` — with
+        per-constraint slack/deficit numbers — before any solver
+        budget is spent. Off restores the bare Phase-1 behaviour.
+    decompose_components:
+        Solve a disconnected geography per connected component and
+        merge the partitions (islands become a first-class scenario).
+        Each component is solved with the same ``rng_seed`` and the
+        shared budget, in ascending smallest-member-id order, then the
+        labels are merged through the canonical
+        :meth:`~repro.fact.state.SolutionState.from_labels` rebuild —
+        so the merged partition is bit-identical at any ``n_jobs`` and
+        backend. The final certificate carries per-component
+        provenance. Off by default (the classic solver already copes
+        with multi-component datasets by growing regions inside
+        components); requires ``preflight``. Not compatible with
+        checkpoint/resume — when a ``checkpoint_path`` is set the
+        decomposed solve runs without snapshots.
     """
 
     rng_seed: int = 0
@@ -269,6 +290,8 @@ class FaCTConfig:
     lease_seconds: float | None = None
     heartbeat_seconds: float | None = None
     backend: str = "auto"
+    preflight: bool = True
+    decompose_components: bool = False
 
     def __post_init__(self) -> None:
         self.pickup = PickupCriterion.validate(self.pickup)
@@ -371,6 +394,16 @@ class FaCTConfig:
             raise InvalidConstraintError(
                 "checkpoint_keep_on_complete must be a bool, got "
                 f"{self.checkpoint_keep_on_complete!r}"
+            )
+        for name in ("preflight", "decompose_components"):
+            if not isinstance(getattr(self, name), bool):
+                raise InvalidConstraintError(
+                    f"{name} must be a bool, got {getattr(self, name)!r}"
+                )
+        if self.decompose_components and not self.preflight:
+            raise InvalidConstraintError(
+                "decompose_components requires preflight (the component "
+                "scan is what drives the decomposition)"
             )
         # Service-execution knobs: leases and heartbeats make no sense
         # at zero or below — a zero-length lease expires the instant it

@@ -35,7 +35,55 @@ from ..core.constraints import Constraint, ConstraintSet
 from ..exceptions import InfeasibleProblemError
 from .config import FaCTConfig
 
-__all__ = ["FeasibilityReport", "check_feasibility"]
+__all__ = ["ConstraintDiagnostic", "FeasibilityReport", "check_feasibility"]
+
+
+@dataclass(frozen=True)
+class ConstraintDiagnostic:
+    """One structured finding from the feasibility scan.
+
+    The machine-readable twin of a ``FeasibilityReport`` reason or
+    warning: every entry in ``reasons``/``warnings`` has a diagnostic
+    with the same information as numbers, so callers (the preflight
+    report, the service API, the scenario engine) can show *how far*
+    a constraint is from satisfiable instead of parsing prose.
+
+    Attributes
+    ----------
+    code:
+        Stable kebab-case identifier (e.g. ``infeasible-sum-lower``);
+        see :mod:`repro.preflight` for the full taxonomy.
+    severity:
+        ``"error"`` for a proven infeasibility, ``"warning"`` for a
+        soft signal.
+    constraint:
+        ``str()`` of the offending constraint, or ``""`` for
+        dataset-level findings.
+    message:
+        The human-readable explanation (same text as the report's
+        ``reasons``/``warnings`` entry).
+    data:
+        Slack/deficit numbers. For bound violations: ``bound`` (the
+        violated bound), ``observed`` (the relevant global aggregate)
+        and ``deficit`` (positive gap — how much mass/count is missing
+        or in excess). Dataset-level findings carry counts instead
+        (``n_areas``, ``n_invalid``...).
+    """
+
+    code: str
+    severity: str
+    constraint: str
+    message: str
+    data: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "constraint": self.constraint,
+            "message": self.message,
+            "data": dict(self.data),
+        }
 
 
 @dataclass(frozen=True)
@@ -60,6 +108,9 @@ class FeasibilityReport:
     global_aggregates:
         ``(aggregate, attribute) -> value`` over all areas, for user
         inspection and query tuning.
+    diagnostics:
+        Structured :class:`ConstraintDiagnostic` twins of every reason
+        and warning, with per-constraint slack/deficit numbers.
     """
 
     feasible: bool
@@ -68,6 +119,7 @@ class FeasibilityReport:
     invalid_areas: frozenset[int] = frozenset()
     seed_areas: frozenset[int] = frozenset()
     global_aggregates: dict = field(default_factory=dict)
+    diagnostics: tuple[ConstraintDiagnostic, ...] = ()
 
     def raise_if_infeasible(self) -> None:
         """Raise :class:`InfeasibleProblemError` when not feasible."""
@@ -89,6 +141,7 @@ class FeasibilityReport:
             "n_seed_areas": len(self.seed_areas),
             "reasons": list(self.reasons),
             "warnings": list(self.warnings),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
         }
 
 
@@ -112,6 +165,20 @@ def check_feasibility(
     config = config or FaCTConfig()
     reasons: list[str] = []
     warnings: list[str] = []
+    diagnostics: list[ConstraintDiagnostic] = []
+
+    def diagnose(code, severity, constraint, message, **data):
+        """Record one finding as prose and as numbers, in lockstep."""
+        (reasons if severity == "error" else warnings).append(message)
+        diagnostics.append(
+            ConstraintDiagnostic(
+                code=code,
+                severity=severity,
+                constraint="" if constraint is None else str(constraint),
+                message=message,
+                data=data,
+            )
+        )
 
     # --- one pass: global aggregates per referenced attribute ---------
     stats: dict[str, dict[str, float]] = {}
@@ -151,58 +218,115 @@ def check_feasibility(
     for c in constraints.mins:
         s = stats[c.attribute]
         if s["max"] < c.lower:
-            reasons.append(
+            diagnose(
+                "infeasible-min-lower",
+                "error",
+                c,
                 f"{c}: every area's {c.attribute} is below the lower bound "
-                f"(global max {s['max']:g} < {c.lower:g}); no valid seed exists"
+                f"(global max {s['max']:g} < {c.lower:g}); no valid seed "
+                "exists",
+                bound=c.lower,
+                observed=s["max"],
+                deficit=c.lower - s["max"],
             )
         if s["min"] > c.upper:
-            reasons.append(
+            diagnose(
+                "infeasible-min-upper",
+                "error",
+                c,
                 f"{c}: every area's {c.attribute} exceeds the upper bound "
-                f"(global min {s['min']:g} > {c.upper:g}); no valid seed exists"
+                f"(global min {s['min']:g} > {c.upper:g}); no valid seed "
+                "exists",
+                bound=c.upper,
+                observed=s["min"],
+                deficit=s["min"] - c.upper,
             )
     for c in constraints.maxes:
         s = stats[c.attribute]
         if s["min"] > c.upper:
-            reasons.append(
+            diagnose(
+                "infeasible-max-upper",
+                "error",
+                c,
                 f"{c}: every area's {c.attribute} exceeds the upper bound "
-                f"(global min {s['min']:g} > {c.upper:g})"
+                f"(global min {s['min']:g} > {c.upper:g})",
+                bound=c.upper,
+                observed=s["min"],
+                deficit=s["min"] - c.upper,
             )
         if s["max"] < c.lower:
-            reasons.append(
+            diagnose(
+                "infeasible-max-lower",
+                "error",
+                c,
                 f"{c}: every area's {c.attribute} is below the lower bound "
-                f"(global max {s['max']:g} < {c.lower:g}); no valid seed exists"
+                f"(global max {s['max']:g} < {c.lower:g}); no valid seed "
+                "exists",
+                bound=c.lower,
+                observed=s["max"],
+                deficit=c.lower - s["max"],
             )
     for c in constraints.sums:
         s = stats[c.attribute]
         if s["min"] > c.upper:
-            reasons.append(
+            diagnose(
+                "infeasible-sum-upper",
+                "error",
+                c,
                 f"{c}: the smallest single area already exceeds the upper "
-                f"bound (global min {s['min']:g} > {c.upper:g})"
+                f"bound (global min {s['min']:g} > {c.upper:g})",
+                bound=c.upper,
+                observed=s["min"],
+                deficit=s["min"] - c.upper,
             )
         if s["sum"] < c.lower:
-            reasons.append(
+            diagnose(
+                "infeasible-sum-lower",
+                "error",
+                c,
                 f"{c}: even one region of all areas falls short of the lower "
-                f"bound (global sum {s['sum']:g} < {c.lower:g})"
+                f"bound (global sum {s['sum']:g} < {c.lower:g})",
+                bound=c.lower,
+                observed=s["sum"],
+                deficit=c.lower - s["sum"],
             )
     for c in constraints.counts:
         if n < c.lower:
-            reasons.append(
-                f"{c}: the dataset has only {n} areas, below the lower bound"
+            diagnose(
+                "infeasible-count-lower",
+                "error",
+                c,
+                f"{c}: the dataset has only {n} areas, below the lower bound",
+                bound=c.lower,
+                observed=float(n),
+                deficit=c.lower - n,
             )
         if c.upper < 1:
-            reasons.append(f"{c}: the upper bound forbids non-empty regions")
+            diagnose(
+                "infeasible-count-upper",
+                "error",
+                c,
+                f"{c}: the upper bound forbids non-empty regions",
+                bound=c.upper,
+                observed=1.0,
+                deficit=1.0 - c.upper,
+            )
     for c in constraints.avgs:
         average = stats[c.attribute]["avg"]
         if not c.contains(average):
-            message = (
+            diagnose(
+                "avg-outside-range",
+                "error" if config.strict_avg_feasibility else "warning",
+                c,
                 f"{c}: the global average {average:g} lies outside the range; "
                 "by Theorem 3 no partition of ALL areas exists — a solution "
-                "must leave areas unassigned"
+                "must leave areas unassigned",
+                bound=c.lower if average < c.lower else c.upper,
+                observed=average,
+                deficit=(
+                    c.lower - average if average < c.lower else average - c.upper
+                ),
             )
-            if config.strict_avg_feasibility:
-                reasons.append(message)
-            else:
-                warnings.append(message)
 
     # --- invalid-area filtration and seed marking -----------------------
     invalid: set[int] = set()
@@ -216,16 +340,33 @@ def check_feasibility(
             seeds.add(area.area_id)
 
     if len(invalid) == n:
-        reasons.append("every area is invalid under the given constraints")
+        diagnose(
+            "all-areas-invalid",
+            "error",
+            None,
+            "every area is invalid under the given constraints",
+            n_areas=n,
+            n_invalid=len(invalid),
+        )
     elif extrema and not seeds:
-        reasons.append(
+        diagnose(
+            "no-seed-area",
+            "error",
+            None,
             "no area satisfies the bounds of any MIN/MAX constraint; "
-            "no region can contain the required seed areas"
+            "no region can contain the required seed areas",
+            n_areas=n,
+            n_seeds=0,
         )
     if invalid and len(invalid) < n:
-        warnings.append(
+        diagnose(
+            "heavy-filtration",
+            "warning",
+            None,
             f"{len(invalid)} of {n} areas are invalid and will be moved "
-            "to U_0 before construction"
+            "to U_0 before construction",
+            n_areas=n,
+            n_invalid=len(invalid),
         )
 
     if budget is not None:
@@ -245,4 +386,5 @@ def check_feasibility(
         invalid_areas=frozenset(invalid),
         seed_areas=frozenset(seeds),
         global_aggregates=global_aggregates,
+        diagnostics=tuple(diagnostics),
     )

@@ -10,10 +10,43 @@ for terminals and logs.
 from __future__ import annotations
 
 from ..core.area import AreaCollection
+from ..preflight import PreflightReport
 from .feasibility import FeasibilityReport
 from .solver import EMPSolution
 
-__all__ = ["format_feasibility_report", "format_solution_report"]
+__all__ = [
+    "format_feasibility_report",
+    "format_preflight_report",
+    "format_solution_report",
+]
+
+
+def format_preflight_report(report: PreflightReport) -> str:
+    """Render a preflight report as a multi-line string.
+
+    One line per finding, errors first, each led by its stable
+    machine-readable code so terminal output and the JSON report
+    (:meth:`~repro.preflight.PreflightReport.as_dict`) line up.
+    """
+    lines = ["Preflight report"]
+    lines.append(f"  verdict: {'ok' if report.ok else 'REJECTED'}")
+    lines.append(
+        f"  connected components: {report.n_components} "
+        f"(sizes {[len(c) for c in report.components]})"
+    )
+    for finding in (*report.errors, *report.warnings):
+        lines.append(
+            f"  {finding.severity} [{finding.code}]: {finding.message}"
+        )
+        if finding.data:
+            details = ", ".join(
+                f"{key}={value!r}"
+                for key, value in sorted(finding.data.items())
+            )
+            lines.append(f"    {details}")
+    if not report.findings:
+        lines.append("  no findings")
+    return "\n".join(lines)
 
 
 def format_feasibility_report(report: FeasibilityReport) -> str:
@@ -120,6 +153,22 @@ def format_solution_report(
             f"  region sizes: min {min(sizes)}, max {max(sizes)}, "
             f"mean {sum(sizes) / len(sizes):.1f}"
         )
+    if solution.provenance:
+        lines.append(
+            f"  decomposed solve: {len(solution.provenance)} connected "
+            "component(s)"
+        )
+        for entry in solution.provenance:
+            lines.append(
+                f"    component {entry.index}: {entry.n_areas} area(s) -> "
+                f"{entry.p} region(s), {entry.n_unassigned} unassigned, "
+                f"status {entry.status} ({entry.seconds:.3f}s)"
+            )
+    if solution.preflight is not None:
+        for finding in solution.preflight.warnings:
+            lines.append(
+                f"  preflight [{finding.code}]: {finding.message}"
+            )
     for warning in solution.feasibility.warnings:
         lines.append(f"  warning: {warning}")
     return "\n".join(lines)

@@ -46,6 +46,7 @@ from ..core.partition import Partition
 from ..core.perf import PerfCounters
 from ..exceptions import SolverInterrupted
 from ..obs.telemetry import DISABLED, resolve_telemetry
+from ..preflight import PreflightReport, build_report, scan_structure
 from ..runtime import Budget, Interrupted, RunStatus
 from ..runtime.faults import set_fault_listener
 from .checkpointing import SolveLedger
@@ -54,9 +55,69 @@ from .construction import ConstructionResult, construct
 from .feasibility import FeasibilityReport, check_feasibility
 from .pool import SolverPool
 from .portfolio import improve_portfolio
+from .seeding import select_seeds
+from .state import SolutionState
 from .tabu import TabuResult
 
-__all__ = ["ConstructionAttempt", "EMPSolution", "FaCT", "solve_emp"]
+__all__ = [
+    "ComponentProvenance",
+    "ConstructionAttempt",
+    "EMPSolution",
+    "FaCT",
+    "solve_emp",
+]
+
+
+@dataclass(frozen=True)
+class ComponentProvenance:
+    """Where one connected component's regions came from in a
+    decomposed (``FaCTConfig.decompose_components``) solve.
+
+    Attributes
+    ----------
+    index:
+        Component index in the preflight report's canonical order
+        (ascending smallest member id).
+    n_areas:
+        Areas in the component.
+    p:
+        Regions the component contributed to the merged partition.
+    n_unassigned:
+        Component areas left in ``U_0``.
+    regions:
+        The component's region indices *in the merged partition's
+        final numbering* (canonical renumbering interleaves regions
+        across components, so this is a sparse tuple, not a range).
+    status:
+        ``"complete"``, an interruption status value, or
+        ``"infeasible"`` when the component's own Phase-1 scan proved
+        no region can form there (its areas stay unassigned).
+    heterogeneity:
+        ``H`` summed over the component's regions.
+    seconds:
+        Wall-clock spent solving the component.
+    """
+
+    index: int
+    n_areas: int
+    p: int
+    n_unassigned: int
+    regions: tuple[int, ...]
+    status: str
+    heterogeneity: float
+    seconds: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "n_areas": self.n_areas,
+            "p": self.p,
+            "n_unassigned": self.n_unassigned,
+            "regions": list(self.regions),
+            "status": self.status,
+            "heterogeneity": self.heterogeneity,
+            "seconds": self.seconds,
+        }
 
 
 @dataclass(frozen=True)
@@ -119,6 +180,16 @@ class EMPSolution:
         reference path). Both produce bit-identical partitions; the
         name is recorded so reports and bench artifacts can attribute
         timings. Defaults to ``"python"`` for hand-built solutions.
+    preflight:
+        The :class:`repro.preflight.PreflightReport` of the gate run
+        before construction (``None`` with ``config.preflight`` off).
+        Solutions only ever carry reports with no error findings — an
+        error raises :class:`repro.exceptions.InfeasibleProblemError`
+        instead of solving.
+    provenance:
+        Per-component :class:`ComponentProvenance` entries of a
+        decomposed solve (empty for single-component solves and with
+        ``decompose_components`` off).
     """
 
     partition: Partition
@@ -131,6 +202,8 @@ class EMPSolution:
     perf: PerfCounters | None = None
     certificate: Certificate | None = None
     backend: str = "python"
+    preflight: PreflightReport | None = None
+    provenance: tuple[ComponentProvenance, ...] = ()
 
     # -- the paper's three performance measures (Section VII-A) --------
     @property
@@ -213,6 +286,12 @@ class EMPSolution:
                 if self.certificate is not None
                 else None
             ),
+            "preflight": (
+                self.preflight.as_dict()
+                if self.preflight is not None
+                else None
+            ),
+            "provenance": [entry.as_dict() for entry in self.provenance],
         }
 
 
@@ -381,6 +460,19 @@ class FaCT:
             resumed=resume_from is not None,
         ) as solve_span:
             phase_started = time.perf_counter()
+            preflight: PreflightReport | None = None
+            components: tuple = ()
+            structure_findings: tuple = ()
+            if config.preflight:
+                with tracer.span("preflight") as span:
+                    components, structure_findings = scan_structure(
+                        collection, budget=budget
+                    )
+                    if span.recording:
+                        span.set(
+                            n_components=len(components),
+                            findings=len(structure_findings),
+                        )
             with tracer.span("feasibility") as span:
                 feasibility = check_feasibility(
                     collection, constraints, config, budget=budget
@@ -390,67 +482,107 @@ class FaCT:
                         n_invalid=feasibility.n_invalid,
                         warnings=len(feasibility.warnings),
                     )
-                feasibility.raise_if_infeasible()
+                if not config.preflight:
+                    feasibility.raise_if_infeasible()
+            if config.preflight:
+                # Fold structure + Phase-1 diagnostics + per-component
+                # relaxation bounds into one report; any error finding
+                # rejects the instance before construction spends a
+                # single budget checkpoint.
+                preflight = build_report(
+                    collection,
+                    constraints,
+                    components,
+                    structure_findings,
+                    feasibility,
+                )
+                if preflight.warnings:
+                    telemetry.event(
+                        "preflight.findings",
+                        warnings=[f.code for f in preflight.warnings],
+                    )
+                preflight.raise_if_failed()
             feasibility_seconds = time.perf_counter() - phase_started
             telemetry.snapshot_metrics("feasibility")
 
-            # One worker pool serves every parallel stage of this solve
-            # — all construction passes of all retry attempts, then the
-            # Tabu portfolio members. The dataset ships to each worker
-            # process once, at pool initialization.
-            pool = None
-            if config.n_jobs > 1:
-                pool = SolverPool(
-                    collection,
-                    constraints,
-                    feasibility.invalid_areas,
-                    config,
-                    max_workers=config.n_jobs,
+            provenance: tuple[ComponentProvenance, ...] = ()
+            if (
+                config.decompose_components
+                and preflight is not None
+                and preflight.n_components > 1
+            ):
+                if ledger is not None:
+                    # The ledger's pass/member fingerprint scheme has
+                    # no slot for per-component work units; decomposed
+                    # solves run without snapshots.
+                    telemetry.event("decompose.checkpointing_disabled")
+                    ledger = None
+                tabu: TabuResult | None = None
+                construction, attempts, provenance = self._solve_components(
+                    collection, constraints, feasibility, preflight,
+                    budget, runtime_perf, telemetry,
                 )
-            try:
-                construction, attempts = self._construct_with_retries(
-                    collection, constraints, feasibility, budget, pool,
-                    ledger, runtime_perf, telemetry,
-                )
-                if certify_level == CertifyLevel.PARANOID:
-                    self._certify(
-                        construction.partition,
+                partition = construction.partition
+                telemetry.snapshot_metrics("construction")
+            else:
+                # One worker pool serves every parallel stage of this
+                # solve — all construction passes of all retry
+                # attempts, then the Tabu portfolio members. The
+                # dataset ships to each worker process once, at pool
+                # initialization.
+                pool = None
+                if config.n_jobs > 1:
+                    pool = SolverPool(
                         collection,
                         constraints,
-                        budget,
-                        claimed=construction.state.total_heterogeneity(),
-                        label="construction",
-                        runtime_perf=runtime_perf,
-                        telemetry=telemetry,
-                    )
-                if telemetry.enabled:
-                    telemetry.metrics.absorb_perf(
-                        _merged_perf(construction.state.perf, runtime_perf)
-                    )
-                telemetry.snapshot_metrics("construction")
-
-                tabu: TabuResult | None = None
-                partition = construction.partition
-                if (
-                    config.enable_tabu
-                    and construction.state.p > 0
-                    and budget.status() is None
-                ):
-                    tabu = improve_portfolio(
-                        construction.state,
+                        feasibility.invalid_areas,
                         config,
-                        objective=self.objective,
-                        budget=budget,
-                        pool=pool,
-                        ranked_labels=construction.ranked_labels,
-                        ledger=ledger,
-                        runtime_perf=runtime_perf,
-                        telemetry=telemetry,
+                        max_workers=config.n_jobs,
                     )
-                    partition = tabu.partition
-            finally:
-                if pool is not None:
-                    pool.shutdown()
+                try:
+                    construction, attempts = self._construct_with_retries(
+                        collection, constraints, feasibility, budget, pool,
+                        ledger, runtime_perf, telemetry,
+                    )
+                    if certify_level == CertifyLevel.PARANOID:
+                        self._certify(
+                            construction.partition,
+                            collection,
+                            constraints,
+                            budget,
+                            claimed=construction.state.total_heterogeneity(),
+                            label="construction",
+                            runtime_perf=runtime_perf,
+                            telemetry=telemetry,
+                        )
+                    if telemetry.enabled:
+                        telemetry.metrics.absorb_perf(
+                            _merged_perf(construction.state.perf, runtime_perf)
+                        )
+                    telemetry.snapshot_metrics("construction")
+
+                    tabu = None
+                    partition = construction.partition
+                    if (
+                        config.enable_tabu
+                        and construction.state.p > 0
+                        and budget.status() is None
+                    ):
+                        tabu = improve_portfolio(
+                            construction.state,
+                            config,
+                            objective=self.objective,
+                            budget=budget,
+                            pool=pool,
+                            ranked_labels=construction.ranked_labels,
+                            ledger=ledger,
+                            runtime_perf=runtime_perf,
+                            telemetry=telemetry,
+                        )
+                        partition = tabu.partition
+                finally:
+                    if pool is not None:
+                        pool.shutdown()
 
             if telemetry.enabled:
                 telemetry.metrics.absorb_perf(
@@ -482,6 +614,7 @@ class FaCT:
                     label=label,
                     runtime_perf=runtime_perf,
                     telemetry=telemetry,
+                    provenance=provenance,
                 )
 
             # Status is computed after certification so a cancellation
@@ -520,6 +653,8 @@ class FaCT:
             perf=perf,
             certificate=certificate,
             backend=backend,
+            preflight=preflight,
+            provenance=provenance,
         )
         if solution.interrupted and config.strict_interrupt:
             raise SolverInterrupted(
@@ -545,6 +680,7 @@ class FaCT:
         label: str,
         runtime_perf: PerfCounters,
         telemetry=DISABLED,
+        provenance: tuple = (),
     ) -> Certificate:
         """Run one independent certification pass; raises
         :class:`repro.exceptions.CertificationError` on any violation.
@@ -566,6 +702,9 @@ class FaCT:
                 constraints,
                 claimed_heterogeneity=claimed,
                 label=label,
+                provenance=tuple(
+                    entry.as_dict() for entry in provenance
+                ),
             ).raise_if_invalid()
         telemetry.event(
             "certify.solution", label=label, p=partition.p, valid=True
@@ -652,6 +791,191 @@ class FaCT:
                 phase_span.set(attempts=len(attempts))
         assert best is not None  # at least one attempt always runs
         return best, tuple(attempts)
+
+    # ------------------------------------------------------------------
+    # component decomposition (disconnected geographies)
+    # ------------------------------------------------------------------
+    def _solve_components(
+        self,
+        collection: AreaCollection,
+        constraints: ConstraintSet,
+        feasibility: FeasibilityReport,
+        preflight: PreflightReport,
+        budget: Budget,
+        runtime_perf: PerfCounters,
+        telemetry,
+    ) -> tuple[
+        ConstructionResult,
+        tuple[ConstructionAttempt, ...],
+        tuple[ComponentProvenance, ...],
+    ]:
+        """Solve each connected component independently, then merge.
+
+        Components are visited in the preflight report's canonical
+        order (ascending smallest member id), each with the same
+        ``rng_seed`` and the shared run budget. A component whose own
+        Phase-1 scan proves infeasible is *skipped*, not fatal: its
+        areas stay unassigned and the skip is recorded in the
+        provenance. The merged labels are rebuilt through the
+        canonical :meth:`SolutionState.from_labels` — regions
+        renumbered by smallest member id, areas inserted ascending —
+        so the merged partition is bit-identical at any ``n_jobs``
+        and on both backends, exactly like single-component solves.
+        """
+        config = self.config
+        tracer = telemetry.tracer
+        merged_labels: dict[int, int] = {}
+        attempts_all: list[ConstructionAttempt] = []
+        interim: list[dict] = []
+        iterations = 0
+        offset = 0
+        started = time.perf_counter()
+        for index, members in enumerate(preflight.components):
+            component_started = time.perf_counter()
+            with tracer.span(
+                "component", index=index, n_areas=len(members)
+            ) as component_span:
+                sub = collection.subset(members)
+                sub_feasibility = check_feasibility(
+                    sub, constraints, config, budget=budget
+                )
+                if not sub_feasibility.feasible:
+                    for area_id in members:
+                        merged_labels[area_id] = -1
+                    interim.append(
+                        {
+                            "index": index,
+                            "members": members,
+                            "status": "infeasible",
+                            "heterogeneity": 0.0,
+                            "seconds": time.perf_counter()
+                            - component_started,
+                        }
+                    )
+                    if component_span.recording:
+                        component_span.set(p=0, status="infeasible")
+                    continue
+                pool = None
+                if config.n_jobs > 1:
+                    pool = SolverPool(
+                        sub,
+                        constraints,
+                        sub_feasibility.invalid_areas,
+                        config,
+                        max_workers=config.n_jobs,
+                    )
+                try:
+                    construction, attempts = self._construct_with_retries(
+                        sub, constraints, sub_feasibility, budget, pool,
+                        None, runtime_perf, telemetry,
+                    )
+                    tabu = None
+                    component_partition = construction.partition
+                    if (
+                        config.enable_tabu
+                        and construction.state.p > 0
+                        and budget.status() is None
+                    ):
+                        tabu = improve_portfolio(
+                            construction.state,
+                            config,
+                            objective=self.objective,
+                            budget=budget,
+                            pool=pool,
+                            ranked_labels=construction.ranked_labels,
+                            ledger=None,
+                            runtime_perf=runtime_perf,
+                            telemetry=telemetry,
+                        )
+                        component_partition = tabu.partition
+                finally:
+                    if pool is not None:
+                        pool.shutdown()
+                attempts_all.extend(attempts)
+                iterations += construction.iterations
+                runtime_perf.merge(construction.state.perf)
+                # Offsets only need uniqueness across components; the
+                # canonical rebuild below renumbers everything.
+                for area_id, label in component_partition.labels().items():
+                    merged_labels[area_id] = (
+                        offset + label if label >= 0 else -1
+                    )
+                offset += component_partition.p
+                component_status = budget.status()
+                interim.append(
+                    {
+                        "index": index,
+                        "members": members,
+                        "status": (
+                            component_status.value
+                            if component_status is not None
+                            else "complete"
+                        ),
+                        "heterogeneity": (
+                            tabu.heterogeneity_after
+                            if tabu is not None
+                            else construction.state.total_heterogeneity()
+                        ),
+                        "seconds": time.perf_counter() - component_started,
+                    }
+                )
+                if component_span.recording:
+                    component_span.set(
+                        p=component_partition.p,
+                        status=interim[-1]["status"],
+                    )
+
+        merged_state = SolutionState.from_labels(
+            collection,
+            constraints,
+            merged_labels,
+            excluded=feasibility.invalid_areas,
+        )
+        merged_partition = merged_state.to_partition()
+        final_labels = merged_partition.labels()
+        provenance = []
+        for entry in interim:
+            members = entry["members"]
+            regions = tuple(
+                sorted(
+                    {
+                        final_labels[area_id]
+                        for area_id in members
+                        if final_labels.get(area_id, -1) >= 0
+                    }
+                )
+            )
+            provenance.append(
+                ComponentProvenance(
+                    index=entry["index"],
+                    n_areas=len(members),
+                    p=len(regions),
+                    n_unassigned=len(members) - sum(
+                        1
+                        for area_id in members
+                        if final_labels.get(area_id, -1) >= 0
+                    ),
+                    regions=regions,
+                    status=entry["status"],
+                    heterogeneity=entry["heterogeneity"],
+                    seconds=round(entry["seconds"], 4),
+                )
+            )
+        merged = ConstructionResult(
+            state=merged_state,
+            partition=merged_partition,
+            feasibility=feasibility,
+            seeding=select_seeds(collection, constraints, feasibility),
+            iterations=iterations,
+            elapsed_seconds=time.perf_counter() - started,
+            status=budget.status() or RunStatus.COMPLETE,
+        )
+        telemetry.event(
+            "decompose.merged",
+            n_components=len(preflight.components),
+            p=merged_partition.p,
+        )
+        return merged, tuple(attempts_all), tuple(provenance)
 
 
 def _merged_perf(*counters: PerfCounters) -> PerfCounters:

@@ -52,6 +52,8 @@ __all__ = [
 
 
 CHECKPOINTS: tuple[str, ...] = (
+    "preflight.lint",
+    "preflight.components",
     "feasibility.checked",
     "construction.pass.start",
     "construction.grow.seed",
@@ -64,6 +66,11 @@ CHECKPOINTS: tuple[str, ...] = (
 )
 """Registry of every named checkpoint inside the solver.
 
+- ``preflight.lint`` — end of the preflight structure lint (the
+  findings are already collected; a deadline here only affects later
+  phases).
+- ``preflight.components`` — after the preflight connected-component
+  scan of the input geography.
 - ``feasibility.checked`` — end of the Phase-1 scan (the report is
   already complete; a deadline here only affects later phases).
 - ``construction.pass.start`` — before each construction pass.

@@ -48,6 +48,7 @@ SERVICE_CHECKPOINTS = (
     "service.lease.reap",
     "service.result.write",
     "service.job.finalize",
+    "service.quarantine",
 )
 """Fault-injection checkpoints of the service layer.
 
@@ -57,7 +58,8 @@ reachable from a plain solve, which the service ones are not). A
 :class:`repro.runtime.FaultInjector` armed at any of these can kill,
 delay or fail the service at the exact instants the durability
 guarantees must hold: right before a journal append, around lease
-claims/renewals/reaps, before a result write and before finalization.
+claims/renewals/reaps, before a result write, before finalization and
+right before a poison job is quarantined to DEAD.
 """
 
 register_checkpoints(*SERVICE_CHECKPOINTS)

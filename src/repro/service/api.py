@@ -9,7 +9,9 @@ Endpoints
 ---------
 ===========================================  =================================
 ``POST /jobs``                               submit a job (JSON body =
-                                             :class:`~repro.service.jobs.JobSpec`)
+                                             :class:`~repro.service.jobs.JobSpec`;
+                                             ``422`` + preflight report
+                                             for provably doomed specs)
 ``GET /jobs``                                list jobs (``?state=queued`` …)
 ``GET /jobs/<id>``                           job status (state machine view)
 ``POST /jobs/<id>/cancel``                   request cancellation
@@ -21,6 +23,12 @@ Endpoints
 ``GET /healthz``                             liveness + per-state job counts
 ``GET /metrics``                             Prometheus text exposition
 ===========================================  =================================
+
+Every error payload is ``{"error": <message>, "code": <identifier>}``
+where ``code`` is the stable machine-readable code declared by the
+:mod:`repro.exceptions` class that produced it (``"bad-request"`` for
+non-library validation errors), so clients match on the field instead
+of parsing prose.
 
 The server owns a background *reaper* thread: expired leases are
 re-queued on a fixed cadence even when every worker is dead — the
@@ -38,7 +46,8 @@ import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..exceptions import JobError, ReproError
+from ..exceptions import InfeasibleProblemError, JobError, ReproError
+from ..preflight import run_preflight
 from .jobs import JobSpec
 from .store import JobStore
 
@@ -48,6 +57,22 @@ _JOB_ROUTE = re.compile(
     r"^/jobs/(?P<job_id>[A-Za-z0-9_.-]+)"
     r"(?:/(?P<action>cancel|result|certificate|events))?$"
 )
+
+
+def _error(error, **extra) -> dict:
+    """JSON error payload carrying the stable machine-readable code.
+
+    Every :class:`~repro.exceptions.ReproError` subclass declares a
+    class-level ``code``; non-library errors (``TypeError`` on a
+    malformed spec, say) fall back to ``"bad-request"`` so clients can
+    always match on the field.
+    """
+    payload = {
+        "error": str(error),
+        "code": getattr(error, "code", "bad-request"),
+    }
+    payload.update(extra)
+    return payload
 
 
 class ServiceAPI:
@@ -64,18 +89,43 @@ class ServiceAPI:
 
     # -- submit / query -------------------------------------------------
     def submit(self, payload: dict) -> tuple[int, dict]:
+        """Validate, preflight-gate and enqueue one job.
+
+        Unless the spec's config disables preflight, the dataset and
+        constraints are preflighted *before* the job is journaled: a
+        provably unsolvable job is rejected here with ``422`` and the
+        full :class:`~repro.preflight.PreflightReport` (per-constraint
+        slack numbers included) instead of occupying a worker just to
+        fail deterministically.
+        """
         try:
             spec = JobSpec.from_dict(payload)
+            rejection = self._preflight_gate(spec)
+            if rejection is not None:
+                return rejection
             job = self.store.submit(spec)
         except (JobError, ReproError, TypeError, ValueError) as error:
-            return 400, {"error": str(error)}
+            return 400, _error(error)
         return 201, job.as_dict()
+
+    def _preflight_gate(self, spec: JobSpec) -> tuple[int, dict] | None:
+        """422 rejection payload for a doomed spec, or None to admit."""
+        if not spec.build_config().preflight:
+            return None
+        report = run_preflight(
+            spec.build_collection(), spec.build_constraints()
+        )
+        try:
+            report.raise_if_failed()
+        except InfeasibleProblemError as error:
+            return 422, _error(error, preflight=report.as_dict())
+        return None
 
     def list_jobs(self, state: str | None = None) -> tuple[int, dict]:
         try:
             jobs = self.store.jobs(state=state)
         except JobError as error:
-            return 400, {"error": str(error)}
+            return 400, _error(error)
         return 200, {
             "jobs": [job.as_dict() for job in jobs],
             "counts": self.store.counts(),
@@ -85,13 +135,13 @@ class ServiceAPI:
         try:
             return 200, self.store.get(job_id).as_dict()
         except JobError as error:
-            return 404, {"error": str(error)}
+            return 404, _error(error)
 
     def cancel(self, job_id: str) -> tuple[int, dict]:
         try:
             return 200, self.store.cancel(job_id).as_dict()
         except JobError as error:
-            return 404, {"error": str(error)}
+            return 404, _error(error)
 
     def result(self, job_id: str) -> tuple[int, dict]:
         status, payload = self.status(job_id)
@@ -214,7 +264,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             outcome = self.api.dispatch(self.command, path, query, body)
         except Exception as error:  # noqa: BLE001 - server must survive
-            self._send(500, {"error": str(error)})
+            self._send(500, _error(error, code="internal-error"))
             return
         if len(outcome) == 3:
             status, text, content_type = outcome

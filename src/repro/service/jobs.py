@@ -284,6 +284,7 @@ class Job:
     error: str | None = None
     detail: str | None = None
     result_status: str | None = None
+    fault_signature: str | None = None
 
     @property
     def terminal(self) -> bool:
@@ -311,6 +312,7 @@ class Job:
             "error": self.error,
             "detail": self.detail,
             "result_status": self.result_status,
+            "fault_signature": self.fault_signature,
             "priority": self.spec.priority,
             "label": self.spec.label,
             "spec": self.spec.as_dict(),

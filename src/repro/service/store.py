@@ -194,7 +194,13 @@ class JobStore:
         if kind == "transition":
             job.state = record.get("state", job.state)
             job.updated_at = float(record.get("ts", job.updated_at))
-            for name in ("worker_id", "error", "detail", "result_status"):
+            for name in (
+                "worker_id",
+                "error",
+                "detail",
+                "result_status",
+                "fault_signature",
+            ):
                 if name in record:
                     setattr(job, name, record[name])
             if "attempts" in record:
@@ -400,6 +406,7 @@ class JobStore:
         worker_id: str | None,
         error: str,
         retryable: bool = True,
+        signature: str | None = None,
     ) -> Job:
         """Record a failed attempt; re-queue, dead-letter or fail hard.
 
@@ -408,6 +415,16 @@ class JobStore:
         help) go straight to FAILED. Retryable ones follow the job's
         :class:`repro.runtime.RetryPolicy`: QUEUED with a backoff
         window while attempts remain, DEAD once exhausted.
+
+        ``signature`` is the worker's normalized fault signature
+        (exception type plus digit-masked message). When a retryable
+        attempt fails with the *same* signature as the previous
+        attempt, the job is a poison job — it crashes the same way
+        every time, so burning the remaining retry budget (and worker
+        time) on it is pure waste. The store short-circuits: the
+        ``service.quarantine`` checkpoint fires, then the job goes
+        straight to DEAD with the signature recorded in the journal
+        transition for post-mortem matching.
         """
         with self._locked():
             self._refresh()
@@ -415,6 +432,19 @@ class JobStore:
             fire_checkpoint("service.job.finalize")
             if not retryable:
                 self._transition(job, JobState.FAILED, error=error)
+                return job
+            if signature is not None and signature == job.fault_signature:
+                fire_checkpoint("service.quarantine")
+                self._transition(
+                    job,
+                    JobState.DEAD,
+                    error=error,
+                    detail=(
+                        "quarantined: repeated fault signature "
+                        f"{signature!r} (attempt {job.attempts})"
+                    ),
+                    fault_signature=signature,
+                )
                 return job
             verdict, delay = self.policy_for(job).decide(
                 job.attempts, key=job_id
@@ -428,6 +458,7 @@ class JobStore:
                     not_before=self.clock() + delay,
                     lease_expires_at=None,
                     worker_id=None,
+                    fault_signature=signature,
                 )
             else:
                 self._transition(
@@ -435,6 +466,7 @@ class JobStore:
                     JobState.DEAD,
                     error=error,
                     detail=f"attempts exhausted ({job.attempts})",
+                    fault_signature=signature,
                 )
             return job
 

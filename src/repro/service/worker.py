@@ -28,7 +28,10 @@ Failure routing: deterministic rejections (infeasible query, malformed
 spec, certification veto) fail the job permanently — retrying a
 deterministic solve reproduces the same answer. Everything else
 (worker crash, OS error, poisoned pool) is retryable and goes back
-through the store's :class:`repro.runtime.RetryPolicy`.
+through the store's :class:`repro.runtime.RetryPolicy` — unless two
+consecutive attempts crash with the same :func:`fault_signature`, in
+which case the store quarantines the poison job straight to DEAD
+without burning the remaining retry budget.
 
 Graceful drain: :meth:`ServiceWorker.drain` (wired to SIGTERM by the
 CLI) cancels the in-flight solve at its next checkpoint; the job is
@@ -40,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
 import traceback
 import uuid
@@ -60,6 +64,18 @@ __all__ = ["ServiceWorker"]
 # Heartbeat when neither the job config nor the worker pins one:
 # a third of the lease keeps three beats inside every lease window.
 _HEARTBEAT_FRACTION = 3.0
+
+
+def fault_signature(error: BaseException) -> str:
+    """Normalized identity of a failure for poison-job detection.
+
+    Exception type plus its message with digit runs masked — so two
+    attempts that crash the same way match even when the message
+    embeds attempt counters, ordinals or addresses (fault-injection
+    messages carry the checkpoint visit number, for example).
+    """
+    masked = re.sub(r"\d+", "#", str(error))
+    return f"{type(error).__name__}:{masked}"
 
 
 class ServiceWorker:
@@ -161,17 +177,29 @@ class ServiceWorker:
         except (InfeasibleProblemError, CertificationError) as error:
             self._fail(job_id, error, retryable=False)
         except ReproError as error:
-            self._fail(job_id, error, retryable=True)
+            self._fail(
+                job_id, error, retryable=True,
+                signature=fault_signature(error),
+            )
         except Exception as error:  # noqa: BLE001 - worker must survive
             detail = "".join(
                 traceback.format_exception_only(type(error), error)
             ).strip()
-            self._fail(job_id, detail, retryable=True)
+            self._fail(
+                job_id, detail, retryable=True,
+                signature=fault_signature(error),
+            )
 
-    def _fail(self, job_id: str, error, retryable: bool) -> None:
+    def _fail(
+        self, job_id: str, error, retryable: bool, signature: str | None = None
+    ) -> None:
         try:
             self.store.fail(
-                job_id, self.worker_id, str(error), retryable=retryable
+                job_id,
+                self.worker_id,
+                str(error),
+                retryable=retryable,
+                signature=signature,
             )
         except JobError:
             pass  # lease already lost; the reaper handled the job

@@ -269,3 +269,60 @@ class TestEdgeCases:
         assert untouched in index.blocks
         assert index.blocks[untouched] == {2, 3, 4}
         assert_matches_reference(index, members, neighbors)
+
+
+class TestDisconnectedAndDegenerateInput:
+    """BlockCutIndex on multi-component and single-vertex inputs.
+
+    The index models one *connected* induced subgraph; disconnected
+    input must be rejected crisply (False + empty structure), and the
+    degenerate single-vertex component — which island datasets produce
+    — must behave as a singleton block with no articulation points.
+    """
+
+    ADJACENCY = {
+        0: [1, 2],
+        1: [0, 2],
+        2: [0, 1],
+        3: [4],
+        4: [3],
+        5: [],
+    }
+
+    def _neighbors(self, v):
+        return self.ADJACENCY[v]
+
+    def test_rebuild_rejects_two_components(self):
+        index = BlockCutIndex()
+        assert not index.rebuild({0, 1, 2, 3, 4}, self._neighbors)
+        assert len(index) == 0
+        assert not index.blocks and not index.articulation
+
+    def test_rebuild_rejects_isolated_vertex_alongside_block(self):
+        index = BlockCutIndex()
+        assert not index.rebuild({0, 1, 2, 5}, self._neighbors)
+        assert len(index) == 0
+
+    def test_single_vertex_component_is_singleton_block(self):
+        index = BlockCutIndex()
+        assert index.rebuild({5}, self._neighbors)
+        assert len(index) == 1
+        assert [set(m) for m in index.blocks.values()] == [{5}]
+        assert not index.articulation
+        assert_matches_reference(index, {5}, self._neighbors)
+
+    def test_each_component_indexes_separately(self):
+        # The decomposed solver's usage pattern: one index per
+        # component, each rebuilt over its own member set only.
+        for members in ({0, 1, 2}, {3, 4}, {5}):
+            index = BlockCutIndex()
+            assert index.rebuild(set(members), self._neighbors)
+            assert_matches_reference(index, set(members), self._neighbors)
+
+    def test_add_vertex_from_other_component_is_rejected(self):
+        index = BlockCutIndex()
+        assert index.rebuild({0, 1, 2}, self._neighbors)
+        # Vertex 3 has no in-set neighbors: admitting it would create a
+        # second component, which the structure must refuse.
+        assert not index.add_vertex(3, [])
+        assert_matches_reference(index, {0, 1, 2}, self._neighbors)

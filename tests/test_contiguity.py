@@ -204,3 +204,72 @@ class TestGraphAlgorithms:
             remaining = set(range(n)) - {cut}
             components_after = connected_components(remaining, fn)
             assert len(components_after) >= len(components_before) + 1
+
+
+class TestDisconnectedCsr:
+    """csr_adjacency / neighbors_from_csr on multi-component input.
+
+    The preflight component scan and the decomposed solver both build
+    per-component CSR views, so the graph layer must handle islands
+    and single-vertex components exactly — not just connected grids.
+    """
+
+    # Two components (0-1-2 path, 3-4 edge) plus isolated vertex 5.
+    ADJACENCY = {
+        0: frozenset({1}),
+        1: frozenset({0, 2}),
+        2: frozenset({1}),
+        3: frozenset({4}),
+        4: frozenset({3}),
+        5: frozenset(),
+    }
+
+    def _neighbors(self, node):
+        return self.ADJACENCY[node]
+
+    def test_multi_component_round_trip(self):
+        from repro.contiguity.graph import csr_adjacency, neighbors_from_csr
+
+        nodes = sorted(self.ADJACENCY)
+        indptr, indices = csr_adjacency(nodes, self._neighbors)
+        assert len(indptr) == len(nodes) + 1
+        assert indptr[-1] == len(indices) == 6  # 3 undirected edges
+        assert neighbors_from_csr(nodes, indptr, indices) == self.ADJACENCY
+
+    def test_single_vertex_component_has_empty_row(self):
+        from repro.contiguity.graph import csr_adjacency
+
+        nodes = sorted(self.ADJACENCY)
+        indptr, indices = csr_adjacency(nodes, self._neighbors)
+        row = nodes.index(5)
+        assert indptr[row] == indptr[row + 1]
+
+    def test_restriction_drops_cross_component_neighbors(self):
+        from repro.contiguity.graph import csr_adjacency, neighbors_from_csr
+
+        # Restrict to one vertex per component: every row is empty.
+        nodes = [0, 3, 5]
+        indptr, indices = csr_adjacency(nodes, self._neighbors)
+        assert indices == []
+        assert neighbors_from_csr(nodes, indptr, indices) == {
+            0: frozenset(),
+            3: frozenset(),
+            5: frozenset(),
+        }
+
+    def test_components_seen_by_csr_match_connected_components(self):
+        nodes = sorted(self.ADJACENCY)
+        components = connected_components(nodes, self._neighbors)
+        assert {frozenset(c) for c in components} == {
+            frozenset({0, 1, 2}),
+            frozenset({3, 4}),
+            frozenset({5}),
+        }
+        # Each per-component CSR is self-contained: all dense indices
+        # stay inside the component's own row range.
+        from repro.contiguity.graph import csr_adjacency
+
+        for component in components:
+            members = sorted(component)
+            indptr, indices = csr_adjacency(members, self._neighbors)
+            assert all(0 <= j < len(members) for j in indices)

@@ -76,3 +76,58 @@ class TestHierarchy:
             FaCT().solve(
                 grid3, ConstraintSet([sum_constraint("s", lower=1e9)])
             )
+
+
+class TestStableCodes:
+    """Every exception class declares a stable machine-readable code
+    (the service API surfaces it in error payloads; renaming one is a
+    breaking API change)."""
+
+    EXPECTED = {
+        ReproError: "repro-error",
+        InvalidConstraintError: "invalid-constraint",
+        InvalidAreaError: "invalid-area",
+        DatasetError: "dataset-error",
+        InfeasibleProblemError: "infeasible-problem",
+        BudgetError: "budget-error",
+        SolverInterrupted: "solver-interrupted",
+        ContiguityError: "contiguity-error",
+        GeometryError: "geometry-error",
+    }
+
+    def test_declared_codes_are_frozen(self):
+        from repro.exceptions import (
+            CertificationError,
+            CheckpointError,
+            JobError,
+        )
+
+        expected = dict(self.EXPECTED)
+        expected[CertificationError] = "certification-error"
+        expected[CheckpointError] = "checkpoint-error"
+        expected[JobError] = "job-error"
+        for exception_type, code in expected.items():
+            assert exception_type.code == code
+
+    def test_every_repro_exception_has_a_unique_code(self):
+        import inspect
+
+        import repro.exceptions as module
+
+        classes = [
+            obj
+            for obj in vars(module).values()
+            if inspect.isclass(obj)
+            and issubclass(obj, ReproError)
+            and obj is not ReproError
+        ]
+        codes = [cls.code for cls in classes]
+        assert len(codes) == len(set(codes))  # no reuse
+        for cls in classes:
+            assert "code" in vars(cls)  # declared, not inherited
+            assert cls.code == cls.code.lower()
+            assert " " not in cls.code
+
+    def test_instances_inherit_their_class_code(self):
+        assert DatasetError("nope").code == "dataset-error"
+        assert InfeasibleProblemError("nope").code == "infeasible-problem"

@@ -141,3 +141,86 @@ class TestLoaderValidation:
     def test_unknown_contiguity_raises(self):
         with pytest.raises(DatasetError, match="unknown contiguity"):
             load_geojson(self._document(), ["POP"], "POP", contiguity="bishop")
+
+
+class TestLoudAttributeValidation:
+    """Regression: a NaN (or junk) property must fail the load loudly —
+    naming the feature, the property and the preflight lint code —
+    instead of propagating into aggregate comparisons where NaN
+    silently compares false."""
+
+    def _document(self, census, mutate):
+        document = collection_to_feature_collection(census)
+        mutate(document["features"])
+        return document
+
+    NAMES = ["TOTALPOP", "EMPLOYED", "POP16UP", "HOUSEHOLDS"]
+
+    def _load(self, document):
+        return load_geojson(
+            document,
+            attribute_names=self.NAMES,
+            dissimilarity_attribute="HOUSEHOLDS",
+            id_property="area_id",
+        )
+
+    def test_nan_property_rejected(self, census):
+        def poison(features):
+            features[3]["properties"]["TOTALPOP"] = float("nan")
+
+        with pytest.raises(DatasetError, match="non-finite-attribute"):
+            self._load(self._document(census, poison))
+
+    def test_inf_property_rejected(self, census):
+        def poison(features):
+            features[0]["properties"]["EMPLOYED"] = float("inf")
+
+        with pytest.raises(DatasetError, match="non-finite-attribute"):
+            self._load(self._document(census, poison))
+
+    def test_non_numeric_property_rejected(self, census):
+        def poison(features):
+            features[1]["properties"]["POP16UP"] = "many"
+
+        with pytest.raises(DatasetError, match="non-numeric-attribute"):
+            self._load(self._document(census, poison))
+
+    def test_null_property_rejected(self, census):
+        def poison(features):
+            features[2]["properties"]["TOTALPOP"] = None
+
+        with pytest.raises(DatasetError, match="non-numeric-attribute"):
+            self._load(self._document(census, poison))
+
+    def test_missing_property_names_lint_code(self, census):
+        def poison(features):
+            del features[4]["properties"]["HOUSEHOLDS"]
+
+        with pytest.raises(DatasetError, match="missing-attribute"):
+            self._load(self._document(census, poison))
+
+    def test_error_names_the_feature(self, census):
+        def poison(features):
+            features[7]["properties"]["TOTALPOP"] = float("nan")
+
+        with pytest.raises(DatasetError, match="feature 7"):
+            self._load(self._document(census, poison))
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_no_backend_ever_sees_a_nan(self, census, backend):
+        """Both solver backends are protected by the same load-time
+        rejection: the poisoned document never becomes a collection,
+        so the backend choice cannot re-open the NaN hole."""
+        from repro.core.arrays import numpy_available
+        from repro.fact import FaCT, FaCTConfig
+
+        if backend == "numpy" and not numpy_available():
+            pytest.skip("numpy backend not importable")
+
+        document = collection_to_feature_collection(census)
+        document["features"][5]["properties"]["TOTALPOP"] = float("nan")
+        with pytest.raises(DatasetError, match="non-finite-attribute"):
+            collection = self._load(document)
+            FaCT(FaCTConfig(rng_seed=3, backend=backend)).solve(
+                collection, None
+            )

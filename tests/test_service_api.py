@@ -204,3 +204,64 @@ class TestHTTPServer:
             server.shutdown()
             reaper.stop()
             server.server_close()
+
+
+class TestErrorCodesAndPreflightGate:
+    """Machine-readable error codes + the submit-time preflight gate."""
+
+    def test_validation_errors_carry_codes(self, api):
+        status, payload = api.dispatch(
+            "POST", "/jobs", {}, {"dataset": "2k", "scale": -1}
+        )
+        assert status == 400 and payload["code"] == "job-error"
+        status, payload = api.dispatch("GET", "/jobs/j-missing", {}, None)
+        assert status == 404 and payload["code"] == "job-error"
+        status, payload = api.dispatch(
+            "POST", "/jobs/j-missing/cancel", {}, None
+        )
+        assert status == 404 and payload["code"] == "job-error"
+
+    def test_unknown_dataset_carries_dataset_error_code(self, api):
+        status, payload = api.dispatch(
+            "POST", "/jobs", {}, {"dataset": "no-such-dataset"}
+        )
+        assert status == 400 and payload["code"] == "dataset-error"
+
+    def test_gate_rejects_provably_infeasible_submit(self, api, store):
+        spec = dict(SPEC, constraints=["SUM:TOTALPOP:1e12:-"])
+        status, payload = api.dispatch("POST", "/jobs", {}, spec)
+        assert status == 422
+        assert payload["code"] == "infeasible-problem"
+        report = payload["preflight"]
+        assert report["ok"] is False
+        finding = next(
+            f
+            for f in report["findings"]
+            if f["code"] == "infeasible-sum-lower"
+        )
+        assert finding["data"]["deficit"] > 0
+        assert finding["data"]["bound"] == 1e12
+        # Nothing was journaled: the doomed job never existed.
+        assert store.jobs() == []
+
+    def test_gate_honors_preflight_opt_out(self, api, store):
+        spec = dict(
+            SPEC,
+            constraints=["SUM:TOTALPOP:1e12:-"],
+            config={"rng_seed": 7, "preflight": False},
+        )
+        status, payload = api.dispatch("POST", "/jobs", {}, spec)
+        assert status == 201  # admitted; the worker will FAIL it
+        from repro.service import ServiceWorker as _Worker
+
+        _Worker(store, worker_id="w-optout").run_once()
+        status, job = api.dispatch(
+            "GET", f"/jobs/{payload['job_id']}", {}, None
+        )
+        assert job["state"] == JobState.FAILED
+        assert job["fault_signature"] is None  # non-retryable, no retry
+
+    def test_gate_admits_feasible_jobs_untouched(self, api):
+        status, payload = api.dispatch("POST", "/jobs", {}, dict(SPEC))
+        assert status == 201
+        assert payload["state"] == JobState.QUEUED

@@ -350,10 +350,11 @@ class TestChaos:
         submitted = []
         with inject(injector):
             try:
-                # A scripted two-job "day in the life" that visits every
+                # A scripted "day in the life" that visits every
                 # service checkpoint: solve job a end to end (claim,
-                # renew, result, finalize), then let job b's lease
-                # expire and reap it before finishing it too.
+                # renew, result, finalize), let job b's lease expire
+                # and reap it before finishing it too, then poison
+                # job c until it is quarantined.
                 submitted.append(store.submit(spec(label="a")).job_id)
                 submitted.append(store.submit(spec(label="b")).job_id)
                 job_a = store.claim("w-crashy")
@@ -369,6 +370,20 @@ class TestChaos:
                 store.start_running(job_b.job_id, "w-crashy")
                 store.write_result(job_b.job_id, {"labels": {}})
                 store.complete(job_b.job_id, "w-crashy")
+                # Job c crashes the same way twice: the second failure
+                # matches the recorded fault signature and the store
+                # quarantines it (service.quarantine fires) instead of
+                # burning the rest of the retry budget.
+                submitted.append(store.submit(spec(label="c")).job_id)
+                for attempt in (1, 2):
+                    job_c = store.claim("w-crashy")
+                    store.start_running(job_c.job_id, "w-crashy")
+                    store.fail(
+                        job_c.job_id,
+                        "w-crashy",
+                        f"boom at visit {attempt}",
+                        signature="ValueError:boom at visit #",
+                    )
             except InjectedFault:
                 pass  # the "process" died here
         assert injector.visited(checkpoint) >= 1

@@ -223,3 +223,100 @@ class TestServiceConfigKnobs:
         policy = config.pool_retry_policy()
         assert policy.max_attempts == 3
         assert policy.base_delay_seconds == 0.25
+
+
+class TestQuarantine:
+    """Poison-job detection: same fault signature twice -> DEAD now."""
+
+    def test_poison_job_short_circuits_remaining_retries(self, tmp_path):
+        store = make_store(
+            tmp_path,
+            retry_policy=RetryPolicy(
+                max_attempts=5, base_delay_seconds=0.0, jitter_ratio=0.0
+            ),
+        )
+        job = store.submit(make_spec())
+        worker = ServiceWorker(store, worker_id="w-poison")
+
+        injector = FaultInjector()
+        for visit in range(1, 6):
+            injector.fail("construction.pass.start", on_visit=visit)
+        with inject(injector):
+            worker.run_once()  # attempt 1: retryable crash, re-queued
+            after_first = store.get(job.job_id)
+            assert after_first.state == JobState.QUEUED
+            assert after_first.fault_signature is not None
+            # The visit ordinal in the fault message is digit-masked,
+            # so the next identical crash produces the same signature.
+            assert "#" in after_first.fault_signature
+            worker.run_once()  # attempt 2: same signature -> quarantine
+
+        final = store.get(job.job_id)
+        assert final.state == JobState.DEAD
+        assert final.attempts == 2  # three budgeted attempts never ran
+        assert "quarantined" in final.detail
+        assert final.fault_signature == after_first.fault_signature
+
+    def test_signature_survives_journal_replay(self, tmp_path):
+        store = make_store(tmp_path)
+        job = store.submit(make_spec())
+        worker = ServiceWorker(store, worker_id="w-replay")
+        injector = FaultInjector()
+        injector.fail("construction.pass.start", on_visit=1)
+        injector.fail("construction.pass.start", on_visit=2)
+        with inject(injector):
+            worker.run_once()
+            worker.run_once()
+        final = store.get(job.job_id)
+        assert final.state == JobState.DEAD
+        assert final.fault_signature
+
+        # The signature is a journal fact, not an in-memory one: a
+        # fresh store folds it back, and the DEAD transition record
+        # carries it verbatim for post-mortem matching.
+        import json
+
+        with open(
+            os.path.join(store.root, "journal.jsonl"), encoding="utf-8"
+        ) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        dead = [
+            r
+            for r in records
+            if r.get("kind") == "transition" and r.get("state") == "dead"
+        ]
+        assert dead and dead[-1]["fault_signature"] == final.fault_signature
+
+        replayed = JobStore(store.root)
+        assert (
+            replayed.get(job.job_id).fault_signature
+            == final.fault_signature
+        )
+
+    def test_different_signatures_do_not_quarantine(self, tmp_path):
+        store = make_store(
+            tmp_path,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay_seconds=0.0, jitter_ratio=0.0
+            ),
+        )
+        job = store.submit(make_spec())
+        worker = ServiceWorker(store, worker_id="w-vary")
+
+        injector = FaultInjector()
+        # Attempt 1 dies in construction; attempt 2 dies at the
+        # feasibility checkpoint (a different signature); attempt 3 is
+        # fault-free. A naive "two failures -> dead" heuristic would
+        # kill this job; signature matching lets it recover.
+        injector.fail("construction.pass.start", on_visit=1)
+        injector.fail("feasibility.checked", on_visit=2)
+        with inject(injector):
+            worker.run_once()
+            assert store.get(job.job_id).state == JobState.QUEUED
+            worker.run_once()
+            assert store.get(job.job_id).state == JobState.QUEUED
+            worker.run_once()
+
+        final = store.get(job.job_id)
+        assert final.state == JobState.COMPLETED
+        assert final.attempts == 3
