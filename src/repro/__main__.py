@@ -20,7 +20,11 @@ Commands
     ``obs chrome`` exports Chrome ``trace_event`` JSON for
     ``chrome://tracing``, ``obs prom`` prints the final metrics in
     Prometheus text exposition, ``obs validate`` checks the log for
-    unclosed spans / malformed records.
+    unclosed spans / malformed records. ``obs top`` and ``obs tail``
+    are the live operations console: they poll a running solve
+    service's HTTP API (jobs list + offset-based event reads) and
+    render a fleet table with per-job progress/ETA/health, or stream
+    one job's event log.
 ``serve``
     Start the durable solve service (HTTP API + worker fleet); alias
     for ``python -m repro.service serve``. The other service commands
@@ -113,7 +117,24 @@ def _constraints(args) -> ConstraintSet:
 
 
 def _run_obs(args) -> int:
-    """The ``obs`` subcommand: exporters over a telemetry JSONL file."""
+    """The ``obs`` subcommand: exporters over a telemetry JSONL file,
+    plus the live fleet console (``obs top`` / ``obs tail``)."""
+    if args.obs_command == "top":
+        from .obs.console import run_top
+
+        return run_top(
+            args.url, once=args.once, interval=args.interval
+        )
+    if args.obs_command == "tail":
+        from .obs.console import run_tail
+
+        return run_tail(
+            args.url,
+            args.job,
+            follow=not args.no_follow,
+            interval=args.interval,
+        )
+
     from .obs import (
         chrome_trace,
         final_metrics_snapshot,
@@ -344,6 +365,39 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "--output", "-o", default=None,
                 help="write JSON here instead of stdout",
             )
+
+    top = obs_commands.add_parser(
+        "top", help="live fleet table (reads the service HTTP API)"
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8008",
+        help="service base URL (default http://127.0.0.1:8008)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no screen refresh)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh cadence (default 2.0)",
+    )
+
+    tail = obs_commands.add_parser(
+        "tail", help="stream one job's events from the service API"
+    )
+    tail.add_argument(
+        "--url", default="http://127.0.0.1:8008",
+        help="service base URL (default http://127.0.0.1:8008)",
+    )
+    tail.add_argument("--job", required=True, help="job id to follow")
+    tail.add_argument(
+        "--no-follow", action="store_true",
+        help="print the events recorded so far and exit",
+    )
+    tail.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll cadence while following (default 0.5)",
+    )
 
     args = parser.parse_args(argv)
 

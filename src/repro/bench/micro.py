@@ -138,6 +138,8 @@ def _telemetry_block(telemetry: SolveTelemetry) -> dict:
             phase: round(seconds, 4)
             for phase, seconds in sorted(summary["phase_seconds"].items())
         },
+        "progress_events": summary.get("progress_events", 0),
+        "eta_error": summary.get("eta_error"),
     }
 
 

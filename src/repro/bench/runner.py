@@ -329,6 +329,8 @@ def _telemetry_summary(telemetry: SolveTelemetry) -> dict:
             phase: round(seconds, 4)
             for phase, seconds in sorted(summary["phase_seconds"].items())
         },
+        "progress_events": summary.get("progress_events", 0),
+        "eta_error": summary.get("eta_error"),
     }
 
 

@@ -288,6 +288,12 @@ def _run_passes_serial(
         except Interrupted:
             pass  # observed at the next pass-start checkpoint
         results.append(result)
+        telemetry.progress(
+            "construction",
+            done=len(results),
+            total=config.construction_iterations,
+            attempt=attempt_index,
+        )
         pass_status = result[3]
         if pass_status is not None:
             status = pass_status
@@ -369,9 +375,27 @@ def _run_passes_parallel(
         for index in to_run
     ]
 
+    completed = {"count": len(replayed)}
+    if replayed:
+        telemetry.progress(
+            "construction",
+            done=completed["count"],
+            total=config.construction_iterations,
+            attempt=attempt_index,
+        )
+
     def _record(position: int, result: _PassResult) -> None:
         if ledger is not None:
             ledger.record_pass(attempt_index, to_run[position], result, budget)
+        # Live fan-out progress: counts only (completion order is
+        # nondeterministic; the count is not).
+        completed["count"] += 1
+        telemetry.progress(
+            "construction",
+            done=completed["count"],
+            total=config.construction_iterations,
+            attempt=attempt_index,
+        )
 
     collected, status = pool.collect_resilient(
         construction_pass_task,

@@ -93,6 +93,7 @@ def improve_portfolio(
                 objective=objective,
                 budget=budget,
                 tracer=telemetry.tracer,
+                telemetry=telemetry,
             )
 
     with telemetry.tracer.span("tabu", members=members) as tabu_span:
@@ -237,6 +238,9 @@ def _run_members_serial(
             except Interrupted:
                 pass  # observed at the next member's status check
         outcomes.append(outcome)
+        telemetry.progress(
+            "tabu", done=len(outcomes), total=len(specs), member=member_index
+        )
     return outcomes, status
 
 
@@ -272,9 +276,22 @@ def _run_members_parallel(
     ]
     local_args = [spec + (None, budget, span_context) for spec in to_run]
 
+    completed = {"count": len(replayed)}
+    if replayed:
+        telemetry.progress(
+            "tabu", done=completed["count"], total=len(specs)
+        )
+
     def _record(position: int, outcome) -> None:
         if ledger is not None:
             ledger.record_member(to_run[position][1], outcome, budget)
+        completed["count"] += 1
+        telemetry.progress(
+            "tabu",
+            done=completed["count"],
+            total=len(specs),
+            member=to_run[position][1],
+        )
 
     collected, status = pool.collect_resilient(
         portfolio_member_task,

@@ -504,6 +504,7 @@ class FaCT:
                 preflight.raise_if_failed()
             feasibility_seconds = time.perf_counter() - phase_started
             telemetry.snapshot_metrics("feasibility")
+            telemetry.progress("feasibility", 1, 1, force=True)
 
             provenance: tuple[ComponentProvenance, ...] = ()
             if (
@@ -524,6 +525,7 @@ class FaCT:
                 )
                 partition = construction.partition
                 telemetry.snapshot_metrics("construction")
+                telemetry.progress("construction", 1, 1, force=True)
             else:
                 # One worker pool serves every parallel stage of this
                 # solve — all construction passes of all retry
@@ -560,6 +562,7 @@ class FaCT:
                             _merged_perf(construction.state.perf, runtime_perf)
                         )
                     telemetry.snapshot_metrics("construction")
+                    telemetry.progress("construction", 1, 1, force=True)
 
                     tabu = None
                     partition = construction.partition
@@ -589,6 +592,7 @@ class FaCT:
                     _merged_perf(construction.state.perf, runtime_perf)
                 )
             telemetry.snapshot_metrics("tabu")
+            telemetry.progress("tabu", 1, 1, force=True)
 
             certificate = None
             if certify_level != CertifyLevel.OFF:

@@ -114,6 +114,11 @@ _POS_INF = float("inf")
 # monkeypatch this to 0 to force the vector path on small fixtures.
 _VECTOR_MIN_DONOR = 32
 
+# In-search progress cadence: offer a `progress` event every this many
+# iterations (the telemetry layer applies its own wall-clock bound on
+# top, so short iterations cannot flood the event log).
+_PROGRESS_ITERATIONS = 64
+
 
 def tabu_improve(
     state: SolutionState,
@@ -123,6 +128,7 @@ def tabu_improve(
     rng: Random | None = None,
     perturbation_moves: int = 0,
     tracer=None,
+    telemetry=None,
 ) -> TabuResult:
     """Run Tabu search on *state* in place and return the best result.
 
@@ -146,6 +152,13 @@ def tabu_improve(
     tracer:
         Optional :class:`repro.obs.Tracer`; the search becomes one
         ``search`` span carrying iteration/score attributes.
+    telemetry:
+        Optional :class:`repro.obs.SolveTelemetry`; the search emits
+        in-loop ``progress`` events (iterations against the iteration
+        cap) every :data:`_PROGRESS_ITERATIONS` iterations, further
+        rate-bounded by the telemetry layer. Emission is
+        write-only — it never feeds back into move selection — so
+        partitions stay bit-identical with telemetry on or off.
     """
     import time
 
@@ -153,6 +166,9 @@ def tabu_improve(
 
     if tracer is None:
         tracer = NULL_TRACER
+    emit_progress = telemetry is not None and getattr(
+        telemetry, "enabled", False
+    )
     with tracer.span("search") as search_span:
         started = time.perf_counter()
         n = len(state.collection)
@@ -221,6 +237,14 @@ def tabu_improve(
                 no_improve = 0
             else:
                 no_improve += 1
+            if emit_progress and iterations % _PROGRESS_ITERATIONS == 0:
+                telemetry.progress(
+                    "tabu.search",
+                    done=iterations,
+                    total=iteration_cap,
+                    no_improve=no_improve,
+                    patience=patience,
+                )
 
         result = TabuResult(
             partition=Partition.from_labels(best_labels),

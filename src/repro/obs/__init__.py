@@ -19,6 +19,19 @@ Four pieces, designed to cost nothing when off:
   ``trace_event`` JSON, Prometheus text exposition, and per-span
   ``cProfile``/``tracemalloc`` hooks gated by ``REPRO_PROFILE``.
 
+On top of that substrate sits the derived-signal layer:
+
+- **progress/ETA** (:mod:`~repro.obs.progress`): a deterministic
+  :class:`ProgressModel` folding ``progress`` events into a
+  phase-weighted completion fraction + ETA, weights calibrated from
+  BENCH_scaling.json;
+- **health** (:mod:`~repro.obs.health`): :class:`StallDetector`
+  classifying running jobs HEALTHY / SLOW / STALLED from heartbeats
+  and event recency;
+- **console** (:mod:`~repro.obs.console`): ``python -m repro obs top``
+  / ``obs tail`` — a live fleet table and per-job event follower over
+  the service's offset-poll HTTP API.
+
 Entry point: build a :class:`SolveTelemetry` (or set
 ``FaCTConfig.trace_path`` / ``--trace-output``) and pass it to
 :meth:`repro.fact.solver.FaCT.solve`. The default is
@@ -35,26 +48,48 @@ from .exporters import (
     span_records,
     validate_events,
 )
-from .metrics import NULL_METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .health import HealthState, StallDetector
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+)
+from .progress import (
+    DEFAULT_WEIGHTS,
+    ProgressModel,
+    calibrate_weights,
+    eta_error,
+    weights_for_spec,
+)
 from .spans import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer, worker_tracer
 from .telemetry import DISABLED, SolveTelemetry, resolve_telemetry
 
 __all__ = [
     "Counter",
+    "DEFAULT_WEIGHTS",
     "DISABLED",
     "EventLog",
     "Gauge",
+    "HealthState",
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "ProgressModel",
     "SCHEMA_VERSION",
     "SolveTelemetry",
     "Span",
+    "StallDetector",
     "Tracer",
+    "calibrate_weights",
     "chrome_trace",
+    "escape_label_value",
+    "eta_error",
     "final_metrics_snapshot",
     "prometheus_text",
     "read_events",
@@ -62,5 +97,6 @@ __all__ = [
     "resolve_telemetry",
     "span_records",
     "validate_events",
+    "weights_for_spec",
     "worker_tracer",
 ]

@@ -22,7 +22,11 @@ Kinds emitted by :class:`repro.obs.SolveTelemetry`:
   / ``pool.restarted`` / ``pool.task_timeout`` — worker-pool fault
   handling;
 - ``run.interrupted`` — budget expiry or cancellation;
-- ``certify.start`` / ``certify.done`` — certification passes.
+- ``certify.start`` / ``certify.done`` — certification passes;
+- ``progress`` — compact phase/done/total samples folded by
+  :class:`repro.obs.progress.ProgressModel` into percent + ETA;
+- ``health`` — a watchdog classification (see
+  :class:`repro.obs.health.StallDetector`).
 
 Durability follows the repo's checkpoint discipline: the sink buffers
 records and periodically rewrites the whole file through
@@ -30,6 +34,18 @@ records and periodically rewrites the whole file through
 ``os.replace``), so a reader — including a crash-time reader — always
 sees complete lines, never a torn tail. One solve's log is small
 (hundreds of records), so whole-file rewrites stay cheap.
+
+Three situations force an immediate flush rather than waiting for the
+periodic window (whose worst case used to drop the tail of the log on
+a SIGTERM drain, which the health layer would misread as a stall):
+
+- terminal kinds (``run.end``, ``run.interrupted``, ``health``) — the
+  records an operator most needs to see on disk;
+- any emit after :meth:`EventLog.close` — late events on shutdown
+  paths must not require a second explicit flush;
+- a wall-clock deadline (:data:`_FLUSH_SECONDS`) — live readers
+  polling the file (``obs tail``, the progress endpoints) see events
+  within about a second even when the solve emits slowly.
 """
 
 from __future__ import annotations
@@ -45,6 +61,13 @@ SCHEMA_VERSION = 1
 
 # Buffered records between automatic flushes of a file-backed log.
 _FLUSH_EVERY = 32
+
+# Maximum seconds a buffered record may wait before a flush.
+_FLUSH_SECONDS = 1.0
+
+# Kinds that flush immediately: losing these to a buffered window on
+# process exit turns an orderly interrupt into an apparent stall.
+_CRITICAL_KINDS = frozenset({"run.end", "run.interrupted", "health"})
 
 
 class EventLog:
@@ -62,9 +85,12 @@ class EventLog:
         self.records: list[dict] = []
         self._pending = 0
         self._closed = False
+        self._last_flush_mono = time.monotonic()
 
     def emit(self, kind: str, **payload) -> dict:
-        """Append one record; flushes to disk periodically."""
+        """Append one record; flushes to disk periodically, and
+        immediately for terminal kinds, post-close emits, or when the
+        oldest buffered record is older than :data:`_FLUSH_SECONDS`."""
         record = {
             "schema": SCHEMA_VERSION,
             "kind": str(kind),
@@ -74,7 +100,12 @@ class EventLog:
         record.update(payload)
         self.records.append(record)
         self._pending += 1
-        if self.path is not None and self._pending >= _FLUSH_EVERY:
+        if self.path is not None and (
+            record["kind"] in _CRITICAL_KINDS
+            or self._closed
+            or self._pending >= _FLUSH_EVERY
+            or record["mono"] - self._last_flush_mono >= _FLUSH_SECONDS
+        ):
             self.flush()
         return record
 
@@ -84,6 +115,7 @@ class EventLog:
     def flush(self) -> None:
         """Atomically rewrite the backing file with every record so
         far (no-op for in-memory logs)."""
+        self._last_flush_mono = time.monotonic()
         if self.path is None or not self._pending:
             return
         lines = [
@@ -95,6 +127,6 @@ class EventLog:
 
     def close(self) -> None:
         """Final flush; further emits are still accepted (idempotent
-        close keeps shutdown paths simple) but need another flush."""
+        close keeps shutdown paths simple) and flush immediately."""
         self.flush()
         self._closed = True

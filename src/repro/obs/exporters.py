@@ -129,6 +129,29 @@ def validate_events(events: list[dict]) -> list[str]:
             problems.append(
                 f"run.end reports open spans: {event['open_spans']}"
             )
+    for position, event in enumerate(events):
+        if event.get("kind") == "progress":
+            done, total = event.get("done"), event.get("total")
+            if not isinstance(done, (int, float)) or not isinstance(
+                total, (int, float)
+            ):
+                problems.append(
+                    f"record {position}: progress event lacks numeric "
+                    "done/total"
+                )
+            elif not 0 <= done <= max(total, 0):
+                problems.append(
+                    f"record {position}: progress done={done} outside "
+                    f"[0, total={total}]"
+                )
+        elif event.get("kind") == "health":
+            if event.get("health") not in (
+                "healthy", "slow", "stalled"
+            ):
+                problems.append(
+                    f"record {position}: health event carries unknown "
+                    f"state {event.get('health')!r}"
+                )
     return problems
 
 
@@ -273,17 +296,37 @@ def _split_key(key: str) -> tuple[str, str]:
     return match.group("name"), f"{{{labels}}}" if labels else ""
 
 
-def prometheus_text(snapshot: dict, prefix: str = "repro_") -> str:
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per text-format 0.0.4: backslash and
+    newline only (double quotes are legal in HELP text)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
+def prometheus_text(
+    snapshot: dict,
+    prefix: str = "repro_",
+    help_text: dict[str, str] | None = None,
+) -> str:
     """Prometheus text exposition of a metrics snapshot
-    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`)."""
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`).
+
+    *help_text* maps snapshot metric names (pre-prefix, e.g.
+    ``service_jobs``) to ``# HELP`` strings, emitted escaped before
+    the matching ``# TYPE`` line.
+    """
     lines: list[str] = []
     typed: set[str] = set()
+    help_text = help_text or {}
 
     def _emit(key: str, value, kind: str, suffix: str = "") -> None:
         name, labels = _split_key(key)
         prom = _prom_name(name, prefix) + suffix
         if prom not in typed:
             typed.add(prom)
+            if not suffix and name in help_text:
+                lines.append(
+                    f"# HELP {prom} {_escape_help(help_text[name])}"
+                )
             lines.append(f"# TYPE {prom} {kind}")
         rendered = "0" if value is None else repr(float(value))
         lines.append(f"{prom}{labels} {rendered}")

@@ -1,0 +1,117 @@
+"""Stall watchdog: classify running jobs HEALTHY / SLOW / STALLED.
+
+:class:`StallDetector` consumes the two liveness signals a leased job
+produces — journal heartbeats (folded into the job's ``updated_at``)
+and the event stream its solve writes — and distinguishes the three
+ways a long solve goes quiet:
+
+- **dead worker** — heartbeats stopped: the process is gone or wedged
+  hard enough that the lease keeper thread no longer renews;
+- **lease-expiry-pending** — the lease deadline has passed but the
+  reaper has not yet requeued the job;
+- **no-progress** — heartbeats still flow but the event stream is
+  silent: the classic tabu plateau / livelock shape, a worker that is
+  alive but no longer moving.
+
+The detector is a pure function of ``(job dict, events, now)`` so the
+service watchdog thread, tests and offline analysis all share one
+classification. Thresholds are wall-clock seconds; the SLOW band sits
+between ``slow_after_seconds`` and ``stall_after_seconds``.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["HealthState", "StallDetector"]
+
+
+class HealthState:
+    """The three classifications, as journal/metric-safe strings."""
+
+    HEALTHY = "healthy"
+    SLOW = "slow"
+    STALLED = "stalled"
+
+    ALL = (HEALTHY, SLOW, STALLED)
+
+
+# Job states the detector classifies; everything else is healthy by
+# definition (queued jobs are waiting, terminal jobs are done).
+_ACTIVE = ("leased", "running")
+
+
+class StallDetector:
+    """Classify one job's liveness from heartbeats + events.
+
+    Parameters
+    ----------
+    stall_after_seconds:
+        Silence longer than this is STALLED.
+    slow_after_seconds:
+        Silence longer than this (but shorter than the stall window)
+        is SLOW; defaults to half the stall window.
+    clock:
+        Wall-clock source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        stall_after_seconds: float = 10.0,
+        slow_after_seconds: float | None = None,
+        clock=time.time,
+    ):
+        self.stall_after_seconds = float(stall_after_seconds)
+        self.slow_after_seconds = (
+            float(slow_after_seconds)
+            if slow_after_seconds is not None
+            else self.stall_after_seconds / 2.0
+        )
+        self.clock = clock
+
+    def classify(
+        self,
+        job: dict,
+        events: list[dict],
+        now: float | None = None,
+    ) -> tuple[str, str]:
+        """``(state, reason)`` for one job dict + its event list."""
+        if job.get("state") not in _ACTIVE:
+            return HealthState.HEALTHY, "not running"
+        if now is None:
+            now = self.clock()
+        lease_expires_at = job.get("lease_expires_at")
+        if lease_expires_at is not None and now > float(lease_expires_at):
+            return (
+                HealthState.STALLED,
+                "lease-expiry-pending: lease expired "
+                f"{now - float(lease_expires_at):.1f}s ago, not yet reaped",
+            )
+        heartbeat_age = now - float(job.get("updated_at") or 0.0)
+        last_event_ts = None
+        for event in reversed(events):
+            ts = event.get("ts")
+            if isinstance(ts, (int, float)):
+                last_event_ts = float(ts)
+                break
+        event_age = (
+            now - last_event_ts if last_event_ts is not None else heartbeat_age
+        )
+        if heartbeat_age > self.stall_after_seconds:
+            return (
+                HealthState.STALLED,
+                f"dead-worker: no heartbeat for {heartbeat_age:.1f}s",
+            )
+        quiet = min(event_age, heartbeat_age)
+        if event_age > self.stall_after_seconds:
+            return (
+                HealthState.STALLED,
+                "no-progress: heartbeats flowing but no events for "
+                f"{event_age:.1f}s (tabu plateau or wedged solve)",
+            )
+        if quiet > self.slow_after_seconds:
+            return (
+                HealthState.SLOW,
+                f"quiet for {quiet:.1f}s",
+            )
+        return HealthState.HEALTHY, f"last signal {quiet:.1f}s ago"

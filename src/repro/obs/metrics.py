@@ -32,6 +32,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetrics",
+    "escape_label_value",
 ]
 
 
@@ -118,10 +119,23 @@ def _label_key(labels: dict) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text-format 0.0.4 spec:
+    backslash, double-quote and newline become ``\\\\``, ``\\"`` and
+    ``\\n``. Applied when rendering keys, so arbitrary strings (worker
+    ids, dataset names, error details) are always safe to exposit."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
 def _render_key(name: str, label_key: tuple) -> str:
     if not label_key:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in label_key)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in label_key)
     return f"{name}{{{inner}}}"
 
 

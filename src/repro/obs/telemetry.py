@@ -19,6 +19,8 @@ telemetry on or off (CI asserts this).
 
 from __future__ import annotations
 
+import time
+
 from .events import EventLog
 from .metrics import NULL_METRICS, MetricsRegistry
 from .spans import NULL_TRACER, Tracer
@@ -26,6 +28,11 @@ from .spans import NULL_TRACER, Tracer
 __all__ = ["DISABLED", "SolveTelemetry", "resolve_telemetry"]
 
 _VERBOSITY_ENV = "REPRO_TRACE_VERBOSITY"
+
+# Minimum seconds between non-forced progress events. The gate only
+# decides whether a record is *written* — never a solver decision — so
+# the wall-clock read here cannot break bit-identity.
+_PROGRESS_MIN_INTERVAL = 0.25
 
 
 def _env_verbosity() -> int:
@@ -81,6 +88,8 @@ class SolveTelemetry:
         )
         self._last_snapshot: dict | None = None
         self._closed = False
+        self._progress_count = 0
+        self._last_progress_mono = 0.0
         self.events.emit("run.start", trace_id=self.tracer.trace_id)
 
     # -- span plumbing -------------------------------------------------
@@ -124,6 +133,37 @@ class SolveTelemetry:
         """Emit one run event."""
         self.events.emit(kind, **payload)
 
+    def progress(
+        self,
+        phase: str,
+        done: float,
+        total: float,
+        force: bool = False,
+        **extra,
+    ) -> None:
+        """Emit one compact ``progress`` record (phase, done, total).
+
+        Verbosity-gated (silent below verbosity 1) and rate-bounded:
+        non-forced samples closer than :data:`_PROGRESS_MIN_INTERVAL`
+        to the previous one are dropped, so a tight tabu loop cannot
+        flood the log. ``force=True`` (phase boundaries, completion)
+        always writes. Emission never feeds back into the solver, so
+        partitions stay bit-identical with progress on or off.
+        """
+        if self.tracer.verbosity < 1:
+            return
+        now = time.monotonic()
+        if (
+            not force
+            and now - self._last_progress_mono < _PROGRESS_MIN_INTERVAL
+        ):
+            return
+        self._last_progress_mono = now
+        self._progress_count += 1
+        self.events.emit(
+            "progress", phase=str(phase), done=done, total=total, **extra
+        )
+
     def snapshot_metrics(self, phase: str) -> dict:
         """Record a ``metrics.snapshot`` event for *phase*: the full
         registry view plus the delta since the previous snapshot."""
@@ -136,12 +176,18 @@ class SolveTelemetry:
         return snapshot
 
     def summary(self) -> dict:
-        """Compact roll-up for bench records: total spans and the
-        per-phase wall-clock the registry knows about."""
+        """Compact roll-up for bench records: total spans, the
+        per-phase wall-clock the registry knows about, the number of
+        progress samples written and (for finished runs) the ETA
+        calibration error of the progress model."""
+        from .progress import eta_error
+
         return {
             "trace_id": self.tracer.trace_id,
             "total_spans": len(self.tracer.finished),
             "total_events": len(self.events.records),
+            "progress_events": self._progress_count,
+            "eta_error": eta_error(self.events.records),
             "phase_seconds": {
                 name: round(seconds, 6)
                 for name, seconds in sorted(
@@ -198,6 +244,12 @@ class _DisabledTelemetry:
         return None
 
     def event(self, kind: str, **payload) -> None:
+        pass
+
+    def progress(
+        self, phase: str, done: float, total: float, force: bool = False,
+        **extra,
+    ) -> None:
         pass
 
     def snapshot_metrics(self, phase: str) -> dict:

@@ -49,6 +49,7 @@ SERVICE_CHECKPOINTS = (
     "service.result.write",
     "service.job.finalize",
     "service.quarantine",
+    "service.stalled",
 )
 """Fault-injection checkpoints of the service layer.
 
@@ -58,8 +59,9 @@ reachable from a plain solve, which the service ones are not). A
 :class:`repro.runtime.FaultInjector` armed at any of these can kill,
 delay or fail the service at the exact instants the durability
 guarantees must hold: right before a journal append, around lease
-claims/renewals/reaps, before a result write, before finalization and
-right before a poison job is quarantined to DEAD.
+claims/renewals/reaps, before a result write, before finalization,
+right before a poison job is quarantined to DEAD, and at the moment
+the stall watchdog classifies a job STALLED.
 """
 
 register_checkpoints(*SERVICE_CHECKPOINTS)

@@ -120,7 +120,11 @@ def _run_serve(args) -> int:
 
     store = _store_from(args)
     server, reaper = serve(
-        store, host=args.host, port=args.port, reap_seconds=args.reap_seconds
+        store,
+        host=args.host,
+        port=args.port,
+        reap_seconds=args.reap_seconds,
+        stall_seconds=args.stall_seconds,
     )
     workers = [_spawn_worker(args, index) for index in range(args.workers)]
 
@@ -270,6 +274,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     serve_cmd.add_argument(
         "--drain-seconds", type=float, default=30.0, metavar="SECONDS",
         help="grace period for workers on shutdown (default 30)",
+    )
+    serve_cmd.add_argument(
+        "--stall-seconds", type=float, default=10.0, metavar="SECONDS",
+        help="watchdog silence threshold before a running job is "
+        "reported stalled (0 disables the watchdog; default 10)",
     )
 
     worker_cmd = commands.add_parser("worker", help="run one worker loop")

@@ -285,6 +285,12 @@ class Job:
     detail: str | None = None
     result_status: str | None = None
     fault_signature: str | None = None
+    # Watchdog verdict (healthy/slow/stalled) — journal `health` kind.
+    health: str | None = None
+    health_detail: str | None = None
+    # When the current RUNNING stretch started; feeds the fleet
+    # solve-duration histogram at the terminal transition.
+    running_since: float | None = None
 
     @property
     def terminal(self) -> bool:
@@ -313,6 +319,8 @@ class Job:
             "detail": self.detail,
             "result_status": self.result_status,
             "fault_signature": self.fault_signature,
+            "health": self.health,
+            "health_detail": self.health_detail,
             "priority": self.spec.priority,
             "label": self.spec.label,
             "spec": self.spec.as_dict(),

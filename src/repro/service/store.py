@@ -109,6 +109,20 @@ class JobStore:
         self._jobs: dict[str, Job] = {}
         self._offset = 0
         self._seq = 0
+        # Fleet counters, folded deterministically from the journal —
+        # every process sharing the store derives the same numbers.
+        self._fleet = {
+            "leases": 0,
+            "retries": 0,
+            "quarantines": 0,
+            "completions": 0,
+            "failures": 0,
+            "cancellations": 0,
+            "dead": 0,
+            "heartbeats": 0,
+        }
+        self._solve_durations: list[float] = []
+        self._queue_waits: list[float] = []
 
     # ------------------------------------------------------------------
     # locking
@@ -192,8 +206,16 @@ class JobStore:
         if job is None:
             return
         if kind == "transition":
-            job.state = record.get("state", job.state)
-            job.updated_at = float(record.get("ts", job.updated_at))
+            target = record.get("state", job.state)
+            ts = float(record.get("ts", job.updated_at))
+            if target != job.state:
+                self._fold_fleet(job, target, record, ts)
+                # A state change invalidates the last watchdog verdict;
+                # the next sweep re-classifies.
+                job.health = None
+                job.health_detail = None
+            job.state = target
+            job.updated_at = ts
             for name in (
                 "worker_id",
                 "error",
@@ -212,12 +234,50 @@ class JobStore:
             if job.state in TERMINAL_STATES:
                 job.lease_expires_at = None
         elif kind == "heartbeat":
+            self._fleet["heartbeats"] += 1
             if "lease_expires_at" in record:
                 job.lease_expires_at = record["lease_expires_at"]
             job.updated_at = float(record.get("ts", job.updated_at))
         elif kind == "cancel.request":
             job.cancel_requested = True
             job.updated_at = float(record.get("ts", job.updated_at))
+        elif kind == "health":
+            # Watchdog verdict: surfaced on the job but deliberately
+            # NOT folded into updated_at — health records are observer
+            # output, not worker liveness.
+            job.health = record.get("health")
+            job.health_detail = record.get("detail")
+
+    def _fold_fleet(
+        self, job: Job, target: str, record: dict, ts: float
+    ) -> None:
+        """Accumulate fleet counters for one state change (called with
+        the job's *previous* state still in place)."""
+        if target == JobState.LEASED:
+            self._fleet["leases"] += 1
+            self._queue_waits.append(
+                max(0.0, ts - max(job.created_at, job.not_before))
+            )
+        elif target == JobState.RUNNING:
+            job.running_since = ts
+        elif target == JobState.QUEUED:
+            # Drain requeues ("requeued on worker drain") are operator
+            # intent, not failures; only failure/reap requeues count.
+            if not str(record.get("detail", "")).startswith("requeued on"):
+                self._fleet["retries"] += 1
+        elif target == JobState.COMPLETED:
+            self._fleet["completions"] += 1
+        elif target == JobState.FAILED:
+            self._fleet["failures"] += 1
+        elif target == JobState.CANCELLED:
+            self._fleet["cancellations"] += 1
+        elif target == JobState.DEAD:
+            self._fleet["dead"] += 1
+            if str(record.get("detail", "")).startswith("quarantined"):
+                self._fleet["quarantines"] += 1
+        if target in TERMINAL_STATES and job.running_since is not None:
+            self._solve_durations.append(max(0.0, ts - job.running_since))
+            job.running_since = None
 
     def _append(self, record: dict) -> None:
         """Durably append one journal record.
@@ -289,6 +349,16 @@ class JobStore:
         for job in self.jobs():
             totals[job.state] += 1
         return totals
+
+    def fleet_stats(self) -> dict:
+        """Fleet-level counters + raw duration samples, all derived
+        from journal replay (identical in every process)."""
+        with self._locked():
+            self._refresh()
+            stats = dict(self._fleet)
+            stats["solve_durations"] = list(self._solve_durations)
+            stats["queue_waits"] = list(self._queue_waits)
+            return stats
 
     def policy_for(self, job: Job) -> RetryPolicy:
         return job.spec.retry_policy(self.retry_policy)
@@ -525,6 +595,36 @@ class JobStore:
                 lease_expires_at=None,
                 worker_id=None,
                 not_before=0.0,
+            )
+            return job
+
+    def record_health(
+        self, job_id: str, health: str, detail: str | None = None
+    ) -> Job:
+        """Journal a watchdog classification for an active job.
+
+        Unchanged verdicts are not re-journaled (the watchdog sweeps
+        every interval; only edges are worth a record). A STALLED
+        verdict fires the ``service.stalled`` fault checkpoint first,
+        so the chaos harness can arm faults at the exact moment a
+        stall is detected.
+        """
+        with self._locked():
+            self._refresh()
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobError(f"unknown job {job_id!r}")
+            if job.terminal or job.health == health:
+                return job
+            if health == "stalled":
+                fire_checkpoint("service.stalled")
+            self._append(
+                {
+                    "kind": "health",
+                    "job": job_id,
+                    "health": str(health),
+                    "detail": detail,
+                }
             )
             return job
 

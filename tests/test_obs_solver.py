@@ -109,14 +109,35 @@ class TestBitIdentity:
     def test_partition_identical_with_telemetry_on_and_off(
         self, tiny_census, constraints, tmp_path, n_jobs
     ):
-        solution, _events = _traced_solve(
+        solution, events = _traced_solve(
             tiny_census, constraints, tmp_path, n_jobs=n_jobs
         )
+        # The traced run emitted progress events — the identity below
+        # therefore also covers the progress/ETA telemetry path.
+        assert any(e["kind"] == "progress" for e in events)
         bare = FaCT(
             FaCTConfig(rng_seed=3, n_jobs=n_jobs, tabu_portfolio=2)
         ).solve(tiny_census, constraints)
         assert solution.partition.labels() == bare.partition.labels()
         assert solution.heterogeneity == bare.heterogeneity  # bitwise
+
+    def test_partition_identical_with_progress_muted(
+        self, tiny_census, constraints, tmp_path, monkeypatch
+    ):
+        # verbosity 0 silences progress emission entirely; the solve
+        # must not notice (emission decides whether to WRITE an event,
+        # never a solver decision).
+        loud, loud_events = _traced_solve(tiny_census, constraints, tmp_path)
+        assert any(e["kind"] == "progress" for e in loud_events)
+        quiet_dir = tmp_path / "quiet"
+        quiet_dir.mkdir()
+        monkeypatch.setenv("REPRO_TRACE_VERBOSITY", "0")
+        quiet, quiet_events = _traced_solve(
+            tiny_census, constraints, quiet_dir
+        )
+        assert not any(e["kind"] == "progress" for e in quiet_events)
+        assert loud.partition.labels() == quiet.partition.labels()
+        assert loud.heterogeneity == quiet.heterogeneity  # bitwise
 
 
 class TestRunArtifacts:

@@ -265,3 +265,110 @@ class TestErrorCodesAndPreflightGate:
         status, payload = api.dispatch("POST", "/jobs", {}, dict(SPEC))
         assert status == 201
         assert payload["state"] == JobState.QUEUED
+
+
+class TestMetricsEndpoints:
+    """Per-job and fleet Prometheus exposition (transport-free)."""
+
+    def _submit(self, api):
+        _, payload = api.dispatch("POST", "/jobs", {}, dict(SPEC))
+        return payload["job_id"]
+
+    def test_job_metrics_before_any_solve(self, api):
+        job_id = self._submit(api)
+        status, text, content_type = api.dispatch(
+            "GET", f"/jobs/{job_id}/metrics", {}, None
+        )
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4"
+        assert "repro_job_progress_fraction 0.0" in text
+        assert 'repro_job_state{state="queued"} 1.0' in text
+        assert "# HELP repro_job_progress_fraction" in text
+
+    def test_job_metrics_after_completion(self, api, store):
+        job_id = self._submit(api)
+        ServiceWorker(store, worker_id="w-jm").run_once()
+        status, text, _ = api.dispatch(
+            "GET", f"/jobs/{job_id}/metrics", {}, None
+        )
+        assert status == 200
+        assert "repro_job_progress_fraction 1.0" in text
+        assert "repro_job_progress_eta_seconds 0.0" in text
+        assert 'repro_job_state{state="completed"} 1.0' in text
+        assert "repro_job_events_total" in text
+        # The solve's own snapshot rides along (phase counters etc).
+        assert "repro_phase_seconds" in text
+        fraction = next(
+            float(line.split()[-1])
+            for line in text.splitlines()
+            if line.startswith("repro_job_progress_fraction ")
+        )
+        assert 0.0 <= fraction <= 1.0
+
+    def test_job_metrics_unknown_job_is_404(self, api):
+        outcome = api.dispatch("GET", "/jobs/j-missing/metrics", {}, None)
+        assert outcome[0] == 404
+
+    def test_fleet_metrics_counters_and_histograms(self, api, store):
+        self._submit(api)
+        ServiceWorker(store, worker_id="w-fm").run_once()
+        _, text, _ = api.dispatch("GET", "/metrics", {}, None)
+        assert "repro_service_completions_total 1.0" in text
+        assert "repro_service_leases_total 1.0" in text
+        assert "repro_service_solve_seconds_count 1.0" in text
+        assert "repro_service_queue_wait_seconds_count" in text
+        assert 'repro_service_phase_seconds_count{phase="tabu"} 1.0' in text
+        assert "# HELP repro_service_jobs" in text
+
+    def test_status_payload_carries_health(self, api, store):
+        from repro.service.api import health_sweep
+        from repro.obs.health import StallDetector
+
+        job_id = self._submit(api)
+        job = store.claim("w-health")
+        assert job.job_id == job_id
+        health_sweep(store, StallDetector(stall_after_seconds=3600.0))
+        status, payload = api.dispatch("GET", f"/jobs/{job_id}", {}, None)
+        assert status == 200
+        assert payload["health"] == "healthy"
+        assert "health_detail" in payload
+        _, text, _ = api.dispatch("GET", "/metrics", {}, None)
+        assert "repro_service_stalled_jobs 0.0" in text
+
+
+class TestFastAPIAdapter:
+    """The optional FastAPI adapter serves the same routes (skipped
+    when fastapi/httpx are not installed — CI runs stdlib-only)."""
+
+    @pytest.fixture
+    def client(self, store):
+        pytest.importorskip("fastapi")
+        pytest.importorskip("httpx")
+        from fastapi.testclient import TestClient
+
+        from repro.service.api import create_fastapi_app
+
+        return TestClient(create_fastapi_app(store))
+
+    def test_submit_status_events_round_trip(self, client, store):
+        response = client.post("/jobs", json=dict(SPEC))
+        assert response.status_code == 201
+        job_id = response.json()["job_id"]
+        assert client.get(f"/jobs/{job_id}").json()["state"] == "queued"
+        ServiceWorker(store, worker_id="w-fapi").run_once()
+        page = client.get(f"/jobs/{job_id}/events?offset=0").json()
+        assert page["events"] and page["next_offset"] > 0
+        assert page["state"] == "completed"
+
+    def test_metrics_routes_serve_prometheus_text(self, client, store):
+        response = client.post("/jobs", json=dict(SPEC))
+        job_id = response.json()["job_id"]
+        fleet = client.get("/metrics")
+        assert fleet.status_code == 200
+        assert fleet.headers["content-type"].startswith("text/plain")
+        assert 'repro_service_jobs{state="queued"} 1.0' in fleet.text
+        per_job = client.get(f"/jobs/{job_id}/metrics")
+        assert per_job.status_code == 200
+        assert per_job.headers["content-type"].startswith("text/plain")
+        assert "repro_job_progress_fraction 0.0" in per_job.text
+        assert client.get("/jobs/j-missing/metrics").status_code == 404

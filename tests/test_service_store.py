@@ -365,6 +365,12 @@ class TestChaos:
                 job_b = store.claim("w-crashy")
                 store.start_running(job_b.job_id, "w-crashy")
                 clock.advance(11.0)
+                # The watchdog notices job b's silence before the
+                # reaper does: a STALLED verdict fires the
+                # service.stalled checkpoint on its way to the journal.
+                store.record_health(
+                    job_b.job_id, "stalled", "lease-expiry-pending"
+                )
                 store.reap_expired()
                 job_b = store.claim("w-crashy")
                 store.start_running(job_b.job_id, "w-crashy")
